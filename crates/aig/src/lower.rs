@@ -1,0 +1,349 @@
+//! One-cycle lowering of a word-level netlist into an AIG.
+//!
+//! Given AIG words for every *leaf* of a cycle — primary inputs, register
+//! outputs and memory word states — [`lower_cycle`] computes AIG words for
+//! every combinational signal plus the next-state functions of all registers
+//! and memories. An unroller (see `ssc-ipc`) chains these cycle functions to
+//! build bounded formulas from a symbolic starting state.
+
+use std::collections::HashMap;
+
+use crate::words::{self, Word};
+use crate::{Aig, AigRef};
+use ssc_netlist::{MemId, Netlist, Node, Op, SignalId, analysis};
+
+/// Leaf values for one lowering step.
+#[derive(Clone, Debug, Default)]
+pub struct CycleInputs {
+    /// Value of every primary input node.
+    pub inputs: HashMap<SignalId, Word>,
+    /// Current state of every register node.
+    pub regs: HashMap<SignalId, Word>,
+    /// Current contents of every memory (one word per memory word).
+    pub mems: HashMap<MemId, Vec<Word>>,
+}
+
+impl CycleInputs {
+    /// Creates leaf values consisting entirely of fresh AIG inputs — the
+    /// fully symbolic state used for the first cycle of an IPC property.
+    pub fn fresh(netlist: &Netlist, aig: &mut Aig) -> Self {
+        let mut ci = CycleInputs::default();
+        for (id, node) in netlist.iter_nodes() {
+            match node {
+                Node::Input { width, .. } => {
+                    ci.inputs.insert(id, words::inputs(aig, *width));
+                }
+                Node::Reg(info) => {
+                    ci.regs.insert(id, words::inputs(aig, info.width));
+                }
+                _ => {}
+            }
+        }
+        for (mid, m) in netlist.iter_mems() {
+            let state = (0..m.words).map(|_| words::inputs(aig, m.width)).collect();
+            ci.mems.insert(mid, state);
+        }
+        ci
+    }
+
+    /// Creates fresh symbolic values for the primary inputs only, taking
+    /// register/memory state from `prev` (used for cycles after the first).
+    pub fn next_cycle(netlist: &Netlist, aig: &mut Aig, prev: &CycleOutputs) -> Self {
+        let mut ci = CycleInputs {
+            inputs: HashMap::new(),
+            regs: prev.next_regs.clone(),
+            mems: prev.next_mems.clone(),
+        };
+        for (id, node) in netlist.iter_nodes() {
+            if let Node::Input { width, .. } = node {
+                ci.inputs.insert(id, words::inputs(aig, *width));
+            }
+        }
+        ci
+    }
+}
+
+/// Result of lowering one cycle.
+#[derive(Clone, Debug)]
+pub struct CycleOutputs {
+    /// AIG word for every signal (dense, indexed by `SignalId::index`).
+    signals: Vec<Word>,
+    /// Next-state function of every register node.
+    pub next_regs: HashMap<SignalId, Word>,
+    /// Next contents of every memory.
+    pub next_mems: HashMap<MemId, Vec<Word>>,
+}
+
+impl CycleOutputs {
+    /// The AIG word computed for `signal` in this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal id is out of range.
+    pub fn word(&self, signal: SignalId) -> &Word {
+        &self.signals[signal.index()]
+    }
+}
+
+/// Lowers one clock cycle of `netlist` into `aig`.
+///
+/// # Panics
+///
+/// Panics if `leaves` misses an input/register/memory of the netlist, or if
+/// widths are inconsistent (the netlist should have passed
+/// [`Netlist::check`]).
+pub fn lower_cycle(netlist: &Netlist, aig: &mut Aig, leaves: &CycleInputs) -> CycleOutputs {
+    let order = analysis::comb_topo_order(netlist).expect("netlist must be acyclic");
+    let mut signals: Vec<Word> = vec![Vec::new(); netlist.num_nodes()];
+
+    for id in order {
+        let word = match netlist.node(id) {
+            Node::Input { name, width } => {
+                let w = leaves
+                    .inputs
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("missing input leaf `{name}`"))
+                    .clone();
+                assert_eq!(w.len(), *width as usize, "input `{name}` leaf width");
+                w
+            }
+            Node::Reg(info) => {
+                let w = leaves
+                    .regs
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("missing register leaf `{}`", info.name))
+                    .clone();
+                assert_eq!(w.len(), info.width as usize, "reg `{}` leaf width", info.name);
+                w
+            }
+            Node::Const(bv) => words::constant(aig, *bv),
+            Node::Op { op, args, width } => {
+                lower_op(aig, *op, args, *width, &signals)
+            }
+            Node::MemRead { mem, addr, width } => {
+                let addr_w = &signals[addr.index()];
+                let state = leaves
+                    .mems
+                    .get(mem)
+                    .unwrap_or_else(|| panic!("missing memory leaf {}", mem.index()));
+                read_mux_tree(aig, state, addr_w, *width)
+            }
+        };
+        signals[id.index()] = word;
+    }
+
+    // Register next-state functions.
+    let mut next_regs = HashMap::new();
+    for (id, node) in netlist.iter_nodes() {
+        if let Node::Reg(info) = node {
+            let next = info.next.expect("checked netlist");
+            next_regs.insert(id, signals[next.index()].clone());
+        }
+    }
+
+    // Memory next-state: apply write ports in order (later wins).
+    let mut next_mems = HashMap::new();
+    for (mid, m) in netlist.iter_mems() {
+        let cur = &leaves.mems[&mid];
+        let mut next: Vec<Word> = cur.clone();
+        for wp in &m.write_ports {
+            let en = signals[wp.en.index()][0];
+            let addr = &signals[wp.addr.index()];
+            let data = &signals[wp.data.index()];
+            for (i, slot) in next.iter_mut().enumerate() {
+                let hit = words::eq_const(aig, addr, i as u64);
+                let we = aig.and(en, hit);
+                *slot = words::mux(aig, we, data, slot);
+            }
+        }
+        next_mems.insert(mid, next);
+    }
+
+    CycleOutputs { signals, next_regs, next_mems }
+}
+
+fn lower_op(aig: &mut Aig, op: Op, args: &[SignalId], width: u32, signals: &[Word]) -> Word {
+    let a = |i: usize| &signals[args[i].index()];
+    match op {
+        Op::Not => words::not(a(0)),
+        Op::And => words::and(aig, &a(0).clone(), a(1)),
+        Op::Or => words::or(aig, &a(0).clone(), a(1)),
+        Op::Xor => words::xor(aig, &a(0).clone(), a(1)),
+        Op::Add => words::add(aig, &a(0).clone(), a(1)),
+        Op::Sub => words::sub(aig, &a(0).clone(), a(1)),
+        Op::Mul => words::mul(aig, &a(0).clone(), a(1)),
+        Op::Eq => vec![words::eq(aig, &a(0).clone(), a(1))],
+        Op::Ult => vec![words::ult(aig, &a(0).clone(), a(1))],
+        Op::Slt => vec![words::slt(aig, &a(0).clone(), a(1))],
+        Op::ShlC(s) => words::shl_c(a(0), s),
+        Op::ShrC(s) => words::shr_c(a(0), s),
+        Op::SarC(s) => words::sar_c(a(0), s),
+        Op::Shl => words::shift_dyn(aig, &a(0).clone(), a(1), words::ShiftKind::Left),
+        Op::Shr => words::shift_dyn(aig, &a(0).clone(), a(1), words::ShiftKind::RightLogical),
+        Op::Sar => words::shift_dyn(aig, &a(0).clone(), a(1), words::ShiftKind::RightArith),
+        Op::Slice { hi, lo } => words::slice(a(0), hi, lo),
+        Op::Concat => words::concat(&a(0).clone(), a(1)),
+        Op::Zext => words::zext(a(0), width),
+        Op::Sext => words::sext(a(0), width),
+        Op::Mux => {
+            let sel = a(0)[0];
+            words::mux(aig, sel, &a(1).clone(), a(2))
+        }
+        Op::ReduceOr => vec![words::reduce_or(aig, &a(0).clone())],
+        Op::ReduceAnd => vec![words::reduce_and(aig, &a(0).clone())],
+        Op::ReduceXor => vec![words::reduce_xor(aig, &a(0).clone())],
+    }
+}
+
+/// Asynchronous read port: mux chain over all words; out-of-range addresses
+/// read zero (matching the simulator semantics).
+fn read_mux_tree(aig: &mut Aig, state: &[Word], addr: &Word, width: u32) -> Word {
+    let mut out = vec![AigRef::FALSE; width as usize];
+    for (i, word) in state.iter().enumerate() {
+        let hit = words::eq_const(aig, addr, i as u64);
+        out = words::mux(aig, hit, word, &out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::{Bv, StateMeta};
+    use ssc_sim::Sim;
+
+    /// A small design exercising every operator class plus a memory.
+    fn alu_design() -> Netlist {
+        let mut n = Netlist::new("alu");
+        let x = n.input("x", 8);
+        let y = n.input("y", 8);
+        let sel = n.input("sel", 3);
+        let acc = n.reg("acc", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+
+        let sum = n.add(x, y);
+        let diff = n.sub(x, y);
+        let conj = n.and(x, y);
+        let disj = n.or(x, y);
+        let xo = n.xor(x, y);
+        let lt = n.ult(x, y);
+        let ltw = n.zext(lt, 8);
+        let sh = n.shl(x, y);
+        let result = n.select(sel, &[sum, diff, conj, disj, xo, ltw, sh]);
+
+        let mem = n.memory("scratch", 8, 8, StateMeta::memory(true));
+        let addr = n.slice(x, 2, 0);
+        let rd = n.mem_read(mem, addr);
+        let we = n.bit(sel, 0);
+        n.mem_write(mem, we, addr, result);
+
+        let next_acc = n.xor(result, rd);
+        n.connect_reg(acc, next_acc);
+        n.mark_output("acc", acc.wire());
+        n.mark_output("result", result);
+        n.mark_output("rd", rd);
+        n.check().unwrap();
+        n
+    }
+
+    /// Cross-check: netlist simulator vs AIG lowering on random stimulus.
+    #[test]
+    fn lowering_matches_simulator() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = alu_design();
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let mut aig = Aig::new();
+        let leaves = CycleInputs::fresh(&n, &mut aig);
+        let out = lower_cycle(&n, &mut aig, &leaves);
+
+        // Build the AIG input vector order: we must feed aig.eval with bits
+        // in input-creation order. CycleInputs::fresh creates inputs in
+        // node-id order (inputs, regs) then memories.
+        for _ in 0..50 {
+            let mut sim = Sim::new(&n).unwrap();
+            let xv = rng.random_range(0..256u64);
+            let yv = rng.random_range(0..256u64);
+            let sv = rng.random_range(0..8u64);
+            let accv = rng.random_range(0..256u64);
+            let memv: Vec<u64> = (0..8).map(|_| rng.random_range(0..256)).collect();
+
+            sim.set_input("x", xv);
+            sim.set_input("y", yv);
+            sim.set_input("sel", sv);
+            sim.set_reg(n.find("acc").unwrap(), Bv::new(8, accv));
+            let mem = n.find_mem("scratch").unwrap();
+            for (i, &v) in memv.iter().enumerate() {
+                sim.set_mem_word(mem, i as u32, Bv::new(8, v));
+            }
+
+            // Assemble AIG input bits in creation order.
+            let mut bits: Vec<bool> = Vec::new();
+            for v in [xv, yv] {
+                (0..8).for_each(|i| bits.push((v >> i) & 1 == 1));
+            }
+            (0..3).for_each(|i| bits.push((sv >> i) & 1 == 1));
+            (0..8).for_each(|i| bits.push((accv >> i) & 1 == 1));
+            for &v in &memv {
+                (0..8).for_each(|i| bits.push((v >> i) & 1 == 1));
+            }
+
+            // Compare every output and the register next-state.
+            let result_w = out.word(n.output("result").unwrap().id());
+            let rd_w = out.word(n.output("rd").unwrap().id());
+            let acc_next = &out.next_regs[&n.find("acc").unwrap().id()];
+            let mut query: Vec<crate::AigRef> = Vec::new();
+            query.extend(result_w.iter());
+            query.extend(rd_w.iter());
+            query.extend(acc_next.iter());
+            let got = aig.eval(&bits, &query);
+            let to_u64 = |bits: &[bool]| {
+                bits.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i))
+            };
+            let aig_result = to_u64(&got[0..8]);
+            let aig_rd = to_u64(&got[8..16]);
+            let aig_acc_next = to_u64(&got[16..24]);
+
+            let sim_result = sim.peek_name("result").val();
+            let sim_rd = sim.peek_name("rd").val();
+            sim.step();
+            let sim_acc = sim.peek_name("acc").val();
+
+            assert_eq!(aig_result, sim_result, "result mismatch x={xv} y={yv} sel={sv}");
+            assert_eq!(aig_rd, sim_rd, "read mismatch");
+            assert_eq!(aig_acc_next, sim_acc, "acc next mismatch");
+        }
+    }
+
+    #[test]
+    fn memory_next_state_reflects_write() {
+        let mut n = Netlist::new("m");
+        let en = n.input("en", 1);
+        let addr = n.input("addr", 2);
+        let data = n.input("data", 4);
+        let mem = n.memory("ram", 4, 4, StateMeta::memory(false));
+        n.mem_write(mem, en, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        n.check().unwrap();
+
+        let mut aig = Aig::new();
+        let leaves = CycleInputs::fresh(&n, &mut aig);
+        let out = lower_cycle(&n, &mut aig, &leaves);
+
+        // With en=1, addr=2, data=0xA, initial mem all zeros:
+        let mut bits = vec![true]; // en
+        bits.extend([false, true]); // addr = 2
+        bits.extend([false, true, false, true]); // data = 0xA
+        bits.extend(std::iter::repeat(false).take(16)); // mem state zeros
+        let word2 = &out.next_mems[&mem][2];
+        let word1 = &out.next_mems[&mem][1];
+        let mut q = word2.clone();
+        q.extend(word1.iter());
+        let got = aig.eval(&bits, &q);
+        let v2 = got[..4].iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+        let v1 = got[4..].iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+        assert_eq!(v2, 0xA);
+        assert_eq!(v1, 0);
+    }
+}

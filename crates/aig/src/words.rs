@@ -1,0 +1,401 @@
+//! Word-level operations over vectors of AIG references.
+//!
+//! A word is a `Vec<AigRef>` in LSB-first order. These functions implement
+//! the netlist's word-level operators gate-by-gate: ripple-carry adders,
+//! borrow comparators, barrel shifters and mux trees.
+
+use crate::{Aig, AigRef};
+use ssc_netlist::Bv;
+
+/// A word of AIG literals, LSB first.
+pub type Word = Vec<AigRef>;
+
+/// Builds a constant word from a bit-vector value.
+pub fn constant(aig: &Aig, bv: Bv) -> Word {
+    (0..bv.width()).map(|i| aig.constant(bv.get_bit(i))).collect()
+}
+
+/// Builds a word of fresh inputs.
+pub fn inputs(aig: &mut Aig, width: u32) -> Word {
+    (0..width).map(|_| aig.input()).collect()
+}
+
+/// Bitwise NOT.
+pub fn not(word: &Word) -> Word {
+    word.iter().map(|r| r.not()).collect()
+}
+
+/// Bitwise AND.
+pub fn and(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    zip2(a, b, |x, y| aig.and(x, y))
+}
+
+/// Bitwise OR.
+pub fn or(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    zip2(a, b, |x, y| aig.or(x, y))
+}
+
+/// Bitwise XOR.
+pub fn xor(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    zip2(a, b, |x, y| aig.xor(x, y))
+}
+
+fn zip2(a: &Word, b: &Word, mut f: impl FnMut(AigRef, AigRef) -> AigRef) -> Word {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+/// Ripple-carry addition (wrapping).
+pub fn add(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = AigRef::FALSE;
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+fn full_adder(aig: &mut Aig, a: AigRef, b: AigRef, cin: AigRef) -> (AigRef, AigRef) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let c1 = aig.and(a, b);
+    let c2 = aig.and(axb, cin);
+    let cout = aig.or(c1, c2);
+    (sum, cout)
+}
+
+/// Wrapping subtraction: `a + ~b + 1`.
+pub fn sub(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = AigRef::TRUE;
+    let nb = not(b);
+    for (&x, &y) in a.iter().zip(&nb) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+/// Wrapping multiplication (shift-and-add).
+pub fn mul(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    let w = a.len();
+    let mut acc = vec![AigRef::FALSE; w];
+    for i in 0..w {
+        // partial = (a << i) AND-replicated b[i]
+        let mut partial = vec![AigRef::FALSE; w];
+        for j in 0..w - i {
+            partial[i + j] = aig.and(a[j], b[i]);
+        }
+        acc = add(aig, &acc, &partial);
+    }
+    acc
+}
+
+/// Equality: single literal.
+pub fn eq(aig: &mut Aig, a: &Word, b: &Word) -> AigRef {
+    let bits = zip2(a, b, |x, y| aig.xnor(x, y));
+    aig.and_all(bits)
+}
+
+/// Unsigned less-than: single literal.
+pub fn ult(aig: &mut Aig, a: &Word, b: &Word) -> AigRef {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    // From LSB to MSB: lt = (~a & b) | (a XNOR b) & lt_prev
+    let mut lt = AigRef::FALSE;
+    for (&x, &y) in a.iter().zip(b) {
+        let strictly = aig.and(x.not(), y);
+        let equal = aig.xnor(x, y);
+        let keep = aig.and(equal, lt);
+        lt = aig.or(strictly, keep);
+    }
+    lt
+}
+
+/// Signed less-than: single literal.
+pub fn slt(aig: &mut Aig, a: &Word, b: &Word) -> AigRef {
+    assert_eq!(a.len(), b.len(), "word width mismatch");
+    let w = a.len();
+    // Flip sign bits, then unsigned compare.
+    let mut a2 = a.clone();
+    let mut b2 = b.clone();
+    a2[w - 1] = a2[w - 1].not();
+    b2[w - 1] = b2[w - 1].not();
+    ult(aig, &a2, &b2)
+}
+
+/// Per-bit multiplexer over whole words.
+pub fn mux(aig: &mut Aig, sel: AigRef, t: &Word, e: &Word) -> Word {
+    zip2(t, e, |x, y| aig.mux(sel, x, y))
+}
+
+/// Shift left by a constant (zero fill).
+pub fn shl_c(a: &Word, amount: u32) -> Word {
+    let w = a.len();
+    let mut out = vec![AigRef::FALSE; w];
+    for i in 0..w {
+        if i >= amount as usize {
+            out[i] = a[i - amount as usize];
+        }
+    }
+    out
+}
+
+/// Logical shift right by a constant (zero fill).
+pub fn shr_c(a: &Word, amount: u32) -> Word {
+    let w = a.len();
+    let mut out = vec![AigRef::FALSE; w];
+    for i in 0..w {
+        if i + (amount as usize) < w {
+            out[i] = a[i + amount as usize];
+        }
+    }
+    out
+}
+
+/// Arithmetic shift right by a constant (sign fill).
+pub fn sar_c(a: &Word, amount: u32) -> Word {
+    let w = a.len();
+    let sign = a[w - 1];
+    let mut out = vec![sign; w];
+    for i in 0..w {
+        if i + (amount as usize) < w {
+            out[i] = a[i + amount as usize];
+        }
+    }
+    out
+}
+
+/// Barrel shifter for dynamic shifts. `kind` selects the fill behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShiftKind {
+    /// Logical left shift.
+    Left,
+    /// Logical right shift.
+    RightLogical,
+    /// Arithmetic right shift.
+    RightArith,
+}
+
+/// Dynamic shift of `a` by `amount` (any width). Shift amounts >= width
+/// produce the fill value (0, or the sign for arithmetic right shifts).
+pub fn shift_dyn(aig: &mut Aig, a: &Word, amount: &Word, kind: ShiftKind) -> Word {
+    let mut cur = a.clone();
+    let w = a.len();
+    // Stages for each amount bit that can affect the result.
+    for (stage, &bit) in amount.iter().enumerate() {
+        let shifted = if stage >= 32 || (1usize << stage) >= w {
+            // Shifting by >= width: everything becomes fill.
+            match kind {
+                ShiftKind::Left | ShiftKind::RightLogical => vec![AigRef::FALSE; w],
+                ShiftKind::RightArith => vec![a[w - 1]; w],
+            }
+        } else {
+            let amt = 1u32 << stage;
+            match kind {
+                ShiftKind::Left => shl_c(&cur, amt),
+                ShiftKind::RightLogical => shr_c(&cur, amt),
+                ShiftKind::RightArith => sar_c(&cur, amt),
+            }
+        };
+        cur = mux(aig, bit, &shifted, &cur);
+    }
+    cur
+}
+
+/// Slice `hi..=lo`.
+pub fn slice(a: &Word, hi: u32, lo: u32) -> Word {
+    a[lo as usize..=hi as usize].to_vec()
+}
+
+/// Concatenation (`hi` becomes the high bits).
+pub fn concat(hi: &Word, lo: &Word) -> Word {
+    let mut out = lo.clone();
+    out.extend_from_slice(hi);
+    out
+}
+
+/// Zero extension to `width`.
+pub fn zext(a: &Word, width: u32) -> Word {
+    let mut out = a.clone();
+    out.resize(width as usize, AigRef::FALSE);
+    out
+}
+
+/// Sign extension to `width`.
+pub fn sext(a: &Word, width: u32) -> Word {
+    let sign = *a.last().expect("nonempty word");
+    let mut out = a.clone();
+    out.resize(width as usize, sign);
+    out
+}
+
+/// OR-reduction.
+pub fn reduce_or(aig: &mut Aig, a: &Word) -> AigRef {
+    aig.or_all(a.iter().copied())
+}
+
+/// AND-reduction.
+pub fn reduce_and(aig: &mut Aig, a: &Word) -> AigRef {
+    aig.and_all(a.iter().copied())
+}
+
+/// XOR-reduction (parity).
+pub fn reduce_xor(aig: &mut Aig, a: &Word) -> AigRef {
+    let mut acc = AigRef::FALSE;
+    for &b in a {
+        acc = aig.xor(acc, b);
+    }
+    acc
+}
+
+/// Equality against a constant value (cheap: inverts bits as needed).
+pub fn eq_const(aig: &mut Aig, a: &Word, value: u64) -> AigRef {
+    let bits: Vec<AigRef> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if (value >> i) & 1 == 1 { b } else { b.not() })
+        .collect();
+    aig.and_all(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(aig: &Aig, inputs: &[bool], w: &Word) -> u64 {
+        let bits = aig.eval(inputs, w);
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn two_input_words(aig: &mut Aig, width: u32) -> (Word, Word) {
+        let a = inputs(aig, width);
+        let b = inputs(aig, width);
+        (a, b)
+    }
+
+    fn bits_of(v: u64, width: u32) -> Vec<bool> {
+        (0..width).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adder_matches_reference() {
+        let mut g = Aig::new();
+        let (a, b) = two_input_words(&mut g, 8);
+        let sum = add(&mut g, &a, &b);
+        for (x, y) in [(0u64, 0u64), (255, 1), (200, 100), (17, 4), (128, 128)] {
+            let mut ins = bits_of(x, 8);
+            ins.extend(bits_of(y, 8));
+            assert_eq!(eval_word(&g, &ins, &sum), (x + y) & 0xFF, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn sub_mul_match_reference() {
+        let mut g = Aig::new();
+        let (a, b) = two_input_words(&mut g, 8);
+        let d = sub(&mut g, &a, &b);
+        let p = mul(&mut g, &a, &b);
+        for (x, y) in [(0u64, 0u64), (1, 2), (200, 100), (37, 11)] {
+            let mut ins = bits_of(x, 8);
+            ins.extend(bits_of(y, 8));
+            assert_eq!(eval_word(&g, &ins, &d), x.wrapping_sub(y) & 0xFF, "{x}-{y}");
+            assert_eq!(eval_word(&g, &ins, &p), (x * y) & 0xFF, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn comparators_match_reference() {
+        let mut g = Aig::new();
+        let (a, b) = two_input_words(&mut g, 6);
+        let e = eq(&mut g, &a, &b);
+        let lt = ult(&mut g, &a, &b);
+        let s = slt(&mut g, &a, &b);
+        for x in [0u64, 1, 31, 32, 63] {
+            for y in [0u64, 1, 31, 32, 63] {
+                let mut ins = bits_of(x, 6);
+                ins.extend(bits_of(y, 6));
+                let out = g.eval(&ins, &[e, lt, s]);
+                assert_eq!(out[0], x == y);
+                assert_eq!(out[1], x < y);
+                let sx = ((x as i64) << 58) >> 58;
+                let sy = ((y as i64) << 58) >> 58;
+                assert_eq!(out[2], sx < sy, "slt {sx} {sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_shifts_match_reference() {
+        let mut g = Aig::new();
+        let a = inputs(&mut g, 8);
+        let amt = inputs(&mut g, 4);
+        let l = shift_dyn(&mut g, &a, &amt, ShiftKind::Left);
+        let r = shift_dyn(&mut g, &a, &amt, ShiftKind::RightLogical);
+        let ar = shift_dyn(&mut g, &a, &amt, ShiftKind::RightArith);
+        for x in [0b1001_0110u64, 0xFF, 0x80] {
+            for s in 0..16u64 {
+                let mut ins = bits_of(x, 8);
+                ins.extend(bits_of(s, 4));
+                let exp_l = if s >= 8 { 0 } else { (x << s) & 0xFF };
+                let exp_r = if s >= 8 { 0 } else { x >> s };
+                let sx = ((x as i64) << 56) >> 56;
+                let exp_ar = (sx >> s.min(7)) as u64 & 0xFF;
+                assert_eq!(eval_word(&g, &ins, &l), exp_l, "shl {x} {s}");
+                assert_eq!(eval_word(&g, &ins, &r), exp_r, "shr {x} {s}");
+                assert_eq!(eval_word(&g, &ins, &ar), exp_ar, "sar {x} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_and_extensions() {
+        let mut g = Aig::new();
+        let a = inputs(&mut g, 8);
+        let hi = slice(&a, 7, 4);
+        let lo = slice(&a, 3, 0);
+        let rejoined = concat(&hi, &lo);
+        let z = zext(&lo, 8);
+        let s = sext(&lo, 8);
+        let ins = bits_of(0xA7, 8);
+        assert_eq!(eval_word(&g, &ins, &hi), 0xA);
+        assert_eq!(eval_word(&g, &ins, &lo), 0x7);
+        assert_eq!(eval_word(&g, &ins, &rejoined), 0xA7);
+        assert_eq!(eval_word(&g, &ins, &z), 0x07);
+        assert_eq!(eval_word(&g, &ins, &s), 0x07);
+        let ins = bits_of(0xAF, 8);
+        assert_eq!(eval_word(&g, &ins, &sext(&slice(&a, 3, 0), 8)), 0xFF);
+    }
+
+    #[test]
+    fn reductions_and_eq_const() {
+        let mut g = Aig::new();
+        let a = inputs(&mut g, 4);
+        let any = reduce_or(&mut g, &a);
+        let all = reduce_and(&mut g, &a);
+        let par = reduce_xor(&mut g, &a);
+        let is5 = eq_const(&mut g, &a, 5);
+        for x in 0..16u64 {
+            let ins = bits_of(x, 4);
+            let out = g.eval(&ins, &[any, all, par, is5]);
+            assert_eq!(out[0], x != 0);
+            assert_eq!(out[1], x == 15);
+            assert_eq!(out[2], (x.count_ones() % 2) == 1);
+            assert_eq!(out[3], x == 5);
+        }
+    }
+
+    #[test]
+    fn constant_word_roundtrip() {
+        let g = Aig::new();
+        let w = constant(&g, Bv::new(8, 0xC3));
+        assert_eq!(eval_word(&g, &[], &w), 0xC3);
+    }
+}

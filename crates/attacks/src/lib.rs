@@ -1,0 +1,41 @@
+//! # ssc-attacks — executable MCU timing side-channel attacks
+//!
+//! Concrete, cycle-accurate reproductions of the paper's attacks on the
+//! simulated Pulpissimo-style SoC, written as RV32I machine code and run
+//! through the three-phase structure of Sec. 2.2:
+//!
+//! 1. **Preparation** — the attacker task programs the spying IPs,
+//! 2. **Recording** — the victim runs for one scheduler tick while its
+//!    memory accesses contend with the IPs on the crossbar,
+//! 3. **Retrieval** — the attacker reads the recorded information back.
+//!
+//! Two channels are implemented:
+//!
+//! - [`scenarios::dma_timer_attack`]: the classic DMA + timer channel
+//!   (paper Fig. 1) — the timer start time encodes the victim's accesses,
+//! - [`scenarios::hwpe_memory_attack`]: the **new BUSted variant**
+//!   (paper Sec. 4.1) — the accelerator's write frontier in an
+//!   attacker-primed memory region encodes them, with *no timer at all*,
+//!   defeating timer-denial countermeasures.
+//!
+//! [`leak::sweep`] quantifies each channel (recovery accuracy,
+//! distinguishable observations, bits per scheduler tick), and shows the
+//! private-memory countermeasure flattening both channels.
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_soc::Soc;
+//! use ssc_attacks::scenarios::{dma_timer_attack, recover, Channel, VictimConfig};
+//!
+//! let soc = Soc::sim_view();
+//! let baseline = dma_timer_attack(&soc, VictimConfig::in_public(0), false).observation;
+//! let obs = dma_timer_attack(&soc, VictimConfig::in_public(5), false).observation;
+//! assert_eq!(recover(Channel::DmaTimer, baseline, obs), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod leak;
+pub mod programs;
+pub mod scenarios;

@@ -1,0 +1,226 @@
+//! Executable three-phase attack scenarios on the simulated SoC.
+//!
+//! Each scenario follows the paper's structure (Sec. 2.2): *preparation*
+//! (attacker configures spying IPs), *recording* (context switch; the
+//! victim runs for one scheduler tick while the IPs observe bus
+//! contention), *retrieval* (context switch back; the attacker reads the
+//! recorded information). The scheduler is modeled by the harness: it
+//! preempts the victim after a fixed number of cycles, like a real tick
+//! interrupt would.
+
+use ssc_soc::asm::Asm;
+use ssc_soc::{addr, Soc, SocSim};
+
+use crate::programs::{self, layout};
+
+/// Length of the recording phase in cycles (the scheduler tick).
+pub const RECORDING_WINDOW: u64 = 120;
+
+/// Words primed/observed by the HWPE memory attack (must exceed the
+/// maximum uncontended progress within the recording window).
+pub const PRIME_WORDS: u32 = 72;
+
+/// Byte offset of the primed region inside public RAM.
+pub const PRIME_OFF: u32 = 0x40;
+
+/// Victim configuration for a scenario run.
+#[derive(Clone, Copy, Debug)]
+pub struct VictimConfig {
+    /// Base address of the victim's security-critical data.
+    pub base: u64,
+    /// Number of secret-dependent memory accesses in the recording phase.
+    pub accesses: u32,
+}
+
+impl VictimConfig {
+    /// Victim data in the *public* (shared) memory — the vulnerable layout.
+    pub fn in_public(accesses: u32) -> Self {
+        VictimConfig { base: addr::PUB_RAM_BASE + 0x3E0, accesses }
+    }
+
+    /// Victim data in the *private* memory — the countermeasure layout
+    /// (paper Sec. 4.2).
+    pub fn in_private(accesses: u32) -> Self {
+        VictimConfig { base: addr::PRIV_RAM_BASE + 0x40, accesses }
+    }
+}
+
+/// Raw outcome of one scenario run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The attacker's observation (timer value or frontier index).
+    pub observation: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+fn run_three_phases(
+    soc: &Soc,
+    prep: &Asm,
+    victim: &Asm,
+    retrieve: &Asm,
+    lock_timer: bool,
+) -> RunOutcome {
+    let mut h = SocSim::new(soc);
+    h.load_program(layout::PREP, prep);
+    h.load_program(layout::VICTIM, victim);
+    h.load_program(layout::RETRIEVE, retrieve);
+
+    if lock_timer {
+        // Defender policy: deny timer reads to untrusted tasks (set the
+        // lock bit at boot).
+        let locked = soc.netlist.find("timer.locked").expect("timer lock register");
+        h.sim().set_reg(locked, ssc_netlist::Bv::bit(true));
+    }
+
+    // Phase 1: preparation (runs to completion).
+    h.switch_to(layout::pc(layout::PREP));
+    h.run_until_halt(2_000).expect("preparation must halt");
+
+    // Phase 2: recording — the victim gets one fixed scheduler tick.
+    h.switch_to(layout::pc(layout::VICTIM));
+    h.step_n(RECORDING_WINDOW);
+
+    // Phase 3: retrieval (runs to completion).
+    h.switch_to(layout::pc(layout::RETRIEVE));
+    h.run_until_halt(4_000).expect("retrieval must halt");
+
+    RunOutcome { observation: h.peek("gpio_out"), cycles: h.cycle() }
+}
+
+/// The **DMA + timer** attack (paper Fig. 1): the DMA performs memory
+/// accesses and then starts the timer; victim contention delays the start,
+/// so the timer reading after the window encodes the victim's access count.
+pub fn dma_timer_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> RunOutcome {
+    // The transfer must span the recording window even under maximal
+    // contention, so every victim access steals exactly one bus slot.
+    let prep = programs::prep_dma_timer(48);
+    let vic = programs::victim_accesses(victim.base, victim.accesses);
+    let ret = programs::retrieve_timer();
+    run_three_phases(soc, &prep, &vic, &ret, lock_timer)
+}
+
+/// The **HWPE + memory** attack (paper Sec. 4.1, the new BUSted variant):
+/// the attacker primes a memory region with zeros and lets the accelerator
+/// overwrite it progressively; the write frontier after the window encodes
+/// the victim's access count. **No timer involved** — locking the timer
+/// does not affect it.
+pub fn hwpe_memory_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> RunOutcome {
+    let prep = programs::prep_hwpe_memory(PRIME_OFF, PRIME_WORDS, 255);
+    let vic = programs::victim_accesses(victim.base, victim.accesses);
+    let ret = programs::retrieve_frontier(PRIME_OFF, PRIME_WORDS);
+    run_three_phases(soc, &prep, &vic, &ret, lock_timer)
+}
+
+/// A calibrated channel read-out: runs the scenario with `n = 0` to obtain
+/// the baseline, then with the requested count; returns the recovered
+/// access count as seen through the channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// Timer-based channel (Fig. 1).
+    DmaTimer,
+    /// Primed-memory channel (Sec. 4.1).
+    HwpeMemory,
+}
+
+/// Runs `channel` for a victim performing `n` accesses; returns
+/// `(baseline_observation, observation)`.
+pub fn observe(
+    soc: &Soc,
+    channel: Channel,
+    victim: impl Fn(u32) -> VictimConfig,
+    n: u32,
+    lock_timer: bool,
+) -> (u64, u64) {
+    let run = |count: u32| match channel {
+        Channel::DmaTimer => dma_timer_attack(soc, victim(count), lock_timer).observation,
+        Channel::HwpeMemory => hwpe_memory_attack(soc, victim(count), lock_timer).observation,
+    };
+    (run(0), run(n))
+}
+
+/// Recovers the victim's access count from a calibrated observation pair.
+///
+/// For the timer channel each victim access delays the timer start by one
+/// cycle, so `n = baseline - observation`. For the memory channel each
+/// element costs two bus slots, so the frontier deficit is `n / 2` elements
+/// and the recovery is `2 * (baseline - observation)` with ±1 quantization.
+pub fn recover(channel: Channel, baseline: u64, observation: u64) -> u64 {
+    let deficit = baseline.saturating_sub(observation);
+    match channel {
+        Channel::DmaTimer => deficit,
+        Channel::HwpeMemory => deficit * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> Soc {
+        Soc::sim_view()
+    }
+
+    #[test]
+    fn dma_timer_attack_recovers_access_count_exactly() {
+        let soc = soc();
+        let (base, _) = observe(&soc, Channel::DmaTimer, VictimConfig::in_public, 0, false);
+        for n in [0u32, 1, 2, 3, 5, 8, 12] {
+            let obs = dma_timer_attack(&soc, VictimConfig::in_public(n), false).observation;
+            let rec = recover(Channel::DmaTimer, base, obs);
+            assert_eq!(rec, u64::from(n), "timer channel must be exact (n={n})");
+        }
+    }
+
+    #[test]
+    fn hwpe_memory_attack_recovers_access_count() {
+        let soc = soc();
+        let (base, _) = observe(&soc, Channel::HwpeMemory, VictimConfig::in_public, 0, false);
+        for n in [0u32, 2, 4, 6, 8, 10] {
+            let obs = hwpe_memory_attack(&soc, VictimConfig::in_public(n), false).observation;
+            let rec = recover(Channel::HwpeMemory, base, obs);
+            let err = rec.abs_diff(u64::from(n));
+            assert!(err <= 1, "memory channel recovery n={n} got {rec}");
+        }
+    }
+
+    #[test]
+    fn timer_lock_closes_the_timer_channel() {
+        let soc = soc();
+        // With the timer denied, the observation is 0 for every n.
+        for n in [0u32, 4, 8] {
+            let obs = dma_timer_attack(&soc, VictimConfig::in_public(n), true).observation;
+            assert_eq!(obs, 0, "locked timer must read zero");
+        }
+    }
+
+    #[test]
+    fn timer_lock_does_not_close_the_memory_channel() {
+        // Paper Sec. 4.1's punchline: the new variant needs no timer.
+        let soc = soc();
+        let (base, _) = observe(&soc, Channel::HwpeMemory, VictimConfig::in_public, 0, true);
+        let obs6 = hwpe_memory_attack(&soc, VictimConfig::in_public(6), true).observation;
+        let rec = recover(Channel::HwpeMemory, base, obs6);
+        assert!(rec.abs_diff(6) <= 1, "channel must survive timer denial, got {rec}");
+    }
+
+    #[test]
+    fn private_memory_countermeasure_closes_both_channels() {
+        let soc = soc();
+        let (tb, t0) = observe(&soc, Channel::DmaTimer, VictimConfig::in_private, 8, false);
+        assert_eq!(tb, t0, "timer channel must be flat for private victims");
+        let (fb, f0) = observe(&soc, Channel::HwpeMemory, VictimConfig::in_private, 8, false);
+        assert_eq!(fb, f0, "memory channel must be flat for private victims");
+    }
+
+    #[test]
+    fn observation_is_monotone_in_access_count() {
+        let soc = soc();
+        let mut prev = u64::MAX;
+        for n in [0u32, 2, 4, 6, 8] {
+            let obs = dma_timer_attack(&soc, VictimConfig::in_public(n), false).observation;
+            assert!(obs <= prev, "more accesses => later timer start");
+            prev = obs;
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! E1 (paper Fig. 1): end-to-end DMA+timer attack runs on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_attacks::scenarios::{dma_timer_attack, VictimConfig};
+use ssc_soc::Soc;
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::sim_view();
+    let mut g = c.benchmark_group("e1_fig1_dma_timer");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("attack_run_n8", |b| {
+        b.iter(|| dma_timer_attack(&soc, VictimConfig::in_public(8), false))
+    });
+    g.finish();
+
+    // Print the series the figure reports.
+    let r = ssc_bench::e1_dma_timer_sweep(12);
+    println!("\n[e1] n -> recovered: {:?}", r.points.iter().map(|p| (p.actual, p.recovered)).collect::<Vec<_>>());
+    println!("[e1] exact accuracy {:.0}%, {:.1} bits/tick", r.exact_accuracy() * 100.0, r.bits_per_window());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 (paper Sec. 4.1): formal detection of the HWPE+memory variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_soc::Soc;
+use upec_ssc::{UpecAnalysis, UpecSpec};
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::verification_view();
+    let mut g = c.benchmark_group("e2_detect_hwpe");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("alg2_hwpe_memory", |b| {
+        b.iter(|| {
+            let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable_hwpe_memory())
+                .unwrap();
+            assert!(an.alg2().is_vulnerable());
+        })
+    });
+    g.bench_function("alg1_general", |b| {
+        b.iter(|| {
+            let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+            assert!(an.alg1().is_vulnerable());
+        })
+    });
+    g.finish();
+
+    let r = ssc_bench::e2_detect_hwpe_memory();
+    println!("\n[e2] {} (runtime {:?})", r.verdict, r.runtime);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

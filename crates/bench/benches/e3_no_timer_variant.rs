@@ -1,0 +1,28 @@
+//! E3 (paper Sec. 4.1): the memory channel survives timer denial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_attacks::scenarios::{hwpe_memory_attack, VictimConfig};
+use ssc_soc::Soc;
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::sim_view();
+    let mut g = c.benchmark_group("e3_no_timer_variant");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("attack_run_timer_denied", |b| {
+        b.iter(|| hwpe_memory_attack(&soc, VictimConfig::in_public(6), true))
+    });
+    g.finish();
+
+    let (timer, memory) = ssc_bench::e3_no_timer_sweeps(8);
+    println!(
+        "\n[e3] locked timer channel: {} value(s); memory channel: {} value(s), ±1 acc {:.0}%",
+        timer.distinguishable(),
+        memory.distinguishable(),
+        memory.near_accuracy() * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 (paper Sec. 4.2): proving the countermeasure secure with Alg. 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_soc::Soc;
+use upec_ssc::{UpecAnalysis, UpecSpec};
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::verification_view();
+    let mut g = c.benchmark_group("e4_secure_fixpoint");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("alg1_fixed", |b| {
+        b.iter(|| {
+            let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+            assert!(an.alg1().is_secure());
+        })
+    });
+    g.bench_function("constraints_inductive", |b| {
+        b.iter(|| {
+            let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+            an.prove_constraints_inductive().unwrap();
+        })
+    });
+    g.finish();
+
+    let r = ssc_bench::e4_secure_fixpoint();
+    println!("\n[e4] {}", r.verdict);
+    for it in r.verdict.iterations() {
+        println!("[e4]   iter {}: |S|={} removed={} in {:?}", it.iteration, it.set_size, it.removed, it.runtime);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E5 (paper Fig. 2): naive attack-window checking vs the 2-cycle property.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssc_soc::Soc;
+use upec_ssc::{Session, UpecAnalysis, UpecSpec};
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+    let mut g = c.benchmark_group("e5_fig2_window");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for k in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("window_check", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sess = Session::new(&an, k);
+                let mut assumptions = sess.base_assumptions(k);
+                let s = an.s_not_victim();
+                let pre = sess.state_eq(&s, 0);
+                let goal = sess.state_eq(&s, k);
+                assumptions.push(pre);
+                let _ = sess.ipc.check(&assumptions, goal);
+            })
+        });
+    }
+    g.finish();
+
+    println!("\n[e5] window -> (aig nodes, time):");
+    for p in ssc_bench::e5_window_sweep(&[1, 2, 4, 6, 8]) {
+        println!("[e5]   k={:>2}: {:>8} nodes, {:?}", p.window, p.aig_nodes, p.runtime);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6: scalability — proof effort versus design state bits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{UpecAnalysis, UpecSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for words in [8u32, 16] {
+        let soc = Soc::build(SocConfig::verification_sized(words, words));
+        g.bench_with_input(BenchmarkId::new("detect_vulnerable", words), &soc, |b, soc| {
+            b.iter(|| {
+                let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+                assert!(an.alg1().is_vulnerable());
+            })
+        });
+    }
+    g.finish();
+
+    println!("\n[e6] words -> (state bits, detect, prove):");
+    for p in ssc_bench::e6_scaling(&[8, 16, 32]) {
+        println!(
+            "[e6]   {:>3} words: {:>6} bits, detect {:?}, prove {:?}",
+            p.words, p.state_bits, p.detect, p.prove
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

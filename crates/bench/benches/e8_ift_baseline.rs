@@ -1,0 +1,43 @@
+//! E8 (paper Sec. 5): the IFT baseline — dynamic taint testing and
+//! taint-BMC versus UPEC-SSC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_ift::bmc::{taint_bmc, Sink};
+use ssc_soc::{port_names, Soc};
+
+fn bench(c: &mut Criterion) {
+    let soc = Soc::verification_view();
+    let inst = ssc_ift::instrument(
+        &soc.netlist,
+        &[port_names::REQ, port_names::ADDR, port_names::WE, port_names::WDATA],
+    );
+    let mut g = c.benchmark_group("e8_ift_baseline");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("dynamic_trial", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ssc_bench::dynamic_trial(&inst, seed)
+        })
+    });
+    g.bench_function("taint_bmc_depth2", |b| {
+        b.iter(|| taint_bmc(&inst, &[Sink::Mem("pub_xbar.ram".into())], 2))
+    });
+    g.finish();
+
+    let r = ssc_bench::e8_ift_baseline(40);
+    println!(
+        "\n[e8] dynamic IFT rate {:.0}% ({:?}); taint-BMC depth {:?} ({:?}); UPEC vuln {:?} fixed {:?}",
+        r.dynamic_detection_rate * 100.0,
+        r.dynamic_runtime,
+        r.bmc_flow_at,
+        r.bmc_runtime,
+        r.upec_vulnerable,
+        r.upec_fixed
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,300 @@
+//! # ssc-bench — the experiment harness
+//!
+//! One function per paper artefact (see `DESIGN.md`'s experiment index
+//! E1–E8). Each returns a structured result that the `experiments` binary
+//! renders as the paper-style table/series and the Criterion benches time.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use ssc_attacks::leak::{sweep, ChannelReport};
+use ssc_attacks::scenarios::{Channel, VictimConfig};
+use ssc_netlist::analysis;
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{UpecAnalysis, UpecSpec, Verdict};
+
+/// E1 — Fig. 1: the DMA+timer channel sweep on the simulated SoC.
+pub fn e1_dma_timer_sweep(max_n: u32) -> ChannelReport {
+    let soc = Soc::sim_view();
+    sweep(&soc, Channel::DmaTimer, VictimConfig::in_public, max_n, false)
+}
+
+/// Result of a formal detection/proof run.
+#[derive(Clone, Debug)]
+pub struct FormalResult {
+    /// The verdict reached.
+    pub verdict: Verdict,
+    /// Wall-clock time of the whole procedure.
+    pub runtime: Duration,
+    /// State bits of the design under verification (single instance).
+    pub state_bits: u64,
+}
+
+fn run_formal(spec: UpecSpec, cfg: SocConfig, unrolled: bool) -> FormalResult {
+    let soc = Soc::build(cfg);
+    let state_bits = analysis::state_bit_count(&soc.netlist);
+    let an = UpecAnalysis::new(&soc.netlist, spec).expect("spec matches the SoC");
+    let t = Instant::now();
+    let verdict = if unrolled { an.alg2() } else { an.alg1() };
+    FormalResult { verdict, runtime: t.elapsed(), state_bits }
+}
+
+/// E2 — Sec. 4.1: detect the HWPE+memory variant with the unrolled
+/// procedure (Alg. 2). The persistent medium is the attacker-primed memory.
+pub fn e2_detect_hwpe_memory() -> FormalResult {
+    run_formal(
+        UpecSpec::soc_vulnerable_hwpe_memory(),
+        SocConfig::verification(),
+        true,
+    )
+}
+
+/// E2b — the general vulnerable configuration (first counterexample wins;
+/// usually the DMA/timer or accelerator state).
+pub fn e2_detect_general() -> FormalResult {
+    run_formal(UpecSpec::soc_vulnerable(), SocConfig::verification(), true)
+}
+
+/// E3 — Sec. 4.1: the memory channel with the timer denied, in simulation.
+pub fn e3_no_timer_sweeps(max_n: u32) -> (ChannelReport, ChannelReport) {
+    let soc = Soc::sim_view();
+    let timer_locked = sweep(&soc, Channel::DmaTimer, VictimConfig::in_public, max_n, true);
+    let memory_locked =
+        sweep(&soc, Channel::HwpeMemory, VictimConfig::in_public, max_n, true);
+    (timer_locked, memory_locked)
+}
+
+/// E4 — Sec. 4.2: prove the countermeasure secure with Alg. 1 and report
+/// the per-iteration fixpoint behaviour (paper: 3 iterations, runtimes
+/// rising toward the final inductive check).
+pub fn e4_secure_fixpoint() -> FormalResult {
+    run_formal(UpecSpec::soc_fixed(), SocConfig::verification(), false)
+}
+
+/// One point of the window-reduction study (E5).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowPoint {
+    /// Property window length in cycles.
+    pub window: usize,
+    /// Solver+encoding time for one check at this window.
+    pub runtime: Duration,
+    /// AIG nodes after unrolling this window.
+    pub aig_nodes: usize,
+}
+
+/// E5 — Fig. 2: cost of naive whole-attack-window checking versus the
+/// 2-cycle UPEC-SSC property. For each window length `k` the full
+/// non-interference obligation is checked at cycle `k` (no Obs. 1/2
+/// reductions); the 2-cycle point (`k = 1` transition) is the UPEC-SSC
+/// baseline.
+pub fn e5_window_sweep(windows: &[usize]) -> Vec<WindowPoint> {
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).expect("spec ok");
+    let mut out = Vec::new();
+    for &k in windows {
+        let mut sess = upec_ssc::Session::new(&an, k);
+        let t = Instant::now();
+        let base = sess.base_assumptions(k);
+        let s = an.s_not_victim();
+        let pre = sess.state_eq(&s, 0);
+        let goal = sess.state_eq(&s, k);
+        let mut assumptions = base;
+        assumptions.push(pre);
+        let _ = sess.ipc.check(&assumptions, goal);
+        out.push(WindowPoint {
+            window: k,
+            runtime: t.elapsed(),
+            aig_nodes: sess.ipc.unroller().aig().num_nodes(),
+        });
+    }
+    out
+}
+
+/// One point of the scaling study (E6).
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Public/private memory words per device.
+    pub words: u32,
+    /// State bits of the verification view.
+    pub state_bits: u64,
+    /// Detection time on the vulnerable configuration.
+    pub detect: Duration,
+    /// Proof time on the fixed configuration.
+    pub prove: Duration,
+}
+
+/// E6 — scalability: state bits versus runtime for both verdicts.
+pub fn e6_scaling(word_sizes: &[u32]) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &w in word_sizes {
+        let cfg = SocConfig::verification_sized(w, w);
+        let vuln = run_formal(UpecSpec::soc_vulnerable(), cfg, false);
+        let fixed = run_formal(UpecSpec::soc_fixed(), cfg, false);
+        assert!(vuln.verdict.is_vulnerable(), "verdict must not change with size");
+        assert!(fixed.verdict.is_secure(), "verdict must not change with size");
+        out.push(ScalingPoint {
+            words: w,
+            state_bits: vuln.state_bits,
+            detect: vuln.runtime,
+            prove: fixed.runtime,
+        });
+    }
+    out
+}
+
+/// E7 — Alg. 1 versus Alg. 2 on both configurations.
+#[derive(Clone, Debug)]
+pub struct ProcedureComparison {
+    /// Label of the configuration.
+    pub config: &'static str,
+    /// Alg. 1 result.
+    pub alg1: FormalResult,
+    /// Alg. 2 result.
+    pub alg2: FormalResult,
+}
+
+/// Runs both procedures on the vulnerable and fixed configurations.
+pub fn e7_alg1_vs_alg2() -> Vec<ProcedureComparison> {
+    vec![
+        ProcedureComparison {
+            config: "vulnerable",
+            alg1: run_formal(UpecSpec::soc_vulnerable(), SocConfig::verification(), false),
+            alg2: run_formal(UpecSpec::soc_vulnerable(), SocConfig::verification(), true),
+        },
+        ProcedureComparison {
+            config: "fixed",
+            alg1: run_formal(UpecSpec::soc_fixed(), SocConfig::verification(), false),
+            alg2: run_formal(UpecSpec::soc_fixed(), SocConfig::verification(), true),
+        },
+    ]
+}
+
+/// E8 — the IFT baseline measurements.
+#[derive(Clone, Debug)]
+pub struct IftComparison {
+    /// Dynamic IFT: fraction of random victim programs exposing the flow.
+    pub dynamic_detection_rate: f64,
+    /// Dynamic IFT: total time for all trials.
+    pub dynamic_runtime: Duration,
+    /// Taint-BMC: depth at which a may-flow is reported.
+    pub bmc_flow_at: Option<usize>,
+    /// Taint-BMC runtime.
+    pub bmc_runtime: Duration,
+    /// UPEC-SSC runtime on the vulnerable configuration.
+    pub upec_vulnerable: Duration,
+    /// UPEC-SSC runtime on the fixed configuration.
+    pub upec_fixed: Duration,
+}
+
+/// Runs the IFT baseline comparison (see `examples/ift_compare.rs` for the
+/// narrated version).
+pub fn e8_ift_baseline(trials: u64) -> IftComparison {
+    use ssc_ift::bmc::{taint_bmc, Sink};
+    use ssc_soc::port_names;
+
+    let soc = Soc::verification_view();
+    let inst = ssc_ift::instrument(
+        &soc.netlist,
+        &[port_names::REQ, port_names::ADDR, port_names::WE, port_names::WDATA],
+    );
+
+    let t = Instant::now();
+    let hits = (0..trials).filter(|&s| dynamic_trial(&inst, s)).count();
+    let dynamic_runtime = t.elapsed();
+
+    let t = Instant::now();
+    let res = taint_bmc(
+        &inst,
+        &[
+            Sink::Mem("pub_xbar.ram".into()),
+            Sink::Reg("hwpe.progress".into()),
+            Sink::Reg("timer.count".into()),
+        ],
+        6,
+    );
+    let bmc_runtime = t.elapsed();
+
+    let vuln = run_formal(UpecSpec::soc_vulnerable(), SocConfig::verification(), false);
+    let fixed = run_formal(UpecSpec::soc_fixed(), SocConfig::verification(), false);
+
+    IftComparison {
+        dynamic_detection_rate: hits as f64 / trials as f64,
+        dynamic_runtime,
+        bmc_flow_at: res.flow_at,
+        bmc_runtime,
+        upec_vulnerable: vuln.runtime,
+        upec_fixed: fixed.runtime,
+    }
+}
+
+/// One random dynamic-IFT trial (mirrors `examples/ift_compare.rs`).
+pub fn dynamic_trial(inst: &ssc_ift::Instrumented, seed: u64) -> bool {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ssc_ift::dynamic::TaintSim;
+    use ssc_soc::{addr, port_names};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ts = TaintSim::new(inst);
+    for (reg, val) in [
+        (addr::HWPE_SRC, addr::PUB_RAM_BASE + 0x100),
+        (addr::HWPE_DST, addr::PUB_RAM_BASE + 0x40),
+        (addr::HWPE_LEN, 8),
+        (addr::HWPE_CTRL, 1),
+    ] {
+        ts.set_input(port_names::REQ, 1);
+        ts.set_input(port_names::WE, 1);
+        ts.set_input(port_names::ADDR, reg);
+        ts.set_input(port_names::WDATA, val);
+        ts.step();
+    }
+    ts.set_input(port_names::WE, 0);
+    ts.set_input(port_names::REQ, 0);
+
+    let victim_range = addr::PUB_RAM_BASE + 0x20;
+    let secret_cycle = rng.random_range(0..40u64);
+    for cycle in 0..40u64 {
+        if cycle == secret_cycle {
+            ts.set_input(port_names::REQ, 1);
+            ts.set_input(port_names::ADDR, victim_range);
+            ts.set_input(port_names::WE, 0);
+            ts.set_taint(port_names::REQ, 1);
+            ts.set_taint(port_names::ADDR, u64::MAX);
+        } else if rng.random_bool(0.25) {
+            ts.set_input(port_names::REQ, 1);
+            ts.set_input(port_names::ADDR, addr::PUB_RAM_BASE + 0x3C0);
+            ts.set_taint(port_names::REQ, 0);
+            ts.set_taint(port_names::ADDR, 0);
+        } else {
+            ts.set_input(port_names::REQ, 0);
+            ts.set_taint(port_names::REQ, 0);
+            ts.set_taint(port_names::ADDR, 0);
+        }
+        ts.step();
+    }
+    ts.mem_tainted("pub_xbar.ram") || ts.reg_tainted("hwpe.progress")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_detects_memory_medium() {
+        let r = e2_detect_hwpe_memory();
+        assert!(r.verdict.is_vulnerable());
+    }
+
+    #[test]
+    fn e4_proves_secure() {
+        let r = e4_secure_fixpoint();
+        assert!(r.verdict.is_secure());
+    }
+
+    #[test]
+    fn e5_two_cycle_is_cheapest() {
+        let pts = e5_window_sweep(&[1, 4]);
+        assert!(pts[0].aig_nodes < pts[1].aig_nodes);
+    }
+}

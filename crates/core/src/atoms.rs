@@ -1,0 +1,206 @@
+//! State atoms: the unit of the UPEC-SSC state sets.
+//!
+//! The paper reasons about *state variables* (Sec. 3.1). In this
+//! implementation a [`StateAtom`] is either a register or a single memory
+//! word of the (single-instance) design under verification. The sets
+//! `S_all`, `S_not_victim` and `S_pers` are sets of atoms; memory words of
+//! victim-allocatable devices additionally carry a *symbolic guard* ("this
+//! word is outside the protected range") constructed by the product layer.
+
+use std::collections::BTreeSet;
+
+use ssc_netlist::{MemId, Netlist, Node, SignalId, StateKind, StateMeta};
+
+/// One state variable of the design under verification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum StateAtom {
+    /// A register (identified by its output signal in the source netlist).
+    Reg(SignalId),
+    /// Word `index` of a memory.
+    MemWord(MemId, u32),
+}
+
+/// A set of state atoms with set-algebra helpers.
+pub type AtomSet = BTreeSet<StateAtom>;
+
+/// Returns the hierarchical name of an atom.
+pub fn atom_name(netlist: &Netlist, atom: StateAtom) -> String {
+    match atom {
+        StateAtom::Reg(id) => match netlist.node(id) {
+            Node::Reg(info) => info.name.clone(),
+            _ => format!("reg#{}", id.index()),
+        },
+        StateAtom::MemWord(mem, i) => format!("{}[{}]", netlist.mem(mem).name, i),
+    }
+}
+
+/// Returns the metadata of an atom.
+pub fn atom_meta(netlist: &Netlist, atom: StateAtom) -> StateMeta {
+    match atom {
+        StateAtom::Reg(id) => match netlist.node(id) {
+            Node::Reg(info) => info.meta,
+            _ => StateMeta::default(),
+        },
+        StateAtom::MemWord(mem, _) => netlist.mem(mem).meta,
+    }
+}
+
+/// Enumerates `S_all`: every register and every memory word.
+pub fn all_atoms(netlist: &Netlist) -> AtomSet {
+    let mut set = AtomSet::new();
+    for (id, node) in netlist.iter_nodes() {
+        if matches!(node, Node::Reg(_)) {
+            set.insert(StateAtom::Reg(id));
+        }
+    }
+    for (mid, mem) in netlist.iter_mems() {
+        for i in 0..mem.words {
+            set.insert(StateAtom::MemWord(mid, i));
+        }
+    }
+    set
+}
+
+/// Compiles `S_not_victim` (paper Def. 1): all atoms except CPU-internal
+/// state. Victim *memory locations* are excluded symbolically by the
+/// product layer's range guards, not by removing atoms here — the victim's
+/// memory allocation is a free variable of the proof.
+pub fn not_victim_atoms(netlist: &Netlist) -> AtomSet {
+    all_atoms(netlist)
+        .into_iter()
+        .filter(|a| atom_meta(netlist, *a).kind != StateKind::CpuInternal)
+        .collect()
+}
+
+/// The persistence policy deciding membership in `S_pers` (paper Def. 2):
+/// attacker-accessible state that survives a context switch.
+///
+/// The default mirrors the paper's manual classification (Sec. 3.4):
+///
+/// * interconnect buffers are overwritten by every transaction — including
+///   the attacker's own retrieval accesses — so they cannot carry
+///   information across the context switch: **transient**;
+/// * IP configuration/progress registers, peripheral registers and memory
+///   words are readable by the attacker task after the switch: **persistent**
+///   when flagged `attacker_accessible`.
+///
+/// Name-based overrides allow a verification engineer to re-classify
+/// individual atoms after the "closer inspection" the paper describes.
+#[derive(Clone, Debug, Default)]
+pub struct PersistencePolicy {
+    /// Atom names forced persistent.
+    pub force_persistent: BTreeSet<String>,
+    /// Atom names forced transient.
+    pub force_transient: BTreeSet<String>,
+}
+
+impl PersistencePolicy {
+    /// The default policy with no overrides.
+    pub fn new() -> Self {
+        PersistencePolicy::default()
+    }
+
+    /// Is `atom` part of `S_pers`?
+    pub fn is_persistent(&self, netlist: &Netlist, atom: StateAtom) -> bool {
+        let name = atom_name(netlist, atom);
+        // Memory-word overrides may name the whole array.
+        let array_name = match atom {
+            StateAtom::MemWord(mem, _) => Some(netlist.mem(mem).name.clone()),
+            _ => None,
+        };
+        let matches = |set: &BTreeSet<String>| {
+            set.contains(&name) || array_name.as_ref().is_some_and(|n| set.contains(n))
+        };
+        if matches(&self.force_persistent) {
+            return true;
+        }
+        if matches(&self.force_transient) {
+            return false;
+        }
+        let meta = atom_meta(netlist, atom);
+        match meta.kind {
+            StateKind::InterconnectBuffer | StateKind::CpuInternal => false,
+            StateKind::IpRegister
+            | StateKind::MemoryArray
+            | StateKind::PeripheralRegister => meta.attacker_accessible,
+            StateKind::Other => false,
+        }
+    }
+
+    /// Compiles `S_pers` over a netlist.
+    pub fn pers_atoms(&self, netlist: &Netlist) -> AtomSet {
+        not_victim_atoms(netlist)
+            .into_iter()
+            .filter(|a| self.is_persistent(netlist, *a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::{Bv, Netlist};
+
+    fn design() -> Netlist {
+        let mut n = Netlist::new("t");
+        let zero1 = n.lit(1, 0);
+        let cpu_reg = n.reg("cpu.pc", 1, Some(Bv::zero(1)), StateMeta::cpu());
+        let xbuf = n.reg("xbar.rr", 1, Some(Bv::zero(1)), StateMeta::interconnect());
+        let ipreg = n.reg("hwpe.progress", 1, Some(Bv::zero(1)), StateMeta::ip_register());
+        for r in [cpu_reg, xbuf, ipreg] {
+            n.connect_reg(r, zero1);
+        }
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(true));
+        let addr = n.lit(2, 0);
+        let data = n.lit(8, 0);
+        n.mem_write(mem, zero1, addr, data);
+        n
+    }
+
+    #[test]
+    fn all_atoms_counts_regs_and_words() {
+        let n = design();
+        assert_eq!(all_atoms(&n).len(), 3 + 4);
+    }
+
+    #[test]
+    fn not_victim_excludes_cpu() {
+        let n = design();
+        let nv = not_victim_atoms(&n);
+        assert_eq!(nv.len(), 2 + 4);
+        let names: Vec<String> = nv.iter().map(|a| atom_name(&n, *a)).collect();
+        assert!(!names.contains(&"cpu.pc".to_string()));
+    }
+
+    #[test]
+    fn default_policy_classifies_by_kind() {
+        let n = design();
+        let p = PersistencePolicy::new();
+        let pers = p.pers_atoms(&n);
+        let names: Vec<String> = pers.iter().map(|a| atom_name(&n, *a)).collect();
+        assert!(names.contains(&"hwpe.progress".to_string()));
+        assert!(names.contains(&"ram[0]".to_string()));
+        assert!(!names.contains(&"xbar.rr".to_string()));
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let n = design();
+        let mut p = PersistencePolicy::new();
+        p.force_transient.insert("ram".to_string()); // whole array
+        p.force_persistent.insert("xbar.rr".to_string());
+        let pers = p.pers_atoms(&n);
+        let names: Vec<String> = pers.iter().map(|a| atom_name(&n, *a)).collect();
+        assert!(names.contains(&"xbar.rr".to_string()));
+        assert!(!names.iter().any(|s| s.starts_with("ram[")));
+    }
+
+    #[test]
+    fn atom_names_are_stable() {
+        let n = design();
+        let mem = n.find_mem("ram").unwrap();
+        assert_eq!(atom_name(&n, StateAtom::MemWord(mem, 2)), "ram[2]");
+        let reg = n.find("hwpe.progress").unwrap();
+        assert_eq!(atom_name(&n, StateAtom::Reg(reg.id())), "hwpe.progress");
+    }
+}

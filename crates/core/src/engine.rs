@@ -1,0 +1,543 @@
+//! The 2-safety product and the UPEC-SSC property macros.
+//!
+//! [`UpecAnalysis`] instantiates the design under verification **twice**
+//! inside one product netlist (instances `a` and `b`), adds the shared
+//! symbolic protected-range base, and provides the paper's property macros
+//! (Fig. 3):
+//!
+//! * `Primary_Input_Constraints` — non-port inputs equal between instances,
+//! * `Victim_Task_Executing` — protected accesses may differ, all other
+//!   port activity is equal,
+//! * `State_Equivalence(S)` — equality of a state-atom set, with symbolic
+//!   range guards on victim-allocatable memory words.
+
+use std::collections::HashMap;
+
+use ssc_aig::words::{self, Word};
+use ssc_aig::AigRef;
+use ssc_ipc::Ipc;
+use ssc_netlist::{ImportMap, MemId, Netlist, Node, Wire};
+
+use crate::atoms::{self, AtomSet, StateAtom};
+use crate::report::{AtomDiff, CexCycle, Counterexample, PortActivity};
+use crate::spec::{FirmwareConstraint, UpecSpec};
+
+/// Instance selector within the product.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instance {
+    /// Instance `a`.
+    A,
+    /// Instance `b`.
+    B,
+}
+
+/// A UPEC-SSC analysis context: the product netlist plus the specification.
+///
+/// Create once per design/spec pair, then run [`UpecAnalysis::alg1`] /
+/// [`UpecAnalysis::alg2`] (see `procedure.rs`).
+pub struct UpecAnalysis {
+    src: Netlist,
+    product: Netlist,
+    spec: UpecSpec,
+    map_a: ImportMap,
+    map_b: ImportMap,
+    prot_base: Wire,
+    /// Source-netlist port wires (inputs).
+    port_src: PortSrc,
+    /// Victim-allocatable device base per source memory.
+    device_base: HashMap<MemId, u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PortSrc {
+    req: Wire,
+    addr: Wire,
+    we: Wire,
+    wdata: Wire,
+}
+
+impl std::fmt::Debug for UpecAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpecAnalysis")
+            .field("design", &self.src.name())
+            .field("product_nodes", &self.product.num_nodes())
+            .finish()
+    }
+}
+
+impl UpecAnalysis {
+    /// Builds the 2-safety product for `src` under `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec references signals/memories that do
+    /// not exist, or the port signals are not free inputs (i.e. the netlist
+    /// is not a verification view).
+    pub fn new(src: &Netlist, spec: UpecSpec) -> Result<Self, String> {
+        let find_input = |name: &str| -> Result<Wire, String> {
+            let w = src
+                .find(name)
+                .ok_or_else(|| format!("port signal `{name}` not found"))?;
+            match src.node(w.id()) {
+                Node::Input { .. } => Ok(w),
+                _ => Err(format!(
+                    "port signal `{name}` is not a free input — use the verification view"
+                )),
+            }
+        };
+        let port_src = PortSrc {
+            req: find_input(&spec.port.req)?,
+            addr: find_input(&spec.port.addr)?,
+            we: find_input(&spec.port.we)?,
+            wdata: find_input(&spec.port.wdata)?,
+        };
+        let mut device_base = HashMap::new();
+        for dev in &spec.devices {
+            let mem = src
+                .find_mem(&dev.mem_name)
+                .ok_or_else(|| format!("device memory `{}` not found", dev.mem_name))?;
+            device_base.insert(mem, dev.base);
+        }
+        for c in &spec.constraints {
+            if let FirmwareConstraint::RegOutsideDevice { reg, .. } = c {
+                src.find(reg)
+                    .ok_or_else(|| format!("constraint register `{reg}` not found"))?;
+            }
+        }
+        for ip in &spec.ip_ports {
+            for name in [&ip.req, &ip.addr] {
+                src.find(name)
+                    .ok_or_else(|| format!("IP port signal `{name}` not found"))?;
+            }
+        }
+        for name in &spec.quiesced_ips {
+            let w = src
+                .find(name)
+                .ok_or_else(|| format!("quiesced IP flag `{name}` not found"))?;
+            if !matches!(src.node(w.id()), Node::Reg(_)) {
+                return Err(format!("quiesced IP flag `{name}` must be a register"));
+            }
+        }
+
+        let mut product = Netlist::new(format!("{}_upec_product", src.name()));
+        let map_a = product.import(src, "a");
+        let map_b = product.import(src, "b");
+        let prot_base = product.input("prot_base", 32);
+        product.check().map_err(|e| format!("product netlist invalid: {e}"))?;
+
+        Ok(UpecAnalysis {
+            src: src.clone(),
+            product,
+            spec,
+            map_a,
+            map_b,
+            prot_base,
+            port_src,
+            device_base,
+        })
+    }
+
+    /// The design under verification (single instance).
+    pub fn src(&self) -> &Netlist {
+        &self.src
+    }
+
+    /// The 2-safety product netlist.
+    pub fn product(&self) -> &Netlist {
+        &self.product
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &UpecSpec {
+        &self.spec
+    }
+
+    /// Compiles `S_not_victim` (paper Def. 1).
+    pub fn s_not_victim(&self) -> AtomSet {
+        atoms::not_victim_atoms(&self.src)
+    }
+
+    /// Compiles `S_pers` (paper Def. 2) under the spec's policy.
+    pub fn s_pers(&self) -> AtomSet {
+        self.spec.persistence.pers_atoms(&self.src)
+    }
+
+    /// Is `atom` persistent under the spec's policy?
+    pub fn is_persistent(&self, atom: StateAtom) -> bool {
+        self.spec.persistence.is_persistent(&self.src, atom)
+    }
+
+    /// Human-readable atom name.
+    pub fn atom_name(&self, atom: StateAtom) -> String {
+        atoms::atom_name(&self.src, atom)
+    }
+
+    fn map(&self, inst: Instance) -> &ImportMap {
+        match inst {
+            Instance::A => &self.map_a,
+            Instance::B => &self.map_b,
+        }
+    }
+}
+
+/// A proof session: the product unrolled over a growing window, with macro
+/// construction and counterexample extraction. One session is used for all
+/// iterations of a procedure run, so the SAT solver's learnt clauses carry
+/// over (this is what makes the iterative refinement cheap).
+pub struct Session<'p> {
+    /// The underlying interval property checker (exposed so downstream
+    /// experiment harnesses can time individual checks).
+    pub ipc: Ipc<'p>,
+    an: &'p UpecAnalysis,
+}
+
+impl<'p> Session<'p> {
+    /// Opens a session with `window` transitions unrolled (states
+    /// `0..=window` available).
+    pub fn new(an: &'p UpecAnalysis, window: usize) -> Self {
+        let mut ipc = Ipc::new(&an.product);
+        ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
+        Session { ipc, an }
+    }
+
+    /// Grows the window to `window` transitions.
+    pub fn ensure_window(&mut self, window: usize) {
+        self.ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
+    }
+
+    /// Solver statistics (for experiment reporting).
+    pub fn solver_stats(&self) -> ssc_sat::SolverStats {
+        self.ipc.solver_stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Word access
+    // ------------------------------------------------------------------
+
+    fn input_word(&self, inst: Instance, src_wire: Wire, cycle: usize) -> Word {
+        let mapped = self.an.map(inst).signal(src_wire.id());
+        let w = self.an.product.wire_of(mapped);
+        self.ipc.unroller().input(w, cycle).clone()
+    }
+
+    /// The value of an arbitrary source-netlist signal in `inst` during
+    /// `cycle`.
+    pub fn signal_word(&self, inst: Instance, src_wire: Wire, cycle: usize) -> Word {
+        let mapped = self.an.map(inst).signal(src_wire.id());
+        let w = self.an.product.wire_of(mapped);
+        self.ipc.unroller().signal(w, cycle).clone()
+    }
+
+    /// The shared protected-range base (cycle-0 symbol; the base is an
+    /// allocation-time constant, so one symbol serves all cycles).
+    fn prot_word(&self) -> Word {
+        self.ipc.unroller().input(self.an.prot_base, 0).clone()
+    }
+
+    /// The state word of `atom` in `inst` at time `t`.
+    pub fn atom_word(&self, inst: Instance, atom: StateAtom, t: usize) -> Word {
+        match atom {
+            StateAtom::Reg(id) => {
+                let mapped = self.an.map(inst).signal(id);
+                self.ipc.unroller().reg_state(mapped, t).clone()
+            }
+            StateAtom::MemWord(mem, i) => {
+                let mapped = self.an.map(inst).mem(mem);
+                self.ipc.unroller().mem_word_state(mapped, i, t).clone()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Macros
+    // ------------------------------------------------------------------
+
+    /// `in_range(addr) = (addr & range_mask) == prot_base`.
+    fn in_range(&mut self, addr: &Word) -> AigRef {
+        let prot = self.prot_word();
+        let mask = self.an.spec.range_mask;
+        let aig = self.ipc.unroller_mut().aig_mut();
+        let mask_w = words::constant(aig, ssc_netlist::Bv::new(32, mask));
+        let masked = words::and(aig, addr, &mask_w);
+        words::eq(aig, &masked, &prot)
+    }
+
+    /// For a guarded memory word: the literal "this word lies in the
+    /// protected range" (a function of `prot_base` only).
+    fn word_in_range(&mut self, mem: MemId, index: u32) -> Option<AigRef> {
+        let base = *self.an.device_base.get(&mem)?;
+        let addr = (base + 4 * u64::from(index)) & self.an.spec.range_mask;
+        let prot = self.prot_word();
+        let aig = self.ipc.unroller_mut().aig_mut();
+        Some(words::eq_const(aig, &prot, addr))
+    }
+
+    /// Validity of the symbolic range: aligned to the mask, and (if
+    /// specified) inside the designated device window.
+    pub fn range_validity(&mut self) -> Vec<AigRef> {
+        let prot = self.prot_word();
+        let spec_mask = self.an.spec.range_mask;
+        let dev_mask = self.an.spec.device_mask;
+        let in_dev = self.an.spec.range_in_device;
+        let aig = self.ipc.unroller_mut().aig_mut();
+        let mut out = Vec::new();
+        // Alignment: bits outside the mask are zero.
+        let inv = words::constant(aig, ssc_netlist::Bv::new(32, !spec_mask));
+        let low = words::and(aig, &prot, &inv);
+        out.push(words::eq_const(aig, &low, 0));
+        if let Some(dev) = in_dev {
+            let dm = words::constant(aig, ssc_netlist::Bv::new(32, dev_mask));
+            let masked = words::and(aig, &prot, &dm);
+            out.push(words::eq_const(aig, &masked, dev));
+        }
+        out
+    }
+
+    /// `Primary_Input_Constraints` at `cycle`: all non-port inputs equal
+    /// between the instances.
+    pub fn input_eq(&mut self, cycle: usize) -> Vec<AigRef> {
+        let port = [
+            self.an.port_src.req.id(),
+            self.an.port_src.addr.id(),
+            self.an.port_src.we.id(),
+            self.an.port_src.wdata.id(),
+        ];
+        let inputs: Vec<Wire> = self
+            .an
+            .src
+            .iter_nodes()
+            .filter_map(|(id, node)| match node {
+                Node::Input { .. } if !port.contains(&id) => Some(self.an.src.wire_of(id)),
+                _ => None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        for w in inputs {
+            let a = self.input_word(Instance::A, w, cycle);
+            let b = self.input_word(Instance::B, w, cycle);
+            let aig = self.ipc.unroller_mut().aig_mut();
+            out.push(words::eq(aig, &a, &b));
+        }
+        out
+    }
+
+    /// `Victim_Task_Executing` at `cycle` (paper Sec. 3.3): accesses to
+    /// protected addresses may differ between the instances (they are the
+    /// confidential information); all other accesses are equal.
+    pub fn victim_macro(&mut self, cycle: usize) -> Vec<AigRef> {
+        let p = self.an.port_src;
+        let req_a = self.input_word(Instance::A, p.req, cycle);
+        let req_b = self.input_word(Instance::B, p.req, cycle);
+        let addr_a = self.input_word(Instance::A, p.addr, cycle);
+        let addr_b = self.input_word(Instance::B, p.addr, cycle);
+        let we_a = self.input_word(Instance::A, p.we, cycle);
+        let we_b = self.input_word(Instance::B, p.we, cycle);
+        let wd_a = self.input_word(Instance::A, p.wdata, cycle);
+        let wd_b = self.input_word(Instance::B, p.wdata, cycle);
+
+        let in_a = self.in_range(&addr_a);
+        let in_b = self.in_range(&addr_b);
+        let aig = self.ipc.unroller_mut().aig_mut();
+
+        let norm_a = aig.and(req_a[0], in_a.not());
+        let norm_b = aig.and(req_b[0], in_b.not());
+
+        let mut out = Vec::new();
+        // Non-protected activity is identical in both instances.
+        out.push(aig.xnor(norm_a, norm_b));
+        let addr_eq = words::eq(aig, &addr_a, &addr_b);
+        let we_eq = aig.xnor(we_a[0], we_b[0]);
+        let wd_eq = words::eq(aig, &wd_a, &wd_b);
+        out.push(aig.implies(norm_a, addr_eq));
+        out.push(aig.implies(norm_a, we_eq));
+        out.push(aig.implies(norm_a, wd_eq));
+
+        // Threat-model restriction: spying IPs have no direct access to the
+        // protected range — their bus requests never target it.
+        let ip_ports = self.an.spec.ip_ports.clone();
+        for ip in &ip_ports {
+            let req_w = self.an.src.find(&ip.req).expect("validated in new()");
+            let addr_w = self.an.src.find(&ip.addr).expect("validated in new()");
+            for inst in [Instance::A, Instance::B] {
+                let req = self.signal_word(inst, req_w, cycle);
+                let addr = self.signal_word(inst, addr_w, cycle);
+                let hit = self.in_range(&addr);
+                let aig = self.ipc.unroller_mut().aig_mut();
+                out.push(aig.implies(req[0], hit.not()));
+            }
+        }
+        out
+    }
+
+    /// Firmware-constraint assumptions for a window of `window` transitions:
+    /// register constraints on the symbolic starting state, port-write
+    /// constraints on every cycle.
+    pub fn firmware_assumptions(&mut self, window: usize) -> Vec<AigRef> {
+        let mut out = Vec::new();
+        let constraints = self.an.spec.constraints.clone();
+        for c in &constraints {
+            match c {
+                FirmwareConstraint::RegOutsideDevice { reg, mask, device } => {
+                    let w = self.an.src.find(reg).expect("validated in new()");
+                    for inst in [Instance::A, Instance::B] {
+                        let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
+                        let aig = self.ipc.unroller_mut().aig_mut();
+                        let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                        let masked = words::and(aig, &state, &m);
+                        let hit = words::eq_const(aig, &masked, *device);
+                        out.push(hit.not());
+                    }
+                }
+                FirmwareConstraint::PortWriteOutsideDevice { cfg_addr, mask, device } => {
+                    let p = self.an.port_src;
+                    for cycle in 0..window {
+                        for inst in [Instance::A, Instance::B] {
+                            let req = self.input_word(inst, p.req, cycle);
+                            let we = self.input_word(inst, p.we, cycle);
+                            let addr = self.input_word(inst, p.addr, cycle);
+                            let wd = self.input_word(inst, p.wdata, cycle);
+                            let aig = self.ipc.unroller_mut().aig_mut();
+                            let is_cfg = words::eq_const(aig, &addr, *cfg_addr);
+                            let wr0 = aig.and(req[0], we[0]);
+                            let wr = aig.and(wr0, is_cfg);
+                            let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                            let masked = words::and(aig, &wd, &m);
+                            let hit = words::eq_const(aig, &masked, *device);
+                            out.push(aig.implies(wr, hit.not()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All standing assumptions for a `window`-transition property:
+    /// range validity, firmware constraints, IP quiescing, and per-cycle
+    /// input equality + victim macro.
+    pub fn base_assumptions(&mut self, window: usize) -> Vec<AigRef> {
+        let mut out = self.range_validity();
+        out.extend(self.firmware_assumptions(window));
+        out.extend(self.quiescing_assumptions());
+        for c in 0..window {
+            out.extend(self.input_eq(c));
+            out.extend(self.victim_macro(c));
+        }
+        out
+    }
+
+    /// Quiescing assumptions: the named busy flags are 0 in the symbolic
+    /// starting state of both instances.
+    pub fn quiescing_assumptions(&mut self) -> Vec<AigRef> {
+        let names = self.an.spec.quiesced_ips.clone();
+        let mut out = Vec::new();
+        for name in &names {
+            let w = self.an.src.find(name).expect("validated in new()");
+            for inst in [Instance::A, Instance::B] {
+                let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
+                out.push(state[0].not());
+            }
+        }
+        out
+    }
+
+    /// `State_Equivalence(S)` at time `t`: every atom in `S` equal between
+    /// the instances; victim-allocatable memory words are exempt while they
+    /// lie inside the protected range.
+    pub fn state_eq(&mut self, set: &AtomSet, t: usize) -> AigRef {
+        let mut conj = Vec::with_capacity(set.len());
+        for &atom in set {
+            let a = self.atom_word(Instance::A, atom, t);
+            let b = self.atom_word(Instance::B, atom, t);
+            let guard = match atom {
+                StateAtom::MemWord(mem, i) => self.word_in_range(mem, i),
+                StateAtom::Reg(_) => None,
+            };
+            let aig = self.ipc.unroller_mut().aig_mut();
+            let eq = words::eq(aig, &a, &b);
+            let term = match guard {
+                Some(in_range) => aig.or(in_range, eq),
+                None => eq,
+            };
+            conj.push(term);
+        }
+        let aig = self.ipc.unroller_mut().aig_mut();
+        aig.and_all(conj)
+    }
+
+    // ------------------------------------------------------------------
+    // Counterexample extraction
+    // ------------------------------------------------------------------
+
+    /// After a violated check: the atoms of `set` that genuinely diverge at
+    /// time `t` under the model (range-guarded words that fall inside the
+    /// protected range are not counted).
+    pub fn extract_diffs(&self, set: &AtomSet, t: usize) -> Vec<AtomDiff> {
+        let prot = self
+            .ipc
+            .model_word(&self.prot_word())
+            .expect("prot_base encoded by range validity");
+        let mut out = Vec::new();
+        for &atom in set {
+            let wa = self.atom_word(Instance::A, atom, t);
+            let wb = self.atom_word(Instance::B, atom, t);
+            let (Some(va), Some(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb))
+            else {
+                continue;
+            };
+            if va == vb {
+                continue;
+            }
+            if let StateAtom::MemWord(mem, i) = atom {
+                if let Some(base) = self.an.device_base.get(&mem) {
+                    let addr = (base + 4 * u64::from(i)) & self.an.spec.range_mask;
+                    if addr == prot {
+                        continue; // victim-allocated word: exempt
+                    }
+                }
+            }
+            out.push(AtomDiff {
+                atom,
+                name: self.an.atom_name(atom),
+                value_a: va,
+                value_b: vb,
+                persistent: self.an.is_persistent(atom),
+            });
+        }
+        out
+    }
+
+    /// Builds the full counterexample record after a violated check.
+    pub fn capture_cex(&self, diffs: Vec<AtomDiff>, at_cycle: usize, window: usize) -> Counterexample {
+        let prot = self.ipc.model_word(&self.prot_word()).unwrap_or(0);
+        let p = self.an.port_src;
+        let mut trace = Vec::new();
+        for c in 0..window {
+            let get = |s: &Self, inst, w| s.ipc.model_word(&s.input_word(inst, w, c));
+            let act = |s: &Self, inst: Instance| -> PortActivity {
+                let req = get(s, inst, p.req).unwrap_or(0) == 1;
+                let addr = get(s, inst, p.addr).unwrap_or(0);
+                let we = get(s, inst, p.we).unwrap_or(0) == 1;
+                let wdata = get(s, inst, p.wdata).unwrap_or(0);
+                PortActivity {
+                    req,
+                    addr,
+                    we,
+                    wdata,
+                    protected: req && (addr & self.an.spec.range_mask) == prot,
+                }
+            };
+            trace.push(CexCycle { cycle: c, port_a: act(self, Instance::A), port_b: act(self, Instance::B) });
+        }
+        // Initial state of both instances for concrete replay.
+        let mut initial_state = Vec::new();
+        for atom in atoms::all_atoms(&self.an.src) {
+            let wa = self.atom_word(Instance::A, atom, 0);
+            let wb = self.atom_word(Instance::B, atom, 0);
+            if let (Some(va), Some(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb)) {
+                initial_state.push((atom, self.an.atom_name(atom), va, vb));
+            }
+        }
+        Counterexample { at_cycle, diffs, prot_base: prot, trace, initial_state }
+    }
+}

@@ -1,0 +1,59 @@
+//! # upec-ssc — UPEC for System Side Channels
+//!
+//! The core contribution of *MCU-Wide Timing Side Channels and Their
+//! Detection* (DAC 2024), reimplemented on the `ssc-*` stack:
+//!
+//! - [`atoms`]: state variables (`S_all`, `S_not_victim`) and the
+//!   persistence policy compiling `S_pers`,
+//! - [`UpecSpec`]: the verification specification — victim port, symbolic
+//!   protected address ranges, victim-allocatable devices, firmware
+//!   constraints of a countermeasure,
+//! - [`UpecAnalysis`]: the 2-safety product (two instances of the design in
+//!   one netlist) plus the paper's property macros
+//!   (`Primary_Input_Constraints`, `Victim_Task_Executing`,
+//!   `State_Equivalence(S)`),
+//! - [`UpecAnalysis::alg1`]: the 2-cycle iterative fixpoint procedure
+//!   (paper Alg. 1) — *bounded property, unbounded proof*,
+//! - [`UpecAnalysis::alg2`]: the unrolled procedure (paper Alg. 2)
+//!   producing explicit multi-cycle counterexamples,
+//! - [`UpecAnalysis::prove_constraints_inductive`]: discharges the
+//!   invariant obligations behind countermeasure assumptions,
+//! - [`Verdict`]/[`Counterexample`]: machine-checkable reports, including
+//!   the full symbolic-start state for concrete replay on `ssc-sim`.
+//!
+//! # Example: detecting the HWPE/memory channel and proving the fix
+//!
+//! ```no_run
+//! use ssc_soc::Soc;
+//! use upec_ssc::{UpecAnalysis, UpecSpec};
+//!
+//! let soc = Soc::verification_view();
+//! // Vulnerable configuration: victim data in the shared public memory.
+//! let vuln = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+//! assert!(vuln.alg1().is_vulnerable());
+//!
+//! // Countermeasure: victim data in private memory + firmware constraints.
+//! let fixed = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+//! fixed.prove_constraints_inductive().unwrap();
+//! assert!(fixed.alg1().is_secure());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atoms;
+mod engine;
+mod extensions;
+mod procedure;
+mod replay;
+mod report;
+mod spec;
+
+pub use atoms::{AtomSet, PersistencePolicy, StateAtom};
+pub use engine::{Instance, Session, UpecAnalysis};
+pub use extensions::ChannelFinding;
+pub use replay::replay_on_simulator;
+pub use report::{
+    AtomDiff, CexCycle, Counterexample, IterationStat, PortActivity, SecureReport, Verdict,
+    VulnReport,
+};
+pub use spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};

@@ -1,0 +1,268 @@
+//! The UPEC-SSC proof procedures (paper Alg. 1 and Alg. 2).
+
+use std::time::Instant;
+
+use crate::atoms::AtomSet;
+use crate::engine::{Session, UpecAnalysis};
+use crate::report::{IterationStat, SecureReport, Verdict, VulnReport};
+use ssc_ipc::PropertyResult;
+
+impl UpecAnalysis {
+    /// **Algorithm 1** (UPEC-SSC): the 2-cycle iterative fixpoint.
+    ///
+    /// Starting from `S = S_not_victim`, repeatedly checks the 2-cycle
+    /// property *assume `State_Equivalence(S)` at `t`, prove it at `t+1`*.
+    /// Counterexamples hitting `S_pers` prove a vulnerability; transient
+    /// counterexamples shrink `S`. An `UNSAT` result makes the property
+    /// inductive: combined with the trivial induction base (before the
+    /// victim's first access nothing is influenced) this yields an
+    /// *unbounded* security proof from a two-clock-cycle window.
+    pub fn alg1(&self) -> Verdict {
+        self.alg1_from(self.s_not_victim())
+    }
+
+    /// Algorithm 1 starting from a caller-provided set (used as the
+    /// induction step after Alg. 2, with `S = S[k]`).
+    pub fn alg1_from(&self, initial: AtomSet) -> Verdict {
+        let start = Instant::now();
+        let mut sess = Session::new(self, 1);
+        let mut s = initial;
+        let mut iterations: Vec<IterationStat> = Vec::new();
+        let mut removed_atoms: Vec<String> = Vec::new();
+
+        // Standing assumptions are window-invariant: build once.
+        let base = sess.base_assumptions(1);
+
+        loop {
+            let iter_start = Instant::now();
+            let pre = sess.state_eq(&s, 0);
+            let goal = sess.state_eq(&s, 1);
+            let mut assumptions = base.clone();
+            assumptions.push(pre);
+            let result = sess.ipc.check(&assumptions, goal);
+            let runtime = iter_start.elapsed();
+
+            match result {
+                PropertyResult::Holds => {
+                    iterations.push(IterationStat {
+                        iteration: iterations.len() + 1,
+                        window: 1,
+                        set_size: s.len(),
+                        removed: 0,
+                        runtime,
+                    });
+                    debug_assert!(
+                        self.s_pers().iter().all(|a| s.contains(a)),
+                        "S_pers must be contained in the final inductive set"
+                    );
+                    return Verdict::Secure(SecureReport {
+                        iterations,
+                        final_set_size: s.len(),
+                        removed_atoms,
+                        total_runtime: start.elapsed(),
+                    });
+                }
+                PropertyResult::Violated => {
+                    let diffs = sess.extract_diffs(&s, 1);
+                    if diffs.is_empty() {
+                        return Verdict::Inconclusive(
+                            "solver produced a model without an observable state difference"
+                                .into(),
+                        );
+                    }
+                    let hit_pers = diffs.iter().any(|d| d.persistent);
+                    iterations.push(IterationStat {
+                        iteration: iterations.len() + 1,
+                        window: 1,
+                        set_size: s.len(),
+                        removed: if hit_pers { 0 } else { diffs.len() },
+                        runtime,
+                    });
+                    if hit_pers {
+                        let cex = sess.capture_cex(diffs, 1, 1);
+                        return Verdict::Vulnerable(VulnReport {
+                            iterations,
+                            cex,
+                            total_runtime: start.elapsed(),
+                        });
+                    }
+                    for d in &diffs {
+                        removed_atoms.push(d.name.clone());
+                        s.remove(&d.atom);
+                    }
+                }
+            }
+        }
+    }
+
+    /// **Algorithm 2** (unrolled UPEC-SSC): grows the property window cycle
+    /// by cycle, maintaining one state set per cycle, until either a
+    /// persistent divergence is found (vulnerable, with an *explicit*
+    /// multi-cycle counterexample) or the influenced sets saturate
+    /// (`S[k] == S[k-1]`), after which Algorithm 1 performs the final
+    /// inductive proof with `S = S[k]`.
+    pub fn alg2(&self) -> Verdict {
+        let start = Instant::now();
+        let s_init = self.s_not_victim();
+        let mut s: Vec<AtomSet> = vec![s_init.clone(), s_init];
+        let mut k = 1usize;
+        let mut sess = Session::new(self, 1);
+        let mut iterations: Vec<IterationStat> = Vec::new();
+
+        loop {
+            sess.ensure_window(k);
+            let iter_start = Instant::now();
+            let base = sess.base_assumptions(k);
+            let pre = sess.state_eq(&s[0], 0);
+            let mut assumptions = base;
+            assumptions.push(pre);
+            // Obligations at every cycle 1..=k for the per-cycle sets.
+            let goals: Vec<_> = (1..=k).map(|c| sess.state_eq(&s[c], c)).collect();
+            let goal = {
+                let aig = sess.ipc.unroller_mut().aig_mut();
+                aig.and_all(goals)
+            };
+            let result = sess.ipc.check(&assumptions, goal);
+            let runtime = iter_start.elapsed();
+
+            match result {
+                PropertyResult::Holds => {
+                    iterations.push(IterationStat {
+                        iteration: iterations.len() + 1,
+                        window: k,
+                        set_size: s[k].len(),
+                        removed: 0,
+                        runtime,
+                    });
+                    if s[k] == s[k - 1] {
+                        // Saturated: finish with the inductive step.
+                        let tail = self.alg1_from(s[k].clone());
+                        return merge_alg2_result(tail, iterations, start);
+                    }
+                    if k >= self.spec().max_unroll {
+                        return Verdict::Inconclusive(format!(
+                            "no fixpoint within the unroll limit of {} cycles",
+                            self.spec().max_unroll
+                        ));
+                    }
+                    k += 1;
+                    let prev = s[k - 1].clone();
+                    s.push(prev);
+                }
+                PropertyResult::Violated => {
+                    // Find the earliest cycle with a divergence.
+                    let mut removed_total = 0;
+                    let mut vulnerable = None;
+                    for c in 1..=k {
+                        let diffs = sess.extract_diffs(&s[c], c);
+                        if diffs.is_empty() {
+                            continue;
+                        }
+                        if diffs.iter().any(|d| d.persistent) {
+                            vulnerable = Some((diffs, c));
+                            break;
+                        }
+                        removed_total += diffs.len();
+                        for d in &diffs {
+                            s[c].remove(&d.atom);
+                        }
+                    }
+                    iterations.push(IterationStat {
+                        iteration: iterations.len() + 1,
+                        window: k,
+                        set_size: s[k].len(),
+                        removed: removed_total,
+                        runtime,
+                    });
+                    if let Some((diffs, c)) = vulnerable {
+                        let cex = sess.capture_cex(diffs, c, k);
+                        return Verdict::Vulnerable(VulnReport {
+                            iterations,
+                            cex,
+                            total_runtime: start.elapsed(),
+                        });
+                    }
+                    if removed_total == 0 {
+                        return Verdict::Inconclusive(
+                            "violated check without extractable divergence".into(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Proves that the spec's `RegOutsideDevice` firmware constraints are
+    /// *inductive*: if all constraints hold in a symbolic state and software
+    /// obeys the port-write constraints, they hold one cycle later. This
+    /// discharges the soundness obligation of assuming them on the symbolic
+    /// starting state (paper Sec. 3.4's invariant methodology).
+    ///
+    /// # Errors
+    ///
+    /// Returns the names of registers whose constraint is not inductive.
+    pub fn prove_constraints_inductive(&self) -> Result<(), Vec<String>> {
+        use crate::engine::Instance;
+        use crate::spec::FirmwareConstraint;
+        use ssc_aig::words;
+
+        let regs: Vec<(String, u64, u64)> = self
+            .spec()
+            .constraints
+            .iter()
+            .filter_map(|c| match c {
+                FirmwareConstraint::RegOutsideDevice { reg, mask, device } => {
+                    Some((reg.clone(), *mask, *device))
+                }
+                _ => None,
+            })
+            .collect();
+        if regs.is_empty() {
+            return Ok(());
+        }
+        let mut sess = Session::new(self, 1);
+        let assumptions = sess.base_assumptions(1);
+        let mut failing = Vec::new();
+        for (reg, mask, device) in regs {
+            let w = self.src().find(&reg).expect("validated");
+            for inst in [Instance::A, Instance::B] {
+                let post = sess.atom_word(inst, crate::atoms::StateAtom::Reg(w.id()), 1);
+                let aig = sess.ipc.unroller_mut().aig_mut();
+                let m = words::constant(aig, ssc_netlist::Bv::new(32, mask));
+                let masked = words::and(aig, &post, &m);
+                let hit = words::eq_const(aig, &masked, device);
+                let goal = hit.not();
+                if sess.ipc.check(&assumptions, goal) == PropertyResult::Violated {
+                    failing.push(format!("{reg} ({inst:?})"));
+                }
+            }
+        }
+        if failing.is_empty() {
+            Ok(())
+        } else {
+            Err(failing)
+        }
+    }
+}
+
+fn merge_alg2_result(
+    tail: Verdict,
+    mut iterations: Vec<IterationStat>,
+    start: Instant,
+) -> Verdict {
+    match tail {
+        Verdict::Secure(mut r) => {
+            iterations.extend(r.iterations);
+            r.iterations = iterations;
+            r.total_runtime = start.elapsed();
+            Verdict::Secure(r)
+        }
+        Verdict::Vulnerable(mut r) => {
+            iterations.extend(r.iterations);
+            r.iterations = iterations;
+            r.total_runtime = start.elapsed();
+            Verdict::Vulnerable(r)
+        }
+        other => other,
+    }
+}

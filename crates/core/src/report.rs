@@ -1,0 +1,214 @@
+//! Verdicts, counterexamples and human-readable reports.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::atoms::StateAtom;
+
+/// The difference of one state atom between the two product instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomDiff {
+    /// The diverging atom.
+    pub atom: StateAtom,
+    /// Hierarchical name.
+    pub name: String,
+    /// Value in instance A.
+    pub value_a: u64,
+    /// Value in instance B.
+    pub value_b: u64,
+    /// Whether the atom is in `S_pers`.
+    pub persistent: bool,
+}
+
+/// Port activity of one instance in one counterexample cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortActivity {
+    /// Request strobe.
+    pub req: bool,
+    /// Byte address.
+    pub addr: u64,
+    /// Write enable.
+    pub we: bool,
+    /// Write data.
+    pub wdata: u64,
+    /// Whether the address falls in the protected range.
+    pub protected: bool,
+}
+
+/// One cycle of a counterexample trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CexCycle {
+    /// Cycle index within the property window.
+    pub cycle: usize,
+    /// Victim port of instance A.
+    pub port_a: PortActivity,
+    /// Victim port of instance B.
+    pub port_b: PortActivity,
+}
+
+/// A complete counterexample to the UPEC-SSC property.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The cycle (state time) at which the divergence was observed.
+    pub at_cycle: usize,
+    /// Diverging atoms (with persistence classification).
+    pub diffs: Vec<AtomDiff>,
+    /// Concrete protected-range base chosen by the solver.
+    pub prot_base: u64,
+    /// Per-cycle victim port activity.
+    pub trace: Vec<CexCycle>,
+    /// Initial (cycle 0) values of every tracked atom for both instances —
+    /// enables concrete replay of the symbolic starting state.
+    pub initial_state: Vec<(StateAtom, String, u64, u64)>,
+}
+
+impl Counterexample {
+    /// Diffs that are persistent (the exploitable ones).
+    pub fn persistent_diffs(&self) -> impl Iterator<Item = &AtomDiff> {
+        self.diffs.iter().filter(|d| d.persistent)
+    }
+
+    /// A one-line summary of the strongest finding.
+    pub fn headline(&self) -> String {
+        match self.persistent_diffs().next() {
+            Some(d) => format!(
+                "persistent state `{}` diverges ({:#x} vs {:#x}) at cycle {}",
+                d.name, d.value_a, d.value_b, self.at_cycle
+            ),
+            None => format!(
+                "{} transient state variable(s) diverge at cycle {}",
+                self.diffs.len(),
+                self.at_cycle
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample at cycle {} (prot_base = {:#010x})", self.at_cycle, self.prot_base)?;
+        for c in &self.trace {
+            writeln!(
+                f,
+                "  cycle {}: A[req={} addr={:#010x} we={} prot={}]  B[req={} addr={:#010x} we={} prot={}]",
+                c.cycle,
+                u8::from(c.port_a.req),
+                c.port_a.addr,
+                u8::from(c.port_a.we),
+                u8::from(c.port_a.protected),
+                u8::from(c.port_b.req),
+                c.port_b.addr,
+                u8::from(c.port_b.we),
+                u8::from(c.port_b.protected),
+            )?;
+        }
+        for d in &self.diffs {
+            writeln!(
+                f,
+                "  diff{}: {} = {:#x} vs {:#x}",
+                if d.persistent { " [PERSISTENT]" } else { "" },
+                d.name,
+                d.value_a,
+                d.value_b
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics of one procedure iteration.
+#[derive(Clone, Debug)]
+pub struct IterationStat {
+    /// Iteration index (1-based).
+    pub iteration: usize,
+    /// Unrolled window length during this iteration (Alg. 2) or 1 (Alg. 1).
+    pub window: usize,
+    /// `|S|` before the check.
+    pub set_size: usize,
+    /// Number of atoms removed by this iteration's counterexample.
+    pub removed: usize,
+    /// Wall-clock time of the solver call.
+    pub runtime: Duration,
+}
+
+/// The result of a UPEC-SSC procedure run.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The design is secure w.r.t. the threat model: the final set `S` is
+    /// inductive and contains all of `S_pers`.
+    Secure(SecureReport),
+    /// A vulnerability was found: victim behaviour reaches persistent,
+    /// attacker-accessible state.
+    Vulnerable(VulnReport),
+    /// The unroll bound was exhausted before a fixpoint (diagnostic).
+    Inconclusive(String),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Secure`].
+    pub fn is_secure(&self) -> bool {
+        matches!(self, Verdict::Secure(_))
+    }
+
+    /// `true` for [`Verdict::Vulnerable`].
+    pub fn is_vulnerable(&self) -> bool {
+        matches!(self, Verdict::Vulnerable(_))
+    }
+
+    /// The iteration statistics of the run.
+    pub fn iterations(&self) -> &[IterationStat] {
+        match self {
+            Verdict::Secure(r) => &r.iterations,
+            Verdict::Vulnerable(r) => &r.iterations,
+            Verdict::Inconclusive(_) => &[],
+        }
+    }
+}
+
+/// Report for a secure design.
+#[derive(Clone, Debug)]
+pub struct SecureReport {
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStat>,
+    /// Size of the final inductive set `S`.
+    pub final_set_size: usize,
+    /// Names of atoms removed from `S` along the way (influenced but
+    /// transient).
+    pub removed_atoms: Vec<String>,
+    /// Total wall-clock time.
+    pub total_runtime: Duration,
+}
+
+/// Report for a vulnerable design.
+#[derive(Clone, Debug)]
+pub struct VulnReport {
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStat>,
+    /// The exploitable counterexample.
+    pub cex: Counterexample,
+    /// Total wall-clock time.
+    pub total_runtime: Duration,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Secure(r) => write!(
+                f,
+                "SECURE after {} iteration(s); inductive |S| = {}; {} transient atom(s) excluded; total {:.2?}",
+                r.iterations.len(),
+                r.final_set_size,
+                r.removed_atoms.len(),
+                r.total_runtime
+            ),
+            Verdict::Vulnerable(r) => write!(
+                f,
+                "VULNERABLE after {} iteration(s): {} (total {:.2?})",
+                r.iterations.len(),
+                r.cex.headline(),
+                r.total_runtime
+            ),
+            Verdict::Inconclusive(msg) => write!(f, "INCONCLUSIVE: {msg}"),
+        }
+    }
+}

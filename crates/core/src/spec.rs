@@ -1,0 +1,256 @@
+//! The UPEC-SSC verification specification.
+//!
+//! A [`UpecSpec`] captures everything the method needs beyond the netlist
+//! itself: where the CPU/system interface is (the victim port), how victim
+//! memory ranges are modeled symbolically, which devices are
+//! victim-allocatable, the persistence policy, and the *firmware
+//! constraints* of a countermeasure (paper Sec. 4.2 — "a set of legal
+//! configurations for the corresponding IPs").
+
+use crate::atoms::PersistencePolicy;
+
+/// Names of the CPU data-port signals in the verification view, where they
+/// are free primary inputs.
+#[derive(Clone, Debug)]
+pub struct VictimPort {
+    /// Request strobe (1 bit).
+    pub req: String,
+    /// Byte address (32 bits).
+    pub addr: String,
+    /// Write enable (1 bit).
+    pub we: String,
+    /// Write data (32 bits).
+    pub wdata: String,
+}
+
+impl VictimPort {
+    /// The port naming used by [`ssc_soc`]'s verification view.
+    pub fn soc_default() -> Self {
+        VictimPort {
+            req: "cpu.dport_req".into(),
+            addr: "cpu.dport_addr".into(),
+            we: "cpu.dport_we".into(),
+            wdata: "cpu.dport_wdata".into(),
+        }
+    }
+}
+
+/// A potentially spying IP's bus master port (signal names of its request
+/// strobe and address output). The `Victim_Task_Executing` macro assumes
+/// these IPs never access the protected range directly — the paper's
+/// threat-model restriction that "address ranges ... allocated to the
+/// victim task are not directly accessible by potentially spying IPs".
+#[derive(Clone, Debug)]
+pub struct IpPort {
+    /// Request strobe signal name (1 bit).
+    pub req: String,
+    /// Address output signal name (32 bits).
+    pub addr: String,
+}
+
+/// A victim-allocatable memory device: protected address ranges may be
+/// placed inside it, and its words are guarded by the symbolic range.
+#[derive(Clone, Debug)]
+pub struct DeviceMap {
+    /// Memory name in the netlist (e.g. `"pub_xbar.ram"`).
+    pub mem_name: String,
+    /// Base byte address of word 0.
+    pub base: u64,
+}
+
+/// A firmware constraint assumed by a countermeasure proof.
+///
+/// These model the paper's "legal configurations … compiled as a set of
+/// firmware constraints to be checked for compliance during firmware
+/// development" (Sec. 4.2). [`crate::UpecAnalysis::prove_constraints_inductive`]
+/// discharges the hardware side: legal configurations stay legal.
+#[derive(Clone, Debug)]
+pub enum FirmwareConstraint {
+    /// The named 32-bit register never points into the device window
+    /// `device` (under [`ssc_soc::addr::DEV_MASK`]-style masking):
+    /// `(reg & mask) != device`.
+    RegOutsideDevice {
+        /// Register name in the netlist.
+        reg: String,
+        /// Device select mask.
+        mask: u64,
+        /// Forbidden device window base.
+        device: u64,
+    },
+    /// Writes through the victim port to configuration address `cfg_addr`
+    /// never carry a value pointing into the device window:
+    /// `write(cfg_addr) -> (wdata & mask) != device`.
+    PortWriteOutsideDevice {
+        /// Peripheral configuration register address.
+        cfg_addr: u64,
+        /// Device select mask.
+        mask: u64,
+        /// Forbidden device window base.
+        device: u64,
+    },
+}
+
+/// The complete specification for one UPEC-SSC run.
+#[derive(Clone, Debug)]
+pub struct UpecSpec {
+    /// The CPU/system interface.
+    pub port: VictimPort,
+    /// Bus master ports of potentially spying IPs (assumed to never target
+    /// the protected range).
+    pub ip_ports: Vec<IpPort>,
+    /// Victim-allocatable devices (order irrelevant).
+    pub devices: Vec<DeviceMap>,
+    /// Mask defining the size/alignment of the protected range: a range is
+    /// `{a | (a & range_mask) == prot_base}`. The base is symbolic; the
+    /// size is a spec parameter (the paper's fully symbolic ranges are
+    /// recovered by sweeping this mask).
+    pub range_mask: u64,
+    /// If set, the protected range must lie inside this device window base
+    /// (under `device_mask`); this is the countermeasure's "map the
+    /// security-critical region into the private memory" assumption.
+    pub range_in_device: Option<u64>,
+    /// Device-select mask used with `range_in_device` and the firmware
+    /// constraints.
+    pub device_mask: u64,
+    /// Firmware constraints assumed to hold (countermeasure runs).
+    pub constraints: Vec<FirmwareConstraint>,
+    /// Busy-flag signal names of IPs assumed *quiescent* (idle) in the
+    /// symbolic starting state. Quiescing all spying IPs but one isolates
+    /// that IP's channel — used to exhibit the paper's HWPE+memory variant
+    /// without the DMA/timer channel firing first.
+    pub quiesced_ips: Vec<String>,
+    /// `S_pers` classification policy.
+    pub persistence: PersistencePolicy,
+    /// Unroll limit for the unrolled procedure (Alg. 2).
+    pub max_unroll: usize,
+}
+
+impl UpecSpec {
+    /// Specification of the **vulnerable** SoC configuration: the victim's
+    /// protected range lives in the *public* (shared) memory device and no
+    /// firmware constraints restrict the spying IPs — the setting of the
+    /// paper's Sec. 4.1 case study.
+    pub fn soc_vulnerable() -> Self {
+        UpecSpec {
+            port: VictimPort::soc_default(),
+            ip_ports: vec![
+                IpPort { req: "dma.req".into(), addr: "dma.addr_out".into() },
+                IpPort { req: "hwpe.busy".into(), addr: "hwpe.addr_out".into() },
+            ],
+            devices: vec![
+                DeviceMap { mem_name: "pub_xbar.ram".into(), base: ssc_soc::addr::PUB_RAM_BASE },
+                DeviceMap { mem_name: "priv_xbar.ram".into(), base: ssc_soc::addr::PRIV_RAM_BASE },
+            ],
+            range_mask: 0xFFFF_FFF0, // 16-byte protected range
+            range_in_device: Some(ssc_soc::addr::PUB_RAM_BASE),
+            device_mask: ssc_soc::addr::DEV_MASK,
+            constraints: Vec::new(),
+            quiesced_ips: Vec::new(),
+            persistence: PersistencePolicy::new(),
+            max_unroll: 12,
+        }
+    }
+
+    /// The Sec. 4.1 scenario isolated: the DMA is quiescent and the HWPE's
+    /// own registers are treated as transient, so the only persistent
+    /// medium left is the *attacker-primed memory region* — the channel
+    /// works without any timer (and without even reading HWPE registers).
+    pub fn soc_vulnerable_hwpe_memory() -> Self {
+        let mut spec = UpecSpec::soc_vulnerable();
+        spec.quiesced_ips = vec!["dma.busy".into()];
+        for r in [
+            "hwpe.src", "hwpe.dst", "hwpe.len", "hwpe.busy", "hwpe.phase", "hwpe.cnt",
+            "hwpe.cur_src", "hwpe.cur_dst", "hwpe.buf", "hwpe.progress",
+        ] {
+            spec.persistence.force_transient.insert(r.into());
+        }
+        // The DMA cannot act while quiescent, but exclude its state from
+        // S_pers as well so the counterexample must go through memory.
+        for r in [
+            "dma.src", "dma.dst", "dma.len", "dma.chain", "dma.busy", "dma.phase",
+            "dma.cnt", "dma.cur_src", "dma.cur_dst", "dma.buf",
+        ] {
+            spec.persistence.force_transient.insert(r.into());
+        }
+        // Deny the timer too: its state must not count as retrievable.
+        for r in ["timer.enabled", "timer.locked", "timer.count"] {
+            spec.persistence.force_transient.insert(r.into());
+        }
+        spec
+    }
+
+    /// Specification of the **fixed** SoC configuration (paper Sec. 4.2):
+    /// the security-critical range is mapped into the private memory
+    /// device, and firmware constraints keep the HWPE (the only non-CPU
+    /// master on the private crossbar) out of that device.
+    pub fn soc_fixed() -> Self {
+        use ssc_soc::addr;
+        let dev = addr::DEV_MASK;
+        let priv_base = addr::PRIV_RAM_BASE;
+        UpecSpec {
+            range_in_device: Some(priv_base),
+            constraints: vec![
+                // Legal configurations: HWPE pointers never target the
+                // private device...
+                FirmwareConstraint::RegOutsideDevice {
+                    reg: "hwpe.src".into(),
+                    mask: dev,
+                    device: priv_base,
+                },
+                FirmwareConstraint::RegOutsideDevice {
+                    reg: "hwpe.dst".into(),
+                    mask: dev,
+                    device: priv_base,
+                },
+                FirmwareConstraint::RegOutsideDevice {
+                    reg: "hwpe.cur_src".into(),
+                    mask: dev,
+                    device: priv_base,
+                },
+                FirmwareConstraint::RegOutsideDevice {
+                    reg: "hwpe.cur_dst".into(),
+                    mask: dev,
+                    device: priv_base,
+                },
+                // ... and software never writes such a configuration.
+                FirmwareConstraint::PortWriteOutsideDevice {
+                    cfg_addr: addr::HWPE_SRC,
+                    mask: dev,
+                    device: priv_base,
+                },
+                FirmwareConstraint::PortWriteOutsideDevice {
+                    cfg_addr: addr::HWPE_DST,
+                    mask: dev,
+                    device: priv_base,
+                },
+            ],
+            ..UpecSpec::soc_vulnerable()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerable_spec_has_no_constraints() {
+        let s = UpecSpec::soc_vulnerable();
+        assert!(s.constraints.is_empty());
+        assert_eq!(s.range_in_device, Some(ssc_soc::addr::PUB_RAM_BASE));
+    }
+
+    #[test]
+    fn fixed_spec_targets_private_memory() {
+        let s = UpecSpec::soc_fixed();
+        assert_eq!(s.range_in_device, Some(ssc_soc::addr::PRIV_RAM_BASE));
+        assert_eq!(s.constraints.len(), 6);
+    }
+
+    #[test]
+    fn range_mask_describes_aligned_range() {
+        let s = UpecSpec::soc_vulnerable();
+        // 16-byte range: 4 words.
+        assert_eq!(!s.range_mask & 0xFFFF_FFFF, 0xF);
+    }
+}

@@ -1,0 +1,74 @@
+//! Tests for the extension features: channel enumeration and transience
+//! proofs.
+
+use ssc_soc::Soc;
+use upec_ssc::{UpecAnalysis, UpecSpec};
+
+#[test]
+fn channel_enumeration_inventories_the_vulnerable_soc() {
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    let channels = an.enumerate_channels(8);
+    assert!(
+        channels.len() >= 2,
+        "the shared-memory layout has several media, got {channels:#?}"
+    );
+    let media: Vec<&str> = channels.iter().map(|c| c.medium.as_str()).collect();
+    // The accelerator/DMA engines and the shared memory must both appear.
+    assert!(
+        media.iter().any(|m| *m == "hwpe" || *m == "dma"),
+        "an IP engine must be implicated: {media:?}"
+    );
+    assert!(
+        media.iter().any(|m| m.contains("ram")),
+        "the shared memory must be implicated: {media:?}"
+    );
+}
+
+#[test]
+fn channel_enumeration_is_empty_for_the_fixed_soc() {
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+    assert!(an.enumerate_channels(8).is_empty());
+}
+
+#[test]
+fn arbiter_pointer_is_provably_transient_on_grant() {
+    // The round-robin pointer is rewritten by every grant with the grantee
+    // index — independent of its previous value. This is exactly the
+    // paper's justification for excluding interconnect buffers from S_pers.
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    // Condition: the public crossbar issued some grant. Use the CPU's gnt
+    // combined with... simplest: the arbiter updates when any master is
+    // granted; "pub_xbar.gnt0" | "gnt1" | "gnt2" are named signals, but the
+    // proof takes one condition signal — use the DMA's request (it requests
+    // whenever busy, and busy+gnt implies an update). Instead we check
+    // under "cpu access granted to the public RAM":
+    let ok = an
+        .prove_transient_under("pub_xbar.arb.rr", "pub_xbar.gnt0")
+        .expect("signals exist");
+    assert!(ok, "a granted transaction overwrites the arbiter pointer");
+}
+
+#[test]
+fn progress_register_is_not_transient() {
+    // The HWPE progress register *retains* its value across foreign grants
+    // — that persistence is what makes it a channel medium.
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    let ok = an
+        .prove_transient_under("hwpe.progress", "pub_xbar.gnt0")
+        .expect("signals exist");
+    assert!(!ok, "progress must be able to hold information");
+}
+
+#[test]
+fn transience_proof_validates_inputs() {
+    let soc = Soc::verification_view();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    assert!(an.prove_transient_under("no.such.reg", "pub_xbar.gnt0").is_err());
+    assert!(an.prove_transient_under("pub_xbar.arb.rr", "no.such.cond").is_err());
+    // A non-register signal is rejected.
+    assert!(an.prove_transient_under("cpu_gnt", "pub_xbar.gnt0").is_err());
+}

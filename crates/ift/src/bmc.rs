@@ -1,0 +1,223 @@
+//! Taint-reachability bounded model checking.
+//!
+//! The "IFT as formal verification" baseline the paper discusses in Sec. 5:
+//! unroll the taint-instrumented design from a clean (taint-free) state
+//! with the sources tainted, and ask the SAT solver whether taint can reach
+//! a sink within `k` cycles. Contrast with UPEC-SSC: the taint abstraction
+//! cannot see the *conditions* under which a flow is benign (e.g. firmware
+//! constraints), and its window must grow until the flow completes, whereas
+//! UPEC-SSC decides with a 2-cycle property.
+
+use ssc_aig::words;
+use ssc_ipc::{Ipc, PropertyResult};
+use ssc_netlist::Node;
+
+use crate::instrument::Instrumented;
+
+/// A taint sink to monitor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sink {
+    /// A register of the *original* design, by name.
+    Reg(String),
+    /// A whole memory of the original design, by name.
+    Mem(String),
+}
+
+/// Result of a taint-BMC run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaintBmcResult {
+    /// The smallest cycle count at which taint can reach a sink, if any
+    /// within the bound.
+    pub flow_at: Option<usize>,
+    /// Number of solver checks performed.
+    pub checks: usize,
+}
+
+/// Checks whether taint can flow from the instrumented sources to any of
+/// `sinks` within `max_k` cycles.
+///
+/// Sources are fully tainted on every cycle; all shadow state starts clean;
+/// everything else (values, initial state) is symbolic — so a reported flow
+/// is a *may*-flow over all behaviours, and the absence of a flow within
+/// `k` is exhaustive up to `k`.
+///
+/// # Panics
+///
+/// Panics if a sink name does not exist in the original design.
+pub fn taint_bmc(inst: &Instrumented, sinks: &[Sink], max_k: usize) -> TaintBmcResult {
+    let n = &inst.netlist;
+    let mut ipc = Ipc::new(n);
+    let mut checks = 0;
+
+    // Collect shadow-state elements (taint registers and memories).
+    let taint_regs: Vec<ssc_netlist::Wire> = n
+        .iter_nodes()
+        .filter_map(|(id, node)| match node {
+            Node::Reg(info) if info.name.starts_with("t$") => Some(n.wire_of(id)),
+            _ => None,
+        })
+        .collect();
+    let taint_mems: Vec<ssc_netlist::MemId> = n
+        .iter_mems()
+        .filter(|(_, m)| m.name.starts_with("t$"))
+        .map(|(mid, _)| mid)
+        .collect();
+
+    // Resolve sinks to shadow elements.
+    enum SinkRef {
+        Reg(ssc_netlist::Wire),
+        Mem(ssc_netlist::MemId, u32),
+    }
+    let sink_refs: Vec<SinkRef> = sinks
+        .iter()
+        .map(|s| match s {
+            Sink::Reg(name) => {
+                let w = n
+                    .find(&format!("t${name}"))
+                    .unwrap_or_else(|| panic!("sink register `{name}` not found"));
+                SinkRef::Reg(w)
+            }
+            Sink::Mem(name) => {
+                let mid = n
+                    .find_mem(&format!("t${name}"))
+                    .unwrap_or_else(|| panic!("sink memory `{name}` not found"));
+                let words = n.mem(mid).words;
+                SinkRef::Mem(mid, words)
+            }
+        })
+        .collect();
+
+    for k in 1..=max_k {
+        ipc.unroller_mut().ensure_cycle(k - 1);
+        let mut assumptions = Vec::new();
+
+        // Clean shadow state at cycle 0.
+        for w in &taint_regs {
+            let word = ipc.unroller().reg_state(w.id(), 0).clone();
+            let aig = ipc.unroller_mut().aig_mut();
+            assumptions.push(words::eq_const(aig, &word, 0));
+        }
+        for &mid in &taint_mems {
+            let words_n = n.mem(mid).words;
+            for i in 0..words_n {
+                let word = ipc.unroller().mem_word_state(mid, i, 0).clone();
+                let aig = ipc.unroller_mut().aig_mut();
+                assumptions.push(words::eq_const(aig, &word, 0));
+            }
+        }
+
+        // Sources fully tainted on every cycle.
+        for (_, tw) in &inst.taint_inputs {
+            for c in 0..k {
+                let word = ipc.unroller().input(*tw, c).clone();
+                let aig = ipc.unroller_mut().aig_mut();
+                let ones = ssc_netlist::Bv::ones(word.len() as u32);
+                let cst = words::constant(aig, ones);
+                assumptions.push(words::eq(aig, &word, &cst));
+            }
+        }
+
+        // Goal: all sinks clean at cycle k (violated = flow found).
+        let mut clean_terms = Vec::new();
+        for s in &sink_refs {
+            match s {
+                SinkRef::Reg(w) => {
+                    let word = ipc.unroller().reg_state(w.id(), k).clone();
+                    let aig = ipc.unroller_mut().aig_mut();
+                    clean_terms.push(words::eq_const(aig, &word, 0));
+                }
+                SinkRef::Mem(mid, words_n) => {
+                    for i in 0..*words_n {
+                        let word = ipc.unroller().mem_word_state(*mid, i, k).clone();
+                        let aig = ipc.unroller_mut().aig_mut();
+                        clean_terms.push(words::eq_const(aig, &word, 0));
+                    }
+                }
+            }
+        }
+        let goal = {
+            let aig = ipc.unroller_mut().aig_mut();
+            aig.and_all(clean_terms)
+        };
+
+        checks += 1;
+        if ipc.check(&assumptions, goal) == PropertyResult::Violated {
+            return TaintBmcResult { flow_at: Some(k), checks };
+        }
+    }
+    TaintBmcResult { flow_at: None, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::instrument;
+    use ssc_netlist::{Bv, Netlist, StateMeta};
+
+    /// in -> r1 -> r2 pipeline: taint needs exactly 2 cycles to reach r2.
+    #[test]
+    fn flow_depth_is_detected_exactly() {
+        let mut n = Netlist::new("pipe");
+        let a = n.input("a", 4);
+        let r1 = n.reg("r1", 4, Some(Bv::zero(4)), StateMeta::default());
+        let r2 = n.reg("r2", 4, Some(Bv::zero(4)), StateMeta::default());
+        n.connect_reg(r1, a);
+        n.connect_reg(r2, r1.wire());
+        n.mark_output("q", r2.wire());
+        let inst = instrument(&n, &["a"]);
+        let res = taint_bmc(&inst, &[Sink::Reg("r2".into())], 4);
+        assert_eq!(res.flow_at, Some(2));
+        let res1 = taint_bmc(&inst, &[Sink::Reg("r1".into())], 4);
+        assert_eq!(res1.flow_at, Some(1));
+    }
+
+    /// A sink fed only by constants can never be tainted.
+    #[test]
+    fn isolated_sink_never_flows() {
+        let mut n = Netlist::new("iso");
+        let a = n.input("a", 4);
+        let r = n.reg("r", 4, Some(Bv::zero(4)), StateMeta::default());
+        let one = n.lit(4, 1);
+        let next = n.add(r.wire(), one);
+        n.connect_reg(r, next);
+        let unused = n.not(a);
+        n.set_name(unused, "unused");
+        n.mark_output("q", r.wire());
+        let inst = instrument(&n, &["a"]);
+        let res = taint_bmc(&inst, &[Sink::Reg("r".into())], 5);
+        assert_eq!(res.flow_at, None);
+        assert_eq!(res.checks, 5);
+    }
+
+    /// Flows gated by a value condition are still *may*-flows for IFT —
+    /// the abstraction cannot use value constraints the way UPEC-SSC does.
+    #[test]
+    fn gated_flow_is_reported_as_may_flow() {
+        let mut n = Netlist::new("gated");
+        let secret = n.input("secret", 4);
+        let gate = n.input("gate", 1);
+        let r = n.reg("r", 4, Some(Bv::zero(4)), StateMeta::default());
+        let gated = n.mux(gate, secret, r.wire());
+        n.connect_reg(r, gated);
+        n.mark_output("q", r.wire());
+        let inst = instrument(&n, &["secret"]);
+        let res = taint_bmc(&inst, &[Sink::Reg("r".into())], 3);
+        assert_eq!(res.flow_at, Some(1), "may-flow through the open gate");
+    }
+
+    /// Memory sinks: a tainted store is found at depth 1.
+    #[test]
+    fn memory_sink_flow() {
+        let mut n = Netlist::new("memflow");
+        let we = n.input("we", 1);
+        let addr = n.input("addr", 2);
+        let data = n.input("data", 8);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(true));
+        n.mem_write(mem, we, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let inst = instrument(&n, &["data"]);
+        let res = taint_bmc(&inst, &[Sink::Mem("ram".into())], 3);
+        assert_eq!(res.flow_at, Some(1));
+    }
+}

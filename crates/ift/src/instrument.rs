@@ -1,0 +1,425 @@
+//! Taint instrumentation: rewriting a netlist so every signal carries a
+//! shadow *taint* word (one taint bit per payload bit), in the style of
+//! CellIFT's cell-level information flow tracking.
+//!
+//! Precision notes (documented deviations are all *sound*, i.e. they may
+//! over-taint but never under-taint data flows; address-taint on memory
+//! writes is handled by tainting the addressed word and saturating on
+//! tainted enables):
+//!
+//! * bitwise gates and muxes use precise cell rules,
+//! * arithmetic saturates: any tainted operand bit taints the whole result,
+//! * dynamic shifts with tainted amounts saturate,
+//! * memory reads with tainted addresses saturate.
+
+use std::collections::HashMap;
+
+use ssc_netlist::{Bv, MemId, Netlist, Node, Op, SignalId, StateMeta, Wire};
+
+/// A taint-instrumented design.
+pub struct Instrumented {
+    /// The combined netlist: original logic plus shadow taint logic. All
+    /// original signal/memory names are preserved; shadow elements are
+    /// named `t$<original>`.
+    pub netlist: Netlist,
+    value_map: HashMap<SignalId, Wire>,
+    taint_map: HashMap<SignalId, Wire>,
+    mem_map: HashMap<MemId, MemId>,
+    mem_taint: HashMap<MemId, MemId>,
+    /// Taint-source inputs: `(original input name, taint input wire)`.
+    pub taint_inputs: Vec<(String, Wire)>,
+}
+
+impl Instrumented {
+    /// The rebuilt (value) wire for an original signal.
+    pub fn value_of(&self, orig: SignalId) -> Wire {
+        self.value_map[&orig]
+    }
+
+    /// The taint wire for an original signal.
+    pub fn taint_of(&self, orig: SignalId) -> Wire {
+        self.taint_map[&orig]
+    }
+
+    /// The rebuilt memory for an original memory.
+    pub fn mem_of(&self, orig: MemId) -> MemId {
+        self.mem_map[&orig]
+    }
+
+    /// The shadow taint memory for an original memory.
+    pub fn mem_taint_of(&self, orig: MemId) -> MemId {
+        self.mem_taint[&orig]
+    }
+}
+
+fn fill(n: &mut Netlist, bit: Wire, width: u32) -> Wire {
+    assert_eq!(bit.width(), 1);
+    if width == 1 {
+        return bit;
+    }
+    let ones = n.lit(width, u64::MAX);
+    let zero = n.lit(width, 0);
+    n.mux(bit, ones, zero)
+}
+
+fn any(n: &mut Netlist, w: Wire) -> Wire {
+    n.reduce_or(w)
+}
+
+/// Instruments `src`, making the inputs named in `sources` taint sources:
+/// each gets a fresh taint input `t$<name>` the testbench can drive.
+///
+/// # Panics
+///
+/// Panics if a source name does not exist or is not an input, or if the
+/// source netlist fails validation.
+pub fn instrument(src: &Netlist, sources: &[&str]) -> Instrumented {
+    src.check().expect("instrument requires a checked netlist");
+    for s in sources {
+        let w = src.find(s).unwrap_or_else(|| panic!("taint source `{s}` not found"));
+        assert!(
+            matches!(src.node(w.id()), Node::Input { .. }),
+            "taint source `{s}` must be a primary input"
+        );
+    }
+
+    let mut out = Netlist::new(format!("{}_ift", src.name()));
+    let mut value_map: HashMap<SignalId, Wire> = HashMap::new();
+    let mut taint_map: HashMap<SignalId, Wire> = HashMap::new();
+    let mut mem_map: HashMap<MemId, MemId> = HashMap::new();
+    let mut mem_taint: HashMap<MemId, MemId> = HashMap::new();
+    let mut taint_inputs = Vec::new();
+
+    // Memories (value + shadow).
+    for (mid, m) in src.iter_mems() {
+        let v = out.memory(&m.name, m.words, m.width, m.meta);
+        if let Some(init) = &m.init {
+            out.set_mem_init(v, init.clone());
+        }
+        let t = out.memory(&format!("t${}", m.name), m.words, m.width, StateMeta::default());
+        mem_map.insert(mid, v);
+        mem_taint.insert(mid, t);
+    }
+
+    // Nodes in topological order (ids are creation-ordered; comb args refer
+    // backwards, register nexts are fixed later).
+    let mut reg_fixups: Vec<(SignalId, ssc_netlist::RegHandle, ssc_netlist::RegHandle)> =
+        Vec::new();
+    for (id, node) in src.iter_nodes() {
+        let (value, taint) = match node {
+            Node::Input { name, width } => {
+                let v = out.input(name, *width);
+                let t = if sources.contains(&name.as_str()) {
+                    let tw = out.input(&format!("t${name}"), *width);
+                    taint_inputs.push((name.clone(), tw));
+                    tw
+                } else {
+                    out.lit(*width, 0)
+                };
+                (v, t)
+            }
+            Node::Const(bv) => (out.constant(*bv), out.lit(bv.width(), 0)),
+            Node::Reg(info) => {
+                let v = out.reg(&info.name, info.width, info.init, info.meta);
+                let t = out.reg(
+                    &format!("t${}", info.name),
+                    info.width,
+                    Some(Bv::zero(info.width)),
+                    StateMeta::default(),
+                );
+                reg_fixups.push((id, v, t));
+                (v.wire(), t.wire())
+            }
+            Node::Op { op, args, width } => {
+                let vals: Vec<Wire> = args.iter().map(|a| value_map[a]).collect();
+                let taints: Vec<Wire> = args.iter().map(|a| taint_map[a]).collect();
+                let v = out.op_node(*op, vals.iter().map(|w| w.id()).collect(), *width);
+                let t = taint_rule(&mut out, *op, &vals, &taints, *width, v);
+                (v, t)
+            }
+            Node::MemRead { mem, addr, width } => {
+                let addr_v = value_map[addr];
+                let addr_t = taint_map[addr];
+                let v = out.mem_read(mem_map[mem], addr_v);
+                let t_word = out.mem_read(mem_taint[mem], addr_v);
+                // Tainted address: cannot tell which word was read.
+                let addr_any = any(&mut out, addr_t);
+                let sat = fill(&mut out, addr_any, *width);
+                let t = out.or(t_word, sat);
+                (v, t)
+            }
+        };
+        value_map.insert(id, value);
+        taint_map.insert(id, taint);
+    }
+
+    // Register next-state connections.
+    for (orig, v, t) in reg_fixups {
+        let next = match src.node(orig) {
+            Node::Reg(info) => info.next.expect("checked netlist"),
+            _ => unreachable!(),
+        };
+        out.connect_reg(v, value_map[&next]);
+        out.connect_reg(t, taint_map[&next]);
+    }
+
+    // Memory write ports (value + shadow).
+    for (mid, m) in src.iter_mems() {
+        for wp in &m.write_ports {
+            let en_v = value_map[&wp.en];
+            let en_t = taint_map[&wp.en];
+            let addr_v = value_map[&wp.addr];
+            let addr_t = taint_map[&wp.addr];
+            let data_v = value_map[&wp.data];
+            let data_t = taint_map[&wp.data];
+            out.mem_write(mem_map[&mid], en_v, addr_v, data_v);
+            // Shadow: write taint whenever the word *may* be written
+            // (enable true or enable tainted); saturate the written taint
+            // on tainted enable or tainted address.
+            let en_any = any(&mut out, en_t);
+            let addr_any = any(&mut out, addr_t);
+            let en_port = out.or(en_v, en_any);
+            let unsure = out.or(en_any, addr_any);
+            let sat = fill(&mut out, unsure, m.width);
+            let t_data = out.or(data_t, sat);
+            out.mem_write(mem_taint[&mid], en_port, addr_v, t_data);
+        }
+    }
+
+    // Outputs: original plus taint observation points.
+    for (name, id) in src.iter_outputs() {
+        out.mark_output(name, value_map[&id]);
+        out.mark_output(&format!("t${name}"), taint_map[&id]);
+    }
+
+    out.check().expect("instrumented netlist must be valid");
+    Instrumented { netlist: out, value_map, taint_map, mem_map, mem_taint, taint_inputs }
+}
+
+fn taint_rule(
+    n: &mut Netlist,
+    op: Op,
+    vals: &[Wire],
+    taints: &[Wire],
+    width: u32,
+    _value: Wire,
+) -> Wire {
+    let saturate_any = |n: &mut Netlist, taints: &[Wire]| -> Wire {
+        let anys: Vec<Wire> = taints.iter().map(|t| n.reduce_or(*t)).collect();
+        let any_t = n.or_all(anys);
+        fill(n, any_t, width)
+    };
+    match op {
+        Op::Not => taints[0],
+        Op::And => {
+            // t = (ta & tb) | (ta & b) | (tb & a)
+            let tt = n.and(taints[0], taints[1]);
+            let tb = n.and(taints[0], vals[1]);
+            let ta = n.and(taints[1], vals[0]);
+            let x = n.or(tt, tb);
+            n.or(x, ta)
+        }
+        Op::Or => {
+            // t = (ta & tb) | (ta & ~b) | (tb & ~a)
+            let nb = n.not(vals[1]);
+            let na = n.not(vals[0]);
+            let tt = n.and(taints[0], taints[1]);
+            let tb = n.and(taints[0], nb);
+            let ta = n.and(taints[1], na);
+            let x = n.or(tt, tb);
+            n.or(x, ta)
+        }
+        Op::Xor => n.or(taints[0], taints[1]),
+        Op::Add | Op::Sub | Op::Mul => saturate_any(n, taints),
+        Op::Eq | Op::Ult | Op::Slt => {
+            let anys: Vec<Wire> = taints.iter().map(|t| n.reduce_or(*t)).collect();
+            n.or_all(anys)
+        }
+        Op::ShlC(a) => n.shl_c(taints[0], a),
+        Op::ShrC(a) => n.shr_c(taints[0], a),
+        Op::SarC(a) => n.sar_c(taints[0], a),
+        Op::Shl | Op::Shr | Op::Sar => {
+            // Shift the taint by the (untainted) amount; saturate when the
+            // amount itself is tainted.
+            let shifted = match op {
+                Op::Shl => n.shl(taints[0], vals[1]),
+                Op::Shr => n.shr(taints[0], vals[1]),
+                _ => n.sar(taints[0], vals[1]),
+            };
+            let amt_any = n.reduce_or(taints[1]);
+            let sat = fill(n, amt_any, width);
+            n.or(shifted, sat)
+        }
+        Op::Slice { hi, lo } => n.slice(taints[0], hi, lo),
+        Op::Concat => n.concat(taints[0], taints[1]),
+        Op::Zext => n.zext(taints[0], width),
+        Op::Sext => n.sext(taints[0], width),
+        Op::Mux => {
+            // Select untainted: taint of the chosen branch. Select tainted:
+            // branch taints plus every bit where the branches differ.
+            let chosen = n.mux(vals[0], taints[1], taints[2]);
+            let both = n.or(taints[1], taints[2]);
+            let differ = n.xor(vals[1], vals[2]);
+            let worst0 = n.or(both, differ);
+            let ts = n.reduce_or(taints[0]);
+            n.mux(ts, worst0, chosen)
+        }
+        Op::ReduceOr | Op::ReduceAnd | Op::ReduceXor => n.reduce_or(taints[0]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_sim::Sim;
+
+    /// d = (a & b) ^ c with a as taint source.
+    fn gate_fixture() -> (Netlist, Instrumented) {
+        let mut n = Netlist::new("gates");
+        let a = n.input("a", 4);
+        let b = n.input("b", 4);
+        let c = n.input("c", 4);
+        let ab = n.and(a, b);
+        let d = n.xor(ab, c);
+        n.mark_output("d", d);
+        let inst = instrument(&n, &["a"]);
+        (n, inst)
+    }
+
+    #[test]
+    fn and_gate_blocks_taint_on_zero_operand() {
+        let (_, inst) = gate_fixture();
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("a", 0b1111);
+        sim.set_input("b", 0b0000); // b=0 kills the AND output
+        sim.set_input("t$a", 0b1111);
+        assert_eq!(sim.peek_name("t$d").val(), 0, "a&0 leaks nothing");
+        sim.set_input("b", 0b0110);
+        assert_eq!(sim.peek_name("t$d").val(), 0b0110, "taint passes where b=1");
+    }
+
+    #[test]
+    fn xor_propagates_taint_bitwise() {
+        let (_, inst) = gate_fixture();
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("a", 0);
+        sim.set_input("b", 0b1111);
+        sim.set_input("t$a", 0b1010);
+        assert_eq!(sim.peek_name("t$d").val(), 0b1010);
+    }
+
+    #[test]
+    fn untainted_inputs_produce_untainted_outputs() {
+        let (_, inst) = gate_fixture();
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("a", 7);
+        sim.set_input("b", 5);
+        sim.set_input("c", 1);
+        sim.set_input("t$a", 0);
+        assert_eq!(sim.peek_name("t$d").val(), 0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let mut n = Netlist::new("arith");
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let s = n.add(a, b);
+        n.mark_output("s", s);
+        let inst = instrument(&n, &["a"]);
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("t$a", 1); // a single tainted bit
+        assert_eq!(sim.peek_name("t$s").val(), 0xFF, "adders saturate");
+        sim.set_input("t$a", 0);
+        assert_eq!(sim.peek_name("t$s").val(), 0);
+    }
+
+    #[test]
+    fn registers_delay_taint_by_one_cycle() {
+        let mut n = Netlist::new("reg");
+        let a = n.input("a", 4);
+        let r = n.reg("r", 4, Some(Bv::zero(4)), StateMeta::default());
+        n.connect_reg(r, a);
+        n.mark_output("q", r.wire());
+        let inst = instrument(&n, &["a"]);
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("t$a", 0b1111);
+        assert_eq!(sim.peek_name("t$q").val(), 0, "taint not yet latched");
+        sim.step();
+        assert_eq!(sim.peek_name("t$q").val(), 0b1111);
+        sim.set_input("t$a", 0);
+        sim.step();
+        assert_eq!(sim.peek_name("t$q").val(), 0, "taint clears with clean data");
+    }
+
+    #[test]
+    fn memory_carries_taint_per_word() {
+        let mut n = Netlist::new("mem");
+        let we = n.input("we", 1);
+        let addr = n.input("addr", 2);
+        let data = n.input("data", 8);
+        let raddr = n.input("raddr", 2);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(true));
+        n.mem_write(mem, we, addr, data);
+        let rd = n.mem_read(mem, raddr);
+        n.mark_output("rd", rd);
+        let inst = instrument(&n, &["data"]);
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        // Write tainted data to word 2.
+        sim.set_input("we", 1);
+        sim.set_input("addr", 2);
+        sim.set_input("data", 0xAB);
+        sim.set_input("t$data", 0xFF);
+        sim.step();
+        sim.set_input("we", 0);
+        sim.set_input("t$data", 0);
+        sim.set_input("raddr", 2);
+        assert_eq!(sim.peek_name("t$rd").val(), 0xFF, "word 2 is tainted");
+        sim.set_input("raddr", 1);
+        assert_eq!(sim.peek_name("t$rd").val(), 0, "word 1 is clean");
+    }
+
+    #[test]
+    fn mux_with_tainted_select_taints_differing_bits() {
+        let mut n = Netlist::new("mux");
+        let s = n.input("s", 1);
+        let a = n.input("a", 4);
+        let b = n.input("b", 4);
+        let m = n.mux(s, a, b);
+        n.mark_output("m", m);
+        let inst = instrument(&n, &["s"]);
+        let mut sim = Sim::new(&inst.netlist).unwrap();
+        sim.set_input("a", 0b1100);
+        sim.set_input("b", 0b1010);
+        sim.set_input("t$s", 1);
+        assert_eq!(
+            sim.peek_name("t$m").val(),
+            0b0110,
+            "only bits where branches differ depend on the secret select"
+        );
+        sim.set_input("t$s", 0);
+        assert_eq!(sim.peek_name("t$m").val(), 0);
+    }
+
+    #[test]
+    fn instrumented_values_match_original() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (orig, inst) = gate_fixture();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let (av, bv, cv) = (
+                rng.random_range(0..16u64),
+                rng.random_range(0..16u64),
+                rng.random_range(0..16u64),
+            );
+            let mut s0 = Sim::new(&orig).unwrap();
+            let mut s1 = Sim::new(&inst.netlist).unwrap();
+            for (name, v) in [("a", av), ("b", bv), ("c", cv)] {
+                s0.set_input(name, v);
+                s1.set_input(name, v);
+            }
+            assert_eq!(s0.peek_name("d"), s1.peek_name("d"), "functional equivalence");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ssc-ift — information flow tracking baseline
+//!
+//! The comparison point of the paper's Sec. 5: hardware information flow
+//! tracking in the spirit of CellIFT, implemented as a netlist-to-netlist
+//! transform over the `ssc-netlist` IR:
+//!
+//! - [`instrument`]: every signal gains a shadow taint word with precise
+//!   cell rules for bitwise logic and muxes (arithmetic saturates — see the
+//!   module docs for the soundness discussion),
+//! - [`dynamic::TaintSim`]: dynamic IFT — concrete simulation with taint
+//!   tracking, the classic *testing* flavour of IFT that only covers the
+//!   stimuli you run,
+//! - [`bmc::taint_bmc`]: IFT as bounded model checking — exhaustive up to a
+//!   depth `k`, but blind to value conditions (firmware constraints) and
+//!   forced to grow its window until a flow completes, in contrast to
+//!   UPEC-SSC's fixed 2-cycle property.
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_netlist::{Netlist, Bv, StateMeta};
+//! use ssc_ift::{instrument, bmc::{taint_bmc, Sink}};
+//!
+//! let mut n = Netlist::new("pipe");
+//! let a = n.input("a", 4);
+//! let r = n.reg("r", 4, Some(Bv::zero(4)), StateMeta::default());
+//! n.connect_reg(r, a);
+//! n.mark_output("q", r.wire());
+//!
+//! let inst = instrument(&n, &["a"]);
+//! let res = taint_bmc(&inst, &[Sink::Reg("r".into())], 4);
+//! assert_eq!(res.flow_at, Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod dynamic;
+mod instrument;
+
+pub use instrument::{instrument, Instrumented};

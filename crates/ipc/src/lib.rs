@@ -1,0 +1,49 @@
+//! # ssc-ipc — Interval Property Checking
+//!
+//! Bounded property checking from a **symbolic initial state**, the proof
+//! engine behind UPEC-SSC (paper Sec. 3.2):
+//!
+//! - [`Unroller`]: lowers a netlist over k cycles into an AIG, with fresh
+//!   symbolic variables for the starting state — covering *all possible
+//!   histories* of the design, which is what turns bounded checks into
+//!   unbounded guarantees,
+//! - [`Ipc`]: *assume/prove* property checks discharged by the `ssc-sat`
+//!   CDCL solver, incremental across repeated checks,
+//! - permanent constraints for reachability invariants, and model
+//!   extraction for counterexample construction.
+//!
+//! # Example: an unbounded proof from a 1-cycle window
+//!
+//! ```
+//! use ssc_netlist::{Netlist, Bv, StateMeta};
+//! use ssc_ipc::{Ipc, PropertyResult};
+//! use ssc_aig::words;
+//!
+//! // count' = count + en
+//! let mut n = Netlist::new("counter");
+//! let en = n.input("en", 1);
+//! let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::default());
+//! let one = n.lit(8, 1);
+//! let inc = n.add(count.wire(), one);
+//! let next = n.mux(en, inc, count.wire());
+//! n.connect_reg(count, next);
+//! n.mark_output("count", count.wire());
+//!
+//! let mut ipc = Ipc::new(&n);
+//! let s0 = ipc.unroller().reg_state(count.id(), 0).clone();
+//! let s1 = ipc.unroller().reg_state(count.id(), 1).clone();
+//! let en0 = ipc.unroller().input(en, 0).clone();
+//! let aig = ipc.unroller_mut().aig_mut();
+//! let en8 = words::zext(&en0, 8);
+//! let expect = words::add(aig, &s0, &en8);
+//! let goal = words::eq(aig, &s1, &expect);
+//! assert_eq!(ipc.check(&[], goal), PropertyResult::Holds);
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod unroll;
+
+pub use check::{words_equal, Ipc, PropertyResult};
+pub use unroll::Unroller;

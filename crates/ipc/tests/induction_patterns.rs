@@ -1,0 +1,122 @@
+//! IPC usage patterns that the UPEC-SSC layer relies on, tested in
+//! isolation: inductive strengthening, counterexample-guided refinement and
+//! incremental re-checking on one unrolling.
+
+use ssc_aig::words;
+use ssc_ipc::{Ipc, PropertyResult};
+use ssc_netlist::{Bv, Netlist, StateMeta};
+
+/// A saturating counter: increments on `en` until it sticks at 255.
+fn saturating_counter() -> Netlist {
+    let mut n = Netlist::new("satcnt");
+    let en = n.input("en", 1);
+    let c = n.reg("c", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+    let one = n.lit(8, 1);
+    let inc = n.add(c.wire(), one);
+    let at_max = n.eq_const(c.wire(), 255);
+    let hold_or_inc = n.mux(at_max, c.wire(), inc);
+    let next = n.mux(en, hold_or_inc, c.wire());
+    n.connect_reg(c, next);
+    n.mark_output("c", c.wire());
+    n
+}
+
+/// "The counter never decreases" is inductive from a symbolic state.
+#[test]
+fn monotonicity_is_inductive() {
+    let n = saturating_counter();
+    let mut ipc = Ipc::new(&n);
+    let c = n.find("c").unwrap();
+    let s0 = ipc.unroller().reg_state(c.id(), 0).clone();
+    let s1 = ipc.unroller().reg_state(c.id(), 1).clone();
+    let aig = ipc.unroller_mut().aig_mut();
+    let dec = words::ult(aig, &s1, &s0);
+    assert_eq!(ipc.check(&[], dec.not()), PropertyResult::Holds);
+}
+
+/// Counterexample-guided strengthening, the Alg. 1 pattern in miniature:
+/// "c stays below 100" is *not* inductive alone (symbolic start allows
+/// c = 99 -> 100), but holds under the strengthening assumption c < 99.
+#[test]
+fn cegar_style_strengthening() {
+    let n = saturating_counter();
+    let mut ipc = Ipc::new(&n);
+    let c = n.find("c").unwrap();
+    let s0 = ipc.unroller().reg_state(c.id(), 0).clone();
+    let s1 = ipc.unroller().reg_state(c.id(), 1).clone();
+    let aig = ipc.unroller_mut().aig_mut();
+    let hundred = words::constant(aig, Bv::new(8, 100));
+    let below_pre = words::ult(aig, &s0, &hundred);
+    let below_post = words::ult(aig, &s1, &hundred);
+    // Not inductive: assume < 100 at t, cannot prove < 100 at t+1... it
+    // actually IS inductive only if 99+1=100 is excluded; check both forms.
+    assert_eq!(
+        ipc.check(&[below_pre], below_post),
+        PropertyResult::Violated,
+        "99 -> 100 escapes the bound"
+    );
+    let aig = ipc.unroller_mut().aig_mut();
+    let ninenine = words::constant(aig, Bv::new(8, 99));
+    let strengthened = words::ult(aig, &s0, &ninenine);
+    assert_eq!(
+        ipc.check(&[strengthened], below_post),
+        PropertyResult::Holds,
+        "strengthened invariant closes the gap"
+    );
+}
+
+/// Many checks on one unrolling reuse the encoder and solver.
+#[test]
+fn incremental_checks_share_the_session() {
+    let n = saturating_counter();
+    let mut ipc = Ipc::new(&n);
+    let c = n.find("c").unwrap();
+    let s1 = ipc.unroller().reg_state(c.id(), 1).clone();
+    for bound in [1u64, 3, 7, 200] {
+        let aig = ipc.unroller_mut().aig_mut();
+        let b = words::constant(aig, Bv::new(8, bound));
+        let below = words::ult(aig, &s1, &b);
+        // From a symbolic start, no fixed bound can hold.
+        assert_eq!(ipc.check(&[], below), PropertyResult::Violated);
+    }
+    assert_eq!(ipc.num_checks(), 4);
+}
+
+/// Unrolled windows subsume shorter ones: a property proven at cycle 3
+/// from a symbolic start also holds at cycle 1.
+#[test]
+fn longer_windows_are_conservative() {
+    let n = saturating_counter();
+    let mut ipc = Ipc::new(&n);
+    ipc.unroller_mut().ensure_cycle(2);
+    let c = n.find("c").unwrap();
+    for t in [1usize, 2, 3] {
+        let s_prev = ipc.unroller().reg_state(c.id(), t - 1).clone();
+        let s_t = ipc.unroller().reg_state(c.id(), t).clone();
+        let aig = ipc.unroller_mut().aig_mut();
+        let dec = words::ult(aig, &s_t, &s_prev);
+        assert_eq!(ipc.check(&[], dec.not()), PropertyResult::Holds, "cycle {t}");
+    }
+}
+
+/// Permanent constraints persist across checks and windows.
+#[test]
+fn constraints_survive_window_growth() {
+    let n = saturating_counter();
+    let mut ipc = Ipc::new(&n);
+    let c = n.find("c").unwrap();
+    let s0 = ipc.unroller().reg_state(c.id(), 0).clone();
+    let aig = ipc.unroller_mut().aig_mut();
+    let pinned = words::eq_const(aig, &s0, 10);
+    ipc.add_constraint(pinned);
+    ipc.unroller_mut().ensure_cycle(3);
+    // After 4 cycles with en=1, c == 14; prove it.
+    let en = n.find("en").unwrap();
+    let ens: Vec<_> = (0..4).map(|t| ipc.unroller().input(en, t).clone()).collect();
+    let s4 = ipc.unroller().reg_state(c.id(), 4).clone();
+    let aig = ipc.unroller_mut().aig_mut();
+    let all_en: Vec<_> = ens.iter().map(|w| w[0]).collect();
+    let en_all = aig.and_all(all_en);
+    let is14 = words::eq_const(aig, &s4, 14);
+    assert_eq!(ipc.check(&[en_all], is14), PropertyResult::Holds);
+}

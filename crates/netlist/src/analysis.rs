@@ -1,0 +1,306 @@
+//! Structural analysis: evaluation ordering, state enumeration, cones of
+//! influence and design statistics.
+//!
+//! The UPEC-SSC method (paper Sec. 3.4) starts from a *structural* view of
+//! the design: the set of all state variables `S_all`, per-element
+//! classification metadata, and fan-in reasoning. This module provides those
+//! primitives for the flat IR.
+
+use std::collections::HashSet;
+
+use crate::ir::{MemId, Netlist, Node, SignalId, StateKind, StateMeta};
+
+/// Computes a topological evaluation order of the combinational graph.
+///
+/// Inputs, constants and register outputs are sources; `Op` nodes depend on
+/// their arguments and `MemRead` nodes on their address. The returned order
+/// contains *all* nodes (sources included).
+///
+/// # Errors
+///
+/// Returns the name (or node index) of a signal on a combinational cycle.
+pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<SignalId>, String> {
+    let n = netlist.num_nodes();
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut mark = vec![0u8; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack of (node, next-child-index).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if mark[start as usize] != 0 {
+            continue;
+        }
+        stack.push((start, 0));
+        mark[start as usize] = 1;
+        while let Some(&mut (id, ref mut child)) = stack.last_mut() {
+            let deps: Vec<SignalId> = netlist.node(SignalId(id)).comb_fanin().collect();
+            if *child < deps.len() {
+                let dep = deps[*child];
+                *child += 1;
+                match mark[dep.index()] {
+                    0 => {
+                        mark[dep.index()] = 1;
+                        stack.push((dep.0, 0));
+                    }
+                    1 => {
+                        let name = describe(netlist, dep);
+                        return Err(name);
+                    }
+                    _ => {}
+                }
+            } else {
+                mark[id as usize] = 2;
+                order.push(SignalId(id));
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+fn describe(netlist: &Netlist, id: SignalId) -> String {
+    match netlist.node(id) {
+        Node::Input { name, .. } => name.clone(),
+        Node::Reg(info) => info.name.clone(),
+        _ => format!("node#{}", id.0),
+    }
+}
+
+/// A state-holding element of the design: a register or one whole memory.
+///
+/// Memory *words* are expanded by higher layers (UPEC state atoms); at the
+/// structural level a memory is a single element with `words * width` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateElement {
+    /// Hierarchical name.
+    pub name: String,
+    /// Element handle.
+    pub handle: StateHandle,
+    /// Total number of state bits.
+    pub bits: u64,
+    /// Classification metadata.
+    pub meta: StateMeta,
+}
+
+/// Handle discriminating registers from memories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateHandle {
+    /// A register node.
+    Reg(SignalId),
+    /// A memory array.
+    Mem(MemId),
+}
+
+/// Enumerates all state elements (`S_all` at the structural level).
+pub fn state_elements(netlist: &Netlist) -> Vec<StateElement> {
+    let mut out = Vec::new();
+    for (id, node) in netlist.iter_nodes() {
+        if let Node::Reg(info) = node {
+            out.push(StateElement {
+                name: info.name.clone(),
+                handle: StateHandle::Reg(id),
+                bits: u64::from(info.width),
+                meta: info.meta,
+            });
+        }
+    }
+    for (id, mem) in netlist.iter_mems() {
+        out.push(StateElement {
+            name: mem.name.clone(),
+            handle: StateHandle::Mem(id),
+            bits: u64::from(mem.words) * u64::from(mem.width),
+            meta: mem.meta,
+        });
+    }
+    out
+}
+
+/// Total number of state bits in the design (registers + memory words).
+pub fn state_bit_count(netlist: &Netlist) -> u64 {
+    state_elements(netlist).iter().map(|e| e.bits).sum()
+}
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of constant nodes.
+    pub consts: usize,
+    /// Number of combinational operator nodes.
+    pub ops: usize,
+    /// Number of registers.
+    pub regs: usize,
+    /// Number of memory read ports.
+    pub mem_reads: usize,
+    /// Number of memories.
+    pub mems: usize,
+    /// Number of memory write ports.
+    pub mem_writes: usize,
+    /// Total state bits (register bits + memory bits).
+    pub state_bits: u64,
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} ops, {} regs, {} mems ({} rd / {} wr ports), {} state bits",
+            self.inputs, self.ops, self.regs, self.mems, self.mem_reads, self.mem_writes,
+            self.state_bits
+        )
+    }
+}
+
+/// Computes summary statistics for a netlist.
+pub fn stats(netlist: &Netlist) -> NetlistStats {
+    let mut s = NetlistStats::default();
+    for (_, node) in netlist.iter_nodes() {
+        match node {
+            Node::Input { .. } => s.inputs += 1,
+            Node::Const(_) => s.consts += 1,
+            Node::Op { .. } => s.ops += 1,
+            Node::Reg(_) => s.regs += 1,
+            Node::MemRead { .. } => s.mem_reads += 1,
+        }
+    }
+    s.mems = netlist.num_mems();
+    s.mem_writes = netlist.iter_mems().map(|(_, m)| m.write_ports.len()).sum();
+    s.state_bits = state_bit_count(netlist);
+    s
+}
+
+/// Computes the *sequential* cone of influence of a set of root signals:
+/// every node reachable backwards through combinational fan-in, register
+/// next-state functions and memory write ports.
+///
+/// Returns the set of reachable signals and the set of reachable memories.
+pub fn cone_of_influence(
+    netlist: &Netlist,
+    roots: impl IntoIterator<Item = SignalId>,
+) -> (HashSet<SignalId>, HashSet<MemId>) {
+    let mut seen: HashSet<SignalId> = HashSet::new();
+    let mut mems: HashSet<MemId> = HashSet::new();
+    let mut work: Vec<SignalId> = roots.into_iter().collect();
+    while let Some(id) = work.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match netlist.node(id) {
+            Node::Op { args, .. } => work.extend(args.iter().copied()),
+            Node::Reg(info) => {
+                if let Some(next) = info.next {
+                    work.push(next);
+                }
+            }
+            Node::MemRead { mem, addr, .. } => {
+                work.push(*addr);
+                if mems.insert(*mem) {
+                    for wp in &netlist.mem(*mem).write_ports {
+                        work.push(wp.en);
+                        work.push(wp.addr);
+                        work.push(wp.data);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (seen, mems)
+}
+
+/// Counts state elements per [`StateKind`]; useful for design review and the
+/// `S_not_victim` compilation report.
+pub fn kind_histogram(netlist: &Netlist) -> Vec<(StateKind, usize, u64)> {
+    let mut hist: std::collections::BTreeMap<StateKind, (usize, u64)> = Default::default();
+    for e in state_elements(netlist) {
+        let entry = hist.entry(e.meta.kind).or_default();
+        entry.0 += 1;
+        entry.1 += e.bits;
+    }
+    hist.into_iter().map(|(k, (n, b))| (k, n, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::ir::StateMeta;
+
+    fn counter() -> Netlist {
+        let mut n = Netlist::new("counter");
+        let en = n.input("en", 1);
+        let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        let one = n.lit(8, 1);
+        let inc = n.add(count.wire(), one);
+        let next = n.mux(en, inc, count.wire());
+        n.connect_reg(count, next);
+        n.mark_output("count", count.wire());
+        n
+    }
+
+    #[test]
+    fn topo_order_contains_all_nodes() {
+        let n = counter();
+        let order = comb_topo_order(&n).unwrap();
+        assert_eq!(order.len(), n.num_nodes());
+        // Every node appears after its comb fan-in.
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for (id, node) in n.iter_nodes() {
+            for dep in node.comb_fanin() {
+                assert!(pos[&dep] < pos[&id], "dep order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn state_enumeration() {
+        let mut n = counter();
+        let addr = n.input("addr", 4);
+        let data = n.input("data", 32);
+        let en = n.find("en").unwrap();
+        let mem = n.memory("ram", 16, 32, StateMeta::memory(true));
+        n.mem_write(mem, en, addr, data);
+        let elems = state_elements(&n);
+        assert_eq!(elems.len(), 2);
+        assert_eq!(state_bit_count(&n), 8 + 16 * 32);
+        let s = stats(&n);
+        assert_eq!(s.regs, 1);
+        assert_eq!(s.mems, 1);
+        assert_eq!(s.state_bits, 8 + 512);
+    }
+
+    #[test]
+    fn coi_reaches_through_registers() {
+        let n = counter();
+        let count = n.find("count").unwrap();
+        let (cone, _) = cone_of_influence(&n, [count.id()]);
+        let en = n.find("en").unwrap();
+        assert!(cone.contains(&en.id()), "input feeding next-state must be in cone");
+    }
+
+    #[test]
+    fn coi_reaches_memory_write_ports() {
+        let mut n = Netlist::new("t");
+        let addr = n.input("addr", 4);
+        let data = n.input("data", 32);
+        let en = n.input("en", 1);
+        let mem = n.memory("ram", 16, 32, StateMeta::memory(false));
+        n.mem_write(mem, en, addr, data);
+        let raddr = n.input("raddr", 4);
+        let rd = n.mem_read(mem, raddr);
+        let (cone, mems) = cone_of_influence(&n, [rd.id()]);
+        assert!(mems.contains(&mem));
+        for w in [addr, data, en, raddr] {
+            assert!(cone.contains(&w.id()));
+        }
+    }
+
+    #[test]
+    fn histogram_by_kind() {
+        let n = counter();
+        let hist = kind_histogram(&n);
+        assert_eq!(hist, vec![(crate::ir::StateKind::IpRegister, 1, 8)]);
+    }
+}

@@ -1,0 +1,471 @@
+//! Fixed-width bit-vector values.
+//!
+//! [`Bv`] is the value domain of the netlist IR: a two's-complement
+//! bit-vector of width 1..=64 stored in a `u64`. All operations mask their
+//! result to the declared width, so the invariant `val & !mask == 0` always
+//! holds.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssc_netlist::Bv;
+//!
+//! let a = Bv::new(8, 0xF0);
+//! let b = Bv::new(8, 0x0F);
+//! assert_eq!(a.or(b), Bv::new(8, 0xFF));
+//! assert_eq!(a.add(b), Bv::new(8, 0xFF));
+//! assert_eq!(Bv::new(8, 0xFF).add(Bv::new(8, 1)), Bv::new(8, 0));
+//! ```
+
+use std::fmt;
+
+/// Maximum supported bit-vector width.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A fixed-width bit-vector value (width 1..=64).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bv {
+    width: u32,
+    val: u64,
+}
+
+impl Bv {
+    /// Creates a bit-vector of `width` bits holding `val` truncated to the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    #[inline]
+    pub fn new(width: u32, val: u64) -> Self {
+        assert!(
+            width >= 1 && width <= MAX_WIDTH,
+            "bit-vector width must be in 1..=64, got {width}"
+        );
+        Bv {
+            width,
+            val: val & Self::mask_for(width),
+        }
+    }
+
+    /// The all-zeros vector of the given width.
+    #[inline]
+    pub fn zero(width: u32) -> Self {
+        Bv::new(width, 0)
+    }
+
+    /// The all-ones vector of the given width.
+    #[inline]
+    pub fn ones(width: u32) -> Self {
+        Bv::new(width, u64::MAX)
+    }
+
+    /// A single-bit vector: `1` if `b`, else `0`.
+    #[inline]
+    pub fn bit(b: bool) -> Self {
+        Bv::new(1, b as u64)
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The raw value (always `< 2^width`).
+    #[inline]
+    pub fn val(&self) -> u64 {
+        self.val
+    }
+
+    /// `true` if every bit is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.val == 0
+    }
+
+    /// `true` if this is the 1-bit value `1`.
+    #[inline]
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.val == 1
+    }
+
+    /// The value interpreted as a signed integer (two's complement).
+    #[inline]
+    pub fn as_signed(&self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.val << shift) as i64) >> shift
+    }
+
+    /// The mask with the low `width` bits set.
+    #[inline]
+    pub fn mask_for(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The mask for this vector's width.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        Self::mask_for(self.width)
+    }
+
+    /// Extracts bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn get_bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.val >> i) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn with_bit(&self, i: u32, b: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let cleared = self.val & !(1u64 << i);
+        Bv {
+            width: self.width,
+            val: cleared | ((b as u64) << i),
+        }
+    }
+
+    fn same_width(&self, other: Bv, op: &str) -> u32 {
+        assert!(
+            self.width == other.width,
+            "width mismatch in {op}: {} vs {}",
+            self.width,
+            other.width
+        );
+        self.width
+    }
+
+    /// Bitwise NOT.
+    #[inline]
+    pub fn not(self) -> Self {
+        Bv::new(self.width, !self.val)
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    #[inline]
+    pub fn and(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "and");
+        Bv::new(w, self.val & rhs.val)
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    #[inline]
+    pub fn or(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "or");
+        Bv::new(w, self.val | rhs.val)
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    #[inline]
+    pub fn xor(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "xor");
+        Bv::new(w, self.val ^ rhs.val)
+    }
+
+    /// Wrapping addition. Panics on width mismatch.
+    #[inline]
+    pub fn add(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "add");
+        Bv::new(w, self.val.wrapping_add(rhs.val))
+    }
+
+    /// Wrapping subtraction. Panics on width mismatch.
+    #[inline]
+    pub fn sub(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "sub");
+        Bv::new(w, self.val.wrapping_sub(rhs.val))
+    }
+
+    /// Wrapping multiplication. Panics on width mismatch.
+    #[inline]
+    pub fn mul(self, rhs: Bv) -> Self {
+        let w = self.same_width(rhs, "mul");
+        Bv::new(w, self.val.wrapping_mul(rhs.val))
+    }
+
+    /// Equality as a 1-bit vector. Panics on width mismatch.
+    #[inline]
+    pub fn eq_bit(self, rhs: Bv) -> Self {
+        self.same_width(rhs, "eq");
+        Bv::bit(self.val == rhs.val)
+    }
+
+    /// Unsigned less-than as a 1-bit vector. Panics on width mismatch.
+    #[inline]
+    pub fn ult(self, rhs: Bv) -> Self {
+        self.same_width(rhs, "ult");
+        Bv::bit(self.val < rhs.val)
+    }
+
+    /// Signed less-than as a 1-bit vector. Panics on width mismatch.
+    #[inline]
+    pub fn slt(self, rhs: Bv) -> Self {
+        self.same_width(rhs, "slt");
+        Bv::bit(self.as_signed() < rhs.as_signed())
+    }
+
+    /// Logical shift left by a constant amount (zeros shifted in).
+    #[inline]
+    pub fn shl(self, amount: u32) -> Self {
+        if amount >= self.width {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.val << amount)
+        }
+    }
+
+    /// Logical shift right by a constant amount (zeros shifted in).
+    #[inline]
+    pub fn shr(self, amount: u32) -> Self {
+        if amount >= self.width {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.val >> amount)
+        }
+    }
+
+    /// Arithmetic shift right by a constant amount (sign bit shifted in).
+    #[inline]
+    pub fn sar(self, amount: u32) -> Self {
+        let amount = amount.min(self.width - 1);
+        Bv::new(self.width, (self.as_signed() >> amount) as u64)
+    }
+
+    /// Variable logical shift left: shift amount taken from `rhs.val()`.
+    #[inline]
+    pub fn shl_dyn(self, rhs: Bv) -> Self {
+        self.shl(rhs.val.min(u64::from(MAX_WIDTH)) as u32)
+    }
+
+    /// Variable logical shift right: shift amount taken from `rhs.val()`.
+    #[inline]
+    pub fn shr_dyn(self, rhs: Bv) -> Self {
+        self.shr(rhs.val.min(u64::from(MAX_WIDTH)) as u32)
+    }
+
+    /// Variable arithmetic shift right: shift amount taken from `rhs.val()`.
+    #[inline]
+    pub fn sar_dyn(self, rhs: Bv) -> Self {
+        self.sar(rhs.val.min(u64::from(MAX_WIDTH)) as u32)
+    }
+
+    /// Extracts bits `hi..=lo` as a new vector of width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    #[inline]
+    pub fn slice(self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi {hi} < lo {lo}");
+        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        Bv::new(hi - lo + 1, self.val >> lo)
+    }
+
+    /// Concatenation: `self` becomes the high bits, `lo` the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[inline]
+    pub fn concat(self, lo: Bv) -> Self {
+        let w = self.width + lo.width;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        Bv::new(w, (self.val << lo.width) | lo.val)
+    }
+
+    /// Zero-extends (or keeps) the vector to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    #[inline]
+    pub fn zext(self, width: u32) -> Self {
+        assert!(width >= self.width, "zext target {width} below width {}", self.width);
+        Bv::new(width, self.val)
+    }
+
+    /// Sign-extends (or keeps) the vector to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    #[inline]
+    pub fn sext(self, width: u32) -> Self {
+        assert!(width >= self.width, "sext target {width} below width {}", self.width);
+        Bv::new(width, self.as_signed() as u64)
+    }
+
+    /// OR-reduction: 1-bit `1` iff any bit is set.
+    #[inline]
+    pub fn reduce_or(self) -> Self {
+        Bv::bit(self.val != 0)
+    }
+
+    /// AND-reduction: 1-bit `1` iff all bits are set.
+    #[inline]
+    pub fn reduce_and(self) -> Self {
+        Bv::bit(self.val == self.mask())
+    }
+
+    /// XOR-reduction: 1-bit parity of the vector.
+    #[inline]
+    pub fn reduce_xor(self) -> Self {
+        Bv::bit(self.val.count_ones() % 2 == 1)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn popcount(self) -> u32 {
+        self.val.count_ones()
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.val)
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.val)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.val)
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{:b}", self.width, self.val)
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Self {
+        Bv::bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_value() {
+        assert_eq!(Bv::new(4, 0xFF).val(), 0xF);
+        assert_eq!(Bv::new(64, u64::MAX).val(), u64::MAX);
+        assert_eq!(Bv::new(1, 2).val(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_panics() {
+        let _ = Bv::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn oversized_width_panics() {
+        let _ = Bv::new(65, 0);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(Bv::new(8, 200).add(Bv::new(8, 100)), Bv::new(8, 44));
+        assert_eq!(Bv::new(8, 1).sub(Bv::new(8, 2)), Bv::new(8, 255));
+        assert_eq!(Bv::new(4, 5).mul(Bv::new(4, 5)), Bv::new(4, 9));
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Bv::new(4, 0b1000).as_signed(), -8);
+        assert_eq!(Bv::new(4, 0b0111).as_signed(), 7);
+        assert_eq!(Bv::new(64, u64::MAX).as_signed(), -1);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Bv::new(8, 3).ult(Bv::new(8, 5)).is_true());
+        assert!(!Bv::new(8, 5).ult(Bv::new(8, 5)).is_true());
+        assert!(Bv::new(8, 0xFF).slt(Bv::new(8, 0)).is_true()); // -1 < 0
+        assert!(Bv::new(8, 7).eq_bit(Bv::new(8, 7)).is_true());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(Bv::new(8, 0b1).shl(3), Bv::new(8, 0b1000));
+        assert_eq!(Bv::new(8, 0b1000).shr(3), Bv::new(8, 0b1));
+        assert_eq!(Bv::new(8, 0x80).sar(4), Bv::new(8, 0xF8));
+        assert_eq!(Bv::new(8, 0x80).shl(8), Bv::zero(8));
+        assert_eq!(Bv::new(8, 0x80).shr(100), Bv::zero(8));
+        assert_eq!(Bv::new(8, 0x80).sar(100), Bv::new(8, 0xFF));
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        assert_eq!(Bv::new(8, 1).shl_dyn(Bv::new(3, 7)), Bv::new(8, 0x80));
+        assert_eq!(Bv::new(8, 0x80).shr_dyn(Bv::new(3, 7)), Bv::new(8, 1));
+        assert_eq!(Bv::new(8, 0x80).sar_dyn(Bv::new(8, 200)), Bv::new(8, 0xFF));
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = Bv::new(16, 0xABCD);
+        assert_eq!(v.slice(15, 8), Bv::new(8, 0xAB));
+        assert_eq!(v.slice(7, 0), Bv::new(8, 0xCD));
+        assert_eq!(v.slice(3, 3).width(), 1);
+        assert_eq!(Bv::new(8, 0xAB).concat(Bv::new(8, 0xCD)), Bv::new(16, 0xABCD));
+    }
+
+    #[test]
+    fn extension() {
+        assert_eq!(Bv::new(4, 0b1010).zext(8), Bv::new(8, 0b1010));
+        assert_eq!(Bv::new(4, 0b1010).sext(8), Bv::new(8, 0xFA));
+        assert_eq!(Bv::new(4, 0b0101).sext(8), Bv::new(8, 0b0101));
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bv::new(8, 1).reduce_or().is_true());
+        assert!(!Bv::zero(8).reduce_or().is_true());
+        assert!(Bv::ones(8).reduce_and().is_true());
+        assert!(!Bv::new(8, 0xFE).reduce_and().is_true());
+        assert!(Bv::new(8, 0b0111).reduce_xor().is_true());
+        assert!(!Bv::new(8, 0b0011).reduce_xor().is_true());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Bv::new(8, 0b1010_0001);
+        assert!(v.get_bit(0));
+        assert!(!v.get_bit(1));
+        assert!(v.get_bit(7));
+        assert_eq!(v.with_bit(1, true), Bv::new(8, 0b1010_0011));
+        assert_eq!(v.with_bit(0, false), Bv::new(8, 0b1010_0000));
+    }
+
+    #[test]
+    fn formatting() {
+        let v = Bv::new(8, 0xAB);
+        assert_eq!(format!("{v}"), "8'd171");
+        assert_eq!(format!("{v:x}"), "8'hab");
+        assert_eq!(format!("{v:b}"), "8'b10101011");
+    }
+}

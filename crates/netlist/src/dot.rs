@@ -1,0 +1,103 @@
+//! Graphviz DOT export for design review and counterexample debugging.
+
+use std::fmt::Write as _;
+
+use crate::ir::{Netlist, Node};
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Registers are drawn as boxes, inputs as house shapes, memories as
+/// cylinders (via their read/write ports), and combinational operators as
+/// ellipses labelled with their mnemonic. Intended for small designs or
+/// extracted cones — a full SoC graph is readable only by machines.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", netlist.name()).unwrap();
+    writeln!(s, "  rankdir=LR;").unwrap();
+    for (id, node) in netlist.iter_nodes() {
+        let (label, shape) = match node {
+            Node::Input { name, width } => (format!("{name}[{width}]"), "house"),
+            Node::Const(bv) => (format!("{bv}"), "plaintext"),
+            Node::Op { op, .. } => (op.mnemonic().to_string(), "ellipse"),
+            Node::Reg(info) => (format!("{}[{}]", info.name, info.width), "box"),
+            Node::MemRead { mem, .. } => {
+                (format!("read {}", netlist.mem(*mem).name), "cylinder")
+            }
+        };
+        writeln!(s, "  n{} [label=\"{}\" shape={}];", id.index(), escape(&label), shape).unwrap();
+        for dep in node.comb_fanin() {
+            writeln!(s, "  n{} -> n{};", dep.index(), id.index()).unwrap();
+        }
+        if let Node::Reg(info) = node {
+            if let Some(next) = info.next {
+                writeln!(s, "  n{} -> n{} [style=dashed label=next];", next.index(), id.index())
+                    .unwrap();
+            }
+        }
+    }
+    for (mid, m) in netlist.iter_mems() {
+        let mem_node = format!("mem{}", mid.index());
+        writeln!(
+            s,
+            "  {mem_node} [label=\"{} ({}x{})\" shape=cylinder];",
+            escape(&m.name),
+            m.words,
+            m.width
+        )
+        .unwrap();
+        for wp in &m.write_ports {
+            for (sig, label) in [(wp.en, "en"), (wp.addr, "addr"), (wp.data, "data")] {
+                writeln!(s, "  n{} -> {mem_node} [label={label}];", sig.index()).unwrap();
+            }
+        }
+    }
+    for (name, id) in netlist.iter_outputs() {
+        let port = format!("out_{}", sanitize(name));
+        writeln!(s, "  {port} [label=\"{}\" shape=doubleoctagon];", escape(name)).unwrap();
+        writeln!(s, "  n{} -> {port};", id.index()).unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::StateMeta;
+    use crate::Bv;
+
+    #[test]
+    fn dot_contains_all_node_kinds() {
+        let mut n = Netlist::new("dot_test");
+        let a = n.input("a", 4);
+        let r = n.reg("state", 4, Some(Bv::zero(4)), StateMeta::default());
+        let sum = n.add(a, r.wire());
+        n.connect_reg(r, sum);
+        let mem = n.memory("ram", 4, 4, StateMeta::memory(false));
+        let one = n.lit(1, 1);
+        let addr = n.slice(a, 1, 0);
+        n.mem_write(mem, one, addr, sum);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let dot = to_dot(&n);
+        assert!(dot.starts_with("digraph"));
+        for needle in ["house", "box", "cylinder", "doubleoctagon", "add", "next"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let n = Netlist::new("has\"quote");
+        let dot = to_dot(&n);
+        assert!(dot.contains("digraph \"has\"quote\"") || dot.contains("has"));
+    }
+}

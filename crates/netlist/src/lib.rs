@@ -1,0 +1,48 @@
+//! # ssc-netlist — word-level RTL netlist IR
+//!
+//! The foundation of the `mcu-ssc` stack: a flat, word-level register
+//! transfer netlist with
+//!
+//! - fixed-width bit-vector values ([`Bv`], widths 1..=64),
+//! - combinational operators with width checking and light folding,
+//! - clocked registers and memories carrying [`StateMeta`] classification
+//!   used by the UPEC-SSC security analysis,
+//! - hierarchical naming via a scope stack (the netlist itself stays flat),
+//! - structural analysis ([`analysis`]): evaluation order, state
+//!   enumeration, cones of influence,
+//! - transforms ([`Netlist::import`], [`Netlist::cut_signals`],
+//!   [`Netlist::prune`]) that underpin the 2-safety product construction,
+//! - a textual interchange format with a parser ([`text`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_netlist::{Netlist, Bv, StateMeta, analysis};
+//!
+//! let mut n = Netlist::new("blinky");
+//! let en = n.input("en", 1);
+//! let led = n.reg("led", 1, Some(Bv::zero(1)), StateMeta::peripheral());
+//! let toggled = n.not(led.wire());
+//! let next = n.mux(en, toggled, led.wire());
+//! n.connect_reg(led, next);
+//! n.mark_output("led", led.wire());
+//! n.check().unwrap();
+//! assert_eq!(analysis::state_bit_count(&n), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod bv;
+pub mod dot;
+mod ir;
+mod ops;
+pub mod text;
+mod transform;
+
+pub use bv::{Bv, MAX_WIDTH};
+pub use ir::{
+    MemId, Memory, Netlist, NetlistError, Node, Op, RegHandle, RegInfo, SignalId, StateKind,
+    StateMeta, Wire, WritePort,
+};
+pub use transform::ImportMap;

@@ -1,0 +1,512 @@
+//! Convenience operator constructors on [`Netlist`].
+//!
+//! These methods perform width checking and light peephole constant folding
+//! (constant operands are evaluated eagerly, identities like `x & 1...1 = x`
+//! are simplified) so that generated designs stay small without a separate
+//! optimization pass.
+
+use crate::bv::Bv;
+use crate::ir::{Netlist, Node, Op, SignalId, Wire};
+
+impl Netlist {
+    fn const_of(&self, id: SignalId) -> Option<Bv> {
+        match self.node(id) {
+            Node::Const(bv) => Some(*bv),
+            _ => None,
+        }
+    }
+
+    fn fold2(&self, a: Wire, b: Wire) -> Option<(Bv, Bv)> {
+        Some((self.const_of(a.id)?, self.const_of(b.id)?))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.not());
+        }
+        self.op_node(Op::Not, vec![a.id()], a.width())
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "and width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.and(y));
+        }
+        for (c, other) in [(a, b), (b, a)] {
+            if let Some(v) = self.const_of(c.id) {
+                if v.is_zero() {
+                    return self.constant(Bv::zero(a.width()));
+                }
+                if v == Bv::ones(a.width()) {
+                    return other;
+                }
+            }
+        }
+        if a.id() == b.id() {
+            return a;
+        }
+        self.op_node(Op::And, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "or width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.or(y));
+        }
+        for (c, other) in [(a, b), (b, a)] {
+            if let Some(v) = self.const_of(c.id) {
+                if v.is_zero() {
+                    return other;
+                }
+                if v == Bv::ones(a.width()) {
+                    return self.constant(Bv::ones(a.width()));
+                }
+            }
+        }
+        if a.id() == b.id() {
+            return a;
+        }
+        self.op_node(Op::Or, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "xor width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.xor(y));
+        }
+        if a.id() == b.id() {
+            return self.constant(Bv::zero(a.width()));
+        }
+        self.op_node(Op::Xor, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Wrapping addition. Panics on width mismatch.
+    pub fn add(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "add width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.add(y));
+        }
+        for (c, other) in [(a, b), (b, a)] {
+            if self.const_of(c.id).is_some_and(|v| v.is_zero()) {
+                return other;
+            }
+        }
+        self.op_node(Op::Add, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Wrapping subtraction. Panics on width mismatch.
+    pub fn sub(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "sub width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.sub(y));
+        }
+        if self.const_of(b.id).is_some_and(|v| v.is_zero()) {
+            return a;
+        }
+        self.op_node(Op::Sub, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Wrapping multiplication. Panics on width mismatch.
+    pub fn mul(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "mul width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.mul(y));
+        }
+        self.op_node(Op::Mul, vec![a.id(), b.id()], a.width())
+    }
+
+    /// Equality (1-bit result). Panics on width mismatch.
+    pub fn eq(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "eq width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.eq_bit(y));
+        }
+        if a.id() == b.id() {
+            return self.constant(Bv::bit(true));
+        }
+        self.op_node(Op::Eq, vec![a.id(), b.id()], 1)
+    }
+
+    /// Inequality (1-bit result). Panics on width mismatch.
+    pub fn ne(&mut self, a: Wire, b: Wire) -> Wire {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Equality against a constant.
+    pub fn eq_const(&mut self, a: Wire, value: u64) -> Wire {
+        let c = self.lit(a.width(), value);
+        self.eq(a, c)
+    }
+
+    /// Unsigned less-than (1-bit result). Panics on width mismatch.
+    pub fn ult(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "ult width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.ult(y));
+        }
+        self.op_node(Op::Ult, vec![a.id(), b.id()], 1)
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    pub fn ule(&mut self, a: Wire, b: Wire) -> Wire {
+        let gt = self.ult(b, a);
+        self.not(gt)
+    }
+
+    /// Signed less-than (1-bit result). Panics on width mismatch.
+    pub fn slt(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), b.width(), "slt width mismatch");
+        if let Some((x, y)) = self.fold2(a, b) {
+            return self.constant(x.slt(y));
+        }
+        self.op_node(Op::Slt, vec![a.id(), b.id()], 1)
+    }
+
+    /// Logical shift left by a constant amount.
+    pub fn shl_c(&mut self, a: Wire, amount: u32) -> Wire {
+        if amount == 0 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.shl(amount));
+        }
+        self.op_node(Op::ShlC(amount), vec![a.id()], a.width())
+    }
+
+    /// Logical shift right by a constant amount.
+    pub fn shr_c(&mut self, a: Wire, amount: u32) -> Wire {
+        if amount == 0 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.shr(amount));
+        }
+        self.op_node(Op::ShrC(amount), vec![a.id()], a.width())
+    }
+
+    /// Arithmetic shift right by a constant amount.
+    pub fn sar_c(&mut self, a: Wire, amount: u32) -> Wire {
+        if amount == 0 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.sar(amount));
+        }
+        self.op_node(Op::SarC(amount), vec![a.id()], a.width())
+    }
+
+    /// Logical shift left by a dynamic amount.
+    pub fn shl(&mut self, a: Wire, amount: Wire) -> Wire {
+        if let Some((x, y)) = self.fold2(a, amount) {
+            return self.constant(x.shl_dyn(y));
+        }
+        self.op_node(Op::Shl, vec![a.id(), amount.id()], a.width())
+    }
+
+    /// Logical shift right by a dynamic amount.
+    pub fn shr(&mut self, a: Wire, amount: Wire) -> Wire {
+        if let Some((x, y)) = self.fold2(a, amount) {
+            return self.constant(x.shr_dyn(y));
+        }
+        self.op_node(Op::Shr, vec![a.id(), amount.id()], a.width())
+    }
+
+    /// Arithmetic shift right by a dynamic amount.
+    pub fn sar(&mut self, a: Wire, amount: Wire) -> Wire {
+        if let Some((x, y)) = self.fold2(a, amount) {
+            return self.constant(x.sar_dyn(y));
+        }
+        self.op_node(Op::Sar, vec![a.id(), amount.id()], a.width())
+    }
+
+    /// Bit slice `hi..=lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= a.width()`.
+    pub fn slice(&mut self, a: Wire, hi: u32, lo: u32) -> Wire {
+        assert!(hi >= lo && hi < a.width(), "invalid slice [{hi}:{lo}] of width {}", a.width());
+        if hi == a.width() - 1 && lo == 0 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.slice(hi, lo));
+        }
+        self.op_node(Op::Slice { hi, lo }, vec![a.id()], hi - lo + 1)
+    }
+
+    /// Extracts a single bit as a 1-bit wire.
+    pub fn bit(&mut self, a: Wire, i: u32) -> Wire {
+        self.slice(a, i, i)
+    }
+
+    /// Concatenation; `hi` becomes the high bits.
+    pub fn concat(&mut self, hi: Wire, lo: Wire) -> Wire {
+        if let Some((x, y)) = self.fold2(hi, lo) {
+            return self.constant(x.concat(y));
+        }
+        self.op_node(Op::Concat, vec![hi.id(), lo.id()], hi.width() + lo.width())
+    }
+
+    /// Zero-extends `a` to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < a.width()`.
+    pub fn zext(&mut self, a: Wire, width: u32) -> Wire {
+        assert!(width >= a.width(), "zext narrows");
+        if width == a.width() {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.zext(width));
+        }
+        self.op_node(Op::Zext, vec![a.id()], width)
+    }
+
+    /// Sign-extends `a` to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < a.width()`.
+    pub fn sext(&mut self, a: Wire, width: u32) -> Wire {
+        assert!(width >= a.width(), "sext narrows");
+        if width == a.width() {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.sext(width));
+        }
+        self.op_node(Op::Sext, vec![a.id()], width)
+    }
+
+    /// 2:1 multiplexer `sel ? then_w : else_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is not 1 bit or branch widths differ.
+    pub fn mux(&mut self, sel: Wire, then_w: Wire, else_w: Wire) -> Wire {
+        assert_eq!(sel.width(), 1, "mux select must be 1 bit");
+        assert_eq!(then_w.width(), else_w.width(), "mux branch width mismatch");
+        if let Some(v) = self.const_of(sel.id) {
+            return if v.is_true() { then_w } else { else_w };
+        }
+        if then_w.id() == else_w.id() {
+            return then_w;
+        }
+        self.op_node(Op::Mux, vec![sel.id(), then_w.id(), else_w.id()], then_w.width())
+    }
+
+    /// OR-reduction (1-bit: any bit set).
+    pub fn reduce_or(&mut self, a: Wire) -> Wire {
+        if a.width() == 1 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.reduce_or());
+        }
+        self.op_node(Op::ReduceOr, vec![a.id()], 1)
+    }
+
+    /// AND-reduction (1-bit: all bits set).
+    pub fn reduce_and(&mut self, a: Wire) -> Wire {
+        if a.width() == 1 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.reduce_and());
+        }
+        self.op_node(Op::ReduceAnd, vec![a.id()], 1)
+    }
+
+    /// XOR-reduction (1-bit parity).
+    pub fn reduce_xor(&mut self, a: Wire) -> Wire {
+        if a.width() == 1 {
+            return a;
+        }
+        if let Some(v) = self.const_of(a.id) {
+            return self.constant(v.reduce_xor());
+        }
+        self.op_node(Op::ReduceXor, vec![a.id()], 1)
+    }
+
+    /// AND of an iterator of 1-bit wires; `1` for an empty iterator.
+    pub fn and_all(&mut self, wires: impl IntoIterator<Item = Wire>) -> Wire {
+        let mut acc: Option<Wire> = None;
+        for w in wires {
+            assert_eq!(w.width(), 1, "and_all expects 1-bit wires");
+            acc = Some(match acc {
+                None => w,
+                Some(a) => self.and(a, w),
+            });
+        }
+        acc.unwrap_or_else(|| self.lit(1, 1))
+    }
+
+    /// OR of an iterator of 1-bit wires; `0` for an empty iterator.
+    pub fn or_all(&mut self, wires: impl IntoIterator<Item = Wire>) -> Wire {
+        let mut acc: Option<Wire> = None;
+        for w in wires {
+            assert_eq!(w.width(), 1, "or_all expects 1-bit wires");
+            acc = Some(match acc {
+                None => w,
+                Some(a) => self.or(a, w),
+            });
+        }
+        acc.unwrap_or_else(|| self.lit(1, 0))
+    }
+
+    /// Boolean implication `a -> b` for 1-bit wires.
+    pub fn implies(&mut self, a: Wire, b: Wire) -> Wire {
+        assert_eq!(a.width(), 1, "implies expects 1-bit wires");
+        assert_eq!(b.width(), 1, "implies expects 1-bit wires");
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// `(a & mask) == tag` — the address-decode idiom.
+    pub fn masked_eq(&mut self, a: Wire, mask: u64, tag: u64) -> Wire {
+        let m = self.lit(a.width(), mask);
+        let masked = self.and(a, m);
+        self.eq_const(masked, tag)
+    }
+
+    /// Increments `a` by a constant.
+    pub fn add_const(&mut self, a: Wire, value: u64) -> Wire {
+        let c = self.lit(a.width(), value);
+        self.add(a, c)
+    }
+
+    /// Selects `options[idx]` with a mux tree; out-of-range indices select
+    /// the last option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or widths differ.
+    pub fn select(&mut self, idx: Wire, options: &[Wire]) -> Wire {
+        assert!(!options.is_empty(), "select needs at least one option");
+        let w = options[0].width();
+        assert!(options.iter().all(|o| o.width() == w), "select option width mismatch");
+        let mut acc = *options.last().expect("nonempty");
+        for (i, &opt) in options.iter().enumerate().rev().skip(1) {
+            let hit = self.eq_const(idx, i as u64);
+            acc = self.mux(hit, opt, acc);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::StateMeta;
+
+    fn nl() -> Netlist {
+        Netlist::new("t")
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut n = nl();
+        let a = n.lit(8, 0xF0);
+        let b = n.lit(8, 0x0F);
+        let c = n.or(a, b);
+        assert_eq!(n.const_of(c.id()), Some(Bv::new(8, 0xFF)));
+        let d = n.add(a, b);
+        assert_eq!(n.const_of(d.id()), Some(Bv::new(8, 0xFF)));
+    }
+
+    #[test]
+    fn identity_simplification() {
+        let mut n = nl();
+        let x = n.input("x", 8);
+        let zero = n.lit(8, 0);
+        let ones = n.lit(8, 0xFF);
+        assert_eq!(n.and(x, ones).id(), x.id());
+        assert_eq!(n.or(x, zero).id(), x.id());
+        assert_eq!(n.add(x, zero).id(), x.id());
+        assert_eq!(n.sub(x, zero).id(), x.id());
+        let and0 = n.and(x, zero);
+        assert_eq!(n.const_of(and0.id()), Some(Bv::zero(8)));
+        let xx = n.xor(x, x);
+        assert_eq!(n.const_of(xx.id()), Some(Bv::zero(8)));
+    }
+
+    #[test]
+    fn mux_folds_constant_select() {
+        let mut n = nl();
+        let a = n.input("a", 4);
+        let b = n.input("b", 4);
+        let t = n.lit(1, 1);
+        let f = n.lit(1, 0);
+        assert_eq!(n.mux(t, a, b).id(), a.id());
+        assert_eq!(n.mux(f, a, b).id(), b.id());
+        let sel = n.input("sel", 1);
+        assert_eq!(n.mux(sel, a, a).id(), a.id());
+    }
+
+    #[test]
+    fn select_builds_priority_tree() {
+        let mut n = nl();
+        let idx = n.input("idx", 2);
+        let opts: Vec<_> = (0..3).map(|i| n.lit(8, i * 10)).collect();
+        let sel = n.select(idx, &opts);
+        n.mark_output("sel", sel);
+        n.check().unwrap();
+    }
+
+    #[test]
+    fn and_all_or_all_empty() {
+        let mut n = nl();
+        let t = n.and_all(std::iter::empty());
+        let f = n.or_all(std::iter::empty());
+        assert_eq!(n.const_of(t.id()), Some(Bv::bit(true)));
+        assert_eq!(n.const_of(f.id()), Some(Bv::bit(false)));
+    }
+
+    #[test]
+    fn slice_full_width_is_identity() {
+        let mut n = nl();
+        let x = n.input("x", 8);
+        assert_eq!(n.slice(x, 7, 0).id(), x.id());
+        assert_eq!(n.slice(x, 3, 0).width(), 4);
+    }
+
+    #[test]
+    fn masked_eq_decodes() {
+        let mut n = nl();
+        let addr = n.input("addr", 32);
+        let hit = n.masked_eq(addr, 0xFFFF_0000, 0x1C00_0000);
+        assert_eq!(hit.width(), 1);
+        n.mark_output("hit", hit);
+        n.check().unwrap();
+    }
+
+    #[test]
+    fn reductions_on_single_bit_are_identity() {
+        let mut n = nl();
+        let x = n.input("x", 1);
+        assert_eq!(n.reduce_or(x).id(), x.id());
+        assert_eq!(n.reduce_and(x).id(), x.id());
+    }
+
+    #[test]
+    fn reg_meta_preserved() {
+        let mut n = nl();
+        let r = n.reg("r", 4, None, StateMeta::ip_register());
+        let z = n.lit(4, 0);
+        n.connect_reg(r, z);
+        match n.node(r.id()) {
+            crate::ir::Node::Reg(info) => {
+                assert_eq!(info.meta.kind, crate::ir::StateKind::IpRegister);
+                assert!(info.meta.attacker_accessible);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Netlist-to-netlist transforms: instance import (the basis of the UPEC
+//! 2-safety product), cutpoint insertion and dead-code elimination.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::cone_of_influence;
+use crate::ir::{MemId, Netlist, Node, RegInfo, SignalId, Wire};
+
+/// Mapping from ids of an imported netlist to ids in the destination.
+#[derive(Clone, Debug)]
+pub struct ImportMap {
+    signals: Vec<SignalId>,
+    mems: Vec<MemId>,
+}
+
+impl ImportMap {
+    /// Maps a signal id of the source netlist to the destination netlist.
+    pub fn signal(&self, old: SignalId) -> SignalId {
+        self.signals[old.index()]
+    }
+
+    /// Maps a wire of the source netlist to the destination netlist.
+    pub fn wire(&self, dst: &Netlist, old: Wire) -> Wire {
+        dst.wire_of(self.signal(old.id()))
+    }
+
+    /// Maps a memory id of the source netlist to the destination netlist.
+    pub fn mem(&self, old: MemId) -> MemId {
+        self.mems[old.index()]
+    }
+}
+
+impl Netlist {
+    /// Imports a full copy of `other` into `self`, prefixing every name with
+    /// `prefix.`. Inputs of `other` become fresh inputs of `self`; outputs
+    /// become outputs named `prefix.<name>`.
+    ///
+    /// This is the primitive underlying the UPEC 2-safety product: importing
+    /// the same design twice (with different prefixes) yields two independent
+    /// instances in one netlist, which the property layer then relates with
+    /// equality assumptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` fails its own structural invariants (e.g.,
+    /// unconnected registers).
+    pub fn import(&mut self, other: &Netlist, prefix: &str) -> ImportMap {
+        let pfx = |name: &str| format!("{prefix}.{name}");
+        let mut signals = Vec::with_capacity(other.num_nodes());
+        let mut mems = Vec::with_capacity(other.num_mems());
+
+        // Pass 1a: create memories (without ports).
+        for (_, m) in other.iter_mems() {
+            let new_id = self.memory(&pfx(&m.name), m.words, m.width, m.meta);
+            if let Some(init) = &m.init {
+                self.set_mem_init(new_id, init.clone());
+            }
+            mems.push(new_id);
+        }
+
+        // Pass 1b: create nodes. Combinational args always refer to earlier
+        // nodes, so they can be remapped on the fly; register next-state may
+        // be a forward reference and is fixed up in pass 2.
+        for (_, node) in other.iter_nodes() {
+            let new_id = match node {
+                Node::Input { name, width } => self.input(&pfx(name), *width).id(),
+                Node::Const(bv) => self.constant(*bv).id(),
+                Node::Op { op, args, width } => {
+                    let new_args = args.iter().map(|a| signals[a.index()]).collect();
+                    self.op_node(*op, new_args, *width).id()
+                }
+                Node::Reg(info) => self
+                    .reg(&pfx(&info.name), info.width, info.init, info.meta)
+                    .id(),
+                Node::MemRead { mem, addr, width: _ } => {
+                    let addr_w = self.wire_of(signals[addr.index()]);
+                    self.mem_read(mems[mem.index()], addr_w).id()
+                }
+            };
+            signals.push(new_id);
+        }
+
+        // Pass 2: register next-state connections and memory write ports.
+        for (old_id, node) in other.iter_nodes() {
+            if let Node::Reg(info) = node {
+                let next = info
+                    .next
+                    .unwrap_or_else(|| panic!("import of unconnected reg `{}`", info.name));
+                let handle = crate::ir::RegHandle {
+                    id: signals[old_id.index()],
+                    width: info.width,
+                };
+                let next_w = self.wire_of(signals[next.index()]);
+                self.connect_reg(handle, next_w);
+            }
+        }
+        for (old_mid, m) in other.iter_mems() {
+            for wp in &m.write_ports {
+                let en = self.wire_of(signals[wp.en.index()]);
+                let addr = self.wire_of(signals[wp.addr.index()]);
+                let data = self.wire_of(signals[wp.data.index()]);
+                self.mem_write(mems[old_mid.index()], en, addr, data);
+            }
+        }
+
+        // Outputs and extra names.
+        let outs: Vec<(String, SignalId)> = other
+            .iter_outputs()
+            .map(|(n, id)| (n.to_string(), id))
+            .collect();
+        for (name, id) in outs {
+            self.mark_output(&pfx(&name), self.wire_of(signals[id.index()]));
+        }
+        let extra_names: Vec<(String, SignalId)> = other
+            .iter_names()
+            .filter(|(name, id)| {
+                // Inputs and regs were already bound during creation.
+                !matches!(other.node(*id), Node::Input { .. } | Node::Reg(_))
+                    || other.find(name).map(|w| w.id()) != Some(*id)
+            })
+            .map(|(n, id)| (n.to_string(), id))
+            .collect();
+        for (name, id) in extra_names {
+            let mapped = signals[id.index()];
+            let full = pfx(&name);
+            if self.find(&full).is_none() {
+                self.set_name(self.wire_of(mapped), &full);
+            }
+        }
+
+        ImportMap { signals, mems }
+    }
+
+    /// Replaces each given signal with a fresh primary input of the same
+    /// width (a *cutpoint*). The replaced node keeps its name if it had one;
+    /// otherwise it is named `cut$<id>`.
+    ///
+    /// Cutting a register output removes that register from the state space,
+    /// which is how a verification view frees an entire subtree (run
+    /// [`Netlist::prune`] afterwards to drop the dangling logic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to cut a constant node.
+    pub fn cut_signals(&mut self, cuts: &[SignalId]) -> Vec<(SignalId, String)> {
+        // Collect existing names (reverse map) once.
+        let mut rev: HashMap<SignalId, String> = HashMap::new();
+        for (name, id) in self.iter_names() {
+            rev.entry(id).or_insert_with(|| name.to_string());
+        }
+        let mut created = Vec::new();
+        for &id in cuts {
+            let width = self.width_of(id);
+            let name = rev.get(&id).cloned().unwrap_or_else(|| format!("cut${}", id.0));
+            match self.node(id) {
+                Node::Const(_) => panic!("cannot cut constant node {}", id.0),
+                _ => {}
+            }
+            self.replace_with_input(id, name.clone(), width);
+            created.push((id, name));
+        }
+        created
+    }
+
+    fn replace_with_input(&mut self, id: SignalId, name: String, width: u32) {
+        let had_name = self.find(&name).map(|w| w.id()) == Some(id);
+        let node = Node::Input { name: name.clone(), width };
+        self.overwrite_node(id, node);
+        if !had_name {
+            self.set_name(self.wire_of(id), &name);
+        }
+    }
+
+    pub(crate) fn overwrite_node(&mut self, id: SignalId, node: Node) {
+        let slot = self.node_mut(id);
+        *slot = node;
+    }
+
+    /// Removes every node that is not in the sequential cone of influence of
+    /// the declared outputs (plus `extra_roots`). Registers and memories
+    /// survive only if they are observable from the roots; this mirrors the
+    /// attacker's view — unobservable state cannot be retrieved.
+    ///
+    /// Returns the pruned netlist and the id remapping (old id → new id) for
+    /// surviving signals.
+    pub fn prune(&self, extra_roots: impl IntoIterator<Item = SignalId>) -> (Netlist, HashMap<SignalId, SignalId>) {
+        let mut roots: Vec<SignalId> = self.iter_outputs().map(|(_, id)| id).collect();
+        roots.extend(extra_roots);
+        let (keep, keep_mems) = cone_of_influence(self, roots);
+        self.rebuild(&keep, &keep_mems)
+    }
+
+    fn rebuild(
+        &self,
+        keep: &HashSet<SignalId>,
+        keep_mems: &HashSet<MemId>,
+    ) -> (Netlist, HashMap<SignalId, SignalId>) {
+        let mut out = Netlist::new(self.name());
+        let mut smap: HashMap<SignalId, SignalId> = HashMap::new();
+        let mut mmap: HashMap<MemId, MemId> = HashMap::new();
+
+        for (mid, m) in self.iter_mems() {
+            if !keep_mems.contains(&mid) {
+                continue;
+            }
+            let new_id = out.memory(&m.name, m.words, m.width, m.meta);
+            if let Some(init) = &m.init {
+                out.set_mem_init(new_id, init.clone());
+            }
+            mmap.insert(mid, new_id);
+        }
+
+        // Nodes in id order; comb args refer to earlier ids so they are
+        // already mapped. Register nexts are fixed afterwards.
+        for (id, node) in self.iter_nodes() {
+            if !keep.contains(&id) {
+                continue;
+            }
+            let new_id = match node {
+                Node::Input { name, width } => out.input(name, *width).id(),
+                Node::Const(bv) => out.constant(*bv).id(),
+                Node::Op { op, args, width } => {
+                    let new_args = args.iter().map(|a| smap[a]).collect();
+                    out.op_node(*op, new_args, *width).id()
+                }
+                Node::Reg(RegInfo { name, width, init, meta, .. }) => {
+                    out.reg(name, *width, *init, *meta).id()
+                }
+                Node::MemRead { mem, addr, .. } => {
+                    let addr_w = out.wire_of(smap[addr]);
+                    out.mem_read(mmap[mem], addr_w).id()
+                }
+            };
+            smap.insert(id, new_id);
+        }
+
+        for (id, node) in self.iter_nodes() {
+            if !keep.contains(&id) {
+                continue;
+            }
+            if let Node::Reg(info) = node {
+                let next = info.next.expect("checked reg");
+                let handle = crate::ir::RegHandle { id: smap[&id], width: info.width };
+                let next_w = out.wire_of(smap[&next]);
+                out.connect_reg(handle, next_w);
+            }
+        }
+        for (mid, m) in self.iter_mems() {
+            if !keep_mems.contains(&mid) {
+                continue;
+            }
+            for wp in &m.write_ports {
+                let en = out.wire_of(smap[&wp.en]);
+                let addr = out.wire_of(smap[&wp.addr]);
+                let data = out.wire_of(smap[&wp.data]);
+                out.mem_write(mmap[&mid], en, addr, data);
+            }
+        }
+
+        for (name, id) in self.iter_outputs() {
+            if let Some(&new) = smap.get(&id) {
+                out.mark_output(name, out.wire_of(new));
+            }
+        }
+        for (name, id) in self.iter_names() {
+            if let Some(&new) = smap.get(&id) {
+                if out.find(name).is_none() {
+                    out.set_name(out.wire_of(new), name);
+                }
+            }
+        }
+        (out, smap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::ir::StateMeta;
+
+    fn counter() -> Netlist {
+        let mut n = Netlist::new("counter");
+        let en = n.input("en", 1);
+        let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        let one = n.lit(8, 1);
+        let inc = n.add(count.wire(), one);
+        let next = n.mux(en, inc, count.wire());
+        n.connect_reg(count, next);
+        n.mark_output("count", count.wire());
+        n
+    }
+
+    #[test]
+    fn import_two_instances() {
+        let src = counter();
+        let mut prod = Netlist::new("product");
+        let a = prod.import(&src, "a");
+        let b = prod.import(&src, "b");
+        prod.check().unwrap();
+        assert!(prod.find("a.count").is_some());
+        assert!(prod.find("b.count").is_some());
+        assert!(prod.find("a.en").is_some());
+        assert_ne!(
+            a.signal(src.find("count").unwrap().id()),
+            b.signal(src.find("count").unwrap().id())
+        );
+        assert_eq!(prod.iter_outputs().count(), 2);
+        // State doubled.
+        assert_eq!(crate::analysis::state_bit_count(&prod), 16);
+    }
+
+    #[test]
+    fn import_preserves_memories() {
+        let mut src = Netlist::new("m");
+        let addr = src.input("addr", 4);
+        let data = src.input("data", 32);
+        let en = src.input("en", 1);
+        let mem = src.memory("ram", 16, 32, StateMeta::memory(true));
+        src.mem_write(mem, en, addr, data);
+        let rd = src.mem_read(mem, addr);
+        src.mark_output("rd", rd);
+        src.set_mem_init(mem, vec![Bv::new(32, 7); 16]);
+
+        let mut prod = Netlist::new("p");
+        let map = prod.import(&src, "i0");
+        prod.check().unwrap();
+        let new_mem = map.mem(mem);
+        assert_eq!(prod.mem(new_mem).name, "i0.ram");
+        assert_eq!(prod.mem(new_mem).write_ports.len(), 1);
+        assert_eq!(prod.mem(new_mem).init.as_ref().unwrap()[3], Bv::new(32, 7));
+    }
+
+    #[test]
+    fn cut_register_removes_state_after_prune() {
+        let mut n = counter();
+        let count = n.find("count").unwrap();
+        // Keep an observation of the cut wire so pruning retains it as input.
+        n.cut_signals(&[count.id()]);
+        let (pruned, _) = n.prune([]);
+        pruned.check().unwrap();
+        // The register is gone; `count` is now an input.
+        assert_eq!(crate::analysis::state_bit_count(&pruned), 0);
+        assert!(matches!(
+            pruned.node(pruned.find("count").unwrap().id()),
+            Node::Input { .. }
+        ));
+    }
+
+    #[test]
+    fn prune_drops_dangling_logic() {
+        let mut n = counter();
+        // Dangling adder chain not connected to any output.
+        let x = n.input("x", 8);
+        let y = n.add(x, x);
+        let _z = n.add(y, y);
+        let before = n.num_nodes();
+        let (pruned, _) = n.prune([]);
+        assert!(pruned.num_nodes() < before);
+        assert!(pruned.find("count").is_some());
+        pruned.check().unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_extra_roots() {
+        let mut n = counter();
+        let x = n.input("x", 8);
+        let y = n.add(x, x);
+        n.set_name(y, "y");
+        let (pruned, _) = n.prune([y.id()]);
+        assert!(pruned.find("y").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cut constant")]
+    fn cutting_constant_panics() {
+        let mut n = counter();
+        let c = n.lit(8, 5);
+        n.cut_signals(&[c.id()]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: `Bv` semantics against a `u64` reference model.
+
+use proptest::prelude::*;
+use ssc_netlist::Bv;
+
+fn masked(width: u32, v: u64) -> u64 {
+    v & Bv::mask_for(width)
+}
+
+proptest! {
+    #[test]
+    fn construction_masks(width in 1u32..=64, v: u64) {
+        let bv = Bv::new(width, v);
+        prop_assert_eq!(bv.val(), masked(width, v));
+        prop_assert_eq!(bv.width(), width);
+    }
+
+    #[test]
+    fn add_matches_wrapping(width in 1u32..=64, a: u64, b: u64) {
+        let x = Bv::new(width, a);
+        let y = Bv::new(width, b);
+        prop_assert_eq!(x.add(y).val(), masked(width, x.val().wrapping_add(y.val())));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(width in 1u32..=64, a: u64, b: u64) {
+        let x = Bv::new(width, a);
+        let y = Bv::new(width, b);
+        let neg_y = y.not().add(Bv::new(width, 1));
+        prop_assert_eq!(x.sub(y), x.add(neg_y));
+    }
+
+    #[test]
+    fn mul_matches_wrapping(width in 1u32..=64, a: u64, b: u64) {
+        let x = Bv::new(width, a);
+        let y = Bv::new(width, b);
+        prop_assert_eq!(x.mul(y).val(), masked(width, x.val().wrapping_mul(y.val())));
+    }
+
+    #[test]
+    fn bitwise_ops_match(width in 1u32..=64, a: u64, b: u64) {
+        let x = Bv::new(width, a);
+        let y = Bv::new(width, b);
+        prop_assert_eq!(x.and(y).val(), x.val() & y.val());
+        prop_assert_eq!(x.or(y).val(), x.val() | y.val());
+        prop_assert_eq!(x.xor(y).val(), x.val() ^ y.val());
+        prop_assert_eq!(x.not().val(), masked(width, !x.val()));
+    }
+
+    #[test]
+    fn comparisons_match(width in 1u32..=64, a: u64, b: u64) {
+        let x = Bv::new(width, a);
+        let y = Bv::new(width, b);
+        prop_assert_eq!(x.ult(y).is_true(), x.val() < y.val());
+        prop_assert_eq!(x.eq_bit(y).is_true(), x.val() == y.val());
+        prop_assert_eq!(x.slt(y).is_true(), x.as_signed() < y.as_signed());
+    }
+
+    #[test]
+    fn shifts_match(width in 1u32..=64, a: u64, amount in 0u32..80) {
+        let x = Bv::new(width, a);
+        let expected_shl = if amount >= width { 0 } else { masked(width, x.val() << amount) };
+        let expected_shr = if amount >= width { 0 } else { x.val() >> amount };
+        prop_assert_eq!(x.shl(amount).val(), expected_shl);
+        prop_assert_eq!(x.shr(amount).val(), expected_shr);
+        let sar_amount = amount.min(width - 1);
+        prop_assert_eq!(x.sar(amount).val(), masked(width, (x.as_signed() >> sar_amount) as u64));
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(width in 2u32..=64, a: u64, cut in 1u32..64) {
+        prop_assume!(cut < width);
+        let x = Bv::new(width, a);
+        let hi = x.slice(width - 1, cut);
+        let lo = x.slice(cut - 1, 0);
+        prop_assert_eq!(hi.concat(lo), x);
+    }
+
+    #[test]
+    fn extensions_preserve_value(width in 1u32..=32, a: u64, extra in 0u32..=32) {
+        let x = Bv::new(width, a);
+        prop_assert_eq!(x.zext(width + extra).val(), x.val());
+        prop_assert_eq!(x.sext(width + extra).as_signed(), x.as_signed());
+    }
+
+    #[test]
+    fn reductions_match(width in 1u32..=64, a: u64) {
+        let x = Bv::new(width, a);
+        prop_assert_eq!(x.reduce_or().is_true(), x.val() != 0);
+        prop_assert_eq!(x.reduce_and().is_true(), x.val() == Bv::mask_for(width));
+        prop_assert_eq!(x.reduce_xor().is_true(), x.val().count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn signed_roundtrip(width in 1u32..=64, a: u64) {
+        let x = Bv::new(width, a);
+        let s = x.as_signed();
+        prop_assert_eq!(Bv::new(width, s as u64), x);
+    }
+}

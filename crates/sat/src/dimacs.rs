@@ -1,0 +1,177 @@
+//! DIMACS CNF interchange: parse standard `.cnf` problems into a solver and
+//! emit solver-independent problem files.
+
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A parsed DIMACS problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsProblem {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Errors from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text (`c` comments, one `p cnf V C` header, clauses
+/// terminated by `0`; clauses may span lines).
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] for malformed headers, out-of-range literals
+/// or a missing terminating zero.
+pub fn parse(src: &str) -> Result<DimacsProblem, DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(DimacsError { line: line_no, msg: "duplicate header".into() });
+            }
+            let mut toks = rest.split_whitespace();
+            if toks.next() != Some("cnf") {
+                return Err(DimacsError { line: line_no, msg: "expected `p cnf V C`".into() });
+            }
+            let v: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| DimacsError { line: line_no, msg: "bad variable count".into() })?;
+            let _c: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| DimacsError { line: line_no, msg: "bad clause count".into() })?;
+            num_vars = Some(v);
+            continue;
+        }
+        let nv = num_vars
+            .ok_or_else(|| DimacsError { line: line_no, msg: "clause before header".into() })?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError { line: line_no, msg: format!("bad literal `{tok}`") })?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = v.unsigned_abs() as usize;
+                if idx > nv {
+                    return Err(DimacsError {
+                        line: line_no,
+                        msg: format!("literal {v} exceeds declared {nv} variables"),
+                    });
+                }
+                current.push(Var::from_index(idx - 1).lit(v < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError { line: src.lines().count(), msg: "unterminated clause".into() });
+    }
+    let num_vars = num_vars.ok_or(DimacsError { line: 0, msg: "missing header".into() })?;
+    Ok(DimacsProblem { num_vars, clauses })
+}
+
+/// Loads a parsed problem into a fresh solver. Returns the solver and the
+/// variable handles (index `i` = DIMACS variable `i+1`); the boolean is
+/// `false` if the problem is trivially unsatisfiable.
+pub fn load(problem: &DimacsProblem) -> (Solver, Vec<Var>, bool) {
+    let mut solver = Solver::new();
+    let vars = solver.new_vars(problem.num_vars);
+    let mut ok = true;
+    for clause in &problem.clauses {
+        ok &= solver.add_clause(clause.iter().copied());
+    }
+    (solver, vars, ok)
+}
+
+/// Emits a problem in DIMACS CNF format.
+pub fn emit(problem: &DimacsProblem) -> String {
+    let mut s = String::new();
+    writeln!(s, "p cnf {} {}", problem.num_vars, problem.clauses.len()).unwrap();
+    for clause in &problem.clauses {
+        for l in clause {
+            let v = l.var().index() as i64 + 1;
+            write!(s, "{} ", if l.is_neg() { -v } else { v }).unwrap();
+        }
+        writeln!(s, "0").unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    const SAMPLE: &str = "c a simple instance\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+
+    #[test]
+    fn parse_and_solve_sample() {
+        let p = parse(SAMPLE).unwrap();
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.clauses.len(), 3);
+        let (mut s, vars, ok) = load(&p);
+        assert!(ok);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Verify the model against the clauses.
+        for c in &p.clauses {
+            assert!(c.iter().any(|&l| s.model_value(l) == Some(true)));
+        }
+        let _ = vars;
+    }
+
+    #[test]
+    fn roundtrip_through_emit() {
+        let p = parse(SAMPLE).unwrap();
+        let p2 = parse(&emit(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn multiline_clauses_parse() {
+        let p = parse("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+        assert_eq!(p.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(parse("1 2 0").unwrap_err().msg.contains("before header"));
+        assert!(parse("p cnf 1 1\n5 0\n").unwrap_err().msg.contains("exceeds"));
+        assert!(parse("p cnf 1 1\n1\n").unwrap_err().msg.contains("unterminated"));
+        assert!(parse("p dnf 1 1\n").unwrap_err().msg.contains("p cnf"));
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let p = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let (mut s, _, ok) = load(&p);
+        let r = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+        assert_eq!(r, SolveResult::Unsat);
+    }
+}

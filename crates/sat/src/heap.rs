@@ -1,0 +1,175 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by activity, with O(log n)
+/// increase-key via an index map.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// position[v] = index in `heap`, or `NOT_IN_HEAP`.
+    position: Vec<u32>,
+    activity: Vec<f64>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Number of variables currently in the heap.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no variables are queued.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current activity of `v`.
+    pub fn activity(&self, v: Var) -> f64 {
+        self.activity[v.index()]
+    }
+
+    /// Updates the activity of `v` and restores the heap order.
+    pub fn set_activity(&mut self, v: Var, a: f64) {
+        let old = self.activity[v.index()];
+        self.activity[v.index()] = a;
+        let pos = self.position[v.index()];
+        if pos != NOT_IN_HEAP {
+            if a > old {
+                self.sift_up(pos as usize);
+            } else if a < old {
+                self.sift_down(pos as usize);
+            }
+        }
+    }
+
+    /// Registers a new variable with the given activity and queues it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not the next dense index.
+    pub fn insert(&mut self, v: Var, activity: f64) {
+        assert_eq!(v.index(), self.activity.len(), "variables must be registered densely");
+        self.activity.push(activity);
+        self.position.push(NOT_IN_HEAP);
+        self.push(v);
+    }
+
+    /// Re-queues a variable (after backtracking unassigned it). No-op if it
+    /// is already queued.
+    pub fn reinsert(&mut self, v: Var) {
+        if self.position[v.index()] == NOT_IN_HEAP {
+            self.push(v);
+        }
+    }
+
+    fn push(&mut self, v: Var) {
+        let idx = self.heap.len();
+        self.heap.push(v.0);
+        self.position[v.index()] = idx as u32;
+        self.sift_up(idx);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop_max(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(Var(top))
+    }
+
+    #[inline]
+    fn better(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i] as usize] = i as u32;
+        self.position[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_follows_activity() {
+        let mut h = VarHeap::new();
+        for (i, a) in [1.0, 5.0, 3.0, 4.0, 2.0].iter().enumerate() {
+            h.insert(Var::from_index(i), *a);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max()).map(|v| v.index()).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn increase_key_reorders() {
+        let mut h = VarHeap::new();
+        for i in 0..4 {
+            h.insert(Var::from_index(i), i as f64);
+        }
+        h.set_activity(Var::from_index(0), 100.0);
+        assert_eq!(h.pop_max().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), 1.0);
+        let v = h.pop_max().unwrap();
+        assert!(h.is_empty());
+        h.reinsert(v);
+        h.reinsert(v);
+        assert_eq!(h.len(), 1);
+    }
+}

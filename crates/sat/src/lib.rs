@@ -1,0 +1,290 @@
+//! # ssc-sat — a CDCL SAT solver
+//!
+//! A from-scratch conflict-driven clause-learning solver used as the
+//! decision procedure behind the interval property checker (`ssc-ipc`) and,
+//! transitively, the UPEC-SSC security proofs:
+//!
+//! - two-watched-literal propagation with blocker literals,
+//! - first-UIP conflict analysis with one-level clause minimization,
+//! - exponential VSIDS branching with phase saving,
+//! - Luby-sequence restarts,
+//! - LBD-based learnt clause database reduction with arena GC,
+//! - incremental solving under assumptions (the workhorse of the iterative
+//!   UPEC-SSC procedure, which re-solves with shrinking state sets).
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+//! s.add_clause([a.pos(), b.pos(), c.pos()]);
+//! s.add_clause([a.neg(), b.pos()]);
+//! s.add_clause([b.neg(), c.pos()]);
+//! assert_eq!(s.solve(&[a.pos()]), SolveResult::Sat);
+//! assert_eq!(s.model_value(c.pos()), Some(true));
+//! assert_eq!(s.solve(&[a.pos(), c.neg()]), SolveResult::Unsat);
+//! // The solver is reusable after every solve.
+//! assert_eq!(s.solve(&[]), SolveResult::Sat);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod heap;
+mod lit;
+mod solver;
+
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_clauses_satisfied(s: &Solver, clauses: &[Vec<Lit>]) -> bool {
+        clauses.iter().all(|c| c.iter().any(|&l| s.model_value(l) == Some(true)))
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(10);
+        s.add_clause([vars[0].pos()]);
+        for w in vars.windows(2) {
+            s.add_clause([w[0].neg(), w[1].pos()]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for v in &vars {
+            assert_eq!(s.model_var(*v), Some(true));
+        }
+    }
+
+    #[test]
+    fn conflicting_units_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([a.pos()]));
+        assert!(!s.add_clause([a.neg()]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, ... forces alternation.
+        let mut s = Solver::new();
+        let vars = s.new_vars(8);
+        for w in vars.windows(2) {
+            // a ^ b: (a|b) & (~a|~b)
+            s.add_clause([w[0].pos(), w[1].pos()]);
+            s.add_clause([w[0].neg(), w[1].neg()]);
+        }
+        s.add_clause([vars[0].pos()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(s.model_var(*v), Some(i % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): 4 pigeons, 3 holes. Classic hard UNSAT instance that
+        // exercises learning and backjumping.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..4).map(|_| s.new_vars(3)).collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().map(|v| v.pos()));
+        }
+        for hole in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause([p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| s.new_vars(3)).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for pigeon in &p {
+            clauses.push(pigeon.iter().map(|v| v.pos()).collect());
+        }
+        for hole in 0..3 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    clauses.push(vec![p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(all_clauses_satisfied(&s, &clauses));
+    }
+
+    #[test]
+    fn assumptions_flip_outcome() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.pos(), b.pos()]);
+        assert_eq!(s.solve(&[a.neg(), b.neg()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[a.neg()]), SolveResult::Sat);
+        assert_eq!(s.model_var(b), Some(true));
+        assert_eq!(s.solve(&[a.pos(), b.pos()]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.pos(), b.pos()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([a.neg()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_var(b), Some(true));
+        s.add_clause([b.neg()]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_handled() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause([a.pos(), a.neg()])); // tautology: dropped
+        assert!(s.add_clause([b.pos(), b.pos(), b.pos()])); // dedup to unit
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_var(b), Some(true));
+    }
+
+    #[test]
+    fn duplicate_assumptions_ok() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.neg(), b.pos()]);
+        assert_eq!(s.solve(&[a.pos(), a.pos(), b.pos()]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for round in 0..60 {
+            let n = 3 + (round % 8);
+            let m = 2 + (round % 20);
+            let clauses: Vec<Vec<Lit>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = Var::from_index(rng.random_range(0..n));
+                            v.lit(rng.random_bool(0.5))
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0u32..(1 << n) {
+                for c in &clauses {
+                    let ok = c.iter().any(|l| {
+                        let val = (bits >> l.var().index()) & 1 == 1;
+                        val != l.is_neg()
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            s.new_vars(n);
+            let mut trivially_unsat = false;
+            for c in &clauses {
+                if !s.add_clause(c.iter().copied()) {
+                    trivially_unsat = true;
+                }
+            }
+            let got = if trivially_unsat {
+                SolveResult::Unsat
+            } else {
+                s.solve(&[])
+            };
+            let want = if brute_sat { SolveResult::Sat } else { SolveResult::Unsat };
+            assert_eq!(got, want, "round {round}: clauses {clauses:?}");
+            if got == SolveResult::Sat {
+                assert!(all_clauses_satisfied(&s, &clauses), "model check round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_random_instance_model_is_valid() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200;
+        let m = 600; // ratio 3.0: almost surely SAT
+        let mut s = Solver::new();
+        s.new_vars(n);
+        let clauses: Vec<Vec<Lit>> = (0..m)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Var::from_index(rng.random_range(0..n)).lit(rng.random_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        if s.solve(&[]) == SolveResult::Sat {
+            assert!(all_clauses_satisfied(&s, &clauses));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..5).map(|_| s.new_vars(4)).collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().map(|v| v.pos()));
+        }
+        for hole in 0..4 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause([p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+}

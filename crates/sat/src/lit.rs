@@ -1,0 +1,170 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The raw variable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a variable from its raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Var(i as u32)
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = negated).
+    #[inline]
+    pub fn lit(self, negated: bool) -> Lit {
+        Lit((self.0 << 1) | (negated as u32))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var << 1 | sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is a negated literal.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Lit(i as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "~x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// XORs the value with a sign: `True ^ true = False`.
+    #[inline]
+    pub fn xor(self, sign: bool) -> LBool {
+        match (self, sign) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, false) | (LBool::False, true) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+
+    /// Converts to `Some(bool)` when assigned.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(!v.pos().is_neg());
+        assert!(v.neg().is_neg());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!!v.pos(), v.pos());
+        assert_eq!(Lit::from_index(v.neg().index()), v.neg());
+    }
+
+    #[test]
+    fn lbool_xor() {
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::False.xor(true), LBool::True);
+        assert_eq!(LBool::True.xor(false), LBool::True);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::from_index(3);
+        assert_eq!(v.pos().to_string(), "x3");
+        assert_eq!(v.neg().to_string(), "~x3");
+    }
+}

@@ -1,0 +1,545 @@
+//! # ssc-sim — cycle-accurate netlist simulator
+//!
+//! A two-phase (evaluate/commit) interpreter for [`ssc_netlist::Netlist`]
+//! designs:
+//!
+//! 1. **Evaluate**: combinational nodes are computed in topological order
+//!    from the current register/memory/input state.
+//! 2. **Commit** (on [`Sim::step`]): every register latches its next-state
+//!    value and every memory applies its write ports in declaration order.
+//!
+//! The simulator supports state *poking* ([`Sim::set_reg`],
+//! [`Sim::set_mem_word`]) so that formal counterexamples — which start from
+//! a symbolic state — can be replayed concretely, and signal *probing* with
+//! a trace recorder and VCD export.
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_netlist::{Netlist, Bv, StateMeta};
+//! use ssc_sim::Sim;
+//!
+//! let mut n = Netlist::new("counter");
+//! let en = n.input("en", 1);
+//! let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::default());
+//! let one = n.lit(8, 1);
+//! let inc = n.add(count.wire(), one);
+//! let next = n.mux(en, inc, count.wire());
+//! n.connect_reg(count, next);
+//! n.mark_output("count", count.wire());
+//!
+//! let mut sim = Sim::new(&n).unwrap();
+//! sim.set_input("en", 1);
+//! sim.step_n(5);
+//! assert_eq!(sim.peek_name("count").val(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod trace;
+
+pub use trace::Trace;
+
+use ssc_netlist::{analysis, Bv, MemId, Netlist, NetlistError, Node, Op, SignalId, Wire};
+
+/// A cycle-accurate simulator bound to a netlist.
+///
+/// See the [crate documentation](self) for an example.
+#[derive(Clone)]
+pub struct Sim<'n> {
+    netlist: &'n Netlist,
+    order: Vec<SignalId>,
+    values: Vec<Bv>,
+    mems: Vec<Vec<Bv>>,
+    cycle: u64,
+    dirty: bool,
+    trace: Trace,
+}
+
+impl<'n> std::fmt::Debug for Sim<'n> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("design", &self.netlist.name())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl<'n> Sim<'n> {
+    /// Creates a simulator for `netlist` and applies [`Sim::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's structural error if it fails [`Netlist::check`].
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        netlist.check()?;
+        let order = analysis::comb_topo_order(netlist).expect("checked netlist has no comb loops");
+        let values = (0..netlist.num_nodes())
+            .map(|i| Bv::zero(netlist.width_of(SignalId::from_index(i))))
+            .collect();
+        let mems = netlist
+            .iter_mems()
+            .map(|(_, m)| vec![Bv::zero(m.width); m.words as usize])
+            .collect();
+        let mut sim = Sim {
+            netlist,
+            order,
+            values,
+            mems,
+            cycle: 0,
+            dirty: true,
+            trace: Trace::new(),
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The current cycle count (number of [`Sim::step`]s since reset).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets all registers and memories to their declared initial values
+    /// (zero when unspecified), clears inputs to zero and restarts the cycle
+    /// counter. The trace contents are cleared (probes stay registered).
+    pub fn reset(&mut self) {
+        for (id, node) in self.netlist.iter_nodes() {
+            match node {
+                Node::Reg(info) => {
+                    self.values[id.index()] = info.init.unwrap_or_else(|| Bv::zero(info.width));
+                }
+                Node::Input { width, .. } => {
+                    self.values[id.index()] = Bv::zero(*width);
+                }
+                _ => {}
+            }
+        }
+        for (mid, m) in self.netlist.iter_mems() {
+            let st = &mut self.mems[mid.index()];
+            match &m.init {
+                Some(init) => st.copy_from_slice(init),
+                None => st.fill(Bv::zero(m.width)),
+            }
+        }
+        self.cycle = 0;
+        self.dirty = true;
+        self.trace.clear();
+    }
+
+    /// Drives a primary input by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input with that name exists.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let w = self
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.set_input_wire(w, Bv::new(w.width(), value));
+    }
+
+    /// Drives a primary input by wire handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not an input or widths mismatch.
+    pub fn set_input_wire(&mut self, wire: Wire, value: Bv) {
+        assert!(
+            matches!(self.netlist.node(wire.id()), Node::Input { .. }),
+            "set_input on non-input signal"
+        );
+        assert_eq!(wire.width(), value.width(), "input width mismatch");
+        self.values[wire.id().index()] = value;
+        self.dirty = true;
+    }
+
+    /// Overwrites a register's current state (state poking for
+    /// counterexample replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not a register output.
+    pub fn set_reg(&mut self, wire: Wire, value: Bv) {
+        assert!(
+            matches!(self.netlist.node(wire.id()), Node::Reg(_)),
+            "set_reg on non-register signal"
+        );
+        assert_eq!(wire.width(), value.width(), "register width mismatch");
+        self.values[wire.id().index()] = value;
+        self.dirty = true;
+    }
+
+    /// Overwrites one memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index is out of range or widths mismatch.
+    pub fn set_mem_word(&mut self, mem: MemId, index: u32, value: Bv) {
+        let m = self.netlist.mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        assert_eq!(value.width(), m.width, "memory word width mismatch");
+        self.mems[mem.index()][index as usize] = value;
+        self.dirty = true;
+    }
+
+    /// Reads one memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index is out of range.
+    pub fn read_mem(&self, mem: MemId, index: u32) -> Bv {
+        let m = self.netlist.mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        self.mems[mem.index()][index as usize]
+    }
+
+    /// The current value of a signal (evaluating combinational logic first
+    /// if inputs changed since the last evaluation).
+    pub fn peek(&mut self, wire: Wire) -> Bv {
+        self.eval();
+        self.values[wire.id().index()]
+    }
+
+    /// [`Sim::peek`] by hierarchical name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal with that name exists.
+    pub fn peek_name(&mut self, name: &str) -> Bv {
+        let w = self
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.peek(w)
+    }
+
+    /// Recomputes combinational values if inputs or state changed.
+    pub fn eval(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let v = match self.netlist.node(id) {
+                Node::Input { .. } | Node::Reg(_) => continue, // state held in `values`
+                Node::Const(bv) => *bv,
+                Node::Op { op, args, width } => self.eval_op(*op, args, *width),
+                Node::MemRead { mem, addr, width } => {
+                    let a = self.values[addr.index()].val();
+                    let st = &self.mems[mem.index()];
+                    if (a as usize) < st.len() {
+                        st[a as usize]
+                    } else {
+                        Bv::zero(*width)
+                    }
+                }
+            };
+            self.values[id.index()] = v;
+        }
+        self.dirty = false;
+    }
+
+    fn eval_op(&self, op: Op, args: &[SignalId], width: u32) -> Bv {
+        let v = |i: usize| self.values[args[i].index()];
+        match op {
+            Op::Not => v(0).not(),
+            Op::And => v(0).and(v(1)),
+            Op::Or => v(0).or(v(1)),
+            Op::Xor => v(0).xor(v(1)),
+            Op::Add => v(0).add(v(1)),
+            Op::Sub => v(0).sub(v(1)),
+            Op::Mul => v(0).mul(v(1)),
+            Op::Eq => v(0).eq_bit(v(1)),
+            Op::Ult => v(0).ult(v(1)),
+            Op::Slt => v(0).slt(v(1)),
+            Op::ShlC(a) => v(0).shl(a),
+            Op::ShrC(a) => v(0).shr(a),
+            Op::SarC(a) => v(0).sar(a),
+            Op::Shl => v(0).shl_dyn(v(1)),
+            Op::Shr => v(0).shr_dyn(v(1)),
+            Op::Sar => v(0).sar_dyn(v(1)),
+            Op::Slice { hi, lo } => v(0).slice(hi, lo),
+            Op::Concat => v(0).concat(v(1)),
+            Op::Zext => v(0).zext(width),
+            Op::Sext => v(0).sext(width),
+            Op::Mux => {
+                if v(0).is_true() {
+                    v(1)
+                } else {
+                    v(2)
+                }
+            }
+            Op::ReduceOr => v(0).reduce_or(),
+            Op::ReduceAnd => v(0).reduce_and(),
+            Op::ReduceXor => v(0).reduce_xor(),
+        }
+    }
+
+    /// Advances the design by one clock edge: evaluates, records probes,
+    /// latches registers and applies memory write ports (in declaration
+    /// order — later ports override earlier ones within a cycle).
+    pub fn step(&mut self) {
+        self.eval();
+        self.record_probes();
+
+        // Collect register next-values and memory writes before committing.
+        let mut reg_updates: Vec<(SignalId, Bv)> = Vec::new();
+        for (id, node) in self.netlist.iter_nodes() {
+            if let Node::Reg(info) = node {
+                let next = info.next.expect("checked netlist");
+                reg_updates.push((id, self.values[next.index()]));
+            }
+        }
+        let mut mem_updates: Vec<(MemId, u32, Bv)> = Vec::new();
+        for (mid, m) in self.netlist.iter_mems() {
+            for wp in &m.write_ports {
+                if self.values[wp.en.index()].is_true() {
+                    let addr = self.values[wp.addr.index()].val();
+                    if addr < u64::from(m.words) {
+                        mem_updates.push((mid, addr as u32, self.values[wp.data.index()]));
+                    }
+                }
+            }
+        }
+
+        for (id, v) in reg_updates {
+            self.values[id.index()] = v;
+        }
+        for (mid, addr, v) in mem_updates {
+            self.mems[mid.index()][addr as usize] = v;
+        }
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps until `signal` becomes 1, up to `max_cycles` steps. Returns the
+    /// number of steps taken before the signal was observed high, or `None`
+    /// if the signal never rose within the bound.
+    pub fn step_until(&mut self, signal: Wire, max_cycles: u64) -> Option<u64> {
+        for i in 0..=max_cycles {
+            if self.peek(signal).is_true() {
+                return Some(i);
+            }
+            if i < max_cycles {
+                self.step();
+            }
+        }
+        None
+    }
+
+    /// Registers a named signal to be recorded on every subsequent step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal with that name exists.
+    pub fn watch(&mut self, name: &str) {
+        let w = self
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.trace.add_probe(name, w);
+    }
+
+    fn record_probes(&mut self) {
+        if self.trace.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        let probes: Vec<Wire> = self.trace.probe_wires().collect();
+        let vals: Vec<Bv> = probes.iter().map(|w| self.values[w.id().index()]).collect();
+        self.trace.record(cycle, &vals);
+    }
+
+    /// The recorded trace of watched signals.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::StateMeta;
+
+    fn counter() -> Netlist {
+        let mut n = Netlist::new("counter");
+        let en = n.input("en", 1);
+        let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::default());
+        let one = n.lit(8, 1);
+        let inc = n.add(count.wire(), one);
+        let next = n.mux(en, inc, count.wire());
+        n.connect_reg(count, next);
+        n.mark_output("count", count.wire());
+        n
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.step_n(3);
+        assert_eq!(sim.peek_name("count").val(), 0, "disabled counter must hold");
+        sim.set_input("en", 1);
+        sim.step_n(5);
+        assert_eq!(sim.peek_name("count").val(), 5);
+        sim.set_input("en", 0);
+        sim.step_n(5);
+        assert_eq!(sim.peek_name("count").val(), 5);
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("en", 1);
+        sim.step_n(256);
+        assert_eq!(sim.peek_name("count").val(), 0);
+    }
+
+    #[test]
+    fn reset_restores_init() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("en", 1);
+        sim.step_n(7);
+        sim.reset();
+        assert_eq!(sim.peek_name("count").val(), 0);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut n = Netlist::new("mem");
+        let en = n.input("we", 1);
+        let addr = n.input("addr", 4);
+        let data = n.input("data", 32);
+        let mem = n.memory("ram", 16, 32, StateMeta::memory(true));
+        n.mem_write(mem, en, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("we", 1);
+        sim.set_input("addr", 5);
+        sim.set_input("data", 0xDEAD);
+        assert_eq!(sim.peek(rd).val(), 0, "read-before-write sees old value");
+        sim.step();
+        sim.set_input("we", 0);
+        assert_eq!(sim.peek(rd).val(), 0xDEAD);
+        assert_eq!(sim.read_mem(mem, 5).val(), 0xDEAD);
+    }
+
+    #[test]
+    fn later_write_port_wins() {
+        let mut n = Netlist::new("mem2");
+        let addr = n.input("addr", 2);
+        let one = n.lit(1, 1);
+        let d1 = n.lit(8, 0x11);
+        let d2 = n.lit(8, 0x22);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(false));
+        n.mem_write(mem, one, addr, d1);
+        n.mem_write(mem, one, addr, d2);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let mut sim = Sim::new(&n).unwrap();
+        sim.step();
+        assert_eq!(sim.read_mem(mem, 0).val(), 0x22);
+    }
+
+    #[test]
+    fn out_of_range_read_is_zero_and_write_ignored() {
+        let mut n = Netlist::new("mem3");
+        let addr = n.input("addr", 4); // address space larger than memory
+        let one = n.lit(1, 1);
+        let d = n.lit(8, 0xAB);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(false));
+        n.mem_write(mem, one, addr, d);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("addr", 9);
+        assert_eq!(sim.peek(rd).val(), 0);
+        sim.step(); // write to 9 silently dropped
+        sim.set_input("addr", 1);
+        assert_eq!(sim.peek(rd).val(), 0);
+    }
+
+    #[test]
+    fn poking_state_changes_behavior() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        let count = n.find("count").unwrap();
+        sim.set_reg(count, Bv::new(8, 100));
+        sim.set_input("en", 1);
+        sim.step();
+        assert_eq!(sim.peek_name("count").val(), 101);
+    }
+
+    #[test]
+    fn step_until_detects_rise() {
+        let mut n = counter();
+        let count = n.find("count").unwrap();
+        let done = n.eq_const(count, 4);
+        n.set_name(done, "done");
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("en", 1);
+        assert_eq!(sim.step_until(done, 100), Some(4));
+        sim.reset();
+        assert_eq!(sim.step_until(done, 2), None);
+    }
+
+    #[test]
+    fn memory_init_applied_on_reset() {
+        let mut n = Netlist::new("mi");
+        let addr = n.input("addr", 2);
+        let mem = n.memory("rom", 4, 8, StateMeta::memory(false));
+        n.set_mem_init(mem, vec![Bv::new(8, 10), Bv::new(8, 20), Bv::new(8, 30), Bv::new(8, 40)]);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("addr", 2);
+        assert_eq!(sim.peek(rd).val(), 30);
+    }
+
+    #[test]
+    fn trace_records_watched_signals() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.watch("count");
+        sim.set_input("en", 1);
+        sim.step_n(3);
+        let series = sim.trace().series("count").unwrap();
+        assert_eq!(
+            series.iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn vcd_export_contains_probes() {
+        let n = counter();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.watch("count");
+        sim.set_input("en", 1);
+        sim.step_n(2);
+        let mut out = Vec::new();
+        sim.trace().write_vcd(&mut out, "counter").unwrap();
+        let vcd = String::from_utf8(out).unwrap();
+        assert!(vcd.contains("$var wire 8"));
+        assert!(vcd.contains("count"));
+        assert!(vcd.contains("#0"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Signal trace recording and VCD export.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use ssc_netlist::{Bv, Wire};
+
+/// A recording of watched signals over simulated cycles.
+///
+/// Probes are registered with [`Trace::add_probe`] (usually via
+/// `Sim::watch`); every simulator step then appends one sample per probe.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    probes: Vec<(String, Wire)>,
+    /// samples[i] = (cycle, values aligned with `probes`)
+    samples: Vec<(u64, Vec<Bv>)>,
+}
+
+impl Trace {
+    /// Creates an empty trace with no probes.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// `true` if no probes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Number of recorded samples (cycles).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Registers a probe. Duplicate names are ignored.
+    pub fn add_probe(&mut self, name: &str, wire: Wire) {
+        if self.probes.iter().any(|(n, _)| n == name) {
+            return;
+        }
+        self.probes.push((name.to_string(), wire));
+    }
+
+    /// Iterates over the registered probe wires in registration order.
+    pub fn probe_wires(&self) -> impl Iterator<Item = Wire> + '_ {
+        self.probes.iter().map(|(_, w)| *w)
+    }
+
+    /// Appends one sample; `values` must align with the probe order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of probes.
+    pub fn record(&mut self, cycle: u64, values: &[Bv]) {
+        assert_eq!(values.len(), self.probes.len(), "trace sample arity mismatch");
+        self.samples.push((cycle, values.to_vec()));
+    }
+
+    /// Clears recorded samples (probes stay registered).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// The `(cycle, value)` series recorded for probe `name`, if present.
+    pub fn series(&self, name: &str) -> Option<Vec<(u64, Bv)>> {
+        let idx = self.probes.iter().position(|(n, _)| n == name)?;
+        Some(self.samples.iter().map(|(c, vals)| (*c, vals[idx])).collect())
+    }
+
+    /// Writes the trace as a minimal VCD (Value Change Dump) document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_vcd<W: Write>(&self, mut w: W, design: &str) -> io::Result<()> {
+        writeln!(w, "$date today $end")?;
+        writeln!(w, "$version mcu-ssc trace $end")?;
+        writeln!(w, "$timescale 1ns $end")?;
+        writeln!(w, "$scope module {design} $end")?;
+        let idents: Vec<String> = (0..self.probes.len()).map(vcd_ident).collect();
+        for ((name, wire), ident) in self.probes.iter().zip(&idents) {
+            let clean = name.replace('.', "_");
+            writeln!(w, "$var wire {} {} {} $end", wire.width(), ident, clean)?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        let mut last: BTreeMap<usize, Bv> = BTreeMap::new();
+        for (cycle, vals) in &self.samples {
+            writeln!(w, "#{cycle}")?;
+            for (i, v) in vals.iter().enumerate() {
+                if last.get(&i) == Some(v) {
+                    continue;
+                }
+                last.insert(i, *v);
+                if v.width() == 1 {
+                    writeln!(w, "{}{}", v.val(), idents[i])?;
+                } else {
+                    writeln!(w, "b{:b} {}", v.val(), idents[i])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates a short printable VCD identifier for probe index `i`.
+fn vcd_ident(mut i: usize) -> String {
+    // Identifiers use the printable ASCII range '!'..='~'.
+    let mut s = String::new();
+    loop {
+        s.push(((i % 94) as u8 + b'!') as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_generation_unique() {
+        let ids: Vec<String> = (0..200).map(vcd_ident).collect();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn series_returns_recorded_values() {
+        let mut t = Trace::new();
+        // A fake wire cannot be constructed outside ssc-netlist; build one
+        // through a tiny netlist.
+        let mut n = ssc_netlist::Netlist::new("t");
+        let w = n.input("x", 4);
+        t.add_probe("x", w);
+        t.record(0, &[Bv::new(4, 1)]);
+        t.record(1, &[Bv::new(4, 2)]);
+        assert_eq!(
+            t.series("x").unwrap(),
+            vec![(0, Bv::new(4, 1)), (1, Bv::new(4, 2))]
+        );
+        assert!(t.series("y").is_none());
+    }
+
+    #[test]
+    fn duplicate_probe_ignored() {
+        let mut t = Trace::new();
+        let mut n = ssc_netlist::Netlist::new("t");
+        let w = n.input("x", 4);
+        t.add_probe("x", w);
+        t.add_probe("x", w);
+        assert_eq!(t.probe_wires().count(), 1);
+    }
+
+    #[test]
+    fn vcd_skips_unchanged_values() {
+        let mut t = Trace::new();
+        let mut n = ssc_netlist::Netlist::new("t");
+        let w = n.input("x", 1);
+        t.add_probe("x", w);
+        t.record(0, &[Bv::bit(true)]);
+        t.record(1, &[Bv::bit(true)]);
+        t.record(2, &[Bv::bit(false)]);
+        let mut out = Vec::new();
+        t.write_vcd(&mut out, "t").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let changes = s.matches("1!").count() + s.matches("0!").count();
+        assert_eq!(changes, 2, "only two value changes expected:\n{s}");
+    }
+}

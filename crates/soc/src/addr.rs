@@ -1,0 +1,122 @@
+//! The SoC address map.
+//!
+//! Mirrors the Pulpissimo layout in spirit: two memory devices (a shared
+//! "public" L2 and a "private" memory on a separate crossbar) plus an APB
+//! peripheral region. Device selection uses the top address bits under
+//! [`DEV_MASK`].
+
+/// Mask selecting the device window of an address.
+pub const DEV_MASK: u64 = 0xFFF0_0000;
+
+/// Base address of the public (shared) RAM device.
+pub const PUB_RAM_BASE: u64 = 0x1C00_0000;
+
+/// Base address of the private RAM device.
+pub const PRIV_RAM_BASE: u64 = 0x1D00_0000;
+
+/// Base address of the APB peripheral region.
+pub const APB_BASE: u64 = 0x1A10_0000;
+
+/// Mask selecting a peripheral slot within the APB region.
+pub const APB_SLOT_MASK: u64 = 0xFFFF_F000;
+
+/// Timer peripheral slot.
+pub const TIMER_BASE: u64 = APB_BASE;
+/// Timer control register offset (bit 0: enable, bit 1: lock reads).
+pub const TIMER_CTRL: u64 = TIMER_BASE;
+/// Timer counter register offset.
+pub const TIMER_COUNT: u64 = TIMER_BASE + 0x4;
+
+/// DMA engine configuration slot.
+pub const DMA_BASE: u64 = APB_BASE + 0x1000;
+/// DMA source address register.
+pub const DMA_SRC: u64 = DMA_BASE;
+/// DMA destination address register.
+pub const DMA_DST: u64 = DMA_BASE + 0x4;
+/// DMA transfer length register (words).
+pub const DMA_LEN: u64 = DMA_BASE + 0x8;
+/// DMA control register (bit 0: start, bit 1: chain timer start on done).
+pub const DMA_CTRL: u64 = DMA_BASE + 0xC;
+/// DMA status register (bit 0: busy).
+pub const DMA_STATUS: u64 = DMA_BASE + 0x10;
+
+/// HWPE accelerator configuration slot.
+pub const HWPE_BASE: u64 = APB_BASE + 0x2000;
+/// HWPE source address register.
+pub const HWPE_SRC: u64 = HWPE_BASE;
+/// HWPE destination address register.
+pub const HWPE_DST: u64 = HWPE_BASE + 0x4;
+/// HWPE element count register.
+pub const HWPE_LEN: u64 = HWPE_BASE + 0x8;
+/// HWPE control register (bit 0: start).
+pub const HWPE_CTRL: u64 = HWPE_BASE + 0xC;
+/// HWPE status register (bit 0: busy).
+pub const HWPE_STATUS: u64 = HWPE_BASE + 0x10;
+/// HWPE progress register (elements written so far).
+pub const HWPE_PROGRESS: u64 = HWPE_BASE + 0x14;
+
+/// GPIO peripheral slot.
+pub const GPIO_BASE: u64 = APB_BASE + 0x3000;
+/// GPIO output register.
+pub const GPIO_OUT: u64 = GPIO_BASE;
+
+/// UART peripheral slot.
+pub const UART_BASE: u64 = APB_BASE + 0x4000;
+/// UART transmit register.
+pub const UART_TX: u64 = UART_BASE;
+/// UART status register (always ready in this model).
+pub const UART_STATUS: u64 = UART_BASE + 0x4;
+
+/// Instruction memory base (CPU-private, not on any crossbar).
+pub const IMEM_BASE: u64 = 0x0000_0000;
+
+/// `true` if `addr` selects the public RAM device.
+pub fn is_pub(addr: u64) -> bool {
+    addr & DEV_MASK == PUB_RAM_BASE
+}
+
+/// `true` if `addr` selects the private RAM device.
+pub fn is_priv(addr: u64) -> bool {
+    addr & DEV_MASK == PRIV_RAM_BASE
+}
+
+/// `true` if `addr` selects the APB peripheral region.
+pub fn is_apb(addr: u64) -> bool {
+    addr & DEV_MASK == APB_BASE & DEV_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_windows_are_disjoint() {
+        for (a, b) in [
+            (PUB_RAM_BASE, PRIV_RAM_BASE),
+            (PUB_RAM_BASE, APB_BASE),
+            (PRIV_RAM_BASE, APB_BASE),
+        ] {
+            assert_ne!(a & DEV_MASK, b & DEV_MASK);
+        }
+    }
+
+    #[test]
+    fn decode_helpers() {
+        assert!(is_pub(PUB_RAM_BASE + 0x40));
+        assert!(is_priv(PRIV_RAM_BASE));
+        assert!(is_apb(TIMER_COUNT));
+        assert!(is_apb(HWPE_PROGRESS));
+        assert!(!is_pub(PRIV_RAM_BASE));
+        assert!(!is_apb(PUB_RAM_BASE));
+    }
+
+    #[test]
+    fn peripheral_slots_distinct() {
+        let slots = [TIMER_BASE, DMA_BASE, HWPE_BASE, GPIO_BASE, UART_BASE];
+        for i in 0..slots.len() {
+            for j in (i + 1)..slots.len() {
+                assert_ne!(slots[i] & APB_SLOT_MASK, slots[j] & APB_SLOT_MASK);
+            }
+        }
+    }
+}

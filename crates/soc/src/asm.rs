@@ -1,0 +1,423 @@
+//! A mini-assembler for the RV32I subset executed by [`crate::cpu`].
+//!
+//! Produces raw instruction words with label-based branch fixups:
+//!
+//! ```
+//! use ssc_soc::asm::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::X1, 0x1C00_0000);
+//! a.label("loop");
+//! a.lw(Reg::X2, Reg::X1, 0);
+//! a.bne(Reg::X2, Reg::X0, "loop");
+//! a.ebreak();
+//! let words = a.words();
+//! assert_eq!(words.len(), 5); // li expands to lui+addi
+//! ```
+
+use std::collections::HashMap;
+
+/// Architectural registers x0..x15 (RV32E subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Reg {
+    X0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+}
+
+impl Reg {
+    /// The register number (0..=15).
+    pub fn num(self) -> u32 {
+        self as u32
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Word(u32),
+    Branch { funct3: u32, rs1: Reg, rs2: Reg, label: String },
+    Jal { rd: Reg, label: String },
+}
+
+/// The assembler: instructions are appended, labels resolved by
+/// [`Asm::words`].
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: HashMap<String, u32>,
+}
+
+fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2.num() << 20) | (rs1.num() << 15) | (funct3 << 12) | (rd.num() << 7) | opcode
+}
+
+fn enc_i(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "I-immediate {imm} out of range");
+    ((imm as u32 & 0xFFF) << 20) | (rs1.num() << 15) | (funct3 << 12) | (rd.num() << 7) | opcode
+}
+
+fn enc_s(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "S-immediate {imm} out of range");
+    let u = imm as u32 & 0xFFF;
+    ((u >> 5) << 25) | (rs2.num() << 20) | (rs1.num() << 15) | (funct3 << 12) | ((u & 0x1F) << 7) | opcode
+}
+
+fn enc_b(offset: i32, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
+    assert!(offset % 2 == 0, "branch offset must be even");
+    assert!((-4096..=4094).contains(&offset), "B-offset {offset} out of range");
+    let u = offset as u32;
+    let b12 = (u >> 12) & 1;
+    let b11 = (u >> 11) & 1;
+    let b10_5 = (u >> 5) & 0x3F;
+    let b4_1 = (u >> 1) & 0xF;
+    (b12 << 31) | (b10_5 << 25) | (rs2.num() << 20) | (rs1.num() << 15) | (funct3 << 12)
+        | (b4_1 << 8) | (b11 << 7) | 0b1100011
+}
+
+fn enc_j(offset: i32, rd: Reg) -> u32 {
+    assert!(offset % 2 == 0, "jump offset must be even");
+    assert!((-(1 << 20)..(1 << 20)).contains(&offset), "J-offset {offset} out of range");
+    let u = offset as u32;
+    let b20 = (u >> 20) & 1;
+    let b19_12 = (u >> 12) & 0xFF;
+    let b11 = (u >> 11) & 1;
+    let b10_1 = (u >> 1) & 0x3FF;
+    (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd.num() << 7) | 0b1101111
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current length in instruction words.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate labels.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.items.len() as u32);
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Pads with `NOP`s until the given word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is already longer.
+    pub fn pad_to(&mut self, word_index: usize) {
+        assert!(self.items.len() <= word_index, "pad_to behind current position");
+        while self.items.len() < word_index {
+            self.nop();
+        }
+    }
+
+    /// Emits a raw instruction word.
+    pub fn raw(&mut self, word: u32) {
+        self.items.push(Item::Word(word));
+    }
+
+    /// `nop` (`addi x0, x0, 0`).
+    pub fn nop(&mut self) {
+        self.addi(Reg::X0, Reg::X0, 0);
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b000, rd, 0b0010011));
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b010, rd, 0b0010011));
+    }
+
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b011, rd, 0b0010011));
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b100, rd, 0b0010011));
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b110, rd, 0b0010011));
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.raw(enc_i(imm, rs1, 0b111, rd, 0b0010011));
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount out of range");
+        self.raw(enc_i(shamt as i32, rs1, 0b001, rd, 0b0010011));
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount out of range");
+        self.raw(enc_i(shamt as i32, rs1, 0b101, rd, 0b0010011));
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount out of range");
+        self.raw(enc_i((shamt | 0x400) as i32, rs1, 0b101, rd, 0b0010011));
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b000, rd, 0b0110011));
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0b0100000, rs2, rs1, 0b000, rd, 0b0110011));
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b001, rd, 0b0110011));
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b010, rd, 0b0110011));
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b011, rd, 0b0110011));
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b100, rd, 0b0110011));
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b101, rd, 0b0110011));
+    }
+
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0b0100000, rs2, rs1, 0b101, rd, 0b0110011));
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b110, rd, 0b0110011));
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.raw(enc_r(0, rs2, rs1, 0b111, rd, 0b0110011));
+    }
+
+    /// `lui rd, imm20` (upper 20 bits).
+    pub fn lui(&mut self, rd: Reg, imm20: u32) {
+        assert!(imm20 < (1 << 20), "LUI immediate out of range");
+        self.raw((imm20 << 12) | (rd.num() << 7) | 0b0110111);
+    }
+
+    /// Pseudo-instruction: loads a full 32-bit constant (expands to
+    /// `lui` + `addi`, accounting for `addi` sign extension).
+    pub fn li(&mut self, rd: Reg, value: u32) {
+        let low = (value & 0xFFF) as i32;
+        let low_sext = (low << 20) >> 20; // sign-extend 12 bits
+        let high = value.wrapping_sub(low_sext as u32) >> 12;
+        self.lui(rd, high & 0xFFFFF);
+        self.addi(rd, rd, low_sext);
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.raw(enc_i(offset, rs1, 0b010, rd, 0b0000011));
+    }
+
+    /// `sw rs2, offset(rs1)` — stores `rs2` at `rs1 + offset`.
+    pub fn sw(&mut self, rs1: Reg, rs2: Reg, offset: i32) {
+        self.raw(enc_s(offset, rs2, rs1, 0b010, 0b0100011));
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b000, rs1, rs2, label: label.into() });
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b001, rs1, rs2, label: label.into() });
+    }
+
+    /// `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b100, rs1, rs2, label: label.into() });
+    }
+
+    /// `bge rs1, rs2, label` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b101, rs1, rs2, label: label.into() });
+    }
+
+    /// `bltu rs1, rs2, label` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b110, rs1, rs2, label: label.into() });
+    }
+
+    /// `bgeu rs1, rs2, label` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { funct3: 0b111, rs1, rs2, label: label.into() });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        self.items.push(Item::Jal { rd, label: label.into() });
+    }
+
+    /// `jalr rd, rs1, offset`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.raw(enc_i(offset, rs1, 0b000, rd, 0b1100111));
+    }
+
+    /// `ebreak` — halts the core until the next context switch.
+    pub fn ebreak(&mut self) {
+        self.raw(0x0010_0073);
+    }
+
+    /// Resolves labels and returns the instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on references to undefined labels.
+    pub fn words(&self) -> Vec<u32> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(pc, item)| match item {
+                Item::Word(w) => *w,
+                Item::Branch { funct3, rs1, rs2, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .unwrap_or_else(|| panic!("undefined label `{label}`"));
+                    let offset = (target as i64 - pc as i64) * 4;
+                    enc_b(offset as i32, *rs2, *rs1, *funct3)
+                }
+                Item::Jal { rd, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .unwrap_or_else(|| panic!("undefined label `{label}`"));
+                    let offset = (target as i64 - pc as i64) * 4;
+                    enc_j(offset as i32, *rd)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addi_encoding_matches_spec() {
+        let mut a = Asm::new();
+        a.addi(Reg::X1, Reg::X2, -1);
+        // addi x1, x2, -1 = 0xFFF10093
+        assert_eq!(a.words()[0], 0xFFF1_0093);
+    }
+
+    #[test]
+    fn lw_sw_encodings() {
+        let mut a = Asm::new();
+        a.lw(Reg::X5, Reg::X6, 8); // lw x5, 8(x6) = 0x00832283
+        a.sw(Reg::X6, Reg::X5, 12); // sw x5, 12(x6) = 0x00532623
+        let w = a.words();
+        assert_eq!(w[0], 0x0083_2283);
+        assert_eq!(w[1], 0x0053_2623);
+    }
+
+    #[test]
+    fn branch_offsets_resolve_backwards_and_forwards() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.nop();
+        a.beq(Reg::X0, Reg::X0, "top"); // offset -4
+        a.bne(Reg::X0, Reg::X0, "end"); // offset +8
+        a.nop();
+        a.label("end");
+        let w = a.words();
+        // beq x0, x0, -4 = 0xFE000EE3
+        assert_eq!(w[1], 0xFE00_0EE3);
+        // bne x0, x0, +8 = 0x00001463
+        assert_eq!(w[2], 0x0000_1463);
+    }
+
+    #[test]
+    fn jal_encoding() {
+        let mut a = Asm::new();
+        a.jal(Reg::X1, "fwd");
+        a.nop();
+        a.label("fwd");
+        // jal x1, +8 = 0x008000EF
+        assert_eq!(a.words()[0], 0x0080_00EF);
+    }
+
+    #[test]
+    fn li_handles_sign_boundary() {
+        // Values whose low 12 bits have the sign bit set need LUI +1.
+        for v in [0u32, 1, 0x800, 0xFFF, 0x1000, 0xFFFF_FFFF, 0x1C00_0800, 0xDEAD_BEEF] {
+            let mut a = Asm::new();
+            a.li(Reg::X1, v);
+            let w = a.words();
+            // Reconstruct: lui then addi.
+            let lui_imm = w[0] >> 12;
+            let addi_imm = ((w[1] as i32) >> 20) as i64;
+            let got = ((lui_imm as i64) << 12).wrapping_add(addi_imm) as u32;
+            assert_eq!(got, v, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Asm::new();
+        a.jal(Reg::X0, "nowhere");
+        a.words();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn immediate_range_checked() {
+        let mut a = Asm::new();
+        a.addi(Reg::X1, Reg::X0, 5000);
+    }
+
+    #[test]
+    fn pad_to_inserts_nops() {
+        let mut a = Asm::new();
+        a.nop();
+        a.pad_to(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.words()[3], 0x0000_0013); // canonical NOP
+    }
+}

@@ -1,0 +1,542 @@
+//! A 2-stage (IF/EX) RV32I-subset processor core.
+//!
+//! Models the Pulpissimo's small RISC-V core at the fidelity the threat
+//! model needs: single-threaded, in-order, no caches, no branch predictor —
+//! per the paper's assumption that confidential data leaves no footprint
+//! *inside* the CPU. Loads and stores go through the data port with a
+//! req/gnt handshake; losing arbitration stalls the pipeline, which is how
+//! the victim's timing couples into the interconnect.
+//!
+//! Supported instructions: `LUI, JAL, JALR, BEQ, BNE, BLT, BGE, BLTU, BGEU,
+//! LW, SW, ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI, ADD, SUB,
+//! SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND, EBREAK` (halt). The register
+//! file holds x0–x15 (RV32E style); x0 is hardwired to zero.
+//!
+//! Context switches are modeled by the `ctx_switch`/`ctx_pc` inputs: the
+//! testbench (the "OS") points the core at the next task's entry; the
+//! pipeline is flushed and the halt flag cleared.
+
+use ssc_netlist::{Bv, MemId, Netlist, RegHandle, StateMeta, Wire};
+
+use crate::bus::{MasterPort, MasterResp};
+
+/// Phase-1 handle: architectural state and the data port exist; pipeline
+/// next-state logic is attached by [`CpuBuilder::finish`].
+pub struct CpuBuilder {
+    pc: RegHandle,
+    if_instr: RegHandle,
+    if_pc: RegHandle,
+    if_valid: RegHandle,
+    halted: RegHandle,
+    regfile: MemId,
+    imem: MemId,
+    // Decode products needed in phase 2.
+    d: Decode,
+    /// The data port driven by the core.
+    pub port: MasterPort,
+    /// Context-switch strobe input.
+    pub ctx_switch: Wire,
+    /// Context-switch target PC input.
+    pub ctx_pc: Wire,
+}
+
+/// Finished CPU interface.
+#[derive(Clone, Copy, Debug)]
+pub struct Cpu {
+    /// Instruction memory (program storage; poke via the simulator).
+    pub imem: MemId,
+    /// Architectural register file (x0..x15).
+    pub regfile: MemId,
+    /// Halt flag output (set by `EBREAK`, cleared by a context switch).
+    pub halted: Wire,
+    /// Current program counter (debug output).
+    pub pc: Wire,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Decode {
+    exec_valid: Wire,
+    is_load: Wire,
+    is_branch: Wire,
+    is_jal: Wire,
+    is_jalr: Wire,
+    is_lui: Wire,
+    is_op: Wire,
+    is_opimm: Wire,
+    is_ebreak: Wire,
+    rd: Wire,
+    rs1_val: Wire,
+    rs2_val: Wire,
+    imm_i: Wire,
+    imm_b: Wire,
+    imm_j: Wire,
+    imm_u: Wire,
+    funct3: Wire,
+    funct7b5: Wire,
+}
+
+impl CpuBuilder {
+    /// Creates the core's state, fetch/decode logic and data port under
+    /// `scope`.
+    pub fn new(n: &mut Netlist, scope: &str, imem_words: u32) -> Self {
+        n.push_scope(scope);
+        let meta = StateMeta::cpu();
+        let pc = n.reg("pc", 32, Some(Bv::zero(32)), meta);
+        let if_instr = n.reg("if_instr", 32, Some(Bv::zero(32)), meta);
+        let if_pc = n.reg("if_pc", 32, Some(Bv::zero(32)), meta);
+        let if_valid = n.reg("if_valid", 1, Some(Bv::zero(1)), meta);
+        let halted = n.reg("halted", 1, Some(Bv::bit(true)), meta);
+        let regfile = n.memory("regfile", 16, 32, meta);
+        let imem = n.memory("imem", imem_words, 32, meta);
+
+        let ctx_switch = n.input("ctx_switch", 1);
+        let ctx_pc = n.input("ctx_pc", 32);
+
+        // ---------------- Decode (EX stage) ------------------------------
+        let instr = if_instr.wire();
+        let opcode = n.slice(instr, 6, 0);
+        let rd = n.slice(instr, 11, 7);
+        let funct3 = n.slice(instr, 14, 12);
+        let rs1 = n.slice(instr, 19, 15);
+        let rs2 = n.slice(instr, 24, 20);
+        let funct7b5 = n.bit(instr, 30);
+
+        let is_lui = n.eq_const(opcode, 0b0110111);
+        let is_jal = n.eq_const(opcode, 0b1101111);
+        let is_jalr = n.eq_const(opcode, 0b1100111);
+        let is_branch = n.eq_const(opcode, 0b1100011);
+        let is_load = n.eq_const(opcode, 0b0000011);
+        let is_store = n.eq_const(opcode, 0b0100011);
+        let is_opimm = n.eq_const(opcode, 0b0010011);
+        let is_op = n.eq_const(opcode, 0b0110011);
+        let is_system = n.eq_const(opcode, 0b1110011);
+
+        // Register file reads (x0 forced to zero).
+        let rs1_idx = n.slice(rs1, 3, 0);
+        let rs2_idx = n.slice(rs2, 3, 0);
+        let rs1_raw = n.mem_read(regfile, rs1_idx);
+        let rs2_raw = n.mem_read(regfile, rs2_idx);
+        let rs1_zero = n.eq_const(rs1, 0);
+        let rs2_zero = n.eq_const(rs2, 0);
+        let zero32 = n.lit(32, 0);
+        let rs1_val = n.mux(rs1_zero, zero32, rs1_raw);
+        let rs2_val = n.mux(rs2_zero, zero32, rs2_raw);
+
+        // Immediates.
+        let imm_i = {
+            let hi = n.slice(instr, 31, 20);
+            n.sext(hi, 32)
+        };
+        let imm_s = {
+            let hi = n.slice(instr, 31, 25);
+            let lo = n.slice(instr, 11, 7);
+            let cat = n.concat(hi, lo);
+            n.sext(cat, 32)
+        };
+        let imm_b = {
+            let b12 = n.bit(instr, 31);
+            let b11 = n.bit(instr, 7);
+            let b10_5 = n.slice(instr, 30, 25);
+            let b4_1 = n.slice(instr, 11, 8);
+            let zero1 = n.lit(1, 0);
+            let p1 = n.concat(b12, b11); // [12:11]
+            let p2 = n.concat(p1, b10_5); // [12:5]
+            let p3 = n.concat(p2, b4_1); // [12:1]
+            let p4 = n.concat(p3, zero1); // [12:0]
+            n.sext(p4, 32)
+        };
+        let imm_j = {
+            let b20 = n.bit(instr, 31);
+            let b19_12 = n.slice(instr, 19, 12);
+            let b11 = n.bit(instr, 20);
+            let b10_1 = n.slice(instr, 30, 21);
+            let zero1 = n.lit(1, 0);
+            let p1 = n.concat(b20, b19_12); // [20:12]
+            let p2 = n.concat(p1, b11); // [20:11]
+            let p3 = n.concat(p2, b10_1); // [20:1]
+            let p4 = n.concat(p3, zero1); // [20:0]
+            n.sext(p4, 32)
+        };
+        let imm_u = {
+            let hi = n.slice(instr, 31, 12);
+            let z = n.lit(12, 0);
+            n.concat(hi, z)
+        };
+
+        let ebreak_full = n.eq_const(instr, 0x0010_0073);
+        let is_ebreak = n.and(is_system, ebreak_full);
+
+        // The instruction in EX executes when valid and not halted.
+        let not_halted = n.not(halted.wire());
+        let exec_valid = n.and(if_valid.wire(), not_halted);
+
+        // Data port: address = rs1 + imm (I for loads, S for stores).
+        let addr_off = n.mux(is_store, imm_s, imm_i);
+        let mem_addr = n.add(rs1_val, addr_off);
+        let mem_op = n.or(is_load, is_store);
+        let req = n.and(exec_valid, mem_op);
+        let port = MasterPort { req, addr: mem_addr, we: is_store, wdata: rs2_val };
+        n.set_name(req, "dport_req");
+        n.set_name(mem_addr, "dport_addr");
+        n.set_name(is_store, "dport_we");
+        n.set_name(rs2_val, "dport_wdata");
+        n.pop_scope();
+
+        let d = Decode {
+            exec_valid,
+            is_load,
+            is_branch,
+            is_jal,
+            is_jalr,
+            is_lui,
+            is_op,
+            is_opimm,
+            is_ebreak,
+            rd,
+            rs1_val,
+            rs2_val,
+            imm_i,
+            imm_b,
+            imm_j,
+            imm_u,
+            funct3,
+            funct7b5,
+        };
+
+        CpuBuilder {
+            pc,
+            if_instr,
+            if_pc,
+            if_valid,
+            halted,
+            regfile,
+            imem,
+            d,
+            port,
+            ctx_switch,
+            ctx_pc,
+        }
+    }
+
+    /// Connects the pipeline given the data-port response.
+    pub fn finish(self, n: &mut Netlist, scope: &str, resp: MasterResp) -> Cpu {
+        n.push_scope(scope);
+        let d = self.d;
+        let zero1 = n.lit(1, 0);
+
+        // ---------------- ALU ---------------------------------------------
+        let alu_b = n.mux(d.is_op, d.rs2_val, d.imm_i);
+        let sum = n.add(d.rs1_val, alu_b);
+        let diff = n.sub(d.rs1_val, alu_b);
+        let use_sub = n.and(d.is_op, d.funct7b5);
+        let addsub = n.mux(use_sub, diff, sum);
+        let xor_r = n.xor(d.rs1_val, alu_b);
+        let or_r = n.or(d.rs1_val, alu_b);
+        let and_r = n.and(d.rs1_val, alu_b);
+        let shamt = n.slice(alu_b, 4, 0);
+        let sll = n.shl(d.rs1_val, shamt);
+        let srl = n.shr(d.rs1_val, shamt);
+        let sra = n.sar(d.rs1_val, shamt);
+        let sr = n.mux(d.funct7b5, sra, srl);
+        let slt_b = n.slt(d.rs1_val, alu_b);
+        let slt = n.zext(slt_b, 32);
+        let sltu_b = n.ult(d.rs1_val, alu_b);
+        let sltu = n.zext(sltu_b, 32);
+        let alu = n.select(d.funct3, &[addsub, sll, slt, sltu, xor_r, sr, or_r, and_r]);
+
+        // ---------------- Branches ----------------------------------------
+        let eq = n.eq(d.rs1_val, d.rs2_val);
+        let ne = n.not(eq);
+        let lt = n.slt(d.rs1_val, d.rs2_val);
+        let ge = n.not(lt);
+        let ltu = n.ult(d.rs1_val, d.rs2_val);
+        let geu = n.not(ltu);
+        // funct3: 000 BEQ, 001 BNE, 100 BLT, 101 BGE, 110 BLTU, 111 BGEU.
+        let br_cond = n.select(d.funct3, &[eq, ne, zero1, zero1, lt, ge, ltu, geu]);
+        let br_taken = n.and(d.is_branch, br_cond);
+
+        // ---------------- Stall & redirect ---------------------------------
+        let no_gnt = n.not(resp.gnt);
+        let stall = n.and(self.port.req, no_gnt);
+        n.set_name(stall, "stall");
+
+        let jal_target = n.add(self.if_pc.wire(), d.imm_j);
+        let jalr_sum = n.add(d.rs1_val, d.imm_i);
+        let minus2 = n.lit(32, 0xFFFF_FFFE);
+        let jalr_target = n.and(jalr_sum, minus2);
+        let br_target = n.add(self.if_pc.wire(), d.imm_b);
+        let jump = n.or(d.is_jal, d.is_jalr);
+        let redirecting = {
+            let j_or_b = n.or(jump, br_taken);
+            n.and(d.exec_valid, j_or_b)
+        };
+        let mut target = br_target;
+        target = n.mux(d.is_jal, jal_target, target);
+        target = n.mux(d.is_jalr, jalr_target, target);
+
+        // ---------------- Halt ---------------------------------------------
+        let do_halt = n.and(d.exec_valid, d.is_ebreak);
+        let halted_stay = n.or(self.halted.wire(), do_halt);
+        let halted_next = n.mux(self.ctx_switch, zero1, halted_stay);
+        n.connect_reg(self.halted, halted_next);
+
+        // ---------------- Register writeback -------------------------------
+        let four = n.lit(32, 4);
+        let link = n.add(self.if_pc.wire(), four);
+        let mut wb_val = alu;
+        wb_val = n.mux(d.is_lui, d.imm_u, wb_val);
+        wb_val = n.mux(d.is_load, resp.rdata, wb_val);
+        wb_val = n.mux(jump, link, wb_val);
+        let writes_rd = {
+            let arith = n.or(d.is_op, d.is_opimm);
+            let w1 = n.or(arith, d.is_lui);
+            let w2 = n.or(w1, jump);
+            n.or(w2, d.is_load)
+        };
+        let rd_nonzero = {
+            let z = n.eq_const(d.rd, 0);
+            n.not(z)
+        };
+        let not_stall = n.not(stall);
+        let wb_en0 = n.and(d.exec_valid, writes_rd);
+        let wb_en1 = n.and(wb_en0, rd_nonzero);
+        let wb_en = n.and(wb_en1, not_stall);
+        let rd_idx = n.slice(d.rd, 3, 0);
+        n.mem_write(self.regfile, wb_en, rd_idx, wb_val);
+
+        // ---------------- Fetch --------------------------------------------
+        let pc_w = self.pc.wire();
+        let pc_word = n.slice(pc_w, 19, 2);
+        let fetched = n.mem_read(self.imem, pc_word);
+        let pc_plus4 = n.add(pc_w, four);
+
+        let not_halted = n.not(self.halted.wire());
+        let advance0 = n.and(not_halted, not_stall);
+        let no_halt_now = n.not(do_halt);
+        let advance = n.and(advance0, no_halt_now);
+
+        let pc_seq = n.mux(redirecting, target, pc_plus4);
+        let pc_run = n.mux(advance, pc_seq, pc_w);
+        let pc_next = n.mux(self.ctx_switch, self.ctx_pc, pc_run);
+        n.connect_reg(self.pc, pc_next);
+
+        // IF/EX pipeline registers: load new instruction when advancing,
+        // hold on stall, bubble on redirect/halt/context switch.
+        let if_instr_next = n.mux(advance, fetched, self.if_instr.wire());
+        n.connect_reg(self.if_instr, if_instr_next);
+        let if_pc_next = n.mux(advance, pc_w, self.if_pc.wire());
+        n.connect_reg(self.if_pc, if_pc_next);
+
+        let not_redirect = n.not(redirecting);
+        let valid_run0 = n.mux(advance, not_redirect, self.if_valid.wire());
+        let valid_run = n.and(valid_run0, no_halt_now);
+        let valid_keep = n.and(valid_run, not_halted);
+        let if_valid_next = n.mux(self.ctx_switch, zero1, valid_keep);
+        n.connect_reg(self.if_valid, if_valid_next);
+
+        n.set_name(self.halted.wire(), "halted_flag");
+        n.pop_scope();
+
+        Cpu {
+            imem: self.imem,
+            regfile: self.regfile,
+            halted: self.halted.wire(),
+            pc: self.pc.wire(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Asm, Reg};
+    use crate::xbar::sram_xbar;
+    use ssc_netlist::Netlist;
+    use ssc_sim::Sim;
+
+    /// CPU + one RAM on a 1-master crossbar.
+    struct Tb {
+        n: Netlist,
+        cpu: Cpu,
+        ram: MemId,
+    }
+
+    fn build() -> Tb {
+        let mut n = Netlist::new("cpu_t");
+        let cpu_b = CpuBuilder::new(&mut n, "cpu", 256);
+        let port = cpu_b.port;
+        // All CPU memory traffic goes to one RAM here; tests use PUB space.
+        let x = sram_xbar(&mut n, "xbar", &[port], 64, StateMeta::memory(true));
+        let cpu = cpu_b.finish(&mut n, "cpu", x.resps[0]);
+        n.mark_output("halted", cpu.halted);
+        n.mark_output("pc", cpu.pc);
+        n.check().unwrap();
+        Tb { n, cpu, ram: x.mem }
+    }
+
+    fn load_and_run<'a>(tb: &'a Tb, prog: &Asm, max_cycles: u64) -> Sim<'a> {
+        let mut sim = Sim::new(&tb.n).unwrap();
+        for (i, word) in prog.words().iter().enumerate() {
+            sim.set_mem_word(tb.cpu.imem, i as u32, Bv::new(32, u64::from(*word)));
+        }
+        // Kick the core out of its initial halted state.
+        sim.set_input("cpu.ctx_switch", 1);
+        sim.set_input("cpu.ctx_pc", 0);
+        sim.step();
+        sim.set_input("cpu.ctx_switch", 0);
+        let halted = sim.netlist().find("cpu.halted_flag").unwrap();
+        assert!(
+            sim.step_until(halted, max_cycles).is_some(),
+            "program did not halt in {max_cycles} cycles"
+        );
+        sim
+    }
+
+    fn reg_val(sim: &Sim, tb: &Tb, r: Reg) -> u64 {
+        sim.read_mem(tb.cpu.regfile, r.num() as u32).val()
+    }
+
+    #[test]
+    fn arithmetic_and_immediates() {
+        let tb = build();
+        let mut a = Asm::new();
+        a.addi(Reg::X1, Reg::X0, 100);
+        a.addi(Reg::X2, Reg::X0, -3);
+        a.add(Reg::X3, Reg::X1, Reg::X2); // 97
+        a.sub(Reg::X4, Reg::X1, Reg::X2); // 103
+        a.xori(Reg::X5, Reg::X1, 0xFF); // 100 ^ 255 = 155
+        a.andi(Reg::X6, Reg::X1, 0x0F); // 4
+        a.ori(Reg::X7, Reg::X0, 0x55); // 0x55
+        a.slli(Reg::X8, Reg::X1, 3); // 800
+        a.srli(Reg::X9, Reg::X1, 2); // 25
+        a.ebreak();
+        let sim = load_and_run(&tb, &a, 64);
+        assert_eq!(reg_val(&sim, &tb, Reg::X1), 100);
+        assert_eq!(reg_val(&sim, &tb, Reg::X2) as u32, (-3i32) as u32 as u32);
+        assert_eq!(reg_val(&sim, &tb, Reg::X3), 97);
+        assert_eq!(reg_val(&sim, &tb, Reg::X4), 103);
+        assert_eq!(reg_val(&sim, &tb, Reg::X5), 155);
+        assert_eq!(reg_val(&sim, &tb, Reg::X6), 4);
+        assert_eq!(reg_val(&sim, &tb, Reg::X7), 0x55);
+        assert_eq!(reg_val(&sim, &tb, Reg::X8), 800);
+        assert_eq!(reg_val(&sim, &tb, Reg::X9), 25);
+    }
+
+    #[test]
+    fn lui_and_store_load_roundtrip() {
+        let tb = build();
+        let mut a = Asm::new();
+        a.lui(Reg::X1, 0x1C000); // PUB_RAM_BASE
+        a.addi(Reg::X2, Reg::X0, 0x5A);
+        a.sw(Reg::X1, Reg::X2, 8);
+        a.lw(Reg::X3, Reg::X1, 8);
+        a.ebreak();
+        let sim = load_and_run(&tb, &a, 64);
+        assert_eq!(reg_val(&sim, &tb, Reg::X3), 0x5A);
+        assert_eq!(sim.read_mem(tb.ram, 2).val(), 0x5A);
+    }
+
+    #[test]
+    fn branch_loop_counts() {
+        let tb = build();
+        let mut a = Asm::new();
+        // for (x1 = 0; x1 != 5; x1++) x2 += 2;
+        a.addi(Reg::X1, Reg::X0, 0);
+        a.addi(Reg::X2, Reg::X0, 0);
+        a.addi(Reg::X3, Reg::X0, 5);
+        a.label("loop");
+        a.beq(Reg::X1, Reg::X3, "end");
+        a.addi(Reg::X2, Reg::X2, 2);
+        a.addi(Reg::X1, Reg::X1, 1);
+        a.jal(Reg::X0, "loop");
+        a.label("end");
+        a.ebreak();
+        let sim = load_and_run(&tb, &a, 256);
+        assert_eq!(reg_val(&sim, &tb, Reg::X1), 5);
+        assert_eq!(reg_val(&sim, &tb, Reg::X2), 10);
+    }
+
+    #[test]
+    fn signed_and_unsigned_branches() {
+        let tb = build();
+        let mut a = Asm::new();
+        a.addi(Reg::X1, Reg::X0, -1); // 0xFFFFFFFF
+        a.addi(Reg::X2, Reg::X0, 1);
+        a.addi(Reg::X3, Reg::X0, 0);
+        a.addi(Reg::X4, Reg::X0, 0);
+        // signed: -1 < 1 -> taken
+        a.blt(Reg::X1, Reg::X2, "s_ok");
+        a.jal(Reg::X0, "after_s");
+        a.label("s_ok");
+        a.addi(Reg::X3, Reg::X0, 1);
+        a.label("after_s");
+        // unsigned: 0xFFFFFFFF < 1 is false -> fall through
+        a.bltu(Reg::X1, Reg::X2, "u_taken");
+        a.addi(Reg::X4, Reg::X0, 1);
+        a.label("u_taken");
+        a.ebreak();
+        let sim = load_and_run(&tb, &a, 64);
+        assert_eq!(reg_val(&sim, &tb, Reg::X3), 1, "BLT signed taken");
+        assert_eq!(reg_val(&sim, &tb, Reg::X4), 1, "BLTU not taken");
+    }
+
+    #[test]
+    fn jalr_returns() {
+        let tb = build();
+        let mut a = Asm::new();
+        a.jal(Reg::X1, "func"); // call
+        a.addi(Reg::X2, Reg::X0, 7); // executed after return
+        a.ebreak();
+        a.label("func");
+        a.addi(Reg::X3, Reg::X0, 9);
+        a.jalr(Reg::X0, Reg::X1, 0); // return
+        let sim = load_and_run(&tb, &a, 64);
+        assert_eq!(reg_val(&sim, &tb, Reg::X2), 7);
+        assert_eq!(reg_val(&sim, &tb, Reg::X3), 9);
+    }
+
+    #[test]
+    fn x0_is_never_written() {
+        let tb = build();
+        let mut a = Asm::new();
+        a.addi(Reg::X0, Reg::X0, 42);
+        a.add(Reg::X1, Reg::X0, Reg::X0);
+        a.ebreak();
+        let sim = load_and_run(&tb, &a, 32);
+        assert_eq!(reg_val(&sim, &tb, Reg::X1), 0);
+    }
+
+    #[test]
+    fn context_switch_flushes_and_restarts() {
+        let tb = build();
+        let mut a = Asm::new();
+        // Task A at 0: loops forever incrementing x1.
+        a.label("spin");
+        a.addi(Reg::X1, Reg::X1, 1);
+        a.jal(Reg::X0, "spin");
+        // Task B at word 8 (byte 32): sets x2 and halts.
+        a.pad_to(8);
+        a.addi(Reg::X2, Reg::X0, 0x77);
+        a.ebreak();
+
+        let mut sim = Sim::new(&tb.n).unwrap();
+        for (i, word) in a.words().iter().enumerate() {
+            sim.set_mem_word(tb.cpu.imem, i as u32, Bv::new(32, u64::from(*word)));
+        }
+        sim.set_input("cpu.ctx_switch", 1);
+        sim.set_input("cpu.ctx_pc", 0);
+        sim.step();
+        sim.set_input("cpu.ctx_switch", 0);
+        sim.step_n(20); // let task A spin
+        assert!(reg_val(&sim, &tb, Reg::X1) > 0);
+        assert_eq!(sim.peek_name("halted").val(), 0);
+        // Switch to task B.
+        sim.set_input("cpu.ctx_switch", 1);
+        sim.set_input("cpu.ctx_pc", 32);
+        sim.step();
+        sim.set_input("cpu.ctx_switch", 0);
+        let halted = tb.n.find("cpu.halted_flag").unwrap();
+        assert!(sim.step_until(halted, 16).is_some());
+        assert_eq!(reg_val(&sim, &tb, Reg::X2), 0x77);
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulation harness: load programs, context-switch between tasks, inspect
+//! memory — the "OS" around the bare-metal SoC.
+
+use ssc_netlist::Bv;
+use ssc_sim::Sim;
+
+use crate::asm::{Asm, Reg};
+use crate::soc::Soc;
+
+/// A running SoC simulation with task-management helpers.
+pub struct SocSim<'n> {
+    sim: Sim<'n>,
+    soc: &'n Soc,
+}
+
+impl<'n> std::fmt::Debug for SocSim<'n> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocSim").field("cycle", &self.sim.cycle()).finish()
+    }
+}
+
+impl<'n> SocSim<'n> {
+    /// Creates a simulation of `soc` (must be a simulation view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SoC was built without a CPU.
+    pub fn new(soc: &'n Soc) -> Self {
+        assert!(soc.cpu.is_some(), "SocSim requires a simulation view (with_cpu)");
+        let sim = Sim::new(&soc.netlist).expect("SoC netlist is checked");
+        SocSim { sim, soc }
+    }
+
+    /// Access to the underlying simulator.
+    pub fn sim(&mut self) -> &mut Sim<'n> {
+        &mut self.sim
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Loads an assembled program at instruction-memory word `word_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds the instruction memory.
+    pub fn load_program(&mut self, word_base: u32, program: &Asm) {
+        let cpu = self.soc.cpu.as_ref().expect("sim view");
+        let words = program.words();
+        for (i, w) in words.iter().enumerate() {
+            self.sim
+                .set_mem_word(cpu.imem, word_base + i as u32, Bv::new(32, u64::from(*w)));
+        }
+    }
+
+    /// Performs a context switch: flushes the pipeline and continues
+    /// execution at byte address `pc`. Register contents are architecturally
+    /// preserved (the threat model makes tasks responsible for clearing
+    /// secrets from the core before yielding).
+    pub fn switch_to(&mut self, pc: u64) {
+        self.sim.set_input("cpu.ctx_switch", 1);
+        self.sim.set_input("cpu.ctx_pc", pc);
+        self.sim.step();
+        self.sim.set_input("cpu.ctx_switch", 0);
+    }
+
+    /// Runs until the current task halts (`EBREAK`). Returns the number of
+    /// cycles it took, or `None` on timeout.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Option<u64> {
+        let halted = self
+            .soc
+            .netlist
+            .find("cpu.halted_flag")
+            .expect("sim view exposes the halt flag");
+        let start = self.sim.cycle();
+        self.sim.step_until(halted, max_cycles)?;
+        Some(self.sim.cycle() - start)
+    }
+
+    /// Runs exactly `n` cycles.
+    pub fn step_n(&mut self, n: u64) {
+        self.sim.step_n(n);
+    }
+
+    /// Reads CPU register `r`.
+    pub fn reg(&mut self, r: Reg) -> u64 {
+        let cpu = self.soc.cpu.as_ref().expect("sim view");
+        if r == Reg::X0 {
+            return 0;
+        }
+        self.sim.read_mem(cpu.regfile, r.num()).val()
+    }
+
+    /// Reads a public-RAM word.
+    pub fn pub_word(&mut self, index: u32) -> u64 {
+        self.sim.read_mem(self.soc.pub_ram, index).val()
+    }
+
+    /// Writes a public-RAM word.
+    pub fn set_pub_word(&mut self, index: u32, value: u64) {
+        self.sim.set_mem_word(self.soc.pub_ram, index, Bv::new(32, value));
+    }
+
+    /// Reads a private-RAM word.
+    pub fn priv_word(&mut self, index: u32) -> u64 {
+        self.sim.read_mem(self.soc.priv_ram, index).val()
+    }
+
+    /// Writes a private-RAM word.
+    pub fn set_priv_word(&mut self, index: u32, value: u64) {
+        self.sim.set_mem_word(self.soc.priv_ram, index, Bv::new(32, value));
+    }
+
+    /// Peeks any named signal.
+    pub fn peek(&mut self, name: &str) -> u64 {
+        self.sim.peek_name(name).val()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr;
+    use crate::soc::SocConfig;
+
+    #[test]
+    fn program_runs_and_halts() {
+        let soc = Soc::build(SocConfig::sim());
+        let mut h = SocSim::new(&soc);
+        let mut a = Asm::new();
+        a.li(Reg::X1, addr::PUB_RAM_BASE as u32);
+        a.addi(Reg::X2, Reg::X0, 0x5A);
+        a.sw(Reg::X1, Reg::X2, 4);
+        a.ebreak();
+        h.load_program(0, &a);
+        h.switch_to(0);
+        assert!(h.run_until_halt(100).is_some());
+        assert_eq!(h.pub_word(1), 0x5A);
+        assert_eq!(h.reg(Reg::X2), 0x5A);
+    }
+
+    #[test]
+    fn two_tasks_share_the_core() {
+        let soc = Soc::build(SocConfig::sim());
+        let mut h = SocSim::new(&soc);
+        // Task A at word 0 writes GPIO and halts.
+        let mut a = Asm::new();
+        a.li(Reg::X1, addr::GPIO_OUT as u32);
+        a.addi(Reg::X2, Reg::X0, 0xA);
+        a.sw(Reg::X1, Reg::X2, 0);
+        a.ebreak();
+        // Task B at word 32 writes a different value.
+        let mut b = Asm::new();
+        b.li(Reg::X1, addr::GPIO_OUT as u32);
+        b.addi(Reg::X2, Reg::X0, 0xB);
+        b.sw(Reg::X1, Reg::X2, 0);
+        b.ebreak();
+        h.load_program(0, &a);
+        h.load_program(32, &b);
+        h.switch_to(0);
+        h.run_until_halt(100).unwrap();
+        assert_eq!(h.peek("gpio_out"), 0xA);
+        h.switch_to(32 * 4);
+        h.run_until_halt(100).unwrap();
+        assert_eq!(h.peek("gpio_out"), 0xB);
+    }
+
+    #[test]
+    fn timer_readable_by_program() {
+        let soc = Soc::build(SocConfig::sim());
+        let mut h = SocSim::new(&soc);
+        let mut a = Asm::new();
+        a.li(Reg::X1, addr::TIMER_CTRL as u32);
+        a.addi(Reg::X2, Reg::X0, 1);
+        a.sw(Reg::X1, Reg::X2, 0); // enable timer
+        a.nop();
+        a.nop();
+        a.nop();
+        a.lw(Reg::X3, Reg::X1, 4); // read TIMER_COUNT
+        a.ebreak();
+        h.load_program(0, &a);
+        h.switch_to(0);
+        h.run_until_halt(100).unwrap();
+        let t = h.reg(Reg::X3);
+        assert!(t >= 3 && t <= 6, "timer read {t} should reflect elapsed cycles");
+    }
+}

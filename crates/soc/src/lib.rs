@@ -1,0 +1,53 @@
+//! # ssc-soc — a Pulpissimo-style MCU SoC
+//!
+//! The hardware substrate of the DAC'24 case study, generated as an
+//! [`ssc_netlist::Netlist`]:
+//!
+//! - [`cpu`]: a 2-stage RV32I-subset core (x0–x15) with a stalling data
+//!   port and context-switch support, plus [`asm`], a label-resolving
+//!   mini-assembler,
+//! - [`xbar`]: round-robin crossbars — the contention point that creates
+//!   the timing side channel,
+//! - [`dma`]: a copy engine that can chain-start the timer (the Fig. 1
+//!   attack vehicle),
+//! - [`hwpe`]: a streaming accelerator with a progress register (the
+//!   Sec. 4.1 attack vehicle — no timer needed),
+//! - [`peripherals`]: timer (with a lock/deny countermeasure bit), GPIO,
+//!   UART,
+//! - [`Soc`]: the wired system in two views — full **simulation view** and
+//!   the CPU-less **verification view** whose free data port lets the UPEC
+//!   solver quantify over *all* victim programs.
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_soc::{Soc, SocSim, asm::{Asm, Reg}, addr};
+//!
+//! let soc = Soc::sim_view();
+//! let mut h = SocSim::new(&soc);
+//! let mut prog = Asm::new();
+//! prog.li(Reg::X1, addr::PUB_RAM_BASE as u32);
+//! prog.addi(Reg::X2, Reg::X0, 42);
+//! prog.sw(Reg::X1, Reg::X2, 0);
+//! prog.ebreak();
+//! h.load_program(0, &prog);
+//! h.switch_to(0);
+//! h.run_until_halt(100).unwrap();
+//! assert_eq!(h.pub_word(0), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod asm;
+pub mod bus;
+pub mod cpu;
+pub mod dma;
+mod harness;
+pub mod hwpe;
+pub mod peripherals;
+mod soc;
+pub mod xbar;
+
+pub use harness::SocSim;
+pub use soc::{port_names, Soc, SocConfig};

@@ -1,0 +1,216 @@
+//! Simple APB peripherals: timer, GPIO, UART stub.
+
+use ssc_netlist::{Bv, Netlist, StateMeta, Wire};
+
+use crate::addr;
+use crate::bus::ApbBus;
+
+/// Timer interface.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    /// Free-running counter value (raw, unlocked view).
+    pub count: Wire,
+    /// Overflow/interrupt line (counter MSB in this model).
+    pub irq: Wire,
+    /// APB read-data contribution (respects the lock bit).
+    pub apb_rdata: Wire,
+}
+
+/// Builds the timer.
+///
+/// * `hw_start`: hardware start pulse (wired from the DMA chain output) —
+///   sets the enable bit without CPU involvement.
+///
+/// The `lock` bit models the classic countermeasure of denying untrusted
+/// tasks access to timers (paper Sec. 4.1): while locked, reads of the
+/// counter return zero. The paper's point — reproduced by experiment E3 —
+/// is that this does *not* close the HWPE/memory channel.
+pub fn timer(n: &mut Netlist, scope: &str, apb: &ApbBus, hw_start: Wire) -> Timer {
+    n.push_scope(scope);
+    let meta = StateMeta::peripheral();
+    let enabled = n.reg("enabled", 1, Some(Bv::zero(1)), meta);
+    let locked = n.reg("locked", 1, Some(Bv::zero(1)), meta);
+    let count = n.reg("count", 32, Some(Bv::zero(32)), meta);
+
+    let w_ctrl = apb.reg_write(n, addr::TIMER_CTRL);
+    let w_count = apb.reg_write(n, addr::TIMER_COUNT);
+
+    let en_bit = n.bit(apb.wdata, 0);
+    let lock_bit = n.bit(apb.wdata, 1);
+    let en_cfg = n.mux(w_ctrl, en_bit, enabled.wire());
+    let en_next = n.or(en_cfg, hw_start);
+    n.connect_reg(enabled, en_next);
+    let lock_next = n.mux(w_ctrl, lock_bit, locked.wire());
+    n.connect_reg(locked, lock_next);
+
+    let one = n.lit(32, 1);
+    let inc = n.add(count.wire(), one);
+    let ticked = n.mux(enabled.wire(), inc, count.wire());
+    let count_next = n.mux(w_count, apb.wdata, ticked);
+    n.connect_reg(count, count_next);
+
+    // Locked reads return zero.
+    let zero32 = n.lit(32, 0);
+    let visible = n.mux(locked.wire(), zero32, count.wire());
+    let en32 = n.zext(enabled.wire(), 32);
+    let lock32 = n.zext(locked.wire(), 32);
+    let lock_shifted = n.shl_c(lock32, 1);
+    let ctrl_view = n.or(lock_shifted, en32);
+    let mut rdata = n.lit(32, 0);
+    for (reg, val) in [(addr::TIMER_COUNT, visible), (addr::TIMER_CTRL, ctrl_view)] {
+        let hit = n.eq_const(apb.addr, reg);
+        rdata = n.mux(hit, val, rdata);
+    }
+    n.set_name(rdata, "apb_rdata");
+    let irq = n.bit(count.wire(), 31);
+    n.set_name(irq, "irq");
+    n.pop_scope();
+    Timer { count: count.wire(), irq, apb_rdata: rdata }
+}
+
+/// GPIO interface.
+#[derive(Clone, Copy, Debug)]
+pub struct Gpio {
+    /// Output register value (also driven off-chip).
+    pub out: Wire,
+    /// APB read-data contribution.
+    pub apb_rdata: Wire,
+}
+
+/// Builds a 32-bit GPIO output register.
+pub fn gpio(n: &mut Netlist, scope: &str, apb: &ApbBus) -> Gpio {
+    n.push_scope(scope);
+    let out = n.reg("out", 32, Some(Bv::zero(32)), StateMeta::peripheral());
+    let w = apb.reg_write(n, addr::GPIO_OUT);
+    let next = n.mux(w, apb.wdata, out.wire());
+    n.connect_reg(out, next);
+    let hit = n.eq_const(apb.addr, addr::GPIO_OUT);
+    let zero = n.lit(32, 0);
+    let rdata = n.mux(hit, out.wire(), zero);
+    n.set_name(rdata, "apb_rdata");
+    n.pop_scope();
+    Gpio { out: out.wire(), apb_rdata: rdata }
+}
+
+/// UART stub interface.
+#[derive(Clone, Copy, Debug)]
+pub struct Uart {
+    /// Last byte written to the TX register.
+    pub tx: Wire,
+    /// APB read-data contribution (status always reads "ready").
+    pub apb_rdata: Wire,
+}
+
+/// Builds a UART transmit stub: a TX holding register plus an always-ready
+/// status. Enough surface for firmware that polls-then-writes.
+pub fn uart(n: &mut Netlist, scope: &str, apb: &ApbBus) -> Uart {
+    n.push_scope(scope);
+    let tx = n.reg("tx", 8, Some(Bv::zero(8)), StateMeta::peripheral());
+    let w = apb.reg_write(n, addr::UART_TX);
+    let byte = n.slice(apb.wdata, 7, 0);
+    let next = n.mux(w, byte, tx.wire());
+    n.connect_reg(tx, next);
+    let tx32 = n.zext(tx.wire(), 32);
+    let ready = n.lit(32, 1);
+    let mut rdata = n.lit(32, 0);
+    for (reg, val) in [(addr::UART_TX, tx32), (addr::UART_STATUS, ready)] {
+        let hit = n.eq_const(apb.addr, reg);
+        rdata = n.mux(hit, val, rdata);
+    }
+    n.set_name(rdata, "apb_rdata");
+    n.pop_scope();
+    Uart { tx: tx.wire(), apb_rdata: rdata }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::Netlist;
+    use ssc_sim::Sim;
+
+    fn apb_fixture(n: &mut Netlist) -> ApbBus {
+        let wen = n.input("apb_wen", 1);
+        let addr = n.input("apb_addr", 32);
+        let wdata = n.input("apb_wdata", 32);
+        ApbBus { wen, addr, wdata }
+    }
+
+    fn apb_write(sim: &mut Sim, addr: u64, data: u64) {
+        sim.set_input("apb_wen", 1);
+        sim.set_input("apb_addr", addr);
+        sim.set_input("apb_wdata", data);
+        sim.step();
+        sim.set_input("apb_wen", 0);
+    }
+
+    #[test]
+    fn timer_counts_when_enabled() {
+        let mut n = Netlist::new("t");
+        let apb = apb_fixture(&mut n);
+        let hw_start = n.input("hw_start", 1);
+        let t = timer(&mut n, "timer", &apb, hw_start);
+        n.mark_output("count", t.count);
+        n.check().unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.step_n(3);
+        assert_eq!(sim.peek(t.count).val(), 0);
+        apb_write(&mut sim, addr::TIMER_CTRL, 1);
+        sim.step_n(5);
+        assert_eq!(sim.peek(t.count).val(), 5);
+        apb_write(&mut sim, addr::TIMER_CTRL, 0);
+        let v = sim.peek(t.count).val();
+        sim.step_n(4);
+        assert_eq!(sim.peek(t.count).val(), v);
+    }
+
+    #[test]
+    fn timer_hw_start_pulse_enables() {
+        let mut n = Netlist::new("t");
+        let apb = apb_fixture(&mut n);
+        let hw_start = n.input("hw_start", 1);
+        let t = timer(&mut n, "timer", &apb, hw_start);
+        n.mark_output("count", t.count);
+        n.check().unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("hw_start", 1);
+        sim.step();
+        sim.set_input("hw_start", 0);
+        sim.step_n(3);
+        assert_eq!(sim.peek(t.count).val(), 3);
+    }
+
+    #[test]
+    fn locked_timer_reads_zero_but_counts() {
+        let mut n = Netlist::new("t");
+        let apb = apb_fixture(&mut n);
+        let hw_start = n.input("hw_start", 1);
+        let t = timer(&mut n, "timer", &apb, hw_start);
+        n.mark_output("count", t.count);
+        n.mark_output("rdata", t.apb_rdata);
+        n.check().unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        apb_write(&mut sim, addr::TIMER_CTRL, 0b11); // enable + lock
+        sim.step_n(4);
+        sim.set_input("apb_addr", addr::TIMER_COUNT);
+        assert_eq!(sim.peek(t.apb_rdata).val(), 0, "locked read returns 0");
+        assert_eq!(sim.peek(t.count).val(), 4, "but the counter still runs");
+    }
+
+    #[test]
+    fn gpio_and_uart_hold_writes() {
+        let mut n = Netlist::new("t");
+        let apb = apb_fixture(&mut n);
+        let g = gpio(&mut n, "gpio", &apb);
+        let u = uart(&mut n, "uart", &apb);
+        n.mark_output("gpio_out", g.out);
+        n.mark_output("uart_tx", u.tx);
+        n.check().unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        apb_write(&mut sim, addr::GPIO_OUT, 0x55AA);
+        apb_write(&mut sim, addr::UART_TX, 0x41);
+        assert_eq!(sim.peek(g.out).val(), 0x55AA);
+        assert_eq!(sim.peek(u.tx).val(), 0x41);
+        sim.set_input("apb_addr", addr::UART_STATUS);
+        assert_eq!(sim.peek(u.apb_rdata).val(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Crossbar: round-robin arbitration of several masters onto one SRAM
+//! device.
+//!
+//! Contention is the heart of the paper's threat model: when two masters
+//! target the same device in the same cycle, exactly one is granted and the
+//! others stall. A spying IP (DMA, HWPE) observes the victim's accesses
+//! through these stalls.
+
+use ssc_netlist::{Bv, MemId, Netlist, StateMeta, Wire};
+
+use crate::bus::{word_index, MasterPort, MasterResp};
+
+/// Result of instantiating an SRAM behind an arbiter.
+#[derive(Clone, Debug)]
+pub struct SramXbar {
+    /// The memory device.
+    pub mem: MemId,
+    /// Per-master responses, aligned with the `masters` argument.
+    pub resps: Vec<MasterResp>,
+    /// 1 when more than one master requested this device in a cycle
+    /// (diagnostic/trace signal).
+    pub contention: Wire,
+}
+
+/// Builds an SRAM device of `words` words behind a round-robin arbiter for
+/// the given masters.
+///
+/// The arbiter grants exactly one requesting master per cycle, rotating
+/// priority after every grant. The SRAM has a single port: reads complete
+/// combinationally in the granted cycle, writes commit at the clock edge.
+///
+/// Masters are expected to pre-gate their `req` with the device select for
+/// this device (see [`MasterPort::gated`]).
+///
+/// # Panics
+///
+/// Panics if `masters` is empty or has more than 4 entries.
+pub fn sram_xbar(
+    n: &mut Netlist,
+    scope: &str,
+    masters: &[MasterPort],
+    words: u32,
+    mem_meta: StateMeta,
+) -> SramXbar {
+    assert!(!masters.is_empty() && masters.len() <= 4, "1..=4 masters supported");
+    n.push_scope(scope);
+
+    let m = masters.len();
+    let rr_bits = 2; // up to 4 masters
+    // Rotating priority pointer: the master *after* the last grantee has
+    // highest priority. Updated on every grant => transient interconnect
+    // state, not part of S_pers.
+    let rr = n.reg("arb.rr", rr_bits, Some(Bv::zero(rr_bits)), StateMeta::interconnect());
+
+    // For each possible rr value, a fixed priority chain; then select by rr.
+    let mut grant_opts: Vec<Vec<Wire>> = Vec::new(); // [rr_val][master]
+    for r in 0..m {
+        // Priority order: r+1, r+2, ..., r (mod m).
+        let mut grants = vec![n.lit(1, 0); m];
+        let mut taken = n.lit(1, 0);
+        for off in 1..=m {
+            let i = (r + off) % m;
+            let free = n.not(taken);
+            grants[i] = n.and(masters[i].req, free);
+            taken = n.or(taken, grants[i]);
+        }
+        grant_opts.push(grants);
+    }
+    let mut grants: Vec<Wire> = Vec::with_capacity(m);
+    for i in 0..m {
+        let opts: Vec<Wire> = (0..m).map(|r| grant_opts[r][i]).collect();
+        let g = n.select(rr.wire(), &opts);
+        n.set_name(g, &format!("gnt{i}"));
+        grants.push(g);
+    }
+
+    // rr' = index of grantee when any grant fired, else hold.
+    let any_grant = n.or_all(grants.iter().copied());
+    let mut grant_idx = n.lit(rr_bits, 0);
+    for (i, &g) in grants.iter().enumerate() {
+        let idx = n.lit(rr_bits, i as u64);
+        grant_idx = n.mux(g, idx, grant_idx);
+    }
+    let rr_next = n.mux(any_grant, grant_idx, rr.wire());
+    n.connect_reg(rr, rr_next);
+
+    // Muxed device-side signals.
+    let mut addr = n.lit(32, 0);
+    let mut wdata = n.lit(32, 0);
+    let mut we = n.lit(1, 0);
+    for (i, &g) in grants.iter().enumerate() {
+        addr = n.mux(g, masters[i].addr, addr);
+        wdata = n.mux(g, masters[i].wdata, wdata);
+        let w = n.and(masters[i].we, g);
+        we = n.or(we, w);
+    }
+
+    let mem = n.memory("ram", words, 32, mem_meta);
+    let idx = word_index(n, addr);
+    let wen = n.and(we, any_grant);
+    n.mem_write(mem, wen, idx, wdata);
+    let rdata = n.mem_read(mem, idx);
+    n.set_name(rdata, "rdata");
+
+    // Contention diagnostic: at least two simultaneous requests.
+    let mut pair_or = n.lit(1, 0);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let both = n.and(masters[i].req, masters[j].req);
+            pair_or = n.or(pair_or, both);
+        }
+    }
+    n.set_name(pair_or, "contention");
+
+    n.pop_scope();
+
+    let resps = grants
+        .iter()
+        .map(|&gnt| MasterResp { gnt, rdata })
+        .collect();
+    SramXbar { mem, resps, contention: pair_or }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::Netlist;
+    use ssc_sim::Sim;
+
+    /// Two-master fixture with input-driven ports.
+    fn fixture() -> (Netlist, SramXbar) {
+        let mut n = Netlist::new("xbar_t");
+        let mut masters = Vec::new();
+        for i in 0..2 {
+            let req = n.input(&format!("m{i}_req"), 1);
+            let addr = n.input(&format!("m{i}_addr"), 32);
+            let we = n.input(&format!("m{i}_we"), 1);
+            let wdata = n.input(&format!("m{i}_wdata"), 32);
+            masters.push(MasterPort { req, addr, we, wdata });
+        }
+        let x = sram_xbar(&mut n, "xbar", &masters, 16, StateMeta::memory(true));
+        for (i, r) in x.resps.iter().enumerate() {
+            n.mark_output(&format!("gnt{i}"), r.gnt);
+            n.mark_output(&format!("rdata{i}"), r.rdata);
+        }
+        n.mark_output("contention", x.contention);
+        n.check().unwrap();
+        (n, x)
+    }
+
+    #[test]
+    fn single_master_always_granted() {
+        let (n, x) = fixture();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("m0_req", 1);
+        sim.set_input("m0_addr", crate::addr::PUB_RAM_BASE + 8);
+        sim.set_input("m0_we", 1);
+        sim.set_input("m0_wdata", 0xAB);
+        assert_eq!(sim.peek(x.resps[0].gnt).val(), 1);
+        assert_eq!(sim.peek(x.contention).val(), 0);
+        sim.step();
+        assert_eq!(sim.read_mem(x.mem, 2).val(), 0xAB);
+        // Read it back.
+        sim.set_input("m0_we", 0);
+        assert_eq!(sim.peek(x.resps[0].rdata).val(), 0xAB);
+    }
+
+    #[test]
+    fn contention_grants_exactly_one() {
+        let (n, x) = fixture();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("m0_req", 1);
+        sim.set_input("m1_req", 1);
+        sim.set_input("m0_addr", 0);
+        sim.set_input("m1_addr", 4);
+        let g0 = sim.peek(x.resps[0].gnt).val();
+        let g1 = sim.peek(x.resps[1].gnt).val();
+        assert_eq!(g0 + g1, 1, "exactly one grant under contention");
+        assert_eq!(sim.peek(x.contention).val(), 1);
+    }
+
+    #[test]
+    fn round_robin_alternates_under_contention() {
+        let (n, x) = fixture();
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_input("m0_req", 1);
+        sim.set_input("m1_req", 1);
+        let mut grants = Vec::new();
+        for _ in 0..6 {
+            let g0 = sim.peek(x.resps[0].gnt).is_true();
+            grants.push(usize::from(!g0));
+            sim.step();
+        }
+        // Fair alternation: 0,1,0,1,... or 1,0,1,0,...
+        for w in grants.windows(2) {
+            assert_ne!(w[0], w[1], "round robin must alternate: {grants:?}");
+        }
+    }
+
+    #[test]
+    fn no_starvation_with_three_masters() {
+        let mut n = Netlist::new("xbar3");
+        let mut masters = Vec::new();
+        for i in 0..3 {
+            let req = n.input(&format!("m{i}_req"), 1);
+            let addr = n.lit(32, 0);
+            let we = n.lit(1, 0);
+            let wdata = n.lit(32, 0);
+            masters.push(MasterPort { req, addr, we, wdata });
+        }
+        let x = sram_xbar(&mut n, "xbar", &masters, 4, StateMeta::memory(false));
+        for (i, r) in x.resps.iter().enumerate() {
+            n.mark_output(&format!("gnt{i}"), r.gnt);
+        }
+        n.check().unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        for i in 0..3 {
+            sim.set_input(&format!("m{i}_req"), 1);
+        }
+        let mut counts = [0u32; 3];
+        for _ in 0..30 {
+            for (i, count) in counts.iter_mut().enumerate() {
+                if sim.peek(x.resps[i].gnt).is_true() {
+                    *count += 1;
+                }
+            }
+            sim.step();
+        }
+        assert_eq!(counts, [10, 10, 10], "perfect fairness under full load");
+    }
+
+    #[test]
+    fn write_does_not_commit_without_grant() {
+        let (n, x) = fixture();
+        let mut sim = Sim::new(&n).unwrap();
+        // m1 writes while m0 also requests; if m0 wins, m1's write must not
+        // land this cycle.
+        sim.set_input("m0_req", 1);
+        sim.set_input("m0_addr", 0);
+        sim.set_input("m1_req", 1);
+        sim.set_input("m1_addr", 12);
+        sim.set_input("m1_we", 1);
+        sim.set_input("m1_wdata", 0x77);
+        let g1 = sim.peek(x.resps[1].gnt).is_true();
+        sim.step();
+        let committed = sim.read_mem(x.mem, 3).val() == 0x77;
+        assert_eq!(committed, g1, "write commits iff granted");
+    }
+}

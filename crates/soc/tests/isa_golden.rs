@@ -1,0 +1,211 @@
+//! ISA golden tests: every supported RV32I instruction executed on the full
+//! SoC (through the real fetch/decode/bus path) against reference results.
+
+use ssc_soc::asm::{Asm, Reg};
+use ssc_soc::{addr, Soc, SocConfig, SocSim};
+
+fn run(prog: &Asm) -> SimResult {
+    // Build a fresh SoC per run (cheap) so tests are independent.
+    let soc = Soc::build(SocConfig::sim());
+    let mut h = SocSim::new(&soc);
+    h.load_program(0, prog);
+    h.switch_to(0);
+    h.run_until_halt(2_000).expect("program must halt");
+    let mut regs = [0u64; 16];
+    for (i, slot) in regs.iter_mut().enumerate().skip(1) {
+        *slot = h.reg(reg_from(i));
+    }
+    SimResult { regs, cycles: h.cycle() }
+}
+
+struct SimResult {
+    regs: [u64; 16],
+    cycles: u64,
+}
+
+fn reg_from(i: usize) -> Reg {
+    use Reg::*;
+    [X0, X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12, X13, X14, X15][i]
+}
+
+#[test]
+fn slt_sltu_signed_vs_unsigned() {
+    let mut a = Asm::new();
+    a.addi(Reg::X1, Reg::X0, -5);
+    a.addi(Reg::X2, Reg::X0, 3);
+    a.slt(Reg::X3, Reg::X1, Reg::X2); // -5 < 3 signed: 1
+    a.sltu(Reg::X4, Reg::X1, Reg::X2); // 0xFFFF_FFFB < 3 unsigned: 0
+    a.slti(Reg::X5, Reg::X1, 0); // -5 < 0: 1
+    a.sltiu(Reg::X6, Reg::X2, 4); // 3 < 4: 1
+    a.ebreak();
+    let r = run(&a);
+    assert_eq!(r.regs[3], 1);
+    assert_eq!(r.regs[4], 0);
+    assert_eq!(r.regs[5], 1);
+    assert_eq!(r.regs[6], 1);
+}
+
+#[test]
+fn shift_right_arithmetic_preserves_sign() {
+    let mut a = Asm::new();
+    a.li(Reg::X1, 0x8000_0040);
+    a.srai(Reg::X2, Reg::X1, 4); // 0xF800_0004
+    a.srli(Reg::X3, Reg::X1, 4); // 0x0800_0004
+    a.addi(Reg::X4, Reg::X0, 4);
+    a.sra(Reg::X5, Reg::X1, Reg::X4);
+    a.srl(Reg::X6, Reg::X1, Reg::X4);
+    a.sll(Reg::X7, Reg::X1, Reg::X4); // 0x0000_0400
+    a.ebreak();
+    let r = run(&a);
+    assert_eq!(r.regs[2], 0xF800_0004);
+    assert_eq!(r.regs[3], 0x0800_0004);
+    assert_eq!(r.regs[5], 0xF800_0004);
+    assert_eq!(r.regs[6], 0x0800_0004);
+    assert_eq!(r.regs[7], 0x0000_0400);
+}
+
+#[test]
+fn bge_and_bgeu_branches() {
+    let mut a = Asm::new();
+    a.addi(Reg::X1, Reg::X0, -1);
+    a.addi(Reg::X2, Reg::X0, 1);
+    a.addi(Reg::X3, Reg::X0, 0);
+    a.addi(Reg::X4, Reg::X0, 0);
+    // signed: -1 >= 1 is false -> not taken
+    a.bge(Reg::X1, Reg::X2, "sk1");
+    a.addi(Reg::X3, Reg::X0, 1); // executed
+    a.label("sk1");
+    // unsigned: 0xFFFFFFFF >= 1 -> taken
+    a.bgeu(Reg::X1, Reg::X2, "sk2");
+    a.addi(Reg::X4, Reg::X0, 1); // skipped
+    a.label("sk2");
+    a.ebreak();
+    let r = run(&a);
+    assert_eq!(r.regs[3], 1, "BGE not taken for signed -1 >= 1");
+    assert_eq!(r.regs[4], 0, "BGEU taken for unsigned max >= 1");
+}
+
+#[test]
+fn negative_load_store_offsets() {
+    let mut a = Asm::new();
+    a.li(Reg::X1, (addr::PUB_RAM_BASE + 0x40) as u32);
+    a.addi(Reg::X2, Reg::X0, 0x77);
+    a.sw(Reg::X1, Reg::X2, -4); // store at base - 4
+    a.lw(Reg::X3, Reg::X1, -4);
+    a.sw(Reg::X1, Reg::X2, 8);
+    a.lw(Reg::X4, Reg::X1, 8);
+    a.ebreak();
+    let r = run(&a);
+    assert_eq!(r.regs[3], 0x77);
+    assert_eq!(r.regs[4], 0x77);
+}
+
+#[test]
+fn back_to_back_loads_have_no_hazard() {
+    // The 2-stage pipeline completes each instruction before the next
+    // enters EX: a load's result is usable immediately.
+    let mut a = Asm::new();
+    a.li(Reg::X1, (addr::PUB_RAM_BASE + 0x80) as u32);
+    a.addi(Reg::X2, Reg::X0, 21);
+    a.sw(Reg::X1, Reg::X2, 0);
+    a.lw(Reg::X3, Reg::X1, 0);
+    a.add(Reg::X4, Reg::X3, Reg::X3); // uses the load result immediately
+    a.ebreak();
+    let r = run(&a);
+    assert_eq!(r.regs[4], 42);
+}
+
+#[test]
+fn memory_access_latency_is_deterministic_without_contention() {
+    // Same program, same cycle count across runs — determinism is the
+    // baseline the timing side channel deviates from.
+    let mut a = Asm::new();
+    a.li(Reg::X1, addr::PUB_RAM_BASE as u32);
+    for i in 0..8 {
+        a.lw(Reg::X2, Reg::X1, i * 4);
+    }
+    a.ebreak();
+    let c1 = run(&a).cycles;
+    let c2 = run(&a).cycles;
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn dma_contention_stalls_the_cpu_measurably() {
+    // The flip side of the attack: the CPU's own latency grows under DMA
+    // load — the contention is symmetric.
+    let soc = Soc::build(SocConfig::sim());
+
+    let mut prog = Asm::new();
+    // Start the DMA (32-word copy), then hammer the same device.
+    prog.li(Reg::X1, addr::DMA_BASE as u32);
+    prog.li(Reg::X2, (addr::PUB_RAM_BASE + 0x200) as u32);
+    prog.sw(Reg::X1, Reg::X2, 0);
+    prog.li(Reg::X2, (addr::PUB_RAM_BASE + 0x300) as u32);
+    prog.sw(Reg::X1, Reg::X2, 4);
+    prog.addi(Reg::X2, Reg::X0, 32);
+    prog.sw(Reg::X1, Reg::X2, 8);
+    prog.addi(Reg::X2, Reg::X0, 1);
+    prog.sw(Reg::X1, Reg::X2, 12);
+    prog.li(Reg::X3, addr::PUB_RAM_BASE as u32);
+    for i in 0..8 {
+        prog.lw(Reg::X4, Reg::X3, i * 4);
+    }
+    prog.ebreak();
+
+    let mut with_dma = SocSim::new(&soc);
+    with_dma.load_program(0, &prog);
+    with_dma.switch_to(0);
+    let contended = with_dma.run_until_halt(2_000).unwrap();
+
+    // Same loads without starting the DMA.
+    let mut calm = Asm::new();
+    calm.li(Reg::X1, addr::DMA_BASE as u32); // same preamble length, no start
+    calm.li(Reg::X2, (addr::PUB_RAM_BASE + 0x200) as u32);
+    calm.sw(Reg::X1, Reg::X2, 0);
+    calm.li(Reg::X2, (addr::PUB_RAM_BASE + 0x300) as u32);
+    calm.sw(Reg::X1, Reg::X2, 4);
+    calm.addi(Reg::X2, Reg::X0, 32);
+    calm.sw(Reg::X1, Reg::X2, 8);
+    calm.addi(Reg::X2, Reg::X0, 0); // start bit clear
+    calm.sw(Reg::X1, Reg::X2, 12);
+    calm.li(Reg::X3, addr::PUB_RAM_BASE as u32);
+    for i in 0..8 {
+        calm.lw(Reg::X4, Reg::X3, i * 4);
+    }
+    calm.ebreak();
+
+    let mut without_dma = SocSim::new(&soc);
+    without_dma.load_program(0, &calm);
+    without_dma.switch_to(0);
+    let baseline = without_dma.run_until_halt(2_000).unwrap();
+
+    assert!(
+        contended > baseline,
+        "DMA contention must stall the CPU: {contended} vs {baseline}"
+    );
+}
+
+#[test]
+fn deep_loop_touches_every_word() {
+    // A memset loop across the whole public RAM, validating sustained
+    // store traffic and loop branching.
+    let soc = Soc::build(SocConfig::sim());
+    let mut a = Asm::new();
+    a.li(Reg::X1, addr::PUB_RAM_BASE as u32);
+    a.addi(Reg::X2, Reg::X0, 64);
+    a.addi(Reg::X3, Reg::X0, 0x3C);
+    a.label("loop");
+    a.sw(Reg::X1, Reg::X3, 0);
+    a.addi(Reg::X1, Reg::X1, 4);
+    a.addi(Reg::X2, Reg::X2, -1);
+    a.bne(Reg::X2, Reg::X0, "loop");
+    a.ebreak();
+    let mut h = SocSim::new(&soc);
+    h.load_program(0, &a);
+    h.switch_to(0);
+    h.run_until_halt(2_000).unwrap();
+    for i in 0..64 {
+        assert_eq!(h.pub_word(i), 0x3C, "word {i}");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end BUSted-style attacks on the simulated SoC: both the DMA+timer
+//! channel (paper Fig. 1) and the timer-free HWPE+memory channel (paper
+//! Sec. 4.1), with the victim's secret access count recovered by actual
+//! RV32I attacker code.
+//!
+//! ```sh
+//! cargo run --release --example busted_attack
+//! ```
+
+use mcu_ssc::attacks::leak::sweep;
+use mcu_ssc::attacks::scenarios::{Channel, VictimConfig};
+use mcu_ssc::soc::Soc;
+
+fn main() {
+    let soc = Soc::sim_view();
+
+    println!("=== DMA + timer attack (Fig. 1) =========================");
+    println!("victim data in PUBLIC memory, timer available\n");
+    let report = sweep(&soc, Channel::DmaTimer, VictimConfig::in_public, 12, false);
+    println!("  n (actual)   timer obs   recovered");
+    for p in &report.points {
+        println!("  {:>10}   {:>9}   {:>9}", p.actual, p.observation, p.recovered);
+    }
+    println!(
+        "  exact accuracy {:.0}%, {} distinguishable values, {:.1} bits/tick\n",
+        report.exact_accuracy() * 100.0,
+        report.distinguishable(),
+        report.bits_per_window()
+    );
+
+    println!("=== Timer denied (lock bit set by the OS) ===============");
+    let locked = sweep(&soc, Channel::DmaTimer, VictimConfig::in_public, 6, true);
+    println!(
+        "  timer channel now distinguishes {} value(s) — closed\n",
+        locked.distinguishable()
+    );
+
+    println!("=== HWPE + memory attack (Sec. 4.1, NO timer) ===========");
+    println!("attacker primes a region with zeros; the accelerator's write");
+    println!("frontier after the victim's tick encodes the access count\n");
+    let mem = sweep(&soc, Channel::HwpeMemory, VictimConfig::in_public, 12, true);
+    println!("  n (actual)   frontier    recovered");
+    for p in &mem.points {
+        println!("  {:>10}   {:>9}   {:>9}", p.actual, p.observation, p.recovered);
+    }
+    println!(
+        "  ±1 accuracy {:.0}%, {} distinguishable values — timer denial useless\n",
+        mem.near_accuracy() * 100.0,
+        mem.distinguishable()
+    );
+
+    println!("=== Countermeasure: victim data in PRIVATE memory =======");
+    let fixed_t = sweep(&soc, Channel::DmaTimer, VictimConfig::in_private, 8, false);
+    let fixed_m = sweep(&soc, Channel::HwpeMemory, VictimConfig::in_private, 8, false);
+    println!(
+        "  timer channel: {} distinguishable value(s); memory channel: {}",
+        fixed_t.distinguishable(),
+        fixed_m.distinguishable()
+    );
+    println!("  both channels flat — the paper's fix works in simulation too");
+}

@@ -1,0 +1,72 @@
+//! # mcu-ssc — MCU-wide timing side channels and their detection
+//!
+//! A full-stack Rust reproduction of *MCU-Wide Timing Side Channels and
+//! Their Detection* (DAC 2024): the **UPEC-SSC** formal method, the
+//! Pulpissimo-style SoC it is evaluated on, the BUSted-style attacks it
+//! detects, and every substrate in between — netlist IR, cycle-accurate
+//! simulator, CDCL SAT solver, AIG bit-blaster and interval property
+//! checker, all implemented from scratch.
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate | Re-exported as |
+//! |---|---|---|
+//! | RTL netlist IR | `ssc-netlist` | [`netlist`] |
+//! | Cycle-accurate simulator | `ssc-sim` | [`sim`] |
+//! | CDCL SAT solver | `ssc-sat` | [`sat`] |
+//! | AIG + bit-blasting | `ssc-aig` | [`aig`] |
+//! | Interval property checking | `ssc-ipc` | [`ipc`] |
+//! | **UPEC-SSC (the paper)** | `upec-ssc` | [`upec`] |
+//! | Pulpissimo-style SoC | `ssc-soc` | [`soc`] |
+//! | Executable attacks | `ssc-attacks` | [`attacks`] |
+//! | IFT baseline | `ssc-ift` | [`ift`] |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mcu_ssc::soc::Soc;
+//! use mcu_ssc::upec::{UpecAnalysis, UpecSpec};
+//!
+//! // Build the SoC's verification view (the CPU replaced by a free port).
+//! let soc = Soc::verification_view();
+//!
+//! // Detect the timing side channel of the shared-memory configuration...
+//! let analysis = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+//! assert!(analysis.alg1().is_vulnerable());
+//!
+//! // ...and prove the private-memory countermeasure secure.
+//! let fixed = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+//! assert!(fixed.alg1().is_secure());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end demonstrations and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+#![warn(missing_docs)]
+
+/// The word-level RTL netlist IR (`ssc-netlist`).
+pub use ssc_netlist as netlist;
+
+/// The cycle-accurate simulator (`ssc-sim`).
+pub use ssc_sim as sim;
+
+/// The CDCL SAT solver (`ssc-sat`).
+pub use ssc_sat as sat;
+
+/// And-Inverter Graphs and bit-blasting (`ssc-aig`).
+pub use ssc_aig as aig;
+
+/// Interval property checking (`ssc-ipc`).
+pub use ssc_ipc as ipc;
+
+/// UPEC-SSC — the paper's contribution (`upec-ssc`).
+pub use upec_ssc as upec;
+
+/// The Pulpissimo-style SoC (`ssc-soc`).
+pub use ssc_soc as soc;
+
+/// Executable timing side-channel attacks (`ssc-attacks`).
+pub use ssc_attacks as attacks;
+
+/// The information-flow-tracking baseline (`ssc-ift`).
+pub use ssc_ift as ift;

@@ -1,0 +1,90 @@
+//! Cross-crate end-to-end tests: the full pipeline from SoC generation
+//! through formal detection, countermeasure proof and counterexample
+//! replay — the repository's headline claims as assertions.
+
+use mcu_ssc::netlist::analysis;
+use mcu_ssc::soc::{Soc, SocConfig};
+use mcu_ssc::upec::{replay_on_simulator, UpecAnalysis, UpecSpec, Verdict};
+
+#[test]
+fn headline_vulnerable_then_fixed() {
+    let soc = Soc::verification_view();
+
+    // Shared-memory configuration: vulnerable.
+    let vuln = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    let verdict = vuln.alg1();
+    assert!(verdict.is_vulnerable(), "{verdict}");
+
+    // Private-memory countermeasure: secure, with inductive constraints.
+    let fixed = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_fixed()).unwrap();
+    fixed.prove_constraints_inductive().unwrap();
+    let verdict = fixed.alg1();
+    assert!(verdict.is_secure(), "{verdict}");
+}
+
+#[test]
+fn hwpe_memory_counterexample_has_attack_shape() {
+    // The Sec. 4.1 scenario: the counterexample must (a) be triggered by an
+    // asymmetric protected access, (b) land in a public memory word, and
+    // (c) replay concretely on the RTL simulator.
+    let soc = Soc::verification_view();
+    let an =
+        UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable_hwpe_memory()).unwrap();
+    let Verdict::Vulnerable(report) = an.alg2() else {
+        panic!("expected the HWPE/memory channel to be found");
+    };
+    let cex = &report.cex;
+    assert!(
+        cex.trace.iter().any(|c| c.port_a.protected != c.port_b.protected),
+        "asymmetric protected access expected:\n{cex}"
+    );
+    assert!(
+        cex.persistent_diffs().any(|d| d.name.starts_with("pub_xbar.ram[")),
+        "persistent medium must be the shared memory:\n{cex}"
+    );
+    replay_on_simulator(&an, cex).expect("counterexample must replay");
+}
+
+#[test]
+fn verification_view_matches_sim_view_fabric() {
+    // Both views are generated from the same constructors; their fabric
+    // state (everything except the CPU) must be identical.
+    let sim_view = Soc::build(SocConfig { with_cpu: true, ..SocConfig::verification() });
+    let ver_view = Soc::verification_view();
+    let fabric = |soc: &Soc| -> Vec<(String, u64)> {
+        analysis::state_elements(&soc.netlist)
+            .into_iter()
+            .filter(|e| e.meta.kind != mcu_ssc::netlist::StateKind::CpuInternal)
+            .map(|e| (e.name, e.bits))
+            .collect()
+    };
+    assert_eq!(fabric(&sim_view), fabric(&ver_view));
+}
+
+#[test]
+fn textual_netlist_roundtrip_preserves_verdicts() {
+    // Serialize the verification view through the textual format and
+    // re-run the analysis on the parsed netlist: the verdict must match.
+    let soc = Soc::verification_view();
+    let text = mcu_ssc::netlist::text::emit(&soc.netlist);
+    let parsed = mcu_ssc::netlist::text::parse(&text).expect("emitted netlists parse");
+    parsed.check().unwrap();
+    let an = UpecAnalysis::new(&parsed, UpecSpec::soc_vulnerable()).unwrap();
+    assert!(an.alg1().is_vulnerable());
+}
+
+#[test]
+fn quiescing_all_ips_makes_the_shared_layout_secure() {
+    // With every spying IP quiescent and the timer denied, nothing can
+    // record the victim's timing: the otherwise-vulnerable layout verifies.
+    // (The attack needs an *active* recorder during the victim's tick.)
+    let soc = Soc::verification_view();
+    let mut spec = UpecSpec::soc_vulnerable();
+    spec.quiesced_ips = vec!["dma.busy".into(), "hwpe.busy".into()];
+    let an = UpecAnalysis::new(&soc.netlist, spec).unwrap();
+    let verdict = an.alg1();
+    assert!(
+        verdict.is_secure(),
+        "no active spy => no recording medium: {verdict}"
+    );
+}
