@@ -1,20 +1,54 @@
 //! Tseitin transformation of AIG cones into a SAT solver.
 
-use std::collections::HashMap;
-
 use crate::{Aig, AigNode, AigRef};
 use ssc_sat::{Lit, Solver, Var};
+
+/// Why a model value could not be produced (see [`CnfEncoder::model_word`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// The node was never Tseitin-encoded into the solver, so no variable
+    /// exists for it at all. Encode it (e.g. via [`CnfEncoder::lit_of`])
+    /// *before* the solve whose model you want to read.
+    NotEncoded,
+    /// The node is encoded, but its variable has no value in the most
+    /// recent model — it was created *after* that model's solve call.
+    /// The past model cannot be extended retroactively; re-solve first.
+    NotInModel,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NotEncoded => write!(f, "AIG node was never encoded into the solver"),
+            ModelError::NotInModel => {
+                write!(f, "AIG node was encoded after the model-producing solve")
+            }
+        }
+    }
+}
+
+/// Sentinel in the node→var table for "not yet encoded".
+const NO_VAR: u32 = u32::MAX;
 
 /// Incrementally encodes AIG nodes into solver clauses.
 ///
 /// Nodes are encoded on demand ([`CnfEncoder::lit_of`]) so only the cone of
 /// influence of queried references enters the solver. The encoder keeps a
-/// node→variable map across calls; already-encoded nodes are reused, which
+/// node→variable table across calls; already-encoded nodes are reused, which
 /// makes repeated property checks over the same unrolling incremental.
+///
+/// The table is a dense `Vec` indexed by AIG node id (node ids are allocated
+/// contiguously), so the per-node lookup on the encoding hot path is one
+/// bounds-checked load instead of a hash probe.
 #[derive(Debug, Default)]
 pub struct CnfEncoder {
-    map: HashMap<u32, Var>,
-    const_var: Option<Var>,
+    /// Node id → solver variable index, [`NO_VAR`] when unencoded.
+    map: Vec<u32>,
+    /// Number of encoded nodes (entries of `map` that are not [`NO_VAR`]).
+    encoded: usize,
+    /// Scratch stack for the iterative cone DFS (kept to avoid reallocation
+    /// across the many `lit_of` calls of an incremental session).
+    stack: Vec<u32>,
 }
 
 impl CnfEncoder {
@@ -24,8 +58,31 @@ impl CnfEncoder {
     }
 
     /// Number of AIG nodes encoded so far.
+    ///
+    /// This is the counter behind the per-iteration `encoded_delta` proof
+    /// obligation of the incremental UPEC-SSC engine: snapshotting it before
+    /// and after a check bounds how much new encoding work the check cost.
     pub fn encoded_nodes(&self) -> usize {
-        self.map.len()
+        self.encoded
+    }
+
+    #[inline]
+    fn lookup(&self, node: u32) -> Option<Var> {
+        match self.map.get(node as usize) {
+            Some(&v) if v != NO_VAR => Some(Var::from_index(v as usize)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, node: u32, var: Var) {
+        let idx = node as usize;
+        if self.map.len() <= idx {
+            self.map.resize(idx + 1, NO_VAR);
+        }
+        debug_assert_eq!(self.map[idx], NO_VAR);
+        self.map[idx] = var.index() as u32;
+        self.encoded += 1;
     }
 
     /// The solver literal equivalent to AIG reference `r`, adding Tseitin
@@ -41,78 +98,82 @@ impl CnfEncoder {
     }
 
     fn var_of(&mut self, solver: &mut Solver, aig: &Aig, node: u32) -> Var {
-        if let Some(&v) = self.map.get(&node) {
+        if let Some(v) = self.lookup(node) {
             return v;
         }
         // Iterative DFS: encode fan-in before the gate itself.
-        let mut stack = vec![node];
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(node);
         while let Some(&n) = stack.last() {
-            if self.map.contains_key(&n) {
+            if self.lookup(n).is_some() {
                 stack.pop();
                 continue;
             }
             match *aig.node_kind(n) {
                 AigNode::Const => {
-                    let v = match self.const_var {
-                        Some(v) => v,
-                        None => {
-                            let v = solver.new_var();
-                            // The constant node is FALSE in plain polarity.
-                            solver.add_clause([v.neg()]);
-                            self.const_var = Some(v);
-                            v
-                        }
-                    };
-                    self.map.insert(n, v);
+                    let v = solver.new_var();
+                    // The constant node is FALSE in plain polarity.
+                    solver.add_clause([v.neg()]);
+                    self.record(n, v);
                     stack.pop();
                 }
                 AigNode::Input(_) => {
                     let v = solver.new_var();
-                    self.map.insert(n, v);
+                    self.record(n, v);
                     stack.pop();
                 }
                 AigNode::And(a, b) => {
-                    let need_a = !self.map.contains_key(&a.node());
-                    let need_b = !self.map.contains_key(&b.node());
-                    if need_a {
+                    let va = self.lookup(a.node());
+                    let vb = self.lookup(b.node());
+                    if va.is_none() {
                         stack.push(a.node());
                     }
-                    if need_b {
+                    if vb.is_none() {
                         stack.push(b.node());
                     }
-                    if need_a || need_b {
+                    let (Some(va), Some(vb)) = (va, vb) else {
                         continue;
-                    }
+                    };
                     stack.pop();
-                    let va = self.map[&a.node()].lit(a.is_compl());
-                    let vb = self.map[&b.node()].lit(b.is_compl());
+                    let la = va.lit(a.is_compl());
+                    let lb = vb.lit(b.is_compl());
                     let z = solver.new_var();
-                    // z <-> va & vb
-                    solver.add_clause([z.neg(), va]);
-                    solver.add_clause([z.neg(), vb]);
-                    solver.add_clause([!va, !vb, z.pos()]);
-                    self.map.insert(n, z);
+                    // z <-> la & lb
+                    solver.add_clause([z.neg(), la]);
+                    solver.add_clause([z.neg(), lb]);
+                    solver.add_clause([!la, !lb, z.pos()]);
+                    self.record(n, z);
                 }
             }
         }
-        self.map[&node]
+        self.stack = stack;
+        self.lookup(node).expect("cone DFS encodes the root")
     }
 
-    /// Evaluates an already-encoded word in the solver's current model.
-    /// Returns `None` if the word contains a node that was never encoded or
-    /// the model lacks an assignment.
-    pub fn model_word(&self, solver: &Solver, word: &[AigRef]) -> Option<u64> {
+    /// Evaluates an already-encoded word in the solver's most recent model.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::NotEncoded`] if a node of the word was never encoded
+    ///   (encode via [`CnfEncoder::lit_of`]/[`CnfEncoder::lits_of`] *before*
+    ///   the solve),
+    /// - [`ModelError::NotInModel`] if a node was encoded only after the
+    ///   model-producing solve, so the stored model has no value for it.
+    pub fn model_word(&self, solver: &Solver, word: &[AigRef]) -> Result<u64, ModelError> {
         let mut out = 0u64;
         for (i, r) in word.iter().enumerate() {
             let v = if r.is_const() {
                 r.const_value()
             } else {
-                let var = self.map.get(&r.node())?;
-                solver.model_value(var.lit(r.is_compl()))?
+                let var = self.lookup(r.node()).ok_or(ModelError::NotEncoded)?;
+                solver
+                    .model_value(var.lit(r.is_compl()))
+                    .ok_or(ModelError::NotInModel)?
             };
             out |= u64::from(v) << i;
         }
-        Some(out)
+        Ok(out)
     }
 }
 
@@ -220,5 +281,33 @@ mod tests {
         let n1 = cnf.encoded_nodes();
         let _ = cnf.lit_of(&mut solver, &aig, x.not());
         assert_eq!(cnf.encoded_nodes(), n1, "re-query must not re-encode");
+    }
+
+    #[test]
+    fn model_errors_distinguish_unencoded_from_stale() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let mut solver = Solver::new();
+        let mut cnf = CnfEncoder::new();
+        let la = cnf.lit_of(&mut solver, &aig, a);
+        solver.add_clause([la]);
+
+        // Before any solve there is no model at all.
+        assert_eq!(cnf.model_word(&solver, &[a]), Err(ModelError::NotInModel));
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(cnf.model_word(&solver, &[a]), Ok(1));
+
+        // `b` was never encoded: NotEncoded.
+        assert_eq!(cnf.model_word(&solver, &[b]), Err(ModelError::NotEncoded));
+
+        // Encoding `b` *after* the solve yields NotInModel until re-solved.
+        let _ = cnf.lit_of(&mut solver, &aig, b);
+        assert_eq!(cnf.model_word(&solver, &[b]), Err(ModelError::NotInModel));
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert!(cnf.model_word(&solver, &[b]).is_ok());
+
+        // Constants never need encoding.
+        assert_eq!(cnf.model_word(&solver, &[AigRef::TRUE]), Ok(1));
     }
 }

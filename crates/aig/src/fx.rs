@@ -1,0 +1,84 @@
+//! A fast, non-cryptographic hasher for the encoding hot paths.
+//!
+//! `std`'s default SipHash shows up prominently in profiles of
+//! [`crate::Aig::and`] (structural hashing performs one lookup per gate
+//! construction, and unrolling a SoC product builds millions of gates).
+//! This is the FxHash algorithm used by rustc: multiply-xor over machine
+//! words. It is not DoS-resistant, which is irrelevant here — keys are
+//! internal node indices, not attacker-controlled data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-Fx hashing state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::FxHashMap;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&i));
+        }
+        assert_eq!(m.get(&(1000, 1)), None);
+    }
+}

@@ -31,10 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod cnf;
+pub mod fx;
 pub mod lower;
 pub mod words;
 
-use std::collections::HashMap;
+use fx::FxHashMap;
 
 /// A reference to an AIG node with a complement bit: `node << 1 | compl`.
 ///
@@ -43,6 +44,9 @@ use std::collections::HashMap;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct AigRef(u32);
 
+// `not` flips the complement bit by value; `AigRef` deliberately keeps the
+// AIG-literature name instead of implementing `std::ops::Not`.
+#[allow(clippy::should_implement_trait)]
 impl AigRef {
     /// Constant false.
     pub const FALSE: AigRef = AigRef(0);
@@ -107,7 +111,9 @@ pub(crate) enum AigNode {
 pub struct Aig {
     nodes: Vec<AigNode>,
     inputs: Vec<u32>,
-    strash: HashMap<(u32, u32), u32>,
+    /// Structural-hash table; Fx-hashed because this lookup dominates gate
+    /// construction (one probe per [`Aig::and`]).
+    strash: FxHashMap<(u32, u32), u32>,
 }
 
 impl Default for Aig {
@@ -119,7 +125,7 @@ impl Default for Aig {
 impl Aig {
     /// Creates an AIG containing only the constant node.
     pub fn new() -> Self {
-        Aig { nodes: vec![AigNode::Const], inputs: Vec::new(), strash: HashMap::new() }
+        Aig { nodes: vec![AigNode::Const], inputs: Vec::new(), strash: FxHashMap::default() }
     }
 
     /// Total number of nodes (constant + inputs + AND gates).

@@ -335,7 +335,7 @@ mod tests {
         let mut bits = vec![true]; // en
         bits.extend([false, true]); // addr = 2
         bits.extend([false, true, false, true]); // data = 0xA
-        bits.extend(std::iter::repeat(false).take(16)); // mem state zeros
+        bits.extend(std::iter::repeat_n(false, 16)); // mem state zeros
         let word2 = &out.next_mems[&mem][2];
         let word1 = &out.next_mems[&mem][1];
         let mut q = word2.clone();

@@ -138,8 +138,8 @@ proptest! {
     }
 }
 
-/// Register chains: the AIG next-state function iterated k times must equal
-/// the simulator stepped k times.
+// Register chains: the AIG next-state function iterated k times must equal
+// the simulator stepped k times.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

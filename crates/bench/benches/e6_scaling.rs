@@ -1,10 +1,13 @@
-//! E6: scalability — proof effort versus design state bits.
+//! E6: scalability — proof effort versus design state bits, plus the
+//! persistent-session-vs-fresh-session engine comparison. Emits
+//! `BENCH_e6_scaling.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssc_soc::{Soc, SocConfig};
 use upec_ssc::{UpecAnalysis, UpecSpec};
 
 fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
     let mut g = c.benchmark_group("e6_scaling");
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
@@ -17,15 +20,45 @@ fn bench(c: &mut Criterion) {
                 assert!(an.alg1().is_vulnerable());
             })
         });
+        g.bench_with_input(BenchmarkId::new("alg2_incremental", words), &soc, |b, soc| {
+            b.iter(|| {
+                let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+                assert!(an.alg2().is_vulnerable());
+            })
+        });
     }
     g.finish();
 
+    // The perf record: scaling series + incremental-vs-fresh at the largest
+    // configured size (smaller sizes in smoke mode to keep CI fast).
+    let (sizes, cmp_words): (&[u32], u32) = if smoke { (&[8], 8) } else { (&[8, 16, 32], 32) };
+    let points = ssc_bench::e6_scaling(sizes);
     println!("\n[e6] words -> (state bits, detect, prove):");
-    for p in ssc_bench::e6_scaling(&[8, 16, 32]) {
+    for p in &points {
         println!(
             "[e6]   {:>3} words: {:>6} bits, detect {:?}, prove {:?}",
             p.words, p.state_bits, p.detect, p.prove
         );
+    }
+    let comparisons = vec![
+        ssc_bench::compare_alg2_engines("vulnerable", UpecSpec::soc_vulnerable(), cmp_words),
+        ssc_bench::compare_alg2_engines("fixed", UpecSpec::soc_fixed(), cmp_words),
+    ];
+    for cmp in &comparisons {
+        println!(
+            "[e6]   alg2 {} @ {} words: incremental {:?} vs fresh {:?} ({:.2}x, max window {})",
+            cmp.config,
+            cmp.words,
+            cmp.incremental.runtime,
+            cmp.fresh.runtime,
+            cmp.speedup(),
+            cmp.max_window()
+        );
+    }
+    let json = ssc_bench::perf::e6_json(&points, &comparisons);
+    match ssc_bench::perf::write_record("e6_scaling", &json) {
+        Ok(path) => println!("[e6] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e6] could not write perf record: {e}"),
     }
 }
 

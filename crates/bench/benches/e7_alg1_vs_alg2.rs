@@ -1,10 +1,13 @@
-//! E7: the 2-cycle fixpoint (Alg. 1) versus the unrolled procedure (Alg. 2).
+//! E7: the 2-cycle fixpoint (Alg. 1) versus the unrolled procedure
+//! (Alg. 2), plus the persistent-session-vs-fresh-session comparison.
+//! Emits `BENCH_e7_alg1_vs_alg2.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssc_soc::Soc;
 use upec_ssc::{UpecAnalysis, UpecSpec};
 
 fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
     let soc = Soc::verification_view();
     let mut g = c.benchmark_group("e7_alg1_vs_alg2");
     g.sample_size(10);
@@ -22,10 +25,17 @@ fn bench(c: &mut Criterion) {
             assert!(an.alg2().is_vulnerable());
         })
     });
+    g.bench_function("alg2_fresh_baseline_vulnerable", |b| {
+        b.iter(|| {
+            let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+            assert!(an.alg2_fresh_baseline().is_vulnerable());
+        })
+    });
     g.finish();
 
     println!("\n[e7] config/procedure -> iterations, runtime:");
-    for cmp in ssc_bench::e7_alg1_vs_alg2() {
+    let procedures = ssc_bench::e7_alg1_vs_alg2();
+    for cmp in &procedures {
         println!(
             "[e7]   {:<10} alg1: {} iters {:?} | alg2: {} iters {:?}",
             cmp.config,
@@ -34,6 +44,25 @@ fn bench(c: &mut Criterion) {
             cmp.alg2.verdict.iterations().len(),
             cmp.alg2.runtime
         );
+    }
+    let cmp_words = if smoke { 8 } else { 16 };
+    let comparisons = vec![
+        ssc_bench::compare_alg2_engines("vulnerable", UpecSpec::soc_vulnerable(), cmp_words),
+        ssc_bench::compare_alg2_engines("fixed", UpecSpec::soc_fixed(), cmp_words),
+    ];
+    for cmp in &comparisons {
+        println!(
+            "[e7]   alg2 {}: incremental {:?} vs fresh {:?} ({:.2}x)",
+            cmp.config,
+            cmp.incremental.runtime,
+            cmp.fresh.runtime,
+            cmp.speedup()
+        );
+    }
+    let json = ssc_bench::perf::e7_json(&procedures, &comparisons);
+    match ssc_bench::perf::write_record("e7_alg1_vs_alg2", &json) {
+        Ok(path) => println!("[e7] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e7] could not write perf record: {e}"),
     }
 }
 

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate, implementing the surface the
+//! `ssc-bench` benches use: [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! [`Bencher::iter`], and [`BenchmarkId`].
+//!
+//! Two modes:
+//! - **measurement** (default under `cargo bench`): every benchmark body is
+//!   timed over `sample_size` samples and the mean/min are printed;
+//! - **smoke** (`cargo bench -- --test`, as Criterion does): every body runs
+//!   exactly once, for CI.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier with a parameter (mirrors Criterion's).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` → smoke mode).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// `true` when running in smoke mode (`cargo bench -- --test`).
+    ///
+    /// Shim extension: lets bench mains scale their post-measurement
+    /// reporting work without re-parsing the process arguments.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Prints the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim samples a fixed count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs (or smoke-runs) one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b =
+            Bencher { test_mode: self.test_mode, sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        let mut b =
+            Bencher { test_mode: self.test_mode, sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated samples.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs the benchmark body; once in smoke mode, `sample_size` times
+    /// (from the owning group) when measuring.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.test_mode {
+            println!("{label}: ok (smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!("{label}: mean {mean:?}, min {min:?} ({} samples)", self.samples.len());
+    }
+}
+
+/// Declares a group function over benchmark functions (mirrors Criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` over group functions (mirrors Criterion's).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("one", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_mode_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("n", 4), &4u32, |b, &n| {
+            b.iter(|| runs += n)
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn sample_size_is_honored() {
+        let mut c = Criterion { test_mode: false };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(7).bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 7);
+    }
+}

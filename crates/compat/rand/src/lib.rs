@@ -1,0 +1,150 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface used by this
+//! workspace): [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] and [`Rng::random_bool`].
+//!
+//! The generator is SplitMix64 — statistically fine for tests and
+//! benchmarks, deterministic for a given seed, and dependency-free.
+
+#![warn(missing_docs)]
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// The standard deterministic generator (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// Seedable construction of generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+}
+
+/// A range that values of type `T` can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly within the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Minimal object-safe generator core.
+pub trait RngCore {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let x = (rng.next_u64() as u128) % span;
+                self.start + x as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                let x = (rng.next_u64() as u128) % span;
+                start + x as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                let x = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + x as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+/// User-facing sampling methods (rand 0.9 naming).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 uniform mantissa bits are plenty for test probabilities.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.random_range(0..1000u64), b.random_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(0..u64::MAX);
+            assert!(w < u64::MAX);
+            let i = r.random_range(1u32..=64);
+            assert!((1..=64).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bool_probability_rough() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

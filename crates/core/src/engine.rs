@@ -13,10 +13,12 @@
 
 use std::collections::HashMap;
 
+use ssc_aig::fx::FxHashMap;
 use ssc_aig::words::{self, Word};
 use ssc_aig::AigRef;
-use ssc_ipc::Ipc;
+use ssc_ipc::{Ipc, PropertyResult};
 use ssc_netlist::{ImportMap, MemId, Netlist, Node, Wire};
+use ssc_sat::Lit;
 
 use crate::atoms::{self, AtomSet, StateAtom};
 use crate::report::{AtomDiff, CexCycle, Counterexample, PortActivity};
@@ -180,34 +182,95 @@ impl UpecAnalysis {
     }
 }
 
-/// A proof session: the product unrolled over a growing window, with macro
-/// construction and counterexample extraction. One session is used for all
-/// iterations of a procedure run, so the SAT solver's learnt clauses carry
-/// over (this is what makes the iterative refinement cheap).
+/// A *persistent* proof session: the product unrolled over a growing
+/// window, with macro construction and counterexample extraction.
+///
+/// One session is designed to serve an **entire procedure run** — all
+/// windows of Alg. 2 *and* the Alg. 1 fixpoint that finishes it — against
+/// one SAT solver, so learnt clauses carry over and nothing is re-encoded:
+///
+/// - the standing assumptions (range validity, firmware constraints,
+///   quiescing, per-cycle input equality and victim macro) are cached in
+///   `base` and only *extended* when the window grows ([`Session::ensure_window`]);
+/// - per-atom state-equality terms are cached in `eq_terms`, so shrinking a
+///   state set between fixpoint iterations reuses every surviving atom's
+///   AIG cone and CNF encoding;
+/// - the negated proof goal is installed as an activation-literal-guarded
+///   clause ([`Session::check_window`]) and retired when the sets change,
+///   which removes the obligation without invalidating the learnt-clause
+///   database.
 pub struct Session<'p> {
     /// The underlying interval property checker (exposed so downstream
     /// experiment harnesses can time individual checks).
     pub ipc: Ipc<'p>,
     an: &'p UpecAnalysis,
+    /// Cached standing assumptions: the window-invariant block first, then
+    /// one block per unrolled cycle.
+    base: Vec<AigRef>,
+    /// `base[..base_offsets[w]]` is the assumption set valid for a
+    /// `w`-transition window (`base_offsets[0]` ends the invariant block).
+    base_offsets: Vec<usize>,
+    /// `(atom, t)` → guarded equality term, shared by every check that
+    /// mentions the atom at that time.
+    eq_terms: FxHashMap<(StateAtom, usize), AigRef>,
+    /// Scratch assumption-literal buffer reused across checks.
+    lit_buf: Vec<Lit>,
 }
 
 impl<'p> Session<'p> {
     /// Opens a session with `window` transitions unrolled (states
     /// `0..=window` available).
     pub fn new(an: &'p UpecAnalysis, window: usize) -> Self {
-        let mut ipc = Ipc::new(&an.product);
-        ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
-        Session { ipc, an }
+        let ipc = Ipc::new(&an.product);
+        let mut sess = Session {
+            ipc,
+            an,
+            base: Vec::new(),
+            base_offsets: Vec::new(),
+            eq_terms: FxHashMap::default(),
+            lit_buf: Vec::new(),
+        };
+        // Window-invariant standing assumptions: symbolic-range validity,
+        // starting-state firmware constraints, IP quiescing.
+        let mut invariant = sess.range_validity();
+        invariant.extend(sess.firmware_state_assumptions());
+        invariant.extend(sess.quiescing_assumptions());
+        sess.base = invariant;
+        sess.base_offsets.push(sess.base.len());
+        sess.ensure_window(window.max(1));
+        sess
     }
 
-    /// Grows the window to `window` transitions.
+    /// Grows the window to `window` transitions, extending the unrolling
+    /// and the cached standing assumptions by exactly the new cycles.
     pub fn ensure_window(&mut self, window: usize) {
         self.ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
+        while self.base_offsets.len() <= window {
+            let cycle = self.base_offsets.len() - 1;
+            let mut block = self.input_eq(cycle);
+            block.extend(self.victim_macro(cycle));
+            block.extend(self.firmware_port_assumptions(cycle));
+            self.base.extend(block);
+            self.base_offsets.push(self.base.len());
+        }
+    }
+
+    /// The number of transitions the session currently supports.
+    pub fn window(&self) -> usize {
+        self.base_offsets.len() - 1
     }
 
     /// Solver statistics (for experiment reporting).
     pub fn solver_stats(&self) -> ssc_sat::SolverStats {
         self.ipc.solver_stats()
+    }
+
+    /// Cumulative count of CNF-encoded AIG nodes (see
+    /// [`Ipc::encoded_nodes`]); deltas of this counter prove the per-window
+    /// encoding work of the incremental engine is bounded by the newly
+    /// unrolled cycle's cone.
+    pub fn encoded_nodes(&self) -> usize {
+        self.ipc.encoded_nodes()
     }
 
     // ------------------------------------------------------------------
@@ -369,43 +432,48 @@ impl<'p> Session<'p> {
         out
     }
 
-    /// Firmware-constraint assumptions for a window of `window` transitions:
-    /// register constraints on the symbolic starting state, port-write
-    /// constraints on every cycle.
-    pub fn firmware_assumptions(&mut self, window: usize) -> Vec<AigRef> {
+    /// Firmware-constraint assumptions on the symbolic *starting state*
+    /// (the window-invariant half of the constraints).
+    pub fn firmware_state_assumptions(&mut self) -> Vec<AigRef> {
         let mut out = Vec::new();
         let constraints = self.an.spec.constraints.clone();
         for c in &constraints {
-            match c {
-                FirmwareConstraint::RegOutsideDevice { reg, mask, device } => {
-                    let w = self.an.src.find(reg).expect("validated in new()");
-                    for inst in [Instance::A, Instance::B] {
-                        let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
-                        let aig = self.ipc.unroller_mut().aig_mut();
-                        let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
-                        let masked = words::and(aig, &state, &m);
-                        let hit = words::eq_const(aig, &masked, *device);
-                        out.push(hit.not());
-                    }
+            if let FirmwareConstraint::RegOutsideDevice { reg, mask, device } = c {
+                let w = self.an.src.find(reg).expect("validated in new()");
+                for inst in [Instance::A, Instance::B] {
+                    let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
+                    let aig = self.ipc.unroller_mut().aig_mut();
+                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                    let masked = words::and(aig, &state, &m);
+                    let hit = words::eq_const(aig, &masked, *device);
+                    out.push(hit.not());
                 }
-                FirmwareConstraint::PortWriteOutsideDevice { cfg_addr, mask, device } => {
-                    let p = self.an.port_src;
-                    for cycle in 0..window {
-                        for inst in [Instance::A, Instance::B] {
-                            let req = self.input_word(inst, p.req, cycle);
-                            let we = self.input_word(inst, p.we, cycle);
-                            let addr = self.input_word(inst, p.addr, cycle);
-                            let wd = self.input_word(inst, p.wdata, cycle);
-                            let aig = self.ipc.unroller_mut().aig_mut();
-                            let is_cfg = words::eq_const(aig, &addr, *cfg_addr);
-                            let wr0 = aig.and(req[0], we[0]);
-                            let wr = aig.and(wr0, is_cfg);
-                            let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
-                            let masked = words::and(aig, &wd, &m);
-                            let hit = words::eq_const(aig, &masked, *device);
-                            out.push(aig.implies(wr, hit.not()));
-                        }
-                    }
+            }
+        }
+        out
+    }
+
+    /// Firmware port-write constraints for one `cycle` (the per-cycle half
+    /// of the constraints, appended as the window grows).
+    pub fn firmware_port_assumptions(&mut self, cycle: usize) -> Vec<AigRef> {
+        let mut out = Vec::new();
+        let constraints = self.an.spec.constraints.clone();
+        for c in &constraints {
+            if let FirmwareConstraint::PortWriteOutsideDevice { cfg_addr, mask, device } = c {
+                let p = self.an.port_src;
+                for inst in [Instance::A, Instance::B] {
+                    let req = self.input_word(inst, p.req, cycle);
+                    let we = self.input_word(inst, p.we, cycle);
+                    let addr = self.input_word(inst, p.addr, cycle);
+                    let wd = self.input_word(inst, p.wdata, cycle);
+                    let aig = self.ipc.unroller_mut().aig_mut();
+                    let is_cfg = words::eq_const(aig, &addr, *cfg_addr);
+                    let wr0 = aig.and(req[0], we[0]);
+                    let wr = aig.and(wr0, is_cfg);
+                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                    let masked = words::and(aig, &wd, &m);
+                    let hit = words::eq_const(aig, &masked, *device);
+                    out.push(aig.implies(wr, hit.not()));
                 }
             }
         }
@@ -415,15 +483,13 @@ impl<'p> Session<'p> {
     /// All standing assumptions for a `window`-transition property:
     /// range validity, firmware constraints, IP quiescing, and per-cycle
     /// input equality + victim macro.
-    pub fn base_assumptions(&mut self, window: usize) -> Vec<AigRef> {
-        let mut out = self.range_validity();
-        out.extend(self.firmware_assumptions(window));
-        out.extend(self.quiescing_assumptions());
-        for c in 0..window {
-            out.extend(self.input_eq(c));
-            out.extend(self.victim_macro(c));
-        }
-        out
+    ///
+    /// The result is a slice into the session's cache: repeated calls (and
+    /// calls for smaller windows) perform no AIG construction at all, and a
+    /// larger window only builds the newly added cycles' blocks.
+    pub fn base_assumptions(&mut self, window: usize) -> &[AigRef] {
+        self.ensure_window(window);
+        &self.base[..self.base_offsets[window]]
     }
 
     /// Quiescing assumptions: the named busy flags are 0 in the symbolic
@@ -441,28 +507,86 @@ impl<'p> Session<'p> {
         out
     }
 
+    /// The guarded equality term of one atom at time `t`: *atom equal
+    /// between the instances*, weakened by the "inside the protected range"
+    /// exemption for victim-allocatable memory words.
+    ///
+    /// Terms are cached per `(atom, t)`, so every check of a fixpoint run
+    /// reuses the same AIG node — and therefore the same CNF variables —
+    /// for an atom regardless of how the surrounding set shrinks.
+    pub fn atom_eq_term(&mut self, atom: StateAtom, t: usize) -> AigRef {
+        if let Some(&term) = self.eq_terms.get(&(atom, t)) {
+            return term;
+        }
+        let a = self.atom_word(Instance::A, atom, t);
+        let b = self.atom_word(Instance::B, atom, t);
+        let guard = match atom {
+            StateAtom::MemWord(mem, i) => self.word_in_range(mem, i),
+            StateAtom::Reg(_) => None,
+        };
+        let aig = self.ipc.unroller_mut().aig_mut();
+        let eq = words::eq(aig, &a, &b);
+        let term = match guard {
+            Some(in_range) => aig.or(in_range, eq),
+            None => eq,
+        };
+        self.eq_terms.insert((atom, t), term);
+        term
+    }
+
     /// `State_Equivalence(S)` at time `t`: every atom in `S` equal between
     /// the instances; victim-allocatable memory words are exempt while they
     /// lie inside the protected range.
     pub fn state_eq(&mut self, set: &AtomSet, t: usize) -> AigRef {
-        let mut conj = Vec::with_capacity(set.len());
-        for &atom in set {
-            let a = self.atom_word(Instance::A, atom, t);
-            let b = self.atom_word(Instance::B, atom, t);
-            let guard = match atom {
-                StateAtom::MemWord(mem, i) => self.word_in_range(mem, i),
-                StateAtom::Reg(_) => None,
-            };
-            let aig = self.ipc.unroller_mut().aig_mut();
-            let eq = words::eq(aig, &a, &b);
-            let term = match guard {
-                Some(in_range) => aig.or(in_range, eq),
-                None => eq,
-            };
-            conj.push(term);
-        }
+        let conj: Vec<AigRef> = set.iter().map(|&atom| self.atom_eq_term(atom, t)).collect();
         let aig = self.ipc.unroller_mut().aig_mut();
         aig.and_all(conj)
+    }
+
+    /// The incremental UPEC-SSC check: *assume the standing assumptions of
+    /// `window` and `State_Equivalence(pre)` at time 0, prove
+    /// `State_Equivalence(set)` at time `c` for every `(c, set)` in
+    /// `goals`*.
+    ///
+    /// The negated goal (some tracked atom diverges at its cycle) is a
+    /// disjunction of cached per-atom terms, installed as a clause guarded
+    /// by a fresh activation literal and retired right after the solve —
+    /// so consecutive checks with shrinking sets add only the clause and
+    /// whatever cones are genuinely new, and the solver's learnt-clause
+    /// database survives the whole fixpoint.
+    pub fn check_window(
+        &mut self,
+        window: usize,
+        pre: &AtomSet,
+        goals: &[(usize, &AtomSet)],
+    ) -> PropertyResult {
+        self.ensure_window(window);
+        let pre_term = self.state_eq(pre, 0);
+
+        let mut neg_goal = Vec::new();
+        for &(cycle, set) in goals {
+            debug_assert!(cycle <= window, "goal cycle outside the window");
+            for &atom in set {
+                neg_goal.push(self.atom_eq_term(atom, cycle).not());
+            }
+        }
+        let act = self.ipc.activation_literal();
+        self.ipc.add_clause_under(act, &neg_goal);
+
+        let mut lits = std::mem::take(&mut self.lit_buf);
+        lits.clear();
+        for i in 0..self.base_offsets[window] {
+            let r = self.base[i];
+            lits.push(self.ipc.lit_of(r));
+        }
+        lits.push(self.ipc.lit_of(pre_term));
+        lits.push(act);
+        let result = self.ipc.check_lits(&lits);
+        self.lit_buf = lits;
+        // The goal clause belongs to this check only; retiring it keeps the
+        // clause database additive while the state sets shrink.
+        self.ipc.retire_activation(act);
+        result
     }
 
     // ------------------------------------------------------------------
@@ -481,7 +605,7 @@ impl<'p> Session<'p> {
         for &atom in set {
             let wa = self.atom_word(Instance::A, atom, t);
             let wb = self.atom_word(Instance::B, atom, t);
-            let (Some(va), Some(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb))
+            let (Ok(va), Ok(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb))
             else {
                 continue;
             };
@@ -513,12 +637,13 @@ impl<'p> Session<'p> {
         let p = self.an.port_src;
         let mut trace = Vec::new();
         for c in 0..window {
-            let get = |s: &Self, inst, w| s.ipc.model_word(&s.input_word(inst, w, c));
+            let get =
+                |s: &Self, inst, w| s.ipc.model_word(&s.input_word(inst, w, c)).unwrap_or(0);
             let act = |s: &Self, inst: Instance| -> PortActivity {
-                let req = get(s, inst, p.req).unwrap_or(0) == 1;
-                let addr = get(s, inst, p.addr).unwrap_or(0);
-                let we = get(s, inst, p.we).unwrap_or(0) == 1;
-                let wdata = get(s, inst, p.wdata).unwrap_or(0);
+                let req = get(s, inst, p.req) == 1;
+                let addr = get(s, inst, p.addr);
+                let we = get(s, inst, p.we) == 1;
+                let wdata = get(s, inst, p.wdata);
                 PortActivity {
                     req,
                     addr,
@@ -534,7 +659,7 @@ impl<'p> Session<'p> {
         for atom in atoms::all_atoms(&self.an.src) {
             let wa = self.atom_word(Instance::A, atom, 0);
             let wb = self.atom_word(Instance::B, atom, 0);
-            if let (Some(va), Some(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb)) {
+            if let (Ok(va), Ok(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb)) {
                 initial_state.push((atom, self.an.atom_name(atom), va, vb));
             }
         }

@@ -21,6 +21,35 @@
 //! - [`Verdict`]/[`Counterexample`]: machine-checkable reports, including
 //!   the full symbolic-start state for concrete replay on `ssc-sim`.
 //!
+//! # The persistent proof session
+//!
+//! Both procedures run inside **one incremental SAT session** per analysis
+//! ([`Session`]): Alg. 2 grows its [`ssc_ipc::Unroller`] and CNF encoding
+//! in place as the property window extends, and on saturation hands the
+//! *same* session to the final Alg. 1 induction
+//! ([`UpecAnalysis::alg1_in_session`]). Three mechanisms keep the solver
+//! valid while the property changes shape:
+//!
+//! - the standing assumptions are cached per cycle and only *appended*
+//!   when the window grows ([`Session::base_assumptions`] returns a slice
+//!   into the cache),
+//! - per-atom state-equality terms are cached ([`Session::atom_eq_term`]),
+//!   so shrinking a state set between fixpoint iterations reuses every
+//!   surviving atom's encoding,
+//! - the negated goal is a clause guarded by an *activation literal*
+//!   ([`Session::check_window`]); retiring the literal removes the
+//!   obligation while the learnt-clause database carries over, and
+//!   `ssc_ipc::Ipc::collect_garbage` sheds stale learnt clauses at window
+//!   boundaries.
+//!
+//! [`IterationStat`] records the proof of incrementality per iteration:
+//! `encoded_delta` (new CNF work, bounded by the newly unrolled cycle's
+//! cone), plus solver-statistics deltas (conflicts, propagations,
+//! restarts, learnt counts, database reductions, GCs) and wall time. The
+//! tear-down-per-check reference engine
+//! ([`UpecAnalysis::alg2_fresh_baseline`]) remains available as the
+//! semantic cross-check oracle and performance baseline.
+//!
 //! # Example: detecting the HWPE/memory channel and proving the fix
 //!
 //! ```no_run

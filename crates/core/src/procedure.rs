@@ -1,4 +1,12 @@
 //! The UPEC-SSC proof procedures (paper Alg. 1 and Alg. 2).
+//!
+//! Both procedures run inside **one persistent [`Session`]**: the unrolled
+//! procedure (Alg. 2) grows the property window cycle by cycle in place,
+//! and on saturation hands the *same* session to the inductive fixpoint
+//! (Alg. 1), so the SAT solver, the CNF encoding of the unrolled prefix
+//! and every learnt clause survive from the first check to the last.
+//! [`UpecAnalysis::alg2_fresh_baseline`] keeps the tear-down-per-check
+//! variant alive as a cross-check reference and performance baseline.
 
 use std::time::Instant;
 
@@ -6,6 +14,44 @@ use crate::atoms::AtomSet;
 use crate::engine::{Session, UpecAnalysis};
 use crate::report::{IterationStat, SecureReport, Verdict, VulnReport};
 use ssc_ipc::PropertyResult;
+
+/// Snapshot of the measurable session state taken around one solver call.
+struct IterSnapshot {
+    t: Instant,
+    encoded: usize,
+    stats: ssc_sat::SolverStats,
+}
+
+impl IterSnapshot {
+    fn take(sess: &Session<'_>) -> Self {
+        IterSnapshot {
+            t: Instant::now(),
+            encoded: sess.encoded_nodes(),
+            stats: sess.solver_stats(),
+        }
+    }
+
+    fn finish(
+        self,
+        sess: &Session<'_>,
+        iteration: usize,
+        window: usize,
+        set_size: usize,
+        removed: usize,
+    ) -> IterationStat {
+        IterationStat {
+            iteration,
+            window,
+            set_size,
+            removed,
+            runtime: self.t.elapsed(),
+            encoded_nodes: sess.encoded_nodes(),
+            encoded_delta: sess.encoded_nodes() - self.encoded,
+            aig_nodes: sess.ipc.unroller().aig().num_nodes(),
+            solver: sess.solver_stats().delta_since(&self.stats),
+        }
+    }
+}
 
 impl UpecAnalysis {
     /// **Algorithm 1** (UPEC-SSC): the 2-cycle iterative fixpoint.
@@ -24,37 +70,38 @@ impl UpecAnalysis {
     /// Algorithm 1 starting from a caller-provided set (used as the
     /// induction step after Alg. 2, with `S = S[k]`).
     pub fn alg1_from(&self, initial: AtomSet) -> Verdict {
-        let start = Instant::now();
         let mut sess = Session::new(self, 1);
+        self.alg1_in_session(&mut sess, initial)
+    }
+
+    /// Algorithm 1 running inside an **existing** session.
+    ///
+    /// This is how Alg. 2 finishes: the session that grew the unrolled
+    /// window performs the final inductive proof too, so the fixpoint
+    /// reuses the 2-cycle prefix encoding and all learnt clauses instead
+    /// of rebuilding a solver. The standing assumptions are cached by the
+    /// session and passed as a slice — no per-iteration cloning.
+    pub fn alg1_in_session(&self, sess: &mut Session<'_>, initial: AtomSet) -> Verdict {
+        let start = Instant::now();
         let mut s = initial;
         let mut iterations: Vec<IterationStat> = Vec::new();
         let mut removed_atoms: Vec<String> = Vec::new();
 
-        // Standing assumptions are window-invariant: build once.
-        let base = sess.base_assumptions(1);
-
         loop {
-            let iter_start = Instant::now();
-            let pre = sess.state_eq(&s, 0);
-            let goal = sess.state_eq(&s, 1);
-            let mut assumptions = base.clone();
-            assumptions.push(pre);
-            let result = sess.ipc.check(&assumptions, goal);
-            let runtime = iter_start.elapsed();
+            let snap = IterSnapshot::take(sess);
+            let set_size = s.len();
+            let result = sess.check_window(1, &s, &[(1, &s)]);
 
             match result {
                 PropertyResult::Holds => {
-                    iterations.push(IterationStat {
-                        iteration: iterations.len() + 1,
-                        window: 1,
-                        set_size: s.len(),
-                        removed: 0,
-                        runtime,
-                    });
+                    iterations.push(snap.finish(sess, iterations.len() + 1, 1, set_size, 0));
                     debug_assert!(
                         self.s_pers().iter().all(|a| s.contains(a)),
                         "S_pers must be contained in the final inductive set"
                     );
+                    // Deterministic report: removal order depends on model
+                    // extraction order, the report must not.
+                    removed_atoms.sort_unstable();
                     return Verdict::Secure(SecureReport {
                         iterations,
                         final_set_size: s.len(),
@@ -71,13 +118,14 @@ impl UpecAnalysis {
                         );
                     }
                     let hit_pers = diffs.iter().any(|d| d.persistent);
-                    iterations.push(IterationStat {
-                        iteration: iterations.len() + 1,
-                        window: 1,
-                        set_size: s.len(),
-                        removed: if hit_pers { 0 } else { diffs.len() },
-                        runtime,
-                    });
+                    let removed = if hit_pers { 0 } else { diffs.len() };
+                    iterations.push(snap.finish(
+                        sess,
+                        iterations.len() + 1,
+                        1,
+                        set_size,
+                        removed,
+                    ));
                     if hit_pers {
                         let cex = sess.capture_cex(diffs, 1, 1);
                         return Verdict::Vulnerable(VulnReport {
@@ -101,42 +149,75 @@ impl UpecAnalysis {
     /// multi-cycle counterexample) or the influenced sets saturate
     /// (`S[k] == S[k-1]`), after which Algorithm 1 performs the final
     /// inductive proof with `S = S[k]`.
+    ///
+    /// The whole fixpoint — every window growth, every refinement
+    /// iteration and the concluding Alg. 1 — runs in one persistent
+    /// [`Session`]: the unroller and CNF encoding grow in place, and the
+    /// per-iteration [`IterationStat::encoded_delta`] counter records that
+    /// the encoding work per window stays bounded by the newly unrolled
+    /// cycle's cone.
     pub fn alg2(&self) -> Verdict {
+        self.alg2_impl(true)
+    }
+
+    /// The fresh-session reference implementation of Alg. 2: a new
+    /// [`Session`] (unroller, CNF encoding, solver) is constructed for
+    /// **every solver call**, discarding all learnt clauses and re-encoding
+    /// the entire prefix each time.
+    ///
+    /// Exists as (a) the semantic cross-check oracle for the incremental
+    /// engine — both must produce identical verdicts — and (b) the
+    /// performance baseline the `e6_scaling`/`e7_alg1_vs_alg2` experiments
+    /// measure the persistent session against.
+    pub fn alg2_fresh_baseline(&self) -> Verdict {
+        self.alg2_impl(false)
+    }
+
+    fn alg2_impl(&self, incremental: bool) -> Verdict {
         let start = Instant::now();
         let s_init = self.s_not_victim();
         let mut s: Vec<AtomSet> = vec![s_init.clone(), s_init];
         let mut k = 1usize;
-        let mut sess = Session::new(self, 1);
+        let mut sess_slot: Option<Session<'_>> = incremental.then(|| Session::new(self, 1));
         let mut iterations: Vec<IterationStat> = Vec::new();
 
         loop {
+            if !incremental {
+                // Baseline semantics: tear the whole session down before
+                // every check.
+                sess_slot = Some(Session::new(self, k));
+            }
+            let sess = sess_slot.as_mut().expect("session exists in both modes");
             sess.ensure_window(k);
-            let iter_start = Instant::now();
-            let base = sess.base_assumptions(k);
-            let pre = sess.state_eq(&s[0], 0);
-            let mut assumptions = base;
-            assumptions.push(pre);
-            // Obligations at every cycle 1..=k for the per-cycle sets.
-            let goals: Vec<_> = (1..=k).map(|c| sess.state_eq(&s[c], c)).collect();
-            let goal = {
-                let aig = sess.ipc.unroller_mut().aig_mut();
-                aig.and_all(goals)
+            let snap = IterSnapshot::take(sess);
+            let set_size = s[k].len();
+            let result = if incremental {
+                let goals: Vec<(usize, &AtomSet)> = (1..=k).map(|c| (c, &s[c])).collect();
+                sess.check_window(k, &s[0], &goals)
+            } else {
+                // Baseline goal construction: one monolithic conjunction,
+                // re-encoded from scratch in the fresh session.
+                let mut assumptions = sess.base_assumptions(k).to_vec();
+                assumptions.push(sess.state_eq(&s[0], 0));
+                let goals: Vec<_> = (1..=k).map(|c| sess.state_eq(&s[c], c)).collect();
+                let goal = {
+                    let aig = sess.ipc.unroller_mut().aig_mut();
+                    aig.and_all(goals)
+                };
+                sess.ipc.check(&assumptions, goal)
             };
-            let result = sess.ipc.check(&assumptions, goal);
-            let runtime = iter_start.elapsed();
 
             match result {
                 PropertyResult::Holds => {
-                    iterations.push(IterationStat {
-                        iteration: iterations.len() + 1,
-                        window: k,
-                        set_size: s[k].len(),
-                        removed: 0,
-                        runtime,
-                    });
+                    iterations.push(snap.finish(sess, iterations.len() + 1, k, set_size, 0));
                     if s[k] == s[k - 1] {
-                        // Saturated: finish with the inductive step.
-                        let tail = self.alg1_from(s[k].clone());
+                        // Saturated: finish with the inductive step — in the
+                        // same session when incremental.
+                        let tail = if incremental {
+                            self.alg1_in_session(sess, s[k].clone())
+                        } else {
+                            self.alg1_from(s[k].clone())
+                        };
                         return merge_alg2_result(tail, iterations, start);
                     }
                     if k >= self.spec().max_unroll {
@@ -148,11 +229,18 @@ impl UpecAnalysis {
                     k += 1;
                     let prev = s[k - 1].clone();
                     s.push(prev);
+                    if incremental {
+                        // Window boundary: shed stale learnt clauses while
+                        // keeping glue/locked ones — the long-session GC
+                        // hook of the persistent architecture.
+                        sess.ipc.collect_garbage();
+                    }
                 }
                 PropertyResult::Violated => {
                     // Find the earliest cycle with a divergence.
                     let mut removed_total = 0;
                     let mut vulnerable = None;
+                    #[allow(clippy::needless_range_loop)] // `c` is the cycle index, not just a subscript
                     for c in 1..=k {
                         let diffs = sess.extract_diffs(&s[c], c);
                         if diffs.is_empty() {
@@ -167,13 +255,13 @@ impl UpecAnalysis {
                             s[c].remove(&d.atom);
                         }
                     }
-                    iterations.push(IterationStat {
-                        iteration: iterations.len() + 1,
-                        window: k,
-                        set_size: s[k].len(),
-                        removed: removed_total,
-                        runtime,
-                    });
+                    iterations.push(snap.finish(
+                        sess,
+                        iterations.len() + 1,
+                        k,
+                        set_size,
+                        removed_total,
+                    ));
                     if let Some((diffs, c)) = vulnerable {
                         let cex = sess.capture_cex(diffs, c, k);
                         return Verdict::Vulnerable(VulnReport {
@@ -221,7 +309,7 @@ impl UpecAnalysis {
             return Ok(());
         }
         let mut sess = Session::new(self, 1);
-        let assumptions = sess.base_assumptions(1);
+        let assumptions = sess.base_assumptions(1).to_vec();
         let mut failing = Vec::new();
         for (reg, mask, device) in regs {
             let w = self.src().find(&reg).expect("validated");

@@ -129,6 +129,20 @@ pub struct IterationStat {
     pub removed: usize,
     /// Wall-clock time of the solver call.
     pub runtime: Duration,
+    /// Total CNF-encoded AIG nodes after this iteration's check.
+    pub encoded_nodes: usize,
+    /// AIG nodes newly encoded *by* this iteration.
+    ///
+    /// For the incremental engine this is the per-window proof obligation
+    /// of the persistent-session architecture: growth is bounded by the
+    /// newly unrolled cycle's cone (plus the goal clause), never by a full
+    /// re-encoding of the prefix.
+    pub encoded_delta: usize,
+    /// AIG nodes in the unrolling after this iteration.
+    pub aig_nodes: usize,
+    /// Solver-statistics delta attributable to this iteration's solve
+    /// (cumulative gauges like `learnts` hold the post-solve value).
+    pub solver: ssc_sat::SolverStats,
 }
 
 /// The result of a UPEC-SSC procedure run.

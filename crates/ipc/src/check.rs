@@ -6,12 +6,32 @@
 //! model of `C₁ ∧ … ∧ Cₙ ∧ ¬G`. Assumptions are passed as solver
 //! assumptions, so repeated checks over the same unrolling share learnt
 //! clauses — the workhorse of the iterative UPEC-SSC procedure.
+//!
+//! # Persistent-session primitives
+//!
+//! Beyond the simple [`Ipc::check`] entry point, the checker exposes the
+//! building blocks of a *persistent* proof session, where one solver
+//! outlives an entire fixpoint run while the property changes shape
+//! between solves:
+//!
+//! - [`Ipc::activation_literal`] / [`Ipc::add_clause_under`] /
+//!   [`Ipc::retire_activation`] — clauses that only apply while an
+//!   activation assumption is made; retiring the activation permanently
+//!   deactivates the clause *without* invalidating anything the solver
+//!   learned (a retired activation becomes a unit, so its clauses are
+//!   vacuously satisfied and the learnt-clause database carries over),
+//! - [`Ipc::check_lits`] — a check over pre-encoded solver literals, for
+//!   callers that manage assumption sets incrementally,
+//! - [`Ipc::collect_garbage`] — forwards to the solver's between-solve
+//!   clause-database reduction hook,
+//! - [`Ipc::encoded_nodes`] — the cumulative CNF-encoding counter used to
+//!   prove per-window encoding work stays bounded.
 
-use ssc_aig::cnf::CnfEncoder;
+use ssc_aig::cnf::{CnfEncoder, ModelError};
 use ssc_aig::words::Word;
 use ssc_aig::AigRef;
 use ssc_netlist::{Bv, Netlist};
-use ssc_sat::{SolveResult, Solver};
+use ssc_sat::{Lit, SolveResult, Solver};
 
 use crate::unroll::Unroller;
 
@@ -38,6 +58,7 @@ impl<'n> std::fmt::Debug for Ipc<'n> {
         f.debug_struct("Ipc")
             .field("design", &self.unroller.netlist().name())
             .field("checks", &self.checks)
+            .field("encoded_nodes", &self.enc.encoded_nodes())
             .finish()
     }
 }
@@ -68,7 +89,7 @@ impl<'n> Ipc<'n> {
         &mut self.unroller
     }
 
-    /// Number of `check` calls so far.
+    /// Number of `check`/`check_lits` calls so far.
     pub fn num_checks(&self) -> u64 {
         self.checks
     }
@@ -76,6 +97,22 @@ impl<'n> Ipc<'n> {
     /// Statistics of the underlying SAT solver.
     pub fn solver_stats(&self) -> ssc_sat::SolverStats {
         self.solver.stats()
+    }
+
+    /// Number of AIG nodes Tseitin-encoded into the solver so far.
+    ///
+    /// Growth of this counter between two checks bounds the encoding work
+    /// the second check performed — the quantity the incremental UPEC-SSC
+    /// engine keeps at *O(new cycle cone)* per window instead of *O(k)*.
+    pub fn encoded_nodes(&self) -> usize {
+        self.enc.encoded_nodes()
+    }
+
+    /// Reduces the solver's learnt-clause database and compacts its clause
+    /// arena. Safe to call between checks of a long-lived session; glue
+    /// and locked clauses survive (see `ssc_sat::Solver::collect_garbage`).
+    pub fn collect_garbage(&mut self) {
+        self.solver.collect_garbage();
     }
 
     /// Adds a *permanent* constraint: `r` is asserted true in all subsequent
@@ -86,20 +123,65 @@ impl<'n> Ipc<'n> {
         self.solver.add_clause([lit]);
     }
 
+    /// The solver literal for AIG reference `r`, encoding its cone on
+    /// demand. Exposed so persistent sessions can build assumption vectors
+    /// of pre-encoded literals and pass them to [`Ipc::check_lits`].
+    pub fn lit_of(&mut self, r: AigRef) -> Lit {
+        self.enc.lit_of(&mut self.solver, self.unroller.aig(), r)
+    }
+
+    /// Allocates a fresh *activation literal*: a solver variable not tied
+    /// to any AIG node, used to guard retirable clauses
+    /// (see [`Ipc::add_clause_under`]).
+    pub fn activation_literal(&mut self) -> Lit {
+        self.solver.new_var().pos()
+    }
+
+    /// Adds the clause `act → (r₁ ∨ … ∨ rₙ)`, i.e. `¬act ∨ r₁ ∨ … ∨ rₙ`.
+    ///
+    /// The clause only constrains solves that assume `act`. Combined with
+    /// [`Ipc::retire_activation`] this realizes *removable* proof
+    /// obligations on top of a purely additive incremental solver: the
+    /// UPEC-SSC fixpoint retires the negated-goal clause of an iteration
+    /// when its state set shrinks, instead of rebuilding the solver.
+    pub fn add_clause_under(&mut self, act: Lit, refs: &[AigRef]) {
+        let mut lits = Vec::with_capacity(refs.len() + 1);
+        lits.push(!act);
+        for &r in refs {
+            lits.push(self.enc.lit_of(&mut self.solver, self.unroller.aig(), r));
+        }
+        self.solver.add_clause(lits);
+    }
+
+    /// Permanently deactivates an activation literal: all clauses guarded
+    /// by `act` become vacuously satisfied. Learnt clauses are *not*
+    /// invalidated — retirement adds the unit `¬act`, it removes nothing.
+    pub fn retire_activation(&mut self, act: Lit) {
+        self.solver.add_clause([!act]);
+    }
+
     /// Checks the property *assume `assumptions`, prove `goal`*.
     ///
     /// Returns [`PropertyResult::Holds`] if no counterexample exists. On
     /// [`PropertyResult::Violated`] the solver model is kept and can be
     /// inspected with [`Ipc::model_word`].
     pub fn check(&mut self, assumptions: &[AigRef], goal: AigRef) -> PropertyResult {
-        self.checks += 1;
         let aig = self.unroller.aig();
         let mut lits = Vec::with_capacity(assumptions.len() + 1);
         for &a in assumptions {
             lits.push(self.enc.lit_of(&mut self.solver, aig, a));
         }
         lits.push(self.enc.lit_of(&mut self.solver, aig, goal.not()));
-        match self.solver.solve(&lits) {
+        self.check_lits(&lits)
+    }
+
+    /// Checks satisfiability under pre-encoded solver literals (the
+    /// low-level sibling of [`Ipc::check`]; note the polarity: the caller
+    /// passes the *negated* goal among the assumptions, and `Sat` means
+    /// [`PropertyResult::Violated`]).
+    pub fn check_lits(&mut self, assumptions: &[Lit]) -> PropertyResult {
+        self.checks += 1;
+        match self.solver.solve(assumptions) {
             SolveResult::Sat => PropertyResult::Violated,
             SolveResult::Unsat => PropertyResult::Holds,
         }
@@ -107,21 +189,33 @@ impl<'n> Ipc<'n> {
 
     /// Ensures a word is encoded in the solver so the *next* violated check
     /// can report its model value (encoding after a solve does not reveal
-    /// values for the past model).
+    /// values for the past model — see [`ModelError::NotInModel`]).
     pub fn ensure_encoded(&mut self, word: &Word) {
         let aig = self.unroller.aig();
         let _ = self.enc.lits_of(&mut self.solver, aig, word);
     }
 
-    /// The value of an (already encoded) word in the last counterexample.
-    pub fn model_word(&self, word: &Word) -> Option<u64> {
+    /// The value of a word in the last counterexample.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::NotEncoded`]: the word (or part of it) never entered
+    ///   the solver — it was not mentioned by any assumption/goal and
+    ///   [`Ipc::ensure_encoded`] was not called before the check,
+    /// - [`ModelError::NotInModel`]: the word was encoded only *after* the
+    ///   violated check, so the stored model predates its variables.
+    pub fn model_word(&self, word: &Word) -> Result<u64, ModelError> {
         self.enc.model_word(&self.solver, word)
     }
 
     /// [`Ipc::model_word`] as a [`Bv`] of the word's width.
-    pub fn model_bv(&self, word: &Word) -> Option<Bv> {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ipc::model_word`].
+    pub fn model_bv(&self, word: &Word) -> Result<Bv, ModelError> {
         let v = self.model_word(word)?;
-        Some(Bv::new(word.len() as u32, v))
+        Ok(Bv::new(word.len() as u32, v))
     }
 }
 
@@ -188,7 +282,7 @@ mod tests {
         ipc.ensure_encoded(&s0);
         assert_eq!(ipc.check(&[], goal), PropertyResult::Violated);
         // The counterexample must have en=1 (only way the count changes).
-        assert_eq!(ipc.model_word(&en0), Some(1));
+        assert_eq!(ipc.model_word(&en0), Ok(1));
     }
 
     /// The same property holds under the assumption en == 0.
@@ -291,5 +385,39 @@ mod tests {
         let no_write = words::eq_const(aig, &en0, 0);
         let unchanged = words::eq(aig, &w2_1, &w2_0);
         assert_eq!(ipc.check(&[no_write], unchanged), PropertyResult::Holds);
+    }
+
+    /// Activation-literal clauses apply only while assumed and can be
+    /// retired without invalidating the session.
+    #[test]
+    fn activation_literals_guard_retirable_clauses() {
+        let n = counter();
+        let mut ipc = Ipc::new(&n);
+        let count = n.find("count").unwrap();
+        let s0 = ipc.unroller().reg_state(count.id(), 0).clone();
+        let aig = ipc.unroller_mut().aig_mut();
+        let is_zero = words::eq_const(aig, &s0, 0);
+        let is_one = {
+            let aig = ipc.unroller_mut().aig_mut();
+            words::eq_const(aig, &s0, 1)
+        };
+
+        // Under act: count@0 ∈ {0}. Checking "count@0 == 1" must fail
+        // (Holds means the negated assumption is unsat).
+        let act = ipc.activation_literal();
+        ipc.add_clause_under(act, &[is_zero]);
+        let l_one = ipc.lit_of(is_one);
+        assert_eq!(ipc.check_lits(&[act, l_one]), PropertyResult::Holds);
+
+        // Without assuming act the clause does not constrain anything.
+        assert_eq!(ipc.check_lits(&[l_one]), PropertyResult::Violated);
+
+        // Retire and replace by a new activation with a different range.
+        ipc.retire_activation(act);
+        let act2 = ipc.activation_literal();
+        ipc.add_clause_under(act2, &[is_one]);
+        assert_eq!(ipc.check_lits(&[act2, l_one]), PropertyResult::Violated);
+        let l_zero = ipc.lit_of(is_zero);
+        assert_eq!(ipc.check_lits(&[act2, l_zero]), PropertyResult::Holds);
     }
 }

@@ -12,6 +12,34 @@
 //! - permanent constraints for reachability invariants, and model
 //!   extraction for counterexample construction.
 //!
+//! # The persistent-session architecture
+//!
+//! One `Ipc` is designed to outlive an **entire proof campaign** — every
+//! window of the unrolled UPEC-SSC procedure (paper Alg. 2) and every
+//! iteration of the inductive fixpoint (Alg. 1) run against the same
+//! solver. Three mechanisms make that sound and fast:
+//!
+//! 1. **Monotone growth.** The [`Unroller`] only ever appends cycles, the
+//!    AIG only ever appends nodes, and the CNF encoder only ever encodes
+//!    *new* cones ([`Ipc::encoded_nodes`] is the proof counter: its growth
+//!    per window is bounded by the newly unrolled cycle's logic, not by the
+//!    window length).
+//! 2. **Assumption-based queries.** Standing constraints and the
+//!    state-equality antecedent are passed as solver *assumptions*, so a
+//!    query never poisons the clause database and all learnt clauses carry
+//!    over to later windows.
+//! 3. **Activation literals** ([`Ipc::activation_literal`] /
+//!    [`Ipc::add_clause_under`] / [`Ipc::retire_activation`]). The negated
+//!    proof goal is a *disjunction* (some tracked state atom diverges) and
+//!    must be a clause, but the atom set shrinks between iterations.
+//!    Guarding the clause with an activation literal makes it removable on
+//!    a purely additive solver: retiring the literal (a unit clause)
+//!    deactivates the obligation while every learnt lemma stays valid.
+//!
+//! Between windows, [`Ipc::collect_garbage`] can shed stale learnt clauses
+//! (glue and locked clauses survive) so an arbitrarily long session does
+//! not grow without bound.
+//!
 //! # Example: an unbounded proof from a 1-cycle window
 //!
 //! ```
@@ -46,4 +74,5 @@ mod check;
 mod unroll;
 
 pub use check::{words_equal, Ipc, PropertyResult};
+pub use ssc_aig::cnf::ModelError;
 pub use unroll::Unroller;

@@ -29,6 +29,9 @@ pub struct Bv {
     val: u64,
 }
 
+// The arithmetic methods intentionally mirror operator names but carry
+// width-checking semantics; they are not operator-trait implementations.
+#[allow(clippy::should_implement_trait)]
 impl Bv {
     /// Creates a bit-vector of `width` bits holding `val` truncated to the width.
     ///
@@ -38,7 +41,7 @@ impl Bv {
     #[inline]
     pub fn new(width: u32, val: u64) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "bit-vector width must be in 1..=64, got {width}"
         );
         Bv {

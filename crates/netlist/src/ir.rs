@@ -118,7 +118,7 @@ impl RegHandle {
 
 /// Classification of a state-holding element, used by the UPEC-SSC state-set
 /// machinery to compile `S_not_victim` and the persistence policy `S_pers`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
 pub enum StateKind {
     /// State inside the processor core (excluded from `S_not_victim`).
     CpuInternal,
@@ -133,14 +133,11 @@ pub enum StateKind {
     /// Memory-mapped peripheral register (timer counter, UART, ...).
     PeripheralRegister,
     /// Unclassified state.
+    #[default]
     Other,
 }
 
-impl Default for StateKind {
-    fn default() -> Self {
-        StateKind::Other
-    }
-}
+
 
 impl fmt::Display for StateKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -334,11 +331,12 @@ impl Node {
     /// Register nodes have no combinational fan-in (their `next` is a
     /// sequential dependency); memory reads depend on their address.
     pub fn comb_fanin(&self) -> impl Iterator<Item = SignalId> + '_ {
-        match self {
-            Node::Op { args, .. } => args.iter().copied().collect::<Vec<_>>().into_iter(),
-            Node::MemRead { addr, .. } => vec![*addr].into_iter(),
-            _ => Vec::new().into_iter(),
-        }
+        let slice: &[SignalId] = match self {
+            Node::Op { args, .. } => args,
+            Node::MemRead { addr, .. } => std::slice::from_ref(addr),
+            _ => &[],
+        };
+        slice.iter().copied()
     }
 }
 
@@ -594,7 +592,7 @@ impl Netlist {
     ///
     /// Panics on duplicate names or invalid width.
     pub fn input(&mut self, name: &str, width: u32) -> Wire {
-        assert!(width >= 1 && width <= crate::bv::MAX_WIDTH, "invalid input width {width}");
+        assert!((1..=crate::bv::MAX_WIDTH).contains(&width), "invalid input width {width}");
         let full = self.qualify(name);
         let id = self.push_node(Node::Input { name: full.clone(), width });
         self.bind_name(full, id);
@@ -624,7 +622,7 @@ impl Netlist {
     ///
     /// Panics on duplicate names or invalid width.
     pub fn reg(&mut self, name: &str, width: u32, init: Option<Bv>, meta: StateMeta) -> RegHandle {
-        assert!(width >= 1 && width <= crate::bv::MAX_WIDTH, "invalid register width {width}");
+        assert!((1..=crate::bv::MAX_WIDTH).contains(&width), "invalid register width {width}");
         if let Some(bv) = init {
             assert_eq!(bv.width(), width, "register `{name}` init width mismatch");
         }
@@ -678,7 +676,7 @@ impl Netlist {
     /// Panics on duplicate names, zero words, or invalid width.
     pub fn memory(&mut self, name: &str, words: u32, width: u32, meta: StateMeta) -> MemId {
         assert!(words >= 1, "memory `{name}` must have at least one word");
-        assert!(width >= 1 && width <= crate::bv::MAX_WIDTH, "invalid memory width {width}");
+        assert!((1..=crate::bv::MAX_WIDTH).contains(&width), "invalid memory width {width}");
         let full = self.qualify(name);
         assert!(
             self.mems.iter().all(|m| m.name != full),

@@ -152,9 +152,8 @@ impl Netlist {
         for &id in cuts {
             let width = self.width_of(id);
             let name = rev.get(&id).cloned().unwrap_or_else(|| format!("cut${}", id.0));
-            match self.node(id) {
-                Node::Const(_) => panic!("cannot cut constant node {}", id.0),
-                _ => {}
+            if matches!(self.node(id), Node::Const(_)) {
+                panic!("cannot cut constant node {}", id.0);
             }
             self.replace_with_input(id, name.clone(), width);
             created.push((id, name));

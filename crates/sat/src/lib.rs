@@ -40,6 +40,7 @@ pub use lit::{LBool, Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // hole/pigeon indices are semantic
 mod tests {
     use super::*;
 
@@ -265,6 +266,34 @@ mod tests {
         if s.solve(&[]) == SolveResult::Sat {
             assert!(all_clauses_satisfied(&s, &clauses));
         }
+    }
+
+    #[test]
+    fn collect_garbage_between_incremental_solves() {
+        // A sequence of solves under assumptions with interleaved GC calls
+        // must keep verdicts consistent: PHP(5,5) is satisfiable, but
+        // blocking one hole via assumptions turns it into PHP(5,4).
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..5).map(|_| s.new_vars(5)).collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().map(|v| v.pos()));
+        }
+        for hole in 0..5 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause([p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        let block_hole4: Vec<Lit> = (0..5).map(|i| p[i][4].neg()).collect();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.collect_garbage();
+        assert_eq!(s.solve(&block_hole4), SolveResult::Unsat);
+        s.collect_garbage();
+        assert_eq!(s.solve(&block_hole4), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let st = s.stats();
+        assert_eq!(st.solves, 4);
     }
 
     #[test]

@@ -7,6 +7,9 @@ use std::ops::Not;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Var(pub(crate) u32);
 
+// `neg` constructs a literal rather than negating the variable; the name
+// matches the SAT literature, not `std::ops::Neg`.
+#[allow(clippy::should_implement_trait)]
 impl Var {
     /// The raw variable index.
     #[inline]

@@ -103,6 +103,11 @@ pub enum SolveResult {
 }
 
 /// Runtime statistics of a solver instance.
+///
+/// All counters are cumulative over the solver's lifetime, so an
+/// incremental client can compute per-solve deltas by snapshotting before
+/// and after a [`Solver::solve`] call (the UPEC-SSC procedures do exactly
+/// this per fixpoint iteration).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of conflicts encountered.
@@ -117,6 +122,31 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Number of problem clauses added.
     pub clauses: u64,
+    /// Number of learnt-database reductions performed.
+    pub db_reductions: u64,
+    /// Number of clause-arena garbage collections performed.
+    pub gcs: u64,
+    /// Number of `solve` calls completed.
+    pub solves: u64,
+}
+
+impl SolverStats {
+    /// The component-wise difference `self - earlier` for cumulative
+    /// counters (gauge-like fields such as `learnts`/`clauses` keep the
+    /// current value).
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - earlier.conflicts,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            restarts: self.restarts - earlier.restarts,
+            learnts: self.learnts,
+            clauses: self.clauses,
+            db_reductions: self.db_reductions - earlier.db_reductions,
+            gcs: self.gcs - earlier.gcs,
+            solves: self.solves - earlier.solves,
+        }
+    }
 }
 
 impl std::fmt::Display for SolverStats {
@@ -562,30 +592,32 @@ impl Solver {
         self.unchecked_enqueue(lits[0], cref);
     }
 
+    /// A clause is locked while it is the reason of its first literal's
+    /// assignment (MiniSat's invariant: the propagated literal is moved to
+    /// position 0 when the clause becomes a reason).
+    #[inline]
+    fn is_locked(&self, c: CRef) -> bool {
+        let v = self.db.lit(c, 0).var().index();
+        self.reason[v] == c && self.assigns[v] != LBool::Undef
+    }
+
     fn reduce_db(&mut self) {
         // Sort learnts by LBD descending; delete the worse half, keeping
         // glue clauses (LBD <= 2) and locked clauses (reason of a trail lit).
+        self.stats.db_reductions += 1;
         let mut ranked: Vec<(u32, CRef)> = self
             .learnts
             .iter()
             .map(|&c| (self.db.lbd(c), c))
             .collect();
-        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        ranked.sort_unstable_by_key(|&(lbd, _)| std::cmp::Reverse(lbd));
         let target = ranked.len() / 2;
         let mut deleted = 0;
-        let locked: std::collections::HashSet<u32> = self
-            .trail
-            .iter()
-            .filter_map(|l| {
-                let r = self.reason[l.var().index()];
-                (r != CREF_UNDEF).then_some(r.0)
-            })
-            .collect();
         for (lbd, c) in ranked {
             if deleted >= target || lbd <= 2 {
                 break;
             }
-            if locked.contains(&c.0) {
+            if self.is_locked(c) {
                 continue;
             }
             self.detach(c);
@@ -599,6 +631,30 @@ impl Solver {
         }
     }
 
+    /// Reduces the learnt database and compacts the clause arena *between*
+    /// incremental `solve` calls.
+    ///
+    /// Long-lived sessions (one solver across an entire UPEC-SSC fixpoint
+    /// run) accumulate learnt clauses from hundreds of solves; this hook
+    /// lets the owner shed stale learnts at a window boundary without
+    /// discarding the solver. Glue clauses (LBD ≤ 2) and clauses locked as
+    /// level-0 reasons survive, so the call never loses soundness or the
+    /// most valuable lemmas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0 (i.e. from inside a solve).
+    pub fn collect_garbage(&mut self) {
+        assert_eq!(self.trail_lim.len(), 0, "collect_garbage above level 0");
+        if !self.ok {
+            return;
+        }
+        self.reduce_db();
+        if self.db.wasted > 0 {
+            self.garbage_collect();
+        }
+    }
+
     fn detach(&mut self, cref: CRef) {
         let l0 = self.db.lit(cref, 0);
         let l1 = self.db.lit(cref, 1);
@@ -608,28 +664,37 @@ impl Solver {
 
     /// Compacts the clause arena, dropping deleted clauses and rebuilding
     /// all watch lists and reason references.
+    ///
+    /// Relocation is recorded with forwarding pointers written into the old
+    /// arena (the moved clause's now-unused LBD slot), so the remap is O(1)
+    /// per reference with no side table — the GC survives arbitrarily many
+    /// incremental solve/grow cycles without allocation churn.
     fn garbage_collect(&mut self) {
+        self.stats.gcs += 1;
         let mut new_db = ClauseDb::new();
-        let mut reloc: std::collections::HashMap<u32, CRef> = std::collections::HashMap::new();
-        let move_clause = |db: &ClauseDb, new_db: &mut ClauseDb, c: CRef| -> CRef {
+        let mut move_clause = |db: &mut ClauseDb, c: CRef| -> CRef {
             let lits: Vec<Lit> = db.lits(c).iter().map(|&l| Lit(l)).collect();
             let n = new_db.alloc(&lits, db.is_learnt(c));
             new_db.set_lbd(n, db.lbd(c));
+            // Mark the old copy deleted and store the forwarding pointer in
+            // its LBD slot.
+            db.data[c.0 as usize] |= 2;
+            db.data[c.0 as usize + 1] = n.0;
             n
         };
         for c in &mut self.clauses {
-            let n = move_clause(&self.db, &mut new_db, *c);
-            reloc.insert(c.0, n);
-            *c = n;
+            *c = move_clause(&mut self.db, *c);
         }
         for c in &mut self.learnts {
-            let n = move_clause(&self.db, &mut new_db, *c);
-            reloc.insert(c.0, n);
-            *c = n;
+            *c = move_clause(&mut self.db, *c);
         }
         for r in &mut self.reason {
             if *r != CREF_UNDEF {
-                *r = reloc.get(&r.0).copied().unwrap_or(CREF_UNDEF);
+                // Reasons only exist for currently-assigned variables, whose
+                // clauses are locked and therefore were moved above (a
+                // deleted clause is never a live reason).
+                debug_assert!(self.db.is_deleted(*r), "live reason was not forwarded");
+                *r = CRef(self.db.data[r.0 as usize + 1]);
             }
         }
         self.db = new_db;
@@ -670,6 +735,7 @@ impl Solver {
     /// Panics if a conflict budget set via
     /// [`Solver::set_conflict_budget`] is exhausted.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
         if !self.ok {
             return SolveResult::Unsat;
         }

@@ -393,7 +393,7 @@ mod tests {
     }
 
     fn reg_val(sim: &Sim, tb: &Tb, r: Reg) -> u64 {
-        sim.read_mem(tb.cpu.regfile, r.num() as u32).val()
+        sim.read_mem(tb.cpu.regfile, r.num()).val()
     }
 
     #[test]
@@ -412,7 +412,7 @@ mod tests {
         a.ebreak();
         let sim = load_and_run(&tb, &a, 64);
         assert_eq!(reg_val(&sim, &tb, Reg::X1), 100);
-        assert_eq!(reg_val(&sim, &tb, Reg::X2) as u32, (-3i32) as u32 as u32);
+        assert_eq!(reg_val(&sim, &tb, Reg::X2) as u32, (-3i32) as u32);
         assert_eq!(reg_val(&sim, &tb, Reg::X3), 97);
         assert_eq!(reg_val(&sim, &tb, Reg::X4), 103);
         assert_eq!(reg_val(&sim, &tb, Reg::X5), 155);

@@ -184,6 +184,6 @@ mod tests {
         h.switch_to(0);
         h.run_until_halt(100).unwrap();
         let t = h.reg(Reg::X3);
-        assert!(t >= 3 && t <= 6, "timer read {t} should reflect elapsed cycles");
+        assert!((3..=6).contains(&t), "timer read {t} should reflect elapsed cycles");
     }
 }

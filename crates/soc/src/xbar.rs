@@ -67,6 +67,7 @@ pub fn sram_xbar(
         grant_opts.push(grants);
     }
     let mut grants: Vec<Wire> = Vec::with_capacity(m);
+    #[allow(clippy::needless_range_loop)] // `i` indexes a column across rows
     for i in 0..m {
         let opts: Vec<Wire> = (0..m).map(|r| grant_opts[r][i]).collect();
         let g = n.select(rr.wire(), &opts);

@@ -1,5 +1,7 @@
 //! Property-based crossbar/arbiter invariants under random traffic.
 
+#![allow(clippy::needless_range_loop)] // master indices are semantic
+
 use proptest::prelude::*;
 use ssc_netlist::{Netlist, StateMeta};
 use ssc_sim::Sim;

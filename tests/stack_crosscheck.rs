@@ -31,7 +31,7 @@ fn soc_aig_lowering_matches_simulator_transition() {
         let mut bits: Vec<bool> = Vec::new();
         for (id, node) in n.iter_nodes() {
             match node {
-                Node::Input { name, width } => {
+                Node::Input { name: _, width } => {
                     let v = rng.random_range(0..u64::MAX) & Bv::mask_for(*width);
                     sim.set_input_wire(n.wire_of(id), Bv::new(*width, v));
                     (0..*width).for_each(|i| bits.push((v >> i) & 1 == 1));
