@@ -8,8 +8,9 @@
 //! preempts the victim after a fixed number of cycles, like a real tick
 //! interrupt would.
 
+use ssc_netlist::lanes::LANES;
 use ssc_soc::asm::Asm;
-use ssc_soc::{addr, Soc, SocSim};
+use ssc_soc::{addr, BatchSocSim, Soc, SocSim};
 
 use crate::programs::{self, layout};
 
@@ -88,6 +89,59 @@ fn run_three_phases(
     RunOutcome { observation: h.peek("gpio_out"), cycles: h.cycle() }
 }
 
+/// The batched three-phase runner: up to 64 scenario instances — one per
+/// simulation lane, each with its **own victim program** — run in a single
+/// netlist walk per cycle.
+///
+/// Preparation and retrieval are identical in every lane, so prep halts in
+/// lockstep; retrieval lanes may halt at different cycles (their scans walk
+/// different frontiers) and early lanes idle on a halted CPU until the
+/// slowest finishes, which cannot disturb their already-published GPIO
+/// observation. Every lane's *observation* is bit-identical to the scalar
+/// [`run_three_phases`] fed the same victim; [`RunOutcome::cycles`] is the
+/// shared batch cycle count (all lanes ran until the slowest halted), not
+/// the per-victim runtime a scalar run would report.
+fn run_three_phases_batch(
+    soc: &Soc,
+    prep: &Asm,
+    victims: &[Asm],
+    retrieve: &Asm,
+    lock_timer: bool,
+) -> Vec<RunOutcome> {
+    assert!(!victims.is_empty(), "at least one victim program required");
+    assert!(victims.len() <= LANES, "at most {LANES} victims per batch run");
+    let mut h = BatchSocSim::new(soc);
+    h.load_program(layout::PREP, prep);
+    h.load_program(layout::RETRIEVE, retrieve);
+    // Lanes beyond the victim list replay the last victim; their
+    // observations are computed anyway and discarded below.
+    for lane in 0..LANES {
+        let v = &victims[lane.min(victims.len() - 1)];
+        h.load_program_lane(lane, layout::VICTIM, v);
+    }
+
+    if lock_timer {
+        let locked = soc.netlist.find("timer.locked").expect("timer lock register");
+        h.sim().set_reg(locked, ssc_netlist::Bv::bit(true));
+    }
+
+    h.switch_to(layout::pc(layout::PREP));
+    h.run_until_all_halt(2_000).expect("preparation must halt");
+
+    h.switch_to(layout::pc(layout::VICTIM));
+    h.step_n(RECORDING_WINDOW);
+
+    h.switch_to(layout::pc(layout::RETRIEVE));
+    h.run_until_all_halt(4_000).expect("retrieval must halt");
+
+    let cycles = h.cycle();
+    let obs = h.peek_lanes("gpio_out");
+    obs[..victims.len()]
+        .iter()
+        .map(|&observation| RunOutcome { observation, cycles })
+        .collect()
+}
+
 /// The **DMA + timer** attack (paper Fig. 1): the DMA performs memory
 /// accesses and then starts the timer; victim contention delays the start,
 /// so the timer reading after the window encodes the victim's access count.
@@ -100,6 +154,23 @@ pub fn dma_timer_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> Ru
     run_three_phases(soc, &prep, &vic, &ret, lock_timer)
 }
 
+/// [`dma_timer_attack`] for up to 64 victim configurations at once (one
+/// simulation lane each). Element `i` of the result corresponds to
+/// `victims[i]` and is bit-identical to the scalar attack's observation
+/// (`cycles` is the shared batch cycle count — see
+/// [`run_three_phases_batch`]).
+pub fn dma_timer_attack_batch(
+    soc: &Soc,
+    victims: &[VictimConfig],
+    lock_timer: bool,
+) -> Vec<RunOutcome> {
+    let prep = programs::prep_dma_timer(48);
+    let vics: Vec<Asm> =
+        victims.iter().map(|v| programs::victim_accesses(v.base, v.accesses)).collect();
+    let ret = programs::retrieve_timer();
+    run_three_phases_batch(soc, &prep, &vics, &ret, lock_timer)
+}
+
 /// The **HWPE + memory** attack (paper Sec. 4.1, the new BUSted variant):
 /// the attacker primes a memory region with zeros and lets the accelerator
 /// overwrite it progressively; the write frontier after the window encodes
@@ -110,6 +181,23 @@ pub fn hwpe_memory_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> 
     let vic = programs::victim_accesses(victim.base, victim.accesses);
     let ret = programs::retrieve_frontier(PRIME_OFF, PRIME_WORDS);
     run_three_phases(soc, &prep, &vic, &ret, lock_timer)
+}
+
+/// [`hwpe_memory_attack`] for up to 64 victim configurations at once (one
+/// simulation lane each). Element `i` of the result corresponds to
+/// `victims[i]` and is bit-identical to the scalar attack's observation
+/// (`cycles` is the shared batch cycle count — see
+/// [`run_three_phases_batch`]).
+pub fn hwpe_memory_attack_batch(
+    soc: &Soc,
+    victims: &[VictimConfig],
+    lock_timer: bool,
+) -> Vec<RunOutcome> {
+    let prep = programs::prep_hwpe_memory(PRIME_OFF, PRIME_WORDS, 255);
+    let vics: Vec<Asm> =
+        victims.iter().map(|v| programs::victim_accesses(v.base, v.accesses)).collect();
+    let ret = programs::retrieve_frontier(PRIME_OFF, PRIME_WORDS);
+    run_three_phases_batch(soc, &prep, &vics, &ret, lock_timer)
 }
 
 /// A calibrated channel read-out: runs the scenario with `n = 0` to obtain

@@ -1,0 +1,68 @@
+//! Lane/scalar equivalence of the attack scenarios: the 64-lane batched
+//! sweep must reproduce the scalar sweep **bit-identically** on every
+//! channel × timer-policy configuration (and on the countermeasure
+//! layout), point for point.
+
+use ssc_attacks::leak::{sweep, sweep_batched};
+use ssc_attacks::scenarios::{
+    dma_timer_attack, dma_timer_attack_batch, hwpe_memory_attack, hwpe_memory_attack_batch,
+    Channel, VictimConfig,
+};
+use ssc_soc::Soc;
+
+/// The four scenario configurations of the paper's simulation experiments:
+/// both channels, with and without the timer-denial defence.
+const CONFIGS: [(Channel, bool); 4] = [
+    (Channel::DmaTimer, false),
+    (Channel::DmaTimer, true),
+    (Channel::HwpeMemory, false),
+    (Channel::HwpeMemory, true),
+];
+
+#[test]
+fn batched_sweep_is_bit_identical_to_scalar_on_all_four_configs() {
+    let soc = Soc::sim_view();
+    for (channel, locked) in CONFIGS {
+        let scalar = sweep(&soc, channel, VictimConfig::in_public, 10, locked);
+        let batched = sweep_batched(&soc, channel, VictimConfig::in_public, 10, locked);
+        assert_eq!(
+            scalar.points, batched.points,
+            "lane/scalar divergence on {channel:?} (timer_locked={locked})"
+        );
+        assert_eq!(scalar.exact_accuracy(), batched.exact_accuracy());
+        assert_eq!(scalar.distinguishable(), batched.distinguishable());
+    }
+}
+
+#[test]
+fn batched_sweep_matches_scalar_on_private_victims() {
+    let soc = Soc::sim_view();
+    for (channel, locked) in CONFIGS {
+        let scalar = sweep(&soc, channel, VictimConfig::in_private, 6, locked);
+        let batched = sweep_batched(&soc, channel, VictimConfig::in_private, 6, locked);
+        assert_eq!(
+            scalar.points, batched.points,
+            "lane/scalar divergence on private {channel:?} (timer_locked={locked})"
+        );
+    }
+}
+
+#[test]
+fn batch_outcomes_align_with_individual_scalar_attacks() {
+    let soc = Soc::sim_view();
+    let victims: Vec<VictimConfig> = (0..16).map(VictimConfig::in_public).collect();
+    let batch_t = dma_timer_attack_batch(&soc, &victims, false);
+    let batch_m = hwpe_memory_attack_batch(&soc, &victims, false);
+    for (i, v) in victims.iter().enumerate() {
+        assert_eq!(
+            batch_t[i].observation,
+            dma_timer_attack(&soc, *v, false).observation,
+            "timer channel lane {i}"
+        );
+        assert_eq!(
+            batch_m[i].observation,
+            hwpe_memory_attack(&soc, *v, false).observation,
+            "memory channel lane {i}"
+        );
+    }
+}

@@ -22,12 +22,19 @@ fn bench(c: &mut Criterion) {
             ssc_bench::dynamic_trial(&inst, seed)
         })
     });
+    g.bench_function("dynamic_trial_batch64", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 64;
+            ssc_bench::dynamic_trial_batch(&inst, seed)
+        })
+    });
     g.bench_function("taint_bmc_depth2", |b| {
         b.iter(|| taint_bmc(&inst, &[Sink::Mem("pub_xbar.ram".into())], 2))
     });
     g.finish();
 
-    let r = ssc_bench::e8_ift_baseline(40);
+    let r = ssc_bench::e8_ift_baseline(128);
     println!(
         "\n[e8] dynamic IFT rate {:.0}% ({:?}); taint-BMC depth {:?} ({:?}); UPEC vuln {:?} fixed {:?}",
         r.dynamic_detection_rate * 100.0,
@@ -37,6 +44,22 @@ fn bench(c: &mut Criterion) {
         r.upec_vulnerable,
         r.upec_fixed
     );
+
+    // The lanes-vs-scalar throughput record the CI trend gate checks.
+    let cmp = ssc_bench::e8_lanes_comparison(256);
+    println!(
+        "[e8] dynamic IFT lanes: {} trials, scalar {:?} vs batch {:?} ({:.1}x, rate {:.0}%)",
+        cmp.trials,
+        cmp.scalar_runtime,
+        cmp.batch_runtime,
+        cmp.speedup(),
+        cmp.detection_rate() * 100.0
+    );
+    let json = ssc_bench::perf::e8_lanes_json(&cmp);
+    match ssc_bench::perf::write_record("e8_lanes", &json) {
+        Ok(path) => println!("[e8] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e8] could not write perf record: {e}"),
+    }
 }
 
 criterion_group!(benches, bench);

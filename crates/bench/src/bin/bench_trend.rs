@@ -1,0 +1,152 @@
+//! The CI bench-trend gate: parses the committed `BENCH_*.json` perf
+//! records and fails the build when a headline speedup regresses below its
+//! floor.
+//!
+//! Gates:
+//!
+//! - `BENCH_e6_scaling.json` — the incremental-vs-fresh Alg. 2 speedup at
+//!   the **largest** recorded size must stay ≥ 1.5× on every configuration,
+//! - `BENCH_e8_lanes.json` — the 64-lane dynamic-IFT trial throughput must
+//!   stay ≥ 8× the scalar loop.
+//!
+//! ```sh
+//! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
+//! ```
+//!
+//! Without an argument the records are looked up at the workspace root
+//! (the nearest ancestor containing `ROADMAP.md`), i.e. exactly where the
+//! bench binaries write them. Exit code 0 = all gates pass, 1 = a gate
+//! regressed, 2 = a record is missing or unparsable.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Minimum incremental-vs-fresh speedup at the largest e6 size.
+const E6_MIN_SPEEDUP: f64 = 1.5;
+/// Minimum lanes-vs-scalar dynamic-IFT throughput ratio.
+const E8_MIN_SPEEDUP: f64 = 8.0;
+
+/// Extracts the first numeric value of `"key":` in `chunk` (the records are
+/// flat hand-assembled JSON; no serde in this workspace).
+fn field_f64(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn record_root() -> PathBuf {
+    let mut root = std::env::current_dir().expect("cwd");
+    loop {
+        if root.join("ROADMAP.md").exists() {
+            return root;
+        }
+        if !root.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// The `(words, speedup, config)` triples of the e6 record's
+/// `incremental_vs_fresh` array.
+fn e6_comparisons(json: &str) -> Result<Vec<(f64, f64, String)>, String> {
+    let (_, tail) = json
+        .split_once("\"incremental_vs_fresh\":[")
+        .ok_or("e6 record has no incremental_vs_fresh array")?;
+    let mut out = Vec::new();
+    for chunk in tail.split("\"config\":\"").skip(1) {
+        let config = chunk.split('"').next().unwrap_or("?").to_string();
+        let words = field_f64(chunk, "words").ok_or("comparison record without words")?;
+        let speedup = field_f64(chunk, "speedup").ok_or("comparison record without speedup")?;
+        out.push((words, speedup, config));
+    }
+    if out.is_empty() {
+        return Err("e6 record has an empty incremental_vs_fresh array".into());
+    }
+    Ok(out)
+}
+
+fn gate_e6(root: &Path) -> Result<bool, String> {
+    let path = root.join("BENCH_e6_scaling.json");
+    let comparisons = e6_comparisons(&read(&path)?)?;
+    let max_words = comparisons.iter().map(|c| c.0).fold(f64::MIN, f64::max);
+    let mut ok = true;
+    for (words, speedup, config) in &comparisons {
+        if *words < max_words {
+            continue;
+        }
+        let pass = *speedup >= E6_MIN_SPEEDUP;
+        println!(
+            "[trend] e6 incremental-vs-fresh ({config}, {words} words): {speedup:.2}x \
+             (floor {E6_MIN_SPEEDUP}x) {}",
+            if pass { "ok" } else { "REGRESSED" }
+        );
+        ok &= pass;
+    }
+    Ok(ok)
+}
+
+fn gate_e8(root: &Path) -> Result<bool, String> {
+    let path = root.join("BENCH_e8_lanes.json");
+    let json = read(&path)?;
+    let speedup = field_f64(&json, "speedup").ok_or("e8 record without speedup")?;
+    let lanes = field_f64(&json, "lanes").unwrap_or(0.0);
+    let pass = speedup >= E8_MIN_SPEEDUP;
+    println!(
+        "[trend] e8 dynamic-IFT lanes-vs-scalar ({lanes:.0} lanes): {speedup:.2}x \
+         (floor {E8_MIN_SPEEDUP}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    Ok(pass)
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(record_root);
+    let mut ok = true;
+    for gate in [gate_e6, gate_e8] {
+        match gate(&root) {
+            Ok(pass) => ok &= pass,
+            Err(e) => {
+                eprintln!("[trend] error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ok {
+        println!("[trend] all bench gates pass");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[trend] bench gate regression — see lines above");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comparison_records() {
+        let json = r#"{"experiment":"e6_scaling","points":[{"words":8,"state_bits":100,"detect_us":1,"prove_us":2}],"incremental_vs_fresh":[{"config":"vulnerable","words":8,"speedup":4.835,"incremental_iterations":[{"window":1}]},{"config":"fixed","words":8,"speedup":2.276,"incremental_iterations":[]}]}"#;
+        let cmp = e6_comparisons(json).unwrap();
+        assert_eq!(cmp.len(), 2);
+        assert_eq!(cmp[0].2, "vulnerable");
+        assert!((cmp[0].1 - 4.835).abs() < 1e-9);
+        assert!((cmp[1].1 - 2.276).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_extraction_handles_floats_and_ints() {
+        let s = r#"{"speedup":20.916,"lanes":64,"trials":256}"#;
+        assert!((field_f64(s, "speedup").unwrap() - 20.916).abs() < 1e-9);
+        assert_eq!(field_f64(s, "lanes").unwrap(), 64.0);
+        assert!(field_f64(s, "missing").is_none());
+    }
+}

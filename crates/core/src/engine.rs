@@ -215,6 +215,10 @@ pub struct Session<'p> {
     eq_terms: FxHashMap<(StateAtom, usize), AigRef>,
     /// Scratch assumption-literal buffer reused across checks.
     lit_buf: Vec<Lit>,
+    /// After a `Holds` from [`Session::check_window`]: whether the
+    /// assumption core avoided every pre-state atom-equality assumption
+    /// (`None` after a violated check).
+    last_core_without_state_eq: Option<bool>,
 }
 
 impl<'p> Session<'p> {
@@ -229,6 +233,7 @@ impl<'p> Session<'p> {
             base_offsets: Vec::new(),
             eq_terms: FxHashMap::default(),
             lit_buf: Vec::new(),
+            last_core_without_state_eq: None,
         };
         // Window-invariant standing assumptions: symbolic-range validity,
         // starting-state firmware constraints, IP quiescing.
@@ -561,7 +566,6 @@ impl<'p> Session<'p> {
         goals: &[(usize, &AtomSet)],
     ) -> PropertyResult {
         self.ensure_window(window);
-        let pre_term = self.state_eq(pre, 0);
 
         let mut neg_goal = Vec::new();
         for &(cycle, set) in goals {
@@ -579,14 +583,39 @@ impl<'p> Session<'p> {
             let r = self.base[i];
             lits.push(self.ipc.lit_of(r));
         }
-        lits.push(self.ipc.lit_of(pre_term));
+        // `State_Equivalence(pre)` enters as one assumption literal *per
+        // atom* (not one conjunction): logically identical, but on `Holds`
+        // the solver's assumption core then reports which atoms' equalities
+        // the proof actually rested on.
+        let pre_start = lits.len();
+        for &atom in pre {
+            let term = self.atom_eq_term(atom, 0);
+            let lit = self.ipc.lit_of(term);
+            lits.push(lit);
+        }
         lits.push(act);
         let result = self.ipc.check_lits(&lits);
+        self.last_core_without_state_eq = match result {
+            PropertyResult::Holds => {
+                let core = self.ipc.assumption_core();
+                Some(!lits[pre_start..lits.len() - 1].iter().any(|l| core.contains(l)))
+            }
+            PropertyResult::Violated => None,
+        };
         self.lit_buf = lits;
         // The goal clause belongs to this check only; retiring it keeps the
         // clause database additive while the state sets shrink.
         self.ipc.retire_activation(act);
         result
+    }
+
+    /// After a `Holds` from [`Session::check_window`]: `Some(true)` iff
+    /// **no** pre-state atom-equality assumption appears in the solver's
+    /// assumption core — i.e. the window property held independently of
+    /// `State_Equivalence(pre)`, so further refinement of the tracked sets
+    /// cannot change the verdict. `None` if the last check was violated.
+    pub fn last_core_without_state_eq(&self) -> Option<bool> {
+        self.last_core_without_state_eq
     }
 
     // ------------------------------------------------------------------

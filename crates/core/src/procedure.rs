@@ -210,7 +210,17 @@ impl UpecAnalysis {
             match result {
                 PropertyResult::Holds => {
                     iterations.push(snap.finish(sess, iterations.len() + 1, k, set_size, 0));
-                    if s[k] == s[k - 1] {
+                    // Unsat-core fast-path (incremental engine only): when
+                    // the proof rested on *no* tracked atom's state-equality
+                    // assumption, the window obligation is discharged
+                    // independently of the sets — growing the window cannot
+                    // refine them further, so the whole-set saturation
+                    // comparison is skipped and the fixpoint concludes now.
+                    // Soundness is unaffected: the concluding Alg. 1 still
+                    // performs the genuine inductive proof on `s[k]`.
+                    let core_saturated =
+                        incremental && sess.last_core_without_state_eq() == Some(true);
+                    if core_saturated || s[k] == s[k - 1] {
                         // Saturated: finish with the inductive step — in the
                         // same session when incremental.
                         let tail = if incremental {

@@ -9,7 +9,8 @@
 //!   module docs for the soundness discussion),
 //! - [`dynamic::TaintSim`]: dynamic IFT — concrete simulation with taint
 //!   tracking, the classic *testing* flavour of IFT that only covers the
-//!   stimuli you run,
+//!   stimuli you run ([`dynamic::BatchTaintSim`] runs 64 seeded trials per
+//!   netlist pass on the bit-sliced batch engine),
 //! - [`bmc::taint_bmc`]: IFT as bounded model checking — exhaustive up to a
 //!   depth `k`, but blind to value conditions (firmware constraints) and
 //!   forced to grow its window until a flow completes, in contrast to

@@ -187,6 +187,18 @@ impl<'n> Ipc<'n> {
         }
     }
 
+    /// The assumption core of the most recent [`PropertyResult::Holds`]:
+    /// the subset of that check's assumption literals the unsatisfiability
+    /// proof rests on (see [`ssc_sat::Solver::assumption_core`]).
+    ///
+    /// Assumptions absent from the core were not needed — the UPEC-SSC
+    /// procedures use this to detect checks whose verdict is independent of
+    /// the tracked state-equality assumptions. Only meaningful directly
+    /// after a `Holds` result.
+    pub fn assumption_core(&self) -> &[Lit] {
+        self.solver.assumption_core()
+    }
+
     /// Ensures a word is encoded in the solver so the *next* violated check
     /// can report its model value (encoding after a solve does not reveal
     /// values for the past model — see [`ModelError::NotInModel`]).

@@ -1,0 +1,219 @@
+//! Lane-packed (bit-sliced) value transposition.
+//!
+//! The bit-parallel simulation backend (`ssc-sim`'s `BatchSim`) evaluates
+//! [`LANES`] independent stimuli per netlist walk by storing one *bit
+//! position* of all lanes per `u64` word: a `w`-bit signal becomes `w`
+//! words, and word `i` holds bit `i` of every lane (`bit l` of word `i` is
+//! bit `i` of lane `l`'s value).
+//!
+//! Converting between that bit-sliced layout and per-lane scalars is a
+//! 64×64 bit-matrix transpose. This module provides the transpose (the
+//! recursive block-swap algorithm, 6·64 word operations instead of the
+//! naive 64·64 single-bit moves) plus the pack/unpack entry points the
+//! simulator's memory gather/scatter paths are built on.
+//!
+//! # Layout
+//!
+//! ```text
+//! per-lane:    vals[l]            = the w-bit value of lane l (l < 64)
+//! bit-sliced:  bits[i] >> l & 1   = bit i of lane l            (i < w)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ssc_netlist::lanes;
+//!
+//! let mut vals = [0u64; lanes::LANES];
+//! vals[3] = 0b101;
+//! let bits = lanes::pack(&vals);
+//! assert_eq!(bits[0] >> 3 & 1, 1); // bit 0 of lane 3
+//! assert_eq!(bits[1] >> 3 & 1, 0);
+//! assert_eq!(bits[2] >> 3 & 1, 1);
+//! assert_eq!(lanes::unpack(&bits[..3]), vals);
+//! ```
+
+/// Number of simulation lanes packed per word (the width of `u64`).
+pub const LANES: usize = 64;
+
+/// In-place 64×64 bit-matrix transpose.
+///
+/// Interpreting `a` as the matrix `M[r][c] = (a[r] >> c) & 1`, the call
+/// replaces it with its transpose: afterwards `(a[r] >> c) & 1` is the old
+/// `(a[c] >> r) & 1`. The transpose is an involution — applying it twice
+/// restores the input.
+pub fn transpose64(a: &mut [u64; LANES]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < LANES {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Packs per-lane scalar values into the bit-sliced layout.
+///
+/// The result is always [`LANES`] words; a consumer of a `w`-bit signal
+/// uses the first `w` words (the rest describe bits the lanes do not have —
+/// they are meaningful only if the scalars genuinely carry them).
+pub fn pack(vals: &[u64; LANES]) -> [u64; LANES] {
+    let mut out = *vals;
+    transpose64(&mut out);
+    out
+}
+
+/// Unpacks bit-sliced words back into per-lane scalars.
+///
+/// `bits` holds one word per bit position (`bits.len()` = the signal
+/// width, at most [`LANES`]); missing high bits read as zero.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` exceeds [`LANES`].
+pub fn unpack(bits: &[u64]) -> [u64; LANES] {
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let mut out = [0u64; LANES];
+    out[..bits.len()].copy_from_slice(bits);
+    transpose64(&mut out);
+    out
+}
+
+/// Extracts lane `l` of a bit-sliced value without a full transpose.
+///
+/// # Panics
+///
+/// Panics if `l >= LANES` or `bits.len() > LANES`.
+pub fn lane(bits: &[u64], l: usize) -> u64 {
+    assert!(l < LANES, "lane {l} out of range");
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let mut v = 0u64;
+    for (i, &word) in bits.iter().enumerate() {
+        v |= ((word >> l) & 1) << i;
+    }
+    v
+}
+
+/// Overwrites lane `l` of a bit-sliced value with the scalar `value`
+/// (truncated to `bits.len()` bits).
+///
+/// # Panics
+///
+/// Panics if `l >= LANES` or `bits.len() > LANES`.
+pub fn set_lane(bits: &mut [u64], l: usize, value: u64) {
+    assert!(l < LANES, "lane {l} out of range");
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let sel = 1u64 << l;
+    for (i, word) in bits.iter_mut().enumerate() {
+        *word = (*word & !sel) | (((value >> i) & 1) << l);
+    }
+}
+
+/// Broadcasts one scalar into every lane of a bit-sliced value
+/// (truncated to `bits.len()` bits).
+///
+/// # Panics
+///
+/// Panics if `bits.len() > LANES`.
+pub fn broadcast(bits: &mut [u64], value: u64) {
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    for (i, word) in bits.iter_mut().enumerate() {
+        *word = if (value >> i) & 1 == 1 { u64::MAX } else { 0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The specification transpose: one bit at a time.
+    fn transpose_naive(a: &[u64; LANES]) -> [u64; LANES] {
+        let mut out = [0u64; LANES];
+        for (r, row) in a.iter().enumerate() {
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot |= ((row >> c) & 1) << r;
+            }
+        }
+        out
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn fast_transpose_matches_naive() {
+        let mut state = 0xDEAD_BEEFu64;
+        for _ in 0..32 {
+            let mut a = [0u64; LANES];
+            for w in &mut a {
+                *w = splitmix(&mut state);
+            }
+            let mut fast = a;
+            transpose64(&mut fast);
+            assert_eq!(fast, transpose_naive(&a));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut state = 7u64;
+        let mut a = [0u64; LANES];
+        for w in &mut a {
+            *w = splitmix(&mut state);
+        }
+        let orig = a;
+        transpose64(&mut a);
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_narrow() {
+        let mut state = 42u64;
+        let width = 13usize;
+        let mask = (1u64 << width) - 1;
+        let mut vals = [0u64; LANES];
+        for v in &mut vals {
+            *v = splitmix(&mut state) & mask;
+        }
+        let bits = pack(&vals);
+        assert_eq!(unpack(&bits[..width]), vals);
+        for (l, &v) in vals.iter().enumerate() {
+            assert_eq!(lane(&bits[..width], l), v, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn set_lane_touches_only_its_lane() {
+        let mut vals = [0u64; LANES];
+        for (l, v) in vals.iter_mut().enumerate() {
+            *v = l as u64;
+        }
+        let mut bits = pack(&vals);
+        set_lane(&mut bits[..6], 5, 0b10_1010);
+        let back = unpack(&bits[..6]);
+        assert_eq!(back[5], 0b10_1010);
+        for (l, &v) in back.iter().enumerate().filter(|&(l, _)| l != 5) {
+            assert_eq!(v, (l as u64) & 0x3F, "lane {l} must be untouched");
+        }
+    }
+
+    #[test]
+    fn broadcast_fills_all_lanes() {
+        let mut bits = [0u64; 8];
+        broadcast(&mut bits, 0xA5);
+        let back = unpack(&bits);
+        assert!(back.iter().all(|&v| v == 0xA5));
+    }
+}

@@ -36,6 +36,7 @@ pub mod analysis;
 mod bv;
 pub mod dot;
 mod ir;
+pub mod lanes;
 mod ops;
 pub mod text;
 mod transform;

@@ -316,4 +316,66 @@ mod tests {
         assert!(st.decisions > 0);
         assert!(st.propagations > 0);
     }
+
+    #[test]
+    fn assumption_core_names_the_responsible_assumptions() {
+        // a ∧ (a → b) makes ¬b unsat; c is irrelevant and must not appear
+        // in the core.
+        let mut s = Solver::new();
+        let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+        s.add_clause([a.neg(), b.pos()]);
+        assert_eq!(s.solve(&[c.pos(), a.pos(), b.neg()]), SolveResult::Unsat);
+        let core = s.assumption_core();
+        assert!(core.contains(&b.neg()), "the falsified assumption is in the core");
+        assert!(core.contains(&a.pos()), "the implying assumption is in the core");
+        assert!(!core.contains(&c.pos()), "irrelevant assumptions stay out");
+    }
+
+    #[test]
+    fn complementary_assumptions_form_a_two_literal_core() {
+        let mut s = Solver::new();
+        let (a, b) = (s.new_var(), s.new_var());
+        let _ = b;
+        assert_eq!(s.solve(&[a.pos(), a.neg()]), SolveResult::Unsat);
+        let mut core = s.assumption_core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![a.pos(), a.neg()]);
+    }
+
+    #[test]
+    fn unconditionally_unsat_formula_has_empty_core() {
+        let mut s = Solver::new();
+        let (a, b) = (s.new_var(), s.new_var());
+        s.add_clause([a.pos()]);
+        s.add_clause([a.neg()]);
+        assert_eq!(s.solve(&[b.pos()]), SolveResult::Unsat);
+        assert!(s.assumption_core().is_empty(), "no assumption was needed");
+    }
+
+    #[test]
+    fn core_extraction_survives_learnt_clauses() {
+        // Unsat discovered only after conflict-driven learning: the core
+        // must still be a subset of the assumptions implying the conflict.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..4).map(|_| s.new_vars(3)).collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().map(|v| v.pos()));
+        }
+        for hole in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause([p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        let extra = s.new_var();
+        let assumptions = [extra.pos()];
+        assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+        for l in s.assumption_core() {
+            assert!(
+                assumptions.contains(l),
+                "core literal {l:?} is not one of the assumptions"
+            );
+        }
+    }
 }

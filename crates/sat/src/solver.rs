@@ -199,6 +199,8 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     model: Vec<LBool>,
+    /// Assumption core of the most recent `Unsat` result.
+    core: Vec<Lit>,
     /// Conflict budget for the current `solve` call (None = unlimited).
     conflict_budget: Option<u64>,
 }
@@ -236,6 +238,7 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             model: Vec::new(),
+            core: Vec::new(),
             conflict_budget: None,
         }
     }
@@ -561,6 +564,59 @@ impl Solver {
         true
     }
 
+    /// Computes the assumption core after an assumption `p` was found
+    /// falsified (MiniSat's `analyzeFinal`): walks the implication graph
+    /// backwards from `¬p`'s assignment and collects every *decision* it
+    /// rests on. While the solver is still placing assumptions, all
+    /// decisions on the trail **are** assumptions, so the result is the
+    /// subset of the caller's assumption literals that together imply the
+    /// conflict — `p` itself included.
+    fn analyze_final(&mut self, p: Lit) {
+        self.core.clear();
+        self.core.push(p);
+        if self.decision_level() == 0 {
+            return; // ¬p is a level-0 consequence of the formula alone
+        }
+        self.seen[p.var().index()] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            let r = self.reason[v.index()];
+            if r == CREF_UNDEF {
+                // A decision: one of the already-placed assumptions. The
+                // trail holds the literal as assumed, so it can be handed
+                // back verbatim (for `v == p.var()` this is the
+                // complementary assumption `¬p`).
+                self.core.push(l);
+            } else {
+                for k in 0..self.db.len(r) {
+                    let q = self.db.lit(r, k);
+                    if q.var() != v && self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        // `¬p` may have been implied at level 0, in which case its variable
+        // never appeared in the walk above.
+        self.seen[p.var().index()] = false;
+    }
+
+    /// The assumption core of the most recent [`SolveResult::Unsat`]: a
+    /// subset of the `solve` call's assumption literals that is already
+    /// sufficient for unsatisfiability. An *empty* core means the formula
+    /// is unsatisfiable regardless of any assumption.
+    ///
+    /// Only meaningful directly after an `Unsat` result; a later `Sat`
+    /// result leaves the stale core in place.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.core
+    }
+
     fn compute_lbd(&mut self, c: CRef) -> u32 {
         self.lbd_counter += 1;
         let stamp = self.lbd_counter;
@@ -737,6 +793,7 @@ impl Solver {
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         if !self.ok {
+            self.core.clear(); // unsat without any assumption
             return SolveResult::Unsat;
         }
         let budget_start = self.stats.conflicts;
@@ -756,6 +813,7 @@ impl Solver {
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.core.clear(); // unsat without any assumption
                     break SolveResult::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
@@ -796,7 +854,10 @@ impl Solver {
                 if (self.decision_level() as usize) < assumptions.len()
                     && next_decision.is_none()
                 {
-                    // Some assumption is falsified by level-0/previous units.
+                    // Some assumption is falsified by level-0/previous units:
+                    // record which assumptions that conflict rests on.
+                    let p = assumptions[self.decision_level() as usize];
+                    self.analyze_final(p);
                     break SolveResult::Unsat;
                 }
                 let decision = match next_decision {

@@ -1,0 +1,747 @@
+//! The 64-lane bit-sliced evaluation domain and its simulator front-end.
+//!
+//! [`BatchSim`] evaluates [`LANES`](ssc_netlist::lanes::LANES) (= 64)
+//! independent stimuli per netlist walk. A `w`-bit signal is stored as `w`
+//! `u64` words where word `i` holds bit `i` of every lane (the layout of
+//! [`ssc_netlist::lanes`]); bitwise operators then act on all 64 lanes at
+//! once, arithmetic ripples carries across the `w` words, and per-lane
+//! control flow (muxes, dynamic shifts, memory addressing) is resolved with
+//! lane masks instead of branches.
+//!
+//! Memories are the one exception to the bit-sliced layout: they keep
+//! *per-lane scalar* words (`data[word * 64 + lane]`), because memory reads
+//! and writes are address-dependent gathers/scatters — the packed↔scalar
+//! transposition happens at the memory boundary and nowhere else.
+//!
+//! Every lane is bit-identical to a scalar [`crate::Sim`] run fed the same
+//! stimulus: the lanes share no state and the domain is cross-checked
+//! against the scalar semantics property-by-property.
+
+use ssc_netlist::lanes::{self, LANES};
+use ssc_netlist::{Bv, MemId, Netlist, NetlistError, Node, Op, SignalId, Wire};
+
+use crate::domain::EvalDomain;
+use crate::engine::Engine;
+use crate::trace::BatchTrace;
+
+/// A bit-sliced value: `bits[i]` holds bit `i` of all 64 lanes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneValue {
+    width: u32,
+    bits: Vec<u64>,
+}
+
+impl LaneValue {
+    /// The signal width in bits (`bits().len()`).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The bit-position words (see [`ssc_netlist::lanes`] for the layout).
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Extracts one lane as a [`Bv`].
+    pub fn lane(&self, l: usize) -> Bv {
+        Bv::new(self.width, lanes::lane(&self.bits, l))
+    }
+
+    /// All 64 lanes as scalars.
+    pub fn unpack(&self) -> [u64; LANES] {
+        lanes::unpack(&self.bits)
+    }
+
+    fn resize(&mut self, width: u32) {
+        self.width = width;
+        self.bits.resize(width as usize, 0);
+    }
+}
+
+/// A bit-sliced memory: per-lane scalar words, `data[word * LANES + lane]`.
+#[derive(Clone, Debug)]
+pub struct LaneMem {
+    width: u32,
+    words: u32,
+    data: Vec<u64>,
+}
+
+impl LaneMem {
+    /// Reads the word at `index` in `lane`.
+    pub fn word(&self, index: u32, lane: usize) -> Bv {
+        Bv::new(self.width, self.data[index as usize * LANES + lane])
+    }
+
+    /// Overwrites the word at `index` in `lane` (masked to the word width).
+    pub fn set_word(&mut self, index: u32, lane: usize, value: Bv) {
+        self.data[index as usize * LANES + lane] = value.val();
+    }
+}
+
+/// The 64-lane bit-sliced evaluation domain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitSliceDomain;
+
+impl EvalDomain for BitSliceDomain {
+    type Value = LaneValue;
+    type Mem = LaneMem;
+
+    fn value_zero(width: u32) -> LaneValue {
+        LaneValue { width, bits: vec![0; width as usize] }
+    }
+
+    fn value_const(bv: Bv) -> LaneValue {
+        let mut v = Self::value_zero(bv.width());
+        lanes::broadcast(&mut v.bits, bv.val());
+        v
+    }
+
+    fn value_dummy() -> LaneValue {
+        LaneValue { width: 0, bits: Vec::new() }
+    }
+
+    fn eval_op(op: Op, width: u32, values: &[LaneValue], args: &[SignalId], out: &mut LaneValue) {
+        let v = |i: usize| &values[args[i].index()];
+        out.resize(width);
+        let w = width as usize;
+        match op {
+            Op::Not => {
+                let a = v(0);
+                for i in 0..w {
+                    out.bits[i] = !a.bits[i];
+                }
+            }
+            Op::And | Op::Or | Op::Xor => {
+                let (a, b) = (v(0), v(1));
+                for i in 0..w {
+                    out.bits[i] = match op {
+                        Op::And => a.bits[i] & b.bits[i],
+                        Op::Or => a.bits[i] | b.bits[i],
+                        _ => a.bits[i] ^ b.bits[i],
+                    };
+                }
+            }
+            Op::Add => {
+                let (a, b) = (v(0), v(1));
+                let mut carry = 0u64;
+                for i in 0..w {
+                    let (x, y) = (a.bits[i], b.bits[i]);
+                    let xy = x ^ y;
+                    out.bits[i] = xy ^ carry;
+                    carry = (x & y) | (carry & xy);
+                }
+            }
+            Op::Sub => {
+                let (a, b) = (v(0), v(1));
+                let mut borrow = 0u64;
+                for i in 0..w {
+                    let (x, y) = (a.bits[i], b.bits[i]);
+                    out.bits[i] = x ^ y ^ borrow;
+                    borrow = (!x & y) | ((!x | y) & borrow);
+                }
+            }
+            Op::Mul => {
+                let (a, b) = (v(0), v(1));
+                out.bits[..w].fill(0);
+                for j in 0..w {
+                    let sel = b.bits[j];
+                    if sel == 0 {
+                        continue;
+                    }
+                    let mut carry = 0u64;
+                    for i in j..w {
+                        let p = a.bits[i - j] & sel;
+                        let o = out.bits[i];
+                        let s = o ^ p;
+                        out.bits[i] = s ^ carry;
+                        carry = (o & p) | (carry & s);
+                    }
+                }
+            }
+            Op::Eq => {
+                let (a, b) = (v(0), v(1));
+                let mut acc = u64::MAX;
+                for i in 0..a.bits.len() {
+                    acc &= !(a.bits[i] ^ b.bits[i]);
+                }
+                out.bits[0] = acc;
+            }
+            Op::Ult | Op::Slt => {
+                let (a, b) = (v(0), v(1));
+                let top = a.bits.len() - 1;
+                let mut borrow = 0u64;
+                for i in 0..a.bits.len() {
+                    // Signed comparison = unsigned with both sign bits
+                    // flipped.
+                    let flip = if op == Op::Slt && i == top { u64::MAX } else { 0 };
+                    let (x, y) = (a.bits[i] ^ flip, b.bits[i] ^ flip);
+                    borrow = (!x & y) | ((!x | y) & borrow);
+                }
+                out.bits[0] = borrow;
+            }
+            Op::ShlC(s) => {
+                let a = v(0);
+                let s = s as usize;
+                for i in (0..w).rev() {
+                    out.bits[i] = if i >= s { a.bits[i - s] } else { 0 };
+                }
+            }
+            Op::ShrC(s) => {
+                let a = v(0);
+                let s = s as usize;
+                for i in 0..w {
+                    out.bits[i] = if i + s < w { a.bits[i + s] } else { 0 };
+                }
+            }
+            Op::SarC(s) => {
+                let a = v(0);
+                let s = (s as usize).min(w - 1);
+                for i in 0..w {
+                    out.bits[i] = a.bits[(i + s).min(w - 1)];
+                }
+            }
+            Op::Shl | Op::Shr | Op::Sar => {
+                let (a, amt) = (v(0), v(1));
+                out.bits[..w].copy_from_slice(&a.bits);
+                let sign = a.bits[w - 1];
+                // Lanes whose amount reaches the width shift everything out.
+                let mut big = 0u64;
+                for (k, &sel) in amt.bits.iter().enumerate() {
+                    if sel == 0 {
+                        continue;
+                    }
+                    let sh = 1usize << k.min(63);
+                    if sh >= w {
+                        big |= sel;
+                        continue;
+                    }
+                    match op {
+                        Op::Shl => {
+                            for i in (sh..w).rev() {
+                                out.bits[i] = (sel & out.bits[i - sh]) | (!sel & out.bits[i]);
+                            }
+                            for i in 0..sh {
+                                out.bits[i] &= !sel;
+                            }
+                        }
+                        Op::Shr | Op::Sar => {
+                            let fill = if op == Op::Sar { sign } else { 0 };
+                            for i in 0..w - sh {
+                                out.bits[i] = (sel & out.bits[i + sh]) | (!sel & out.bits[i]);
+                            }
+                            for i in w - sh..w {
+                                out.bits[i] = (sel & fill) | (!sel & out.bits[i]);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                if big != 0 {
+                    let fill = if op == Op::Sar { sign } else { 0 };
+                    for i in 0..w {
+                        out.bits[i] = (big & fill) | (!big & out.bits[i]);
+                    }
+                }
+            }
+            Op::Slice { hi: _, lo } => {
+                let a = v(0);
+                let lo = lo as usize;
+                for i in 0..w {
+                    out.bits[i] = a.bits[lo + i];
+                }
+            }
+            Op::Concat => {
+                let (hi, lo) = (v(0), v(1));
+                let lw = lo.bits.len();
+                out.bits[..lw].copy_from_slice(&lo.bits);
+                out.bits[lw..w].copy_from_slice(&hi.bits);
+            }
+            Op::Zext => {
+                let a = v(0);
+                let aw = a.bits.len();
+                out.bits[..aw].copy_from_slice(&a.bits);
+                out.bits[aw..w].fill(0);
+            }
+            Op::Sext => {
+                let a = v(0);
+                let aw = a.bits.len();
+                out.bits[..aw].copy_from_slice(&a.bits);
+                out.bits[aw..w].fill(a.bits[aw - 1]);
+            }
+            Op::Mux => {
+                let sel = v(0).bits[0];
+                let (t, e) = (v(1), v(2));
+                for i in 0..w {
+                    out.bits[i] = (sel & t.bits[i]) | (!sel & e.bits[i]);
+                }
+            }
+            Op::ReduceOr => {
+                out.bits[0] = v(0).bits.iter().fold(0, |acc, &b| acc | b);
+            }
+            Op::ReduceAnd => {
+                out.bits[0] = v(0).bits.iter().fold(u64::MAX, |acc, &b| acc & b);
+            }
+            Op::ReduceXor => {
+                out.bits[0] = v(0).bits.iter().fold(0, |acc, &b| acc ^ b);
+            }
+        }
+    }
+
+    fn mem_new(words: u32, width: u32) -> LaneMem {
+        LaneMem { width, words, data: vec![0; words as usize * LANES] }
+    }
+
+    fn mem_reset(mem: &mut LaneMem, init: Option<&[Bv]>) {
+        match init {
+            Some(init) => {
+                for (w, bv) in init.iter().enumerate() {
+                    mem.data[w * LANES..(w + 1) * LANES].fill(bv.val());
+                }
+            }
+            None => mem.data.fill(0),
+        }
+    }
+
+    fn mem_read(mem: &LaneMem, addr: &LaneValue, width: u32, out: &mut LaneValue) {
+        out.resize(width);
+        let addrs = addr.unpack();
+        let mut vals = [0u64; LANES];
+        for (l, &a) in addrs.iter().enumerate() {
+            if a < u64::from(mem.words) {
+                vals[l] = mem.data[a as usize * LANES + l];
+            }
+        }
+        let packed = lanes::pack(&vals);
+        out.bits.copy_from_slice(&packed[..width as usize]);
+    }
+
+    fn mem_write(mem: &mut LaneMem, en: &LaneValue, addr: &LaneValue, data: &LaneValue) {
+        let sel = en.bits[0];
+        if sel == 0 {
+            return;
+        }
+        let addrs = addr.unpack();
+        let vals = data.unpack();
+        for l in 0..LANES {
+            if (sel >> l) & 1 == 1 {
+                let a = addrs[l];
+                if a < u64::from(mem.words) {
+                    mem.data[a as usize * LANES + l] = vals[l];
+                }
+            }
+        }
+    }
+}
+
+/// A cycle-accurate simulator evaluating 64 independent stimuli per pass.
+///
+/// `BatchSim` mirrors [`crate::Sim`]'s API with per-lane variants: inputs,
+/// registers and memory words can be driven per lane
+/// ([`BatchSim::set_input_lanes`], [`BatchSim::set_mem_word_lane`], …) or
+/// broadcast to all lanes at once ([`BatchSim::set_input`], …), and signals
+/// are observed per lane ([`BatchSim::peek_lanes`]). Every lane is
+/// bit-identical to a scalar `Sim` run fed the same stimulus.
+///
+/// Use `BatchSim` when many *independent* trials of the same design are
+/// needed (channel sweeps, Monte-Carlo taint trials); use `Sim` for single
+/// runs and interactive debugging — a batch walk costs a few times a scalar
+/// walk, so it only pays off when several lanes carry distinct stimuli.
+#[derive(Clone, Debug)]
+pub struct BatchSim<'n> {
+    engine: Engine<'n, BitSliceDomain>,
+    trace: BatchTrace,
+}
+
+impl<'n> BatchSim<'n> {
+    /// Number of lanes evaluated per pass.
+    pub const LANES: usize = LANES;
+
+    /// Creates a batch simulator for `netlist` and resets it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's structural error if it fails [`Netlist::check`].
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        Ok(BatchSim { engine: Engine::new(netlist)?, trace: BatchTrace::new() })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.engine.netlist()
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle()
+    }
+
+    /// Resets all lanes to the declared initial state (see
+    /// [`crate::Sim::reset`]). Trace contents are cleared, probes stay.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+        self.trace.clear();
+    }
+
+    fn find(&self, name: &str) -> Wire {
+        self.engine
+            .netlist()
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"))
+    }
+
+    fn assert_fits(wire: Wire, value: u64, what: &str, name: &str) {
+        assert!(
+            value & !Bv::mask_for(wire.width()) == 0,
+            "value {value:#x} does not fit the {}-bit width of {what} `{name}`",
+            wire.width()
+        );
+    }
+
+    /// Drives a primary input by name, broadcasting `value` to all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input with that name exists or `value` does not fit the
+    /// port width.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let w = self.find(name);
+        Self::assert_fits(w, value, "input", name);
+        self.set_input_wire_lanes(w, &[value; LANES]);
+    }
+
+    /// Drives a primary input by name with one value per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input with that name exists or any lane's value does
+    /// not fit the port width.
+    pub fn set_input_lanes(&mut self, name: &str, values: &[u64; LANES]) {
+        let w = self.find(name);
+        for &v in values {
+            Self::assert_fits(w, v, "input", name);
+        }
+        self.set_input_wire_lanes(w, values);
+    }
+
+    /// Drives a primary input by wire handle with one value per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not an input or any lane's value does not fit
+    /// its width.
+    pub fn set_input_wire_lanes(&mut self, wire: Wire, values: &[u64; LANES]) {
+        assert!(
+            matches!(self.engine.netlist().node(wire.id()), Node::Input { .. }),
+            "set_input on non-input signal"
+        );
+        self.engine.set_value(wire.id(), pack_value(wire.width(), values));
+    }
+
+    /// Overwrites a register's current state in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not a register output or widths mismatch.
+    pub fn set_reg(&mut self, wire: Wire, value: Bv) {
+        assert_eq!(wire.width(), value.width(), "register width mismatch");
+        self.set_reg_lanes(wire, &[value.val(); LANES]);
+    }
+
+    /// Overwrites a register's current state with one value per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not a register output or any lane's value does
+    /// not fit the register width.
+    pub fn set_reg_lanes(&mut self, wire: Wire, values: &[u64; LANES]) {
+        assert!(
+            matches!(self.engine.netlist().node(wire.id()), Node::Reg(_)),
+            "set_reg on non-register signal"
+        );
+        self.engine.set_value(wire.id(), pack_value(wire.width(), values));
+    }
+
+    /// Overwrites one memory word in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index is out of range or widths mismatch.
+    pub fn set_mem_word(&mut self, mem: MemId, index: u32, value: Bv) {
+        let m = self.engine.netlist().mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        assert_eq!(value.width(), m.width, "memory word width mismatch");
+        let st = self.engine.mem_mut(mem);
+        for l in 0..LANES {
+            st.set_word(index, l, value);
+        }
+    }
+
+    /// Overwrites one memory word with one value per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index is out of range or any lane's value does
+    /// not fit the word width.
+    pub fn set_mem_word_lanes(&mut self, mem: MemId, index: u32, values: &[u64; LANES]) {
+        let m = self.engine.netlist().mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        let (name, width) = (m.name.clone(), m.width);
+        let mask = Bv::mask_for(width);
+        let st = self.engine.mem_mut(mem);
+        for (l, &v) in values.iter().enumerate() {
+            assert!(
+                v & !mask == 0,
+                "lane {l} value {v:#x} does not fit the {width}-bit words of `{name}`"
+            );
+            st.set_word(index, l, Bv::new(width, v));
+        }
+    }
+
+    /// Overwrites one memory word in a single lane, leaving other lanes
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index or lane is out of range or widths mismatch.
+    pub fn set_mem_word_lane(&mut self, mem: MemId, index: u32, lane: usize, value: Bv) {
+        let m = self.engine.netlist().mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        assert!(lane < LANES, "lane {lane} out of range");
+        assert_eq!(value.width(), m.width, "memory word width mismatch");
+        self.engine.mem_mut(mem).set_word(index, lane, value);
+    }
+
+    /// Reads one memory word from one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index or lane is out of range.
+    pub fn read_mem_lane(&self, mem: MemId, index: u32, lane: usize) -> Bv {
+        let m = self.engine.netlist().mem(mem);
+        assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.engine.mem(mem).word(index, lane)
+    }
+
+    /// The current value of a signal in one lane (evaluating first if
+    /// needed).
+    pub fn peek_lane(&mut self, wire: Wire, lane: usize) -> Bv {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.engine.eval();
+        self.engine.value(wire.id()).lane(lane)
+    }
+
+    /// The current value of a signal in all lanes.
+    pub fn peek_lanes(&mut self, wire: Wire) -> [u64; LANES] {
+        self.engine.eval();
+        self.engine.value(wire.id()).unpack()
+    }
+
+    /// [`BatchSim::peek_lanes`] by hierarchical name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal with that name exists.
+    pub fn peek_name_lanes(&mut self, name: &str) -> [u64; LANES] {
+        let w = self.find(name);
+        self.peek_lanes(w)
+    }
+
+    /// For a 1-bit signal: the mask of lanes in which it is currently 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is wider than one bit.
+    pub fn lanes_high(&mut self, wire: Wire) -> u64 {
+        assert_eq!(wire.width(), 1, "lanes_high expects a 1-bit signal");
+        self.engine.eval();
+        self.engine.value(wire.id()).bits()[0]
+    }
+
+    /// Advances all lanes by one clock edge.
+    pub fn step(&mut self) {
+        self.engine.eval();
+        self.record_probes();
+        self.engine.commit();
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps until `signal` is 1 in **every** lane, up to `max_cycles`
+    /// steps. Returns the number of steps taken before all lanes were
+    /// observed high, or `None` if some lane never rose within the bound.
+    pub fn step_until_all_high(&mut self, signal: Wire, max_cycles: u64) -> Option<u64> {
+        for i in 0..=max_cycles {
+            if self.lanes_high(signal) == u64::MAX {
+                return Some(i);
+            }
+            if i < max_cycles {
+                self.step();
+            }
+        }
+        None
+    }
+
+    /// Registers a named signal to be recorded (per lane) on every
+    /// subsequent step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal with that name exists.
+    pub fn watch(&mut self, name: &str) {
+        let w = self.find(name);
+        self.trace.add_probe(name, w);
+    }
+
+    fn record_probes(&mut self) {
+        if self.trace.is_empty() {
+            return;
+        }
+        let cycle = self.engine.cycle();
+        let probes: Vec<Wire> = self.trace.probe_wires().collect();
+        let vals: Vec<Vec<u64>> =
+            probes.iter().map(|w| self.engine.value(w.id()).bits().to_vec()).collect();
+        self.trace.record(cycle, vals);
+    }
+
+    /// The recorded per-lane trace of watched signals.
+    pub fn trace(&self) -> &BatchTrace {
+        &self.trace
+    }
+}
+
+/// Packs per-lane scalars into a [`LaneValue`], refusing over-wide values
+/// (the wire-level backstop of the named `set_input` assertions — a wider
+/// scalar is a stimulus bug, not something to truncate silently).
+fn pack_value(width: u32, values: &[u64; LANES]) -> LaneValue {
+    let mask = Bv::mask_for(width);
+    for (l, &v) in values.iter().enumerate() {
+        assert!(v & !mask == 0, "lane {l} value {v:#x} does not fit {width} bits");
+    }
+    let packed = lanes::pack(values);
+    LaneValue { width, bits: packed[..width as usize].to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssc_netlist::StateMeta;
+
+    fn counter() -> Netlist {
+        let mut n = Netlist::new("counter");
+        let en = n.input("en", 1);
+        let count = n.reg("count", 8, Some(Bv::zero(8)), StateMeta::default());
+        let one = n.lit(8, 1);
+        let inc = n.add(count.wire(), one);
+        let next = n.mux(en, inc, count.wire());
+        n.connect_reg(count, next);
+        n.mark_output("count", count.wire());
+        n
+    }
+
+    #[test]
+    fn lanes_count_independently() {
+        let n = counter();
+        let mut sim = BatchSim::new(&n).unwrap();
+        // Enable only even lanes.
+        let mut en = [0u64; LANES];
+        for (l, e) in en.iter_mut().enumerate() {
+            *e = (l % 2 == 0) as u64;
+        }
+        sim.set_input_lanes("en", &en);
+        sim.step_n(5);
+        let counts = sim.peek_name_lanes("count");
+        for (l, &c) in counts.iter().enumerate() {
+            assert_eq!(c, if l % 2 == 0 { 5 } else { 0 }, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn per_lane_memory_states() {
+        let mut n = Netlist::new("mem");
+        let we = n.input("we", 1);
+        let addr = n.input("addr", 4);
+        let data = n.input("data", 32);
+        let mem = n.memory("ram", 16, 32, StateMeta::memory(true));
+        n.mem_write(mem, we, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+
+        let mut sim = BatchSim::new(&n).unwrap();
+        // Each lane writes its own value to its own address.
+        let mut addrs = [0u64; LANES];
+        let mut datas = [0u64; LANES];
+        for l in 0..LANES {
+            addrs[l] = (l % 16) as u64;
+            datas[l] = 0x100 + l as u64;
+        }
+        sim.set_input("we", 1);
+        sim.set_input_lanes("addr", &addrs);
+        sim.set_input_lanes("data", &datas);
+        sim.step();
+        sim.set_input("we", 0);
+        let rds = sim.peek_lanes(rd);
+        for (l, &v) in rds.iter().enumerate() {
+            assert_eq!(v, 0x100 + l as u64, "lane {l}");
+        }
+        assert_eq!(sim.read_mem_lane(mem, 3, 3).val(), 0x103);
+        assert_eq!(sim.read_mem_lane(mem, 3, 19).val(), 0x113);
+    }
+
+    #[test]
+    fn broadcast_set_input_asserts_width() {
+        let n = counter();
+        let mut sim = BatchSim::new(&n).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set_input("en", 2);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("`en`"), "panic must name the signal: {msg}");
+    }
+
+    #[test]
+    fn step_until_all_high_waits_for_slowest_lane() {
+        let mut n = counter();
+        let count = n.find("count").unwrap();
+        let four = n.lit(8, 4);
+        let lt = n.ult(count, four);
+        let done = n.not(lt);
+        n.set_name(done, "done");
+        let mut sim = BatchSim::new(&n).unwrap();
+        sim.set_input("en", 1);
+        // Lane l starts at count = l (lanes 0..=4 need 4-l more steps).
+        let mut starts = [10u64; LANES];
+        for (l, s) in starts.iter_mut().enumerate().take(5) {
+            *s = l as u64;
+        }
+        sim.set_reg_lanes(count, &starts);
+        assert_eq!(sim.step_until_all_high(done, 100), Some(4));
+    }
+
+    #[test]
+    fn batch_trace_records_per_lane_series() {
+        let n = counter();
+        let mut sim = BatchSim::new(&n).unwrap();
+        sim.watch("count");
+        let mut en = [0u64; LANES];
+        en[7] = 1;
+        sim.set_input_lanes("en", &en);
+        sim.step_n(3);
+        let lane7 = sim.trace().lane_view(7);
+        assert_eq!(
+            lane7.series("count").unwrap().iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let lane0 = sim.trace().lane_view(0);
+        assert_eq!(
+            lane0.series("count").unwrap().iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
+            vec![0, 0, 0]
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Pluggable evaluation domains for the generic simulation engine.
+//!
+//! The engine ([`crate::engine::Engine`]) walks the netlist in topological
+//! order and latches state on clock edges; *what a value is* — a single
+//! [`Bv`], or one bit-position of 64 packed stimuli — is decided by the
+//! [`EvalDomain`] implementation it is instantiated with:
+//!
+//! - [`ScalarDomain`] evaluates one stimulus at a time and backs the
+//!   classic [`crate::Sim`],
+//! - [`crate::batch::BitSliceDomain`] evaluates 64 independent stimuli per
+//!   walk and backs [`crate::BatchSim`].
+//!
+//! A domain supplies constants, the combinational operator semantics and
+//! the memory representation (scalar memories are plain `Bv` arrays; the
+//! bit-sliced domain keeps per-lane scalar words so address-dependent
+//! gathers stay cheap).
+
+use ssc_netlist::{Bv, Op, SignalId};
+
+/// A value domain the generic engine can evaluate a netlist over.
+///
+/// Implementations define the value representation, the semantics of every
+/// [`Op`], and how memories are stored and accessed. All operations are
+/// *width-directed*: the engine passes the declared result width and the
+/// argument signal ids into the shared `values` table (arguments never
+/// alias `out` — combinational nodes cannot read their own output).
+pub trait EvalDomain {
+    /// A signal's value.
+    type Value: Clone + std::fmt::Debug;
+    /// One memory's backing store.
+    type Mem: Clone + std::fmt::Debug;
+
+    /// The all-zeros value of `width` bits.
+    fn value_zero(width: u32) -> Self::Value;
+
+    /// The value of a constant (broadcast to all stimuli in wide domains).
+    fn value_const(bv: Bv) -> Self::Value;
+
+    /// A placeholder value temporarily swapped into a slot while that slot
+    /// is evaluated in place. Never read.
+    fn value_dummy() -> Self::Value;
+
+    /// Evaluates `op` over `args` (indices into `values`) into `out`.
+    ///
+    /// `out` holds the slot's previous value; implementations overwrite it
+    /// completely (wide domains reuse its allocation).
+    fn eval_op(op: Op, width: u32, values: &[Self::Value], args: &[SignalId], out: &mut Self::Value);
+
+    /// Allocates a memory of `words` entries of `width` bits, zeroed.
+    fn mem_new(words: u32, width: u32) -> Self::Mem;
+
+    /// Restores a memory to its declared initial contents (zero when
+    /// `init` is `None`).
+    fn mem_reset(mem: &mut Self::Mem, init: Option<&[Bv]>);
+
+    /// A combinational memory read: `out` receives the word addressed by
+    /// `addr` (out-of-range reads produce zero).
+    fn mem_read(mem: &Self::Mem, addr: &Self::Value, width: u32, out: &mut Self::Value);
+
+    /// Applies one write port on a clock edge: where `en` holds, the word
+    /// addressed by `addr` is replaced by `data` (out-of-range writes are
+    /// dropped).
+    fn mem_write(mem: &mut Self::Mem, en: &Self::Value, addr: &Self::Value, data: &Self::Value);
+}
+
+/// The reference domain: one [`Bv`] stimulus, the semantics every other
+/// domain is cross-checked against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarDomain;
+
+/// A scalar memory: one [`Bv`] per word.
+#[derive(Clone, Debug)]
+pub struct ScalarMem {
+    /// Word width in bits.
+    pub width: u32,
+    /// The stored words (`data.len()` = declared word count).
+    pub data: Vec<Bv>,
+}
+
+impl EvalDomain for ScalarDomain {
+    type Value = Bv;
+    type Mem = ScalarMem;
+
+    #[inline]
+    fn value_zero(width: u32) -> Bv {
+        Bv::zero(width)
+    }
+
+    #[inline]
+    fn value_const(bv: Bv) -> Bv {
+        bv
+    }
+
+    #[inline]
+    fn value_dummy() -> Bv {
+        Bv::zero(1)
+    }
+
+    fn eval_op(op: Op, width: u32, values: &[Bv], args: &[SignalId], out: &mut Bv) {
+        let v = |i: usize| values[args[i].index()];
+        *out = match op {
+            Op::Not => v(0).not(),
+            Op::And => v(0).and(v(1)),
+            Op::Or => v(0).or(v(1)),
+            Op::Xor => v(0).xor(v(1)),
+            Op::Add => v(0).add(v(1)),
+            Op::Sub => v(0).sub(v(1)),
+            Op::Mul => v(0).mul(v(1)),
+            Op::Eq => v(0).eq_bit(v(1)),
+            Op::Ult => v(0).ult(v(1)),
+            Op::Slt => v(0).slt(v(1)),
+            Op::ShlC(a) => v(0).shl(a),
+            Op::ShrC(a) => v(0).shr(a),
+            Op::SarC(a) => v(0).sar(a),
+            Op::Shl => v(0).shl_dyn(v(1)),
+            Op::Shr => v(0).shr_dyn(v(1)),
+            Op::Sar => v(0).sar_dyn(v(1)),
+            Op::Slice { hi, lo } => v(0).slice(hi, lo),
+            Op::Concat => v(0).concat(v(1)),
+            Op::Zext => v(0).zext(width),
+            Op::Sext => v(0).sext(width),
+            Op::Mux => {
+                if v(0).is_true() {
+                    v(1)
+                } else {
+                    v(2)
+                }
+            }
+            Op::ReduceOr => v(0).reduce_or(),
+            Op::ReduceAnd => v(0).reduce_and(),
+            Op::ReduceXor => v(0).reduce_xor(),
+        };
+    }
+
+    fn mem_new(words: u32, width: u32) -> ScalarMem {
+        ScalarMem { width, data: vec![Bv::zero(width); words as usize] }
+    }
+
+    fn mem_reset(mem: &mut ScalarMem, init: Option<&[Bv]>) {
+        match init {
+            Some(init) => mem.data.copy_from_slice(init),
+            None => mem.data.fill(Bv::zero(mem.width)),
+        }
+    }
+
+    #[inline]
+    fn mem_read(mem: &ScalarMem, addr: &Bv, width: u32, out: &mut Bv) {
+        let a = addr.val() as usize;
+        *out = if a < mem.data.len() { mem.data[a] } else { Bv::zero(width) };
+    }
+
+    #[inline]
+    fn mem_write(mem: &mut ScalarMem, en: &Bv, addr: &Bv, data: &Bv) {
+        if en.is_true() {
+            let a = addr.val() as usize;
+            if a < mem.data.len() {
+                mem.data[a] = *data;
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The generic evaluate/commit simulation core.
+//!
+//! [`Engine`] owns the two-phase interpreter loop that both simulator
+//! front-ends share:
+//!
+//! 1. **Evaluate** ([`Engine::eval`]): combinational nodes are computed in
+//!    topological order from the current register/memory/input state,
+//! 2. **Commit** ([`Engine::commit`]): registers latch their next-state
+//!    values and memory write ports apply in declaration order (later
+//!    ports override earlier ones within a cycle).
+//!
+//! What a *value* is — and therefore how many stimuli one walk evaluates —
+//! is delegated to the [`EvalDomain`] parameter; see
+//! [`crate::domain`] for the scalar reference domain and
+//! [`crate::batch`] for the 64-lane bit-sliced domain.
+
+use ssc_netlist::{analysis, MemId, Netlist, NetlistError, Node, SignalId};
+
+use crate::domain::EvalDomain;
+
+/// The domain-generic evaluate/commit core shared by [`crate::Sim`] and
+/// [`crate::BatchSim`].
+#[derive(Clone)]
+pub struct Engine<'n, D: EvalDomain> {
+    netlist: &'n Netlist,
+    order: Vec<SignalId>,
+    values: Vec<D::Value>,
+    mems: Vec<D::Mem>,
+    cycle: u64,
+    dirty: bool,
+}
+
+impl<'n, D: EvalDomain> std::fmt::Debug for Engine<'n, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("design", &self.netlist.name())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl<'n, D: EvalDomain> Engine<'n, D> {
+    /// Creates an engine for `netlist` with all state at its reset values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's structural error if it fails [`Netlist::check`].
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        netlist.check()?;
+        let order = analysis::comb_topo_order(netlist).expect("checked netlist has no comb loops");
+        let values = (0..netlist.num_nodes())
+            .map(|i| D::value_zero(netlist.width_of(SignalId::from_index(i))))
+            .collect();
+        let mems = netlist.iter_mems().map(|(_, m)| D::mem_new(m.words, m.width)).collect();
+        let mut eng = Engine { netlist, order, values, mems, cycle: 0, dirty: true };
+        eng.reset();
+        Ok(eng)
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The current cycle count (number of commits since reset).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets registers and memories to their declared initial values (zero
+    /// when unspecified), clears inputs to zero and restarts the cycle
+    /// counter.
+    pub fn reset(&mut self) {
+        for (id, node) in self.netlist.iter_nodes() {
+            match node {
+                Node::Reg(info) => {
+                    self.values[id.index()] = match info.init {
+                        Some(bv) => D::value_const(bv),
+                        None => D::value_zero(info.width),
+                    };
+                }
+                Node::Input { width, .. } => {
+                    self.values[id.index()] = D::value_zero(*width);
+                }
+                _ => {}
+            }
+        }
+        for (mid, m) in self.netlist.iter_mems() {
+            D::mem_reset(&mut self.mems[mid.index()], m.init.as_deref());
+        }
+        self.cycle = 0;
+        self.dirty = true;
+    }
+
+    /// The current value of a signal. The caller is responsible for
+    /// evaluating first ([`Engine::eval`]) if inputs or state changed.
+    pub fn value(&self, id: SignalId) -> &D::Value {
+        &self.values[id.index()]
+    }
+
+    /// Overwrites a signal's value slot (input driving / state poking) and
+    /// marks the combinational values stale.
+    pub fn set_value(&mut self, id: SignalId, v: D::Value) {
+        self.values[id.index()] = v;
+        self.dirty = true;
+    }
+
+    /// Read access to a memory's backing store.
+    pub fn mem(&self, mem: MemId) -> &D::Mem {
+        &self.mems[mem.index()]
+    }
+
+    /// Mutable access to a memory's backing store (state poking); marks the
+    /// combinational values stale.
+    pub fn mem_mut(&mut self, mem: MemId) -> &mut D::Mem {
+        self.dirty = true;
+        &mut self.mems[mem.index()]
+    }
+
+    /// Recomputes combinational values if inputs or state changed.
+    pub fn eval(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            match self.netlist.node(id) {
+                Node::Input { .. } | Node::Reg(_) => continue, // state held in `values`
+                Node::Const(bv) => {
+                    self.values[id.index()] = D::value_const(*bv);
+                }
+                Node::Op { op, args, width } => {
+                    // Take the slot out so the argument slots can be read
+                    // while it is written (a node never reads its own
+                    // output — the order is topological).
+                    let mut out = std::mem::replace(&mut self.values[id.index()], D::value_dummy());
+                    D::eval_op(*op, *width, &self.values, args, &mut out);
+                    self.values[id.index()] = out;
+                }
+                Node::MemRead { mem, addr, width } => {
+                    let mut out = std::mem::replace(&mut self.values[id.index()], D::value_dummy());
+                    D::mem_read(
+                        &self.mems[mem.index()],
+                        &self.values[addr.index()],
+                        *width,
+                        &mut out,
+                    );
+                    self.values[id.index()] = out;
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Latches registers and applies memory write ports (evaluating first
+    /// if necessary), then advances the cycle counter.
+    pub fn commit(&mut self) {
+        self.eval();
+        // Collect register next-values before overwriting any of them.
+        let mut reg_updates: Vec<(SignalId, D::Value)> = Vec::new();
+        for (id, node) in self.netlist.iter_nodes() {
+            if let Node::Reg(info) = node {
+                let next = info.next.expect("checked netlist");
+                reg_updates.push((id, self.values[next.index()].clone()));
+            }
+        }
+        // Write ports read combinational values only, so they can apply
+        // directly; declaration order realizes later-port-wins.
+        for (mid, m) in self.netlist.iter_mems() {
+            for wp in &m.write_ports {
+                D::mem_write(
+                    &mut self.mems[mid.index()],
+                    &self.values[wp.en.index()],
+                    &self.values[wp.addr.index()],
+                    &self.values[wp.data.index()],
+                );
+            }
+        }
+        for (id, v) in reg_updates {
+            self.values[id.index()] = v;
+        }
+        self.cycle += 1;
+        self.dirty = true;
+    }
+}

@@ -13,6 +13,31 @@
 //! a symbolic state — can be replayed concretely, and signal *probing* with
 //! a trace recorder and VCD export.
 //!
+//! # Architecture: one engine, pluggable value domains
+//!
+//! The interpreter loop lives in the domain-generic [`Engine`]; *what a
+//! value is* is decided by the [`domain::EvalDomain`] it is instantiated
+//! with. Two domains ship with the crate:
+//!
+//! - the **scalar** domain ([`domain::ScalarDomain`], value = [`Bv`]) backs
+//!   [`Sim`] — one stimulus per walk, the reference semantics;
+//! - the **64-lane bit-sliced** domain ([`batch::BitSliceDomain`]) backs
+//!   [`BatchSim`] — a `w`-bit signal becomes `w` `u64` words where word
+//!   `i` carries bit `i` of 64 *independent* stimuli (the
+//!   [`ssc_netlist::lanes`] layout), so one netlist walk advances 64
+//!   trials. Memories stay per-lane scalar (`data[word * 64 + lane]`)
+//!   because reads/writes are address-dependent gathers; packing is
+//!   transposed at the memory boundary only.
+//!
+//! **When to use which:** `Sim` for single runs, counterexample replay and
+//! interactive debugging; `BatchSim` whenever ≥ a handful of *independent*
+//! trials of the same design are needed (channel sweeps, Monte-Carlo taint
+//! trials) — a batch walk costs a few scalar walks but carries 64 lanes,
+//! an order-of-magnitude throughput win. Every lane is bit-identical to a
+//! scalar run fed the same stimulus; the property tests in
+//! `ssc-aig/tests/proptest_equivalence.rs` and the attack-scenario
+//! cross-checks in `ssc-attacks` enforce this.
+//!
 //! # Example
 //!
 //! ```
@@ -36,31 +61,33 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod domain;
+mod engine;
 mod trace;
 
-pub use trace::Trace;
+pub use batch::BatchSim;
+pub use engine::Engine;
+pub use trace::{BatchTrace, Trace};
 
-use ssc_netlist::{analysis, Bv, MemId, Netlist, NetlistError, Node, Op, SignalId, Wire};
+use ssc_netlist::{Bv, MemId, Netlist, NetlistError, Node, Wire};
+
+use domain::ScalarDomain;
 
 /// A cycle-accurate simulator bound to a netlist.
 ///
 /// See the [crate documentation](self) for an example.
 #[derive(Clone)]
 pub struct Sim<'n> {
-    netlist: &'n Netlist,
-    order: Vec<SignalId>,
-    values: Vec<Bv>,
-    mems: Vec<Vec<Bv>>,
-    cycle: u64,
-    dirty: bool,
+    engine: Engine<'n, ScalarDomain>,
     trace: Trace,
 }
 
 impl<'n> std::fmt::Debug for Sim<'n> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
-            .field("design", &self.netlist.name())
-            .field("cycle", &self.cycle)
+            .field("design", &self.engine.netlist().name())
+            .field("cycle", &self.engine.cycle())
             .finish()
     }
 }
@@ -72,62 +99,24 @@ impl<'n> Sim<'n> {
     ///
     /// Returns the netlist's structural error if it fails [`Netlist::check`].
     pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
-        netlist.check()?;
-        let order = analysis::comb_topo_order(netlist).expect("checked netlist has no comb loops");
-        let values = (0..netlist.num_nodes())
-            .map(|i| Bv::zero(netlist.width_of(SignalId::from_index(i))))
-            .collect();
-        let mems = netlist
-            .iter_mems()
-            .map(|(_, m)| vec![Bv::zero(m.width); m.words as usize])
-            .collect();
-        let mut sim = Sim {
-            netlist,
-            order,
-            values,
-            mems,
-            cycle: 0,
-            dirty: true,
-            trace: Trace::new(),
-        };
-        sim.reset();
-        Ok(sim)
+        Ok(Sim { engine: Engine::new(netlist)?, trace: Trace::new() })
     }
 
     /// The underlying netlist.
     pub fn netlist(&self) -> &'n Netlist {
-        self.netlist
+        self.engine.netlist()
     }
 
     /// The current cycle count (number of [`Sim::step`]s since reset).
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.engine.cycle()
     }
 
     /// Resets all registers and memories to their declared initial values
     /// (zero when unspecified), clears inputs to zero and restarts the cycle
     /// counter. The trace contents are cleared (probes stay registered).
     pub fn reset(&mut self) {
-        for (id, node) in self.netlist.iter_nodes() {
-            match node {
-                Node::Reg(info) => {
-                    self.values[id.index()] = info.init.unwrap_or_else(|| Bv::zero(info.width));
-                }
-                Node::Input { width, .. } => {
-                    self.values[id.index()] = Bv::zero(*width);
-                }
-                _ => {}
-            }
-        }
-        for (mid, m) in self.netlist.iter_mems() {
-            let st = &mut self.mems[mid.index()];
-            match &m.init {
-                Some(init) => st.copy_from_slice(init),
-                None => st.fill(Bv::zero(m.width)),
-            }
-        }
-        self.cycle = 0;
-        self.dirty = true;
+        self.engine.reset();
         self.trace.clear();
     }
 
@@ -135,12 +124,20 @@ impl<'n> Sim<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if no input with that name exists.
+    /// Panics if no input with that name exists, or if `value` does not fit
+    /// the port width (the panic message names the signal — a wider value
+    /// is a stimulus bug, not something to truncate silently).
     pub fn set_input(&mut self, name: &str, value: u64) {
         let w = self
-            .netlist
+            .engine
+            .netlist()
             .find(name)
             .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        assert!(
+            value & !Bv::mask_for(w.width()) == 0,
+            "value {value:#x} does not fit the {}-bit width of input `{name}`",
+            w.width()
+        );
         self.set_input_wire(w, Bv::new(w.width(), value));
     }
 
@@ -151,12 +148,11 @@ impl<'n> Sim<'n> {
     /// Panics if the wire is not an input or widths mismatch.
     pub fn set_input_wire(&mut self, wire: Wire, value: Bv) {
         assert!(
-            matches!(self.netlist.node(wire.id()), Node::Input { .. }),
+            matches!(self.engine.netlist().node(wire.id()), Node::Input { .. }),
             "set_input on non-input signal"
         );
         assert_eq!(wire.width(), value.width(), "input width mismatch");
-        self.values[wire.id().index()] = value;
-        self.dirty = true;
+        self.engine.set_value(wire.id(), value);
     }
 
     /// Overwrites a register's current state (state poking for
@@ -167,12 +163,11 @@ impl<'n> Sim<'n> {
     /// Panics if the wire is not a register output.
     pub fn set_reg(&mut self, wire: Wire, value: Bv) {
         assert!(
-            matches!(self.netlist.node(wire.id()), Node::Reg(_)),
+            matches!(self.engine.netlist().node(wire.id()), Node::Reg(_)),
             "set_reg on non-register signal"
         );
         assert_eq!(wire.width(), value.width(), "register width mismatch");
-        self.values[wire.id().index()] = value;
-        self.dirty = true;
+        self.engine.set_value(wire.id(), value);
     }
 
     /// Overwrites one memory word.
@@ -181,11 +176,10 @@ impl<'n> Sim<'n> {
     ///
     /// Panics if the word index is out of range or widths mismatch.
     pub fn set_mem_word(&mut self, mem: MemId, index: u32, value: Bv) {
-        let m = self.netlist.mem(mem);
+        let m = self.engine.netlist().mem(mem);
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
         assert_eq!(value.width(), m.width, "memory word width mismatch");
-        self.mems[mem.index()][index as usize] = value;
-        self.dirty = true;
+        self.engine.mem_mut(mem).data[index as usize] = value;
     }
 
     /// Reads one memory word.
@@ -194,16 +188,16 @@ impl<'n> Sim<'n> {
     ///
     /// Panics if the word index is out of range.
     pub fn read_mem(&self, mem: MemId, index: u32) -> Bv {
-        let m = self.netlist.mem(mem);
+        let m = self.engine.netlist().mem(mem);
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
-        self.mems[mem.index()][index as usize]
+        self.engine.mem(mem).data[index as usize]
     }
 
     /// The current value of a signal (evaluating combinational logic first
     /// if inputs changed since the last evaluation).
     pub fn peek(&mut self, wire: Wire) -> Bv {
-        self.eval();
-        self.values[wire.id().index()]
+        self.engine.eval();
+        *self.engine.value(wire.id())
     }
 
     /// [`Sim::peek`] by hierarchical name.
@@ -213,7 +207,8 @@ impl<'n> Sim<'n> {
     /// Panics if no signal with that name exists.
     pub fn peek_name(&mut self, name: &str) -> Bv {
         let w = self
-            .netlist
+            .engine
+            .netlist()
             .find(name)
             .unwrap_or_else(|| panic!("no signal named `{name}`"));
         self.peek(w)
@@ -221,101 +216,16 @@ impl<'n> Sim<'n> {
 
     /// Recomputes combinational values if inputs or state changed.
     pub fn eval(&mut self) {
-        if !self.dirty {
-            return;
-        }
-        for idx in 0..self.order.len() {
-            let id = self.order[idx];
-            let v = match self.netlist.node(id) {
-                Node::Input { .. } | Node::Reg(_) => continue, // state held in `values`
-                Node::Const(bv) => *bv,
-                Node::Op { op, args, width } => self.eval_op(*op, args, *width),
-                Node::MemRead { mem, addr, width } => {
-                    let a = self.values[addr.index()].val();
-                    let st = &self.mems[mem.index()];
-                    if (a as usize) < st.len() {
-                        st[a as usize]
-                    } else {
-                        Bv::zero(*width)
-                    }
-                }
-            };
-            self.values[id.index()] = v;
-        }
-        self.dirty = false;
-    }
-
-    fn eval_op(&self, op: Op, args: &[SignalId], width: u32) -> Bv {
-        let v = |i: usize| self.values[args[i].index()];
-        match op {
-            Op::Not => v(0).not(),
-            Op::And => v(0).and(v(1)),
-            Op::Or => v(0).or(v(1)),
-            Op::Xor => v(0).xor(v(1)),
-            Op::Add => v(0).add(v(1)),
-            Op::Sub => v(0).sub(v(1)),
-            Op::Mul => v(0).mul(v(1)),
-            Op::Eq => v(0).eq_bit(v(1)),
-            Op::Ult => v(0).ult(v(1)),
-            Op::Slt => v(0).slt(v(1)),
-            Op::ShlC(a) => v(0).shl(a),
-            Op::ShrC(a) => v(0).shr(a),
-            Op::SarC(a) => v(0).sar(a),
-            Op::Shl => v(0).shl_dyn(v(1)),
-            Op::Shr => v(0).shr_dyn(v(1)),
-            Op::Sar => v(0).sar_dyn(v(1)),
-            Op::Slice { hi, lo } => v(0).slice(hi, lo),
-            Op::Concat => v(0).concat(v(1)),
-            Op::Zext => v(0).zext(width),
-            Op::Sext => v(0).sext(width),
-            Op::Mux => {
-                if v(0).is_true() {
-                    v(1)
-                } else {
-                    v(2)
-                }
-            }
-            Op::ReduceOr => v(0).reduce_or(),
-            Op::ReduceAnd => v(0).reduce_and(),
-            Op::ReduceXor => v(0).reduce_xor(),
-        }
+        self.engine.eval();
     }
 
     /// Advances the design by one clock edge: evaluates, records probes,
     /// latches registers and applies memory write ports (in declaration
     /// order — later ports override earlier ones within a cycle).
     pub fn step(&mut self) {
-        self.eval();
+        self.engine.eval();
         self.record_probes();
-
-        // Collect register next-values and memory writes before committing.
-        let mut reg_updates: Vec<(SignalId, Bv)> = Vec::new();
-        for (id, node) in self.netlist.iter_nodes() {
-            if let Node::Reg(info) = node {
-                let next = info.next.expect("checked netlist");
-                reg_updates.push((id, self.values[next.index()]));
-            }
-        }
-        let mut mem_updates: Vec<(MemId, u32, Bv)> = Vec::new();
-        for (mid, m) in self.netlist.iter_mems() {
-            for wp in &m.write_ports {
-                if self.values[wp.en.index()].is_true() {
-                    let addr = self.values[wp.addr.index()].val();
-                    if addr < u64::from(m.words) {
-                        mem_updates.push((mid, addr as u32, self.values[wp.data.index()]));
-                    }
-                }
-            }
-        }
-
-        for (id, v) in reg_updates {
-            self.values[id.index()] = v;
-        }
-        for (mid, addr, v) in mem_updates {
-            self.mems[mid.index()][addr as usize] = v;
-        }
-        self.cycle += 1;
-        self.dirty = true;
+        self.engine.commit();
     }
 
     /// Runs `n` clock cycles.
@@ -347,7 +257,8 @@ impl<'n> Sim<'n> {
     /// Panics if no signal with that name exists.
     pub fn watch(&mut self, name: &str) {
         let w = self
-            .netlist
+            .engine
+            .netlist()
             .find(name)
             .unwrap_or_else(|| panic!("no signal named `{name}`"));
         self.trace.add_probe(name, w);
@@ -357,9 +268,9 @@ impl<'n> Sim<'n> {
         if self.trace.is_empty() {
             return;
         }
-        let cycle = self.cycle;
+        let cycle = self.engine.cycle();
         let probes: Vec<Wire> = self.trace.probe_wires().collect();
-        let vals: Vec<Bv> = probes.iter().map(|w| self.values[w.id().index()]).collect();
+        let vals: Vec<Bv> = probes.iter().map(|w| *self.engine.value(w.id())).collect();
         self.trace.record(cycle, &vals);
     }
 

@@ -103,6 +103,104 @@ impl Trace {
     }
 }
 
+/// A lane-aware recording of watched signals over simulated cycles.
+///
+/// The 64-lane counterpart of [`Trace`], filled by `BatchSim::watch`:
+/// every sample stores each probe's *bit-sliced* words (see
+/// [`ssc_netlist::lanes`]), so recording costs no per-lane transposition.
+/// Per-lane inspection — including VCD export — goes through
+/// [`BatchTrace::lane_view`], which materializes an ordinary [`Trace`] for
+/// one lane.
+#[derive(Clone, Debug, Default)]
+pub struct BatchTrace {
+    probes: Vec<(String, Wire)>,
+    /// samples[i] = (cycle, bit-sliced words per probe, aligned with `probes`)
+    samples: Vec<(u64, Vec<Vec<u64>>)>,
+}
+
+impl BatchTrace {
+    /// Creates an empty trace with no probes.
+    pub fn new() -> Self {
+        BatchTrace::default()
+    }
+
+    /// `true` if no probes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Number of recorded samples (cycles).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Registers a probe. Duplicate names are ignored.
+    pub fn add_probe(&mut self, name: &str, wire: Wire) {
+        if self.probes.iter().any(|(n, _)| n == name) {
+            return;
+        }
+        self.probes.push((name.to_string(), wire));
+    }
+
+    /// Iterates over the registered probe wires in registration order.
+    pub fn probe_wires(&self) -> impl Iterator<Item = Wire> + '_ {
+        self.probes.iter().map(|(_, w)| *w)
+    }
+
+    /// Appends one sample of bit-sliced probe values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of probes.
+    pub fn record(&mut self, cycle: u64, values: Vec<Vec<u64>>) {
+        assert_eq!(values.len(), self.probes.len(), "trace sample arity mismatch");
+        self.samples.push((cycle, values));
+    }
+
+    /// Clears recorded samples (probes stay registered).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Materializes the scalar [`Trace`] of one lane — same probes, the
+    /// lane's values — for series inspection and VCD export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn lane_view(&self, lane: usize) -> Trace {
+        assert!(lane < ssc_netlist::lanes::LANES, "lane {lane} out of range");
+        let mut t = Trace::new();
+        for (name, wire) in &self.probes {
+            t.add_probe(name, *wire);
+        }
+        for (cycle, vals) in &self.samples {
+            let scalars: Vec<Bv> = self
+                .probes
+                .iter()
+                .zip(vals)
+                .map(|((_, w), bits)| Bv::new(w.width(), ssc_netlist::lanes::lane(bits, lane)))
+                .collect();
+            t.record(*cycle, &scalars);
+        }
+        t
+    }
+
+    /// The `(cycle, value)` series recorded for probe `name` in `lane`.
+    pub fn series_lane(&self, name: &str, lane: usize) -> Option<Vec<(u64, Bv)>> {
+        let idx = self.probes.iter().position(|(n, _)| n == name)?;
+        let wire = self.probes[idx].1;
+        Some(
+            self.samples
+                .iter()
+                .map(|(c, vals)| {
+                    (*c, Bv::new(wire.width(), ssc_netlist::lanes::lane(&vals[idx], lane)))
+                })
+                .collect(),
+        )
+    }
+}
+
 /// Generates a short printable VCD identifier for probe index `i`.
 fn vcd_ident(mut i: usize) -> String {
     // Identifiers use the printable ASCII range '!'..='~'.

@@ -1,8 +1,14 @@
 //! Simulation harness: load programs, context-switch between tasks, inspect
 //! memory — the "OS" around the bare-metal SoC.
+//!
+//! [`SocSim`] drives one scalar simulation; [`BatchSocSim`] drives 64
+//! independent SoC instances per netlist walk (one per bit-sliced lane),
+//! which the attack-scenario sweeps use to evaluate every victim access
+//! count in parallel.
 
+use ssc_netlist::lanes::LANES;
 use ssc_netlist::Bv;
-use ssc_sim::Sim;
+use ssc_sim::{BatchSim, Sim};
 
 use crate::asm::{Asm, Reg};
 use crate::soc::Soc;
@@ -119,6 +125,133 @@ impl<'n> SocSim<'n> {
     }
 }
 
+/// A 64-lane SoC simulation: every bit-sliced lane is one independent SoC
+/// instance with its own instruction memory, RAM contents and peripheral
+/// state.
+///
+/// Broadcast operations ([`BatchSocSim::load_program`],
+/// [`BatchSocSim::switch_to`]) drive all lanes identically; per-lane
+/// operations ([`BatchSocSim::load_program_lane`]) let lanes run *different*
+/// task images — the attack sweeps load one victim program per lane and
+/// recover 64 channel observations from a single run.
+pub struct BatchSocSim<'n> {
+    sim: BatchSim<'n>,
+    soc: &'n Soc,
+}
+
+impl<'n> std::fmt::Debug for BatchSocSim<'n> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSocSim").field("cycle", &self.sim.cycle()).finish()
+    }
+}
+
+impl<'n> BatchSocSim<'n> {
+    /// Creates a 64-lane simulation of `soc` (must be a simulation view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SoC was built without a CPU.
+    pub fn new(soc: &'n Soc) -> Self {
+        assert!(soc.cpu.is_some(), "BatchSocSim requires a simulation view (with_cpu)");
+        let sim = BatchSim::new(&soc.netlist).expect("SoC netlist is checked");
+        BatchSocSim { sim, soc }
+    }
+
+    /// Access to the underlying batch simulator.
+    pub fn sim(&mut self) -> &mut BatchSim<'n> {
+        &mut self.sim
+    }
+
+    /// Current cycle count (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Loads an assembled program at instruction-memory word `word_base`
+    /// in **every** lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds the instruction memory.
+    pub fn load_program(&mut self, word_base: u32, program: &Asm) {
+        let cpu = self.soc.cpu.as_ref().expect("sim view");
+        for (i, w) in program.words().iter().enumerate() {
+            self.sim
+                .set_mem_word(cpu.imem, word_base + i as u32, Bv::new(32, u64::from(*w)));
+        }
+    }
+
+    /// Loads an assembled program at `word_base` in **one** lane, leaving
+    /// the other lanes' instruction memories untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds the instruction memory or the lane is
+    /// out of range.
+    pub fn load_program_lane(&mut self, lane: usize, word_base: u32, program: &Asm) {
+        let cpu = self.soc.cpu.as_ref().expect("sim view");
+        for (i, w) in program.words().iter().enumerate() {
+            self.sim.set_mem_word_lane(
+                cpu.imem,
+                word_base + i as u32,
+                lane,
+                Bv::new(32, u64::from(*w)),
+            );
+        }
+    }
+
+    /// Context switch in every lane: flush the pipeline, continue at byte
+    /// address `pc` (see [`SocSim::switch_to`]).
+    pub fn switch_to(&mut self, pc: u64) {
+        self.sim.set_input("cpu.ctx_switch", 1);
+        self.sim.set_input("cpu.ctx_pc", pc);
+        self.sim.step();
+        self.sim.set_input("cpu.ctx_switch", 0);
+    }
+
+    /// Runs until the current task has halted (`EBREAK`) in **every** lane.
+    /// Returns the number of cycles it took, or `None` on timeout.
+    ///
+    /// Lanes that halt early sit idle (the halted CPU is quiescent) while
+    /// slower lanes catch up; autonomous IPs (DMA, HWPE, timer) keep
+    /// running everywhere, exactly as they would in a scalar run of the
+    /// slowest lane.
+    pub fn run_until_all_halt(&mut self, max_cycles: u64) -> Option<u64> {
+        let halted = self
+            .soc
+            .netlist
+            .find("cpu.halted_flag")
+            .expect("sim view exposes the halt flag");
+        let start = self.sim.cycle();
+        self.sim.step_until_all_high(halted, max_cycles)?;
+        Some(self.sim.cycle() - start)
+    }
+
+    /// Runs exactly `n` cycles in all lanes.
+    pub fn step_n(&mut self, n: u64) {
+        self.sim.step_n(n);
+    }
+
+    /// Reads CPU register `r` in one lane.
+    pub fn reg_lane(&mut self, r: Reg, lane: usize) -> u64 {
+        let cpu = self.soc.cpu.as_ref().expect("sim view");
+        if r == Reg::X0 {
+            return 0;
+        }
+        self.sim.read_mem_lane(cpu.regfile, r.num(), lane).val()
+    }
+
+    /// Reads a public-RAM word in one lane.
+    pub fn pub_word_lane(&mut self, index: u32, lane: usize) -> u64 {
+        self.sim.read_mem_lane(self.soc.pub_ram, index, lane).val()
+    }
+
+    /// Peeks any named signal across all lanes.
+    pub fn peek_lanes(&mut self, name: &str) -> [u64; LANES] {
+        self.sim.peek_name_lanes(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +298,52 @@ mod tests {
         h.switch_to(32 * 4);
         h.run_until_halt(100).unwrap();
         assert_eq!(h.peek("gpio_out"), 0xB);
+    }
+
+    #[test]
+    fn batch_lanes_run_distinct_programs() {
+        let soc = Soc::build(SocConfig::sim());
+        let mut h = BatchSocSim::new(&soc);
+        // Every lane publishes its own id to GPIO.
+        for lane in 0..LANES {
+            let mut a = Asm::new();
+            a.li(Reg::X1, addr::GPIO_OUT as u32);
+            a.addi(Reg::X2, Reg::X0, lane as i32);
+            a.sw(Reg::X1, Reg::X2, 0);
+            a.ebreak();
+            h.load_program_lane(lane, 0, &a);
+        }
+        h.switch_to(0);
+        assert!(h.run_until_all_halt(100).is_some());
+        let out = h.peek_lanes("gpio_out");
+        for (l, &v) in out.iter().enumerate() {
+            assert_eq!(v, l as u64, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn batch_lane_matches_scalar_run() {
+        let soc = Soc::build(SocConfig::sim());
+        let mut program = Asm::new();
+        program.li(Reg::X1, addr::PUB_RAM_BASE as u32);
+        program.addi(Reg::X2, Reg::X0, 0x5A);
+        program.sw(Reg::X1, Reg::X2, 4);
+        program.ebreak();
+
+        let mut scalar = SocSim::new(&soc);
+        scalar.load_program(0, &program);
+        scalar.switch_to(0);
+        scalar.run_until_halt(100).unwrap();
+
+        let mut batch = BatchSocSim::new(&soc);
+        batch.load_program(0, &program);
+        batch.switch_to(0);
+        batch.run_until_all_halt(100).unwrap();
+
+        for lane in [0usize, 17, 63] {
+            assert_eq!(batch.pub_word_lane(1, lane), scalar.pub_word(1));
+            assert_eq!(batch.reg_lane(Reg::X2, lane), scalar.reg(Reg::X2));
+        }
     }
 
     #[test]

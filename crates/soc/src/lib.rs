@@ -49,5 +49,5 @@ pub mod peripherals;
 mod soc;
 pub mod xbar;
 
-pub use harness::SocSim;
+pub use harness::{BatchSocSim, SocSim};
 pub use soc::{port_names, Soc, SocConfig};
