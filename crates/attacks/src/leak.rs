@@ -95,9 +95,10 @@ pub fn sweep(
 }
 
 /// [`sweep`] on the 64-lane batch engine: all victim access counts of one
-/// chunk are evaluated in parallel lanes of a single scenario run, so a
-/// full `0..=max_n` sweep costs `ceil((max_n + 1) / 64)` runs instead of
-/// `max_n + 2`.
+/// lane block are evaluated in parallel lanes of a single scenario run, so
+/// a full `0..=max_n` sweep costs `ceil((max_n + 1) / 64)` runs instead of
+/// `max_n + 2` — and the blocks themselves are fanned across the process
+/// default thread pool ([`ssc_pool::Pool::global`]).
 ///
 /// The report is point-for-point identical to the scalar [`sweep`] (the
 /// lanes are bit-exact replicas of scalar runs, and the `n = 0` lane
@@ -105,30 +106,50 @@ pub fn sweep(
 pub fn sweep_batched(
     soc: &Soc,
     channel: Channel,
-    victim: impl Fn(u32) -> VictimConfig + Copy,
+    victim: impl Fn(u32) -> VictimConfig + Copy + Sync,
     max_n: u32,
     timer_locked: bool,
+) -> ChannelReport {
+    sweep_batched_with_pool(soc, channel, victim, max_n, timer_locked, ssc_pool::Pool::global())
+}
+
+/// [`sweep_batched`] on an explicit pool.
+///
+/// Lane blocks wider than 64 lanes share **no** state (each block is its
+/// own `BatchSocSim`), so they shard freely across workers; the merge is
+/// in block order and the baseline is taken from lane 0 of block 0, which
+/// makes the parallel report bit-identical to the sequential block loop —
+/// and therefore to the scalar [`sweep`] — for every pool size.
+pub fn sweep_batched_with_pool(
+    soc: &Soc,
+    channel: Channel,
+    victim: impl Fn(u32) -> VictimConfig + Copy + Sync,
+    max_n: u32,
+    timer_locked: bool,
+    pool: &ssc_pool::Pool,
 ) -> ChannelReport {
     use ssc_netlist::lanes::LANES;
 
     let counts: Vec<u32> = (0..=max_n).collect();
-    let mut baseline = None;
-    let mut points = Vec::with_capacity(counts.len());
-    for chunk in counts.chunks(LANES) {
-        let victims: Vec<VictimConfig> = chunk.iter().map(|&n| victim(n)).collect();
-        let outcomes = match channel {
+    let blocks: Vec<&[u32]> = counts.chunks(LANES).collect();
+    let outcomes_per_block: Vec<Vec<scenarios::RunOutcome>> = pool.run(blocks.len(), |b| {
+        let victims: Vec<VictimConfig> = blocks[b].iter().map(|&n| victim(n)).collect();
+        match channel {
             Channel::DmaTimer => scenarios::dma_timer_attack_batch(soc, &victims, timer_locked),
             Channel::HwpeMemory => {
                 scenarios::hwpe_memory_attack_batch(soc, &victims, timer_locked)
             }
-        };
-        // The first lane of the first chunk is the n = 0 calibration run.
-        let base = *baseline.get_or_insert(outcomes[0].observation);
-        for (&n, outcome) in chunk.iter().zip(&outcomes) {
+        }
+    });
+    // The first lane of the first block is the n = 0 calibration run.
+    let baseline = outcomes_per_block[0][0].observation;
+    let mut points = Vec::with_capacity(counts.len());
+    for (block, outcomes) in blocks.iter().zip(&outcomes_per_block) {
+        for (&n, outcome) in block.iter().zip(outcomes) {
             points.push(LeakPoint {
                 actual: n,
                 observation: outcome.observation,
-                recovered: scenarios::recover(channel, base, outcome.observation),
+                recovered: scenarios::recover(channel, baseline, outcome.observation),
             });
         }
     }

@@ -113,10 +113,19 @@ fn run_three_phases_batch(
     let mut h = BatchSocSim::new(soc);
     h.load_program(layout::PREP, prep);
     h.load_program(layout::RETRIEVE, retrieve);
-    // Lanes beyond the victim list replay the last victim; their
-    // observations are computed anyway and discarded below.
+    // Lanes beyond the victim list are *inactive*. They must not run
+    // whatever happens to sit in their default-initialized instruction
+    // memory, so they are explicitly neutralized with a victim that halts
+    // immediately — a quiescent CPU for the whole recording window. Lane
+    // isolation means they cannot disturb active lanes either way; their
+    // observations are discarded below.
+    let neutral = {
+        let mut a = Asm::new();
+        a.ebreak();
+        a
+    };
     for lane in 0..LANES {
-        let v = &victims[lane.min(victims.len() - 1)];
+        let v = victims.get(lane).unwrap_or(&neutral);
         h.load_program_lane(lane, layout::VICTIM, v);
     }
 
@@ -233,8 +242,20 @@ pub fn observe(
 /// cycle, so `n = baseline - observation`. For the memory channel each
 /// element costs two bus slots, so the frontier deficit is `n / 2` elements
 /// and the recovery is `2 * (baseline - observation)` with ±1 quantization.
+///
+/// # Panics
+///
+/// Panics when `observation > baseline`: victim contention can only
+/// *delay* the spying IP, so a reading above the calibration baseline
+/// means the channel or its calibration is broken — that must fail loudly
+/// instead of being silently folded to a zero deficit.
 pub fn recover(channel: Channel, baseline: u64, observation: u64) -> u64 {
-    let deficit = baseline.saturating_sub(observation);
+    assert!(
+        observation <= baseline,
+        "{channel:?} observation {observation} exceeds its calibration baseline {baseline} \
+         — broken channel or stale calibration"
+    );
+    let deficit = baseline - observation;
     match channel {
         Channel::DmaTimer => deficit,
         Channel::HwpeMemory => deficit * 2,
@@ -304,11 +325,31 @@ mod tests {
     #[test]
     fn observation_is_monotone_in_access_count() {
         let soc = soc();
-        let mut prev = u64::MAX;
+        // Explicit "no previous point" sentinel: the old `u64::MAX` start
+        // value would have silently accepted a broken channel whose first
+        // reading collided with the sentinel (or one that was flat at any
+        // huge value) — `Option` cannot collide with a real observation.
+        let mut prev: Option<u64> = None;
         for n in [0u32, 2, 4, 6, 8] {
             let obs = dma_timer_attack(&soc, VictimConfig::in_public(n), false).observation;
-            assert!(obs <= prev, "more accesses => later timer start");
-            prev = obs;
+            if let Some(p) = prev {
+                assert!(
+                    obs < p,
+                    "more accesses must strictly delay the timer start \
+                     (n={n}: observation {obs} not below previous {p})"
+                );
+            }
+            prev = Some(obs);
         }
+    }
+
+    #[test]
+    fn recover_rejects_observation_above_baseline() {
+        let err = std::panic::catch_unwind(|| recover(Channel::DmaTimer, 10, 11)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("baseline"),
+            "broken-channel panic must explain the calibration violation: {msg}"
+        );
     }
 }

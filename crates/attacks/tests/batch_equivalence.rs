@@ -47,6 +47,81 @@ fn batched_sweep_matches_scalar_on_private_victims() {
     }
 }
 
+mod partial_blocks {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Partial trailing blocks (1..=63 active configs — every batch
+        /// run leaves inactive lanes) must be bit-identical to the scalar
+        /// sweep on a randomly drawn channel × timer-policy configuration,
+        /// not just the 6/10-config sizes of the fixed tests above.
+        #[test]
+        fn partial_block_sweep_is_bit_identical_to_scalar(
+            configs in 1u32..=63,
+            which in 0usize..4,
+            private in any::<bool>(),
+        ) {
+            let (channel, locked) = CONFIGS[which];
+            let victim = if private { VictimConfig::in_private } else { VictimConfig::in_public };
+            let soc = Soc::sim_view();
+            let max_n = configs - 1;
+            let scalar = sweep(&soc, channel, victim, max_n, locked);
+            let batched = sweep_batched(&soc, channel, victim, max_n, locked);
+            prop_assert_eq!(
+                &scalar.points,
+                &batched.points,
+                "partial-block divergence: {} configs on {:?} (timer_locked={}, private={})",
+                configs, channel, locked, private
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_across_pool_sizes() {
+    use ssc_attacks::leak::sweep_batched_with_pool;
+    use ssc_pool::Pool;
+
+    let soc = Soc::sim_view();
+    // 96 points = one full block + one partial block; enough to exercise
+    // the cross-block baseline handoff and the parallel merge.
+    let max_n = 95;
+    for (channel, locked) in CONFIGS {
+        let sequential =
+            sweep_batched_with_pool(&soc, channel, VictimConfig::in_public, max_n, locked, &Pool::new(1));
+        for workers in [2, 4] {
+            let sharded = sweep_batched_with_pool(
+                &soc,
+                channel,
+                VictimConfig::in_public,
+                max_n,
+                locked,
+                &Pool::new(workers),
+            );
+            assert_eq!(
+                sequential.points, sharded.points,
+                "sharded sweep diverges at {workers} workers on {channel:?} (locked={locked})"
+            );
+        }
+    }
+    // Scalar cross-check of the multi-block path on one configuration
+    // (the per-config scalar equivalence at smaller sizes is covered
+    // above; this pins the >64-lane block seam against the reference).
+    let scalar = sweep(&soc, Channel::DmaTimer, VictimConfig::in_public, max_n, false);
+    let sharded = sweep_batched_with_pool(
+        &soc,
+        Channel::DmaTimer,
+        VictimConfig::in_public,
+        max_n,
+        false,
+        &Pool::new(3),
+    );
+    assert_eq!(scalar.points, sharded.points, "multi-block sweep diverges from scalar");
+}
+
 #[test]
 fn batch_outcomes_align_with_individual_scalar_attacks() {
     let soc = Soc::sim_view();

@@ -7,7 +7,12 @@
 //! - `BENCH_e6_scaling.json` — the incremental-vs-fresh Alg. 2 speedup at
 //!   the **largest** recorded size must stay ≥ 1.5× on every configuration,
 //! - `BENCH_e8_lanes.json` — the 64-lane dynamic-IFT trial throughput must
-//!   stay ≥ 8× the scalar loop.
+//!   stay ≥ 8× the scalar loop,
+//! - `BENCH_e9_portfolio.json` — the parallel portfolio runner must stay
+//!   ≥ 2× the sequential scenario loop **when the record was taken on a
+//!   host with ≥ 4 cores** (on smaller hosts the gate reports itself
+//!   skipped — a 1-core container cannot regress a parallel speedup), and
+//!   the record must attest parallel/sequential equivalence.
 //!
 //! ```sh
 //! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
@@ -15,9 +20,15 @@
 //!
 //! Without an argument the records are looked up at the workspace root
 //! (the nearest ancestor containing `ROADMAP.md`), i.e. exactly where the
-//! bench binaries write them. Exit code 0 = all gates pass, 1 = a gate
-//! regressed, 2 = a record is missing or unparsable.
+//! bench binaries write them.
+//!
+//! Failures are reported precisely, never as an `unwrap` backtrace: an
+//! **absent record** and a **malformed record** (the message names the
+//! file and the missing field) both exit 2, a **threshold violation**
+//! exits 1, and each failing line says which file/field/floor is at fault
+//! and which bench to re-run.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -25,6 +36,37 @@ use std::process::ExitCode;
 const E6_MIN_SPEEDUP: f64 = 1.5;
 /// Minimum lanes-vs-scalar dynamic-IFT throughput ratio.
 const E8_MIN_SPEEDUP: f64 = 8.0;
+/// Minimum portfolio-vs-sequential speedup (on ≥ `E9_MIN_CORES` cores).
+const E9_MIN_SPEEDUP: f64 = 2.0;
+/// Host cores below which the e9 speedup floor is not enforceable.
+const E9_MIN_CORES: f64 = 4.0;
+
+/// Why a record could not be evaluated (exit code 2 — distinct from a
+/// threshold violation, which is a *successful* evaluation that failed
+/// its floor).
+#[derive(Debug)]
+enum RecordError {
+    /// The record file does not exist at all.
+    Absent { path: PathBuf, regenerate: &'static str },
+    /// The record exists but a required field/structure is missing.
+    Malformed { path: PathBuf, what: String },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Absent { path, regenerate } => write!(
+                f,
+                "record absent: {} — regenerate it with `cargo bench --bench {}`",
+                path.display(),
+                regenerate
+            ),
+            RecordError::Malformed { path, what } => {
+                write!(f, "malformed record {}: {}", path.display(), what)
+            }
+        }
+    }
+}
 
 /// Extracts the first numeric value of `"key":` in `chunk` (the records are
 /// flat hand-assembled JSON; no serde in this workspace).
@@ -36,6 +78,15 @@ fn field_f64(chunk: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// [`field_f64`] that turns a missing field into a [`RecordError`] naming
+/// the file and field.
+fn require_f64(chunk: &str, key: &str, path: &Path) -> Result<f64, RecordError> {
+    field_f64(chunk, key).ok_or_else(|| RecordError::Malformed {
+        path: path.to_path_buf(),
+        what: format!("missing or non-numeric field `{key}`"),
+    })
 }
 
 fn record_root() -> PathBuf {
@@ -50,32 +101,45 @@ fn record_root() -> PathBuf {
     }
 }
 
-fn read(path: &Path) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+/// Reads a record, classifying "file not there" separately from any other
+/// I/O failure (both are exit-2 conditions, but the operator action
+/// differs: re-run the bench vs. fix the file).
+fn read(path: &Path, regenerate: &'static str) -> Result<String, RecordError> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Ok(s),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(RecordError::Absent { path: path.to_path_buf(), regenerate })
+        }
+        Err(e) => Err(RecordError::Malformed {
+            path: path.to_path_buf(),
+            what: format!("unreadable: {e}"),
+        }),
+    }
 }
 
 /// The `(words, speedup, config)` triples of the e6 record's
 /// `incremental_vs_fresh` array.
-fn e6_comparisons(json: &str) -> Result<Vec<(f64, f64, String)>, String> {
+fn e6_comparisons(json: &str, path: &Path) -> Result<Vec<(f64, f64, String)>, RecordError> {
+    let malformed = |what: String| RecordError::Malformed { path: path.to_path_buf(), what };
     let (_, tail) = json
         .split_once("\"incremental_vs_fresh\":[")
-        .ok_or("e6 record has no incremental_vs_fresh array")?;
+        .ok_or_else(|| malformed("no `incremental_vs_fresh` array".into()))?;
     let mut out = Vec::new();
     for chunk in tail.split("\"config\":\"").skip(1) {
         let config = chunk.split('"').next().unwrap_or("?").to_string();
-        let words = field_f64(chunk, "words").ok_or("comparison record without words")?;
-        let speedup = field_f64(chunk, "speedup").ok_or("comparison record without speedup")?;
+        let words = require_f64(chunk, "words", path)?;
+        let speedup = require_f64(chunk, "speedup", path)?;
         out.push((words, speedup, config));
     }
     if out.is_empty() {
-        return Err("e6 record has an empty incremental_vs_fresh array".into());
+        return Err(malformed("empty `incremental_vs_fresh` array".into()));
     }
     Ok(out)
 }
 
-fn gate_e6(root: &Path) -> Result<bool, String> {
+fn gate_e6(root: &Path) -> Result<bool, RecordError> {
     let path = root.join("BENCH_e6_scaling.json");
-    let comparisons = e6_comparisons(&read(&path)?)?;
+    let comparisons = e6_comparisons(&read(&path, "e6_scaling")?, &path)?;
     let max_words = comparisons.iter().map(|c| c.0).fold(f64::MIN, f64::max);
     let mut ok = true;
     for (words, speedup, config) in &comparisons {
@@ -88,15 +152,22 @@ fn gate_e6(root: &Path) -> Result<bool, String> {
              (floor {E6_MIN_SPEEDUP}x) {}",
             if pass { "ok" } else { "REGRESSED" }
         );
+        if !pass {
+            eprintln!(
+                "[trend] threshold violated: field `speedup` ({config}) in {} is {speedup:.2}, \
+                 floor is {E6_MIN_SPEEDUP}",
+                path.display()
+            );
+        }
         ok &= pass;
     }
     Ok(ok)
 }
 
-fn gate_e8(root: &Path) -> Result<bool, String> {
+fn gate_e8(root: &Path) -> Result<bool, RecordError> {
     let path = root.join("BENCH_e8_lanes.json");
-    let json = read(&path)?;
-    let speedup = field_f64(&json, "speedup").ok_or("e8 record without speedup")?;
+    let json = read(&path, "e8_ift_baseline")?;
+    let speedup = require_f64(&json, "speedup", &path)?;
     let lanes = field_f64(&json, "lanes").unwrap_or(0.0);
     let pass = speedup >= E8_MIN_SPEEDUP;
     println!(
@@ -104,13 +175,60 @@ fn gate_e8(root: &Path) -> Result<bool, String> {
          (floor {E8_MIN_SPEEDUP}x) {}",
         if pass { "ok" } else { "REGRESSED" }
     );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `speedup` in {} is {speedup:.2}, floor is \
+             {E8_MIN_SPEEDUP}",
+            path.display()
+        );
+    }
+    Ok(pass)
+}
+
+fn gate_e9(root: &Path) -> Result<bool, RecordError> {
+    let path = root.join("BENCH_e9_portfolio.json");
+    let json = read(&path, "e9_portfolio")?;
+    let speedup = require_f64(&json, "speedup", &path)?;
+    let cores = require_f64(&json, "cores", &path)?;
+    let workers = require_f64(&json, "workers", &path)?;
+    // Equivalence is a correctness attestation, not a perf floor: a record
+    // whose parallel run diverged from the sequential loop is malformed.
+    if !json.contains("\"equivalent\":true") {
+        return Err(RecordError::Malformed {
+            path,
+            what: "field `equivalent` is not `true` — the parallel portfolio diverged \
+                   from the sequential loop"
+                .into(),
+        });
+    }
+    if cores < E9_MIN_CORES {
+        println!(
+            "[trend] e9 portfolio-vs-sequential ({workers:.0} workers): {speedup:.2}x — gate \
+             skipped (recorded on {cores:.0} cores, floor {E9_MIN_SPEEDUP}x needs >= \
+             {E9_MIN_CORES:.0})"
+        );
+        return Ok(true);
+    }
+    let pass = speedup >= E9_MIN_SPEEDUP;
+    println!(
+        "[trend] e9 portfolio-vs-sequential ({workers:.0} workers, {cores:.0} cores): \
+         {speedup:.2}x (floor {E9_MIN_SPEEDUP}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `speedup` in {} is {speedup:.2}, floor is \
+             {E9_MIN_SPEEDUP}",
+            path.display()
+        );
+    }
     Ok(pass)
 }
 
 fn main() -> ExitCode {
     let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(record_root);
     let mut ok = true;
-    for gate in [gate_e6, gate_e8] {
+    for gate in [gate_e6, gate_e8, gate_e9] {
         match gate(&root) {
             Ok(pass) => ok &= pass,
             Err(e) => {
@@ -135,7 +253,7 @@ mod tests {
     #[test]
     fn parses_comparison_records() {
         let json = r#"{"experiment":"e6_scaling","points":[{"words":8,"state_bits":100,"detect_us":1,"prove_us":2}],"incremental_vs_fresh":[{"config":"vulnerable","words":8,"speedup":4.835,"incremental_iterations":[{"window":1}]},{"config":"fixed","words":8,"speedup":2.276,"incremental_iterations":[]}]}"#;
-        let cmp = e6_comparisons(json).unwrap();
+        let cmp = e6_comparisons(json, Path::new("x.json")).unwrap();
         assert_eq!(cmp.len(), 2);
         assert_eq!(cmp[0].2, "vulnerable");
         assert!((cmp[0].1 - 4.835).abs() < 1e-9);
@@ -148,5 +266,43 @@ mod tests {
         assert!((field_f64(s, "speedup").unwrap() - 20.916).abs() < 1e-9);
         assert_eq!(field_f64(s, "lanes").unwrap(), 64.0);
         assert!(field_f64(s, "missing").is_none());
+    }
+
+    #[test]
+    fn missing_field_error_names_file_and_field() {
+        let err = require_f64(r#"{"other":1}"#, "speedup", Path::new("BENCH_x.json")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("BENCH_x.json"), "must name the file: {msg}");
+        assert!(msg.contains("`speedup`"), "must name the field: {msg}");
+    }
+
+    #[test]
+    fn absent_record_error_distinguishes_itself_and_names_the_bench() {
+        let err = read(Path::new("/nonexistent/BENCH_y.json"), "e9_portfolio").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record absent"), "absent != malformed: {msg}");
+        assert!(msg.contains("e9_portfolio"), "must say how to regenerate: {msg}");
+    }
+
+    #[test]
+    fn e9_gate_skips_below_four_cores_and_enforces_above() {
+        let dir = std::env::temp_dir().join(format!("trend_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e9_portfolio.json");
+
+        // 1-core record with a ~1x speedup: gate must pass (skipped).
+        std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":1,"cores":1,"jobs":8,"sequential_us":100,"parallel_us":100,"speedup":1.000,"equivalent":true,"entries":[]}"#).unwrap();
+        assert!(gate_e9(&dir).unwrap(), "sub-4-core record must not fail the floor");
+
+        // 8-core record below the floor: gate must fail.
+        std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":8,"cores":8,"jobs":8,"sequential_us":100,"parallel_us":80,"speedup":1.250,"equivalent":true,"entries":[]}"#).unwrap();
+        assert!(!gate_e9(&dir).unwrap(), "8-core record at 1.25x must regress");
+
+        // Equivalence attestation failure is malformed, not a regression.
+        std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":8,"cores":8,"jobs":8,"sequential_us":100,"parallel_us":40,"speedup":2.500,"equivalent":false,"entries":[]}"#).unwrap();
+        let err = gate_e9(&dir).unwrap_err();
+        assert!(err.to_string().contains("equivalent"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

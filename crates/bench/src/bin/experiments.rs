@@ -1,4 +1,4 @@
-//! Regenerates every experiment of the paper reproduction (E1–E8) and
+//! Regenerates every experiment of the paper reproduction (E1–E9) and
 //! prints the tables/series recorded in `EXPERIMENTS.md`.
 //!
 //! ```sh
@@ -114,6 +114,32 @@ fn main() {
     println!(
         "  UPEC-SSC:     vulnerable {:?} / fixed {:?} — exhaustive, value-aware",
         i.upec_vulnerable, i.upec_fixed
+    );
+
+    hline("E9  parallel scenario portfolio");
+    let pool = ssc_pool::Pool::global();
+    let sequential = portfolio::run_portfolio_sequential(&[8, 12]);
+    let parallel = portfolio::run_portfolio(pool, &[8, 12]);
+    assert_eq!(
+        portfolio::fingerprint(&sequential),
+        portfolio::fingerprint(&parallel),
+        "parallel portfolio must be bit-identical to the sequential loop"
+    );
+    println!("  scenario                 words  state bits  verdict      runtime");
+    for e in &parallel.entries {
+        let v = if e.result.verdict.is_secure() { "secure" } else { "vulnerable" };
+        println!(
+            "  {:<24} {:>5}  {:>10}  {:<11}  {:?}",
+            e.scenario, e.words, e.result.state_bits, v, e.result.runtime
+        );
+    }
+    println!(
+        "  {} jobs: sequential {:?} vs {} worker(s) {:?} ({:.2}x)",
+        parallel.entries.len(),
+        sequential.wall,
+        parallel.workers,
+        parallel.wall,
+        sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
     );
     println!();
 }

@@ -1,10 +1,25 @@
 //! # ssc-bench — the experiment harness
 //!
 //! One function per paper artefact (see `DESIGN.md`'s experiment index
-//! E1–E8). Each returns a structured result that the `experiments` binary
+//! E1–E9). Each returns a structured result that the `experiments` binary
 //! renders as the paper-style table/series and the Criterion benches time.
+//!
+//! # Parallel architecture
+//!
+//! Since E9 the harness is **machine-saturating**: the scenario × size
+//! matrix of formal analyses fans across a hand-rolled scoped thread pool
+//! ([`ssc_pool::Pool`], one `UpecAnalysis` per worker — see [`portfolio`])
+//! and the simulation layers shard their independent 64-lane blocks across
+//! the same pool (`ssc_attacks::leak::sweep_batched` for channel sweeps,
+//! the batched dynamic-IFT Monte-Carlo loop here). Parallel results are
+//! **bit-identical** to the sequential loops: work is enumerated in a
+//! fixed order, merged by job index, and seeded by job coordinates —
+//! never by worker identity. `SSC_POOL_WORKERS=1` pins everything to the
+//! sequential path (CI runs the suite both ways).
 
 #![warn(missing_docs)]
+
+pub mod portfolio;
 
 use std::time::{Duration, Instant};
 
@@ -279,7 +294,7 @@ pub fn e8_ift_baseline(trials: u64) -> IftComparison {
     );
 
     let t = Instant::now();
-    let hits = count_batch_hits(&inst, 0, trials);
+    let hits = count_batch_hits(&inst, 0, trials, ssc_pool::Pool::global());
     let dynamic_runtime = t.elapsed();
 
     let t = Instant::now();
@@ -436,22 +451,37 @@ pub fn dynamic_trial_batch(inst: &ssc_ift::Instrumented, base_seed: u64) -> u64 
 /// Counts dynamic-IFT detections for seeds `base..base + trials` using the
 /// batch engine (64 seeds per pass; a final partial pass masks the unused
 /// lanes).
-fn count_batch_hits(inst: &ssc_ift::Instrumented, base: u64, trials: u64) -> u64 {
-    let mut hits = 0u64;
-    let mut s = base;
-    while s < base + trials {
+///
+/// Monte-Carlo passes share no state (each builds its own `BatchTaintSim`
+/// over the shared instrumented netlist), so the seed blocks shard across
+/// `pool`; block seeds derive from the block index, so the hit count is
+/// identical to the sequential loop for every pool size.
+fn count_batch_hits(
+    inst: &ssc_ift::Instrumented,
+    base: u64,
+    trials: u64,
+    pool: &ssc_pool::Pool,
+) -> u64 {
+    let blocks = trials.div_ceil(LANES as u64) as usize;
+    pool.run(blocks, |b| {
+        let s = base + b as u64 * LANES as u64;
         let take = (base + trials - s).min(LANES as u64);
         let valid = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
-        hits += u64::from((dynamic_trial_batch(inst, s) & valid).count_ones());
-        s += take;
-    }
-    hits
+        u64::from((dynamic_trial_batch(inst, s) & valid).count_ones())
+    })
+    .iter()
+    .sum()
 }
 
 /// The lanes-vs-scalar throughput comparison behind `BENCH_e8_lanes.json`:
 /// the same `trials` dynamic-IFT trials (same seeds, same decisions) run
 /// once on the scalar [`dynamic_trial`] loop and once on the 64-lane
 /// [`dynamic_trial_batch`] engine.
+///
+/// Both sides are timed **single-worker** (the batch loop on a 1-worker
+/// pool): the recorded `speedup` isolates the bit-parallel *lane* win so
+/// it stays comparable across hosts with different core counts — thread
+/// parallelism on top of it is the e9 portfolio record's business.
 #[derive(Clone, Debug)]
 pub struct E8LanesComparison {
     /// Number of trials each engine ran.
@@ -494,7 +524,7 @@ pub fn e8_lanes_comparison(trials: u64) -> E8LanesComparison {
     let scalar_runtime = t.elapsed();
 
     let t = Instant::now();
-    let batch_hits = count_batch_hits(&inst, 0, trials);
+    let batch_hits = count_batch_hits(&inst, 0, trials, &ssc_pool::Pool::new(1));
     let batch_runtime = t.elapsed();
 
     assert_eq!(
@@ -655,6 +685,68 @@ pub mod perf {
             c.batch_hits,
             c.detection_rate(),
         )
+    }
+
+    /// The E9 portfolio record: the parallel scenario-portfolio runner
+    /// versus the sequential scenario loop on the same matrix.
+    ///
+    /// Format (all times in microseconds):
+    ///
+    /// ```json
+    /// {"experiment":"e9_portfolio",
+    ///  "workers":4,"cores":8,"jobs":8,
+    ///  "sequential_us":1,"parallel_us":1,"speedup":2.0,
+    ///  "equivalent":true,
+    ///  "entries":[{"scenario":"dma_timer/leaky","words":8,
+    ///              "seed":"0x...","state_bits":1,"verdict":"vulnerable",
+    ///              "runtime_us":1,"iterations":[...]}]}
+    /// ```
+    ///
+    /// `workers`/`cores` are the pool size and host parallelism the record
+    /// was taken with — the CI trend gate only enforces the ≥ 2× speedup
+    /// floor when `cores >= 4`. `equivalent` asserts that the parallel
+    /// entries matched the sequential loop under
+    /// [`crate::portfolio::fingerprint`]; `entries` come from the parallel
+    /// run, in matrix order, with their coordinate-derived seeds.
+    pub fn e9_json(
+        parallel: &crate::portfolio::PortfolioReport,
+        sequential_wall: Duration,
+        cores: usize,
+        equivalent: bool,
+    ) -> String {
+        let speedup =
+            sequential_wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+        let mut out = format!(
+            "{{\"experiment\":\"e9_portfolio\",\"workers\":{},\"cores\":{},\"jobs\":{},\
+             \"sequential_us\":{},\"parallel_us\":{},\"speedup\":{:.3},\"equivalent\":{},\
+             \"entries\":[",
+            parallel.workers,
+            cores,
+            parallel.entries.len(),
+            us(sequential_wall),
+            us(parallel.wall),
+            speedup,
+            equivalent,
+        );
+        for (i, e) in parallel.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"words\":{},\"seed\":\"{:#018x}\",\"state_bits\":{},\
+                 \"verdict\":\"{}\",\"runtime_us\":{},\"iterations\":{}}}",
+                e.scenario,
+                e.words,
+                e.seed,
+                e.result.state_bits,
+                verdict_kind(&e.result.verdict),
+                us(e.result.runtime),
+                iterations_json(&e.result.verdict),
+            );
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Writes `BENCH_<experiment>.json` and returns the path.

@@ -1,0 +1,250 @@
+//! The parallel scenario-portfolio runner.
+//!
+//! The paper evaluates UPEC-SSC across a *portfolio* of SoC configurations
+//! (vulnerable DMA/timer, vulnerable HWPE/memory, and the patched layouts)
+//! and SoC sizes. Every cell of that scenario × size matrix is an
+//! independent formal analysis — its own product netlist, its own
+//! persistent SAT session — so the matrix is embarrassingly parallel. This
+//! module fans **one [`UpecAnalysis`] per pool worker** over the matrix
+//! ([`run_portfolio`]) and merges the results deterministically:
+//!
+//! - jobs are enumerated in a fixed matrix order (scenario-major, then
+//!   size) and results come back in that order regardless of which worker
+//!   ran what ([`ssc_pool::Pool::run`] merges by job index);
+//! - every job carries a **seed derived from its matrix coordinates** —
+//!   never from a worker id — so any seeded component is schedule-
+//!   independent;
+//! - each worker *constructs* its analysis locally (sessions borrow their
+//!   analysis and are never shared across threads; see the compile-time
+//!   `Send`/`Sync` audit in `upec-ssc`).
+//!
+//! [`fingerprint`] projects a portfolio onto its deterministic content
+//! (verdicts, refinement trajectories, encoding sizes — everything except
+//! wall-clock), which is how the equivalence tests pin the parallel runner
+//! bit-identically to the sequential loop ([`run_portfolio_sequential`]),
+//! and `BENCH_e9_portfolio.json` (see [`crate::perf::e9_json`]) records
+//! the wall-clock speedup the CI trend gate checks on ≥ 4-core hosts.
+
+use std::time::{Duration, Instant};
+
+use ssc_netlist::analysis;
+use ssc_pool::Pool;
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{UpecAnalysis, UpecSpec, Verdict};
+
+use crate::FormalResult;
+
+/// One scenario column of the portfolio matrix: the formal twin of an
+/// attack scenario of `ssc-attacks` (channel × victim layout).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable scenario label (also the merge order key).
+    pub name: &'static str,
+    /// The UPEC-SSC specification of this scenario.
+    pub spec: UpecSpec,
+    /// Whether the scenario is expected to be vulnerable.
+    pub leaky: bool,
+}
+
+/// The paper's four scenario configurations: both channels
+/// (`dma_timer`, `hwpe_memory`), each in the leaky public layout and the
+/// patched private-memory layout.
+pub fn scenario_matrix() -> Vec<Scenario> {
+    let hwpe_memory_patched = {
+        // `soc_fixed`'s countermeasure applied to the HWPE+memory scenario
+        // spec (same override set as `soc_vulnerable_hwpe_memory`).
+        let fixed = UpecSpec::soc_fixed();
+        let mut spec = UpecSpec::soc_vulnerable_hwpe_memory();
+        spec.range_in_device = fixed.range_in_device;
+        spec.constraints = fixed.constraints;
+        spec
+    };
+    vec![
+        Scenario { name: "dma_timer/leaky", spec: UpecSpec::soc_vulnerable(), leaky: true },
+        Scenario {
+            name: "hwpe_memory/leaky",
+            spec: UpecSpec::soc_vulnerable_hwpe_memory(),
+            leaky: true,
+        },
+        Scenario { name: "dma_timer/patched", spec: UpecSpec::soc_fixed(), leaky: false },
+        Scenario { name: "hwpe_memory/patched", spec: hwpe_memory_patched, leaky: false },
+    ]
+}
+
+/// One analyzed cell of the scenario × size matrix.
+#[derive(Clone, Debug)]
+pub struct PortfolioEntry {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Public/private memory words of the analyzed SoC.
+    pub words: u32,
+    /// The job's deterministic seed (derived from `scenario` and `words`,
+    /// not from the worker that ran it).
+    pub seed: u64,
+    /// The formal result (verdict, wall time, state bits).
+    pub result: FormalResult,
+}
+
+/// A completed portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioReport {
+    /// Workers of the pool that ran it (1 = the sequential loop).
+    pub workers: usize,
+    /// Entries in matrix order (scenario-major, then size).
+    pub entries: Vec<PortfolioEntry>,
+    /// Wall-clock time of the whole portfolio.
+    pub wall: Duration,
+}
+
+/// The deterministic per-job seed: FNV-1a over the matrix coordinates.
+/// Schedule-independent by construction — two runs of the same matrix
+/// produce the same seeds no matter how jobs land on workers.
+fn job_seed(scenario: &str, words: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in scenario.bytes().chain(words.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one matrix cell: builds the sized SoC and the analysis locally
+/// (per worker — nothing formal is shared across threads) and runs the
+/// unrolled procedure.
+///
+/// # Panics
+///
+/// Panics if the verdict contradicts the scenario's expectation — a
+/// portfolio cell silently flipping verdicts must never be merged.
+fn run_cell(scenario: &Scenario, words: u32) -> PortfolioEntry {
+    let soc = Soc::build(SocConfig::verification_sized(words, words));
+    let state_bits = analysis::state_bit_count(&soc.netlist);
+    let an = UpecAnalysis::new(&soc.netlist, scenario.spec.clone())
+        .expect("portfolio spec matches the SoC");
+    let t = Instant::now();
+    let verdict = an.alg2();
+    let runtime = t.elapsed();
+    assert_eq!(
+        verdict.is_vulnerable(),
+        scenario.leaky,
+        "portfolio cell {}@{words} flipped its verdict: {verdict}",
+        scenario.name
+    );
+    PortfolioEntry {
+        scenario: scenario.name,
+        words,
+        seed: job_seed(scenario.name, words),
+        result: FormalResult { verdict, runtime, state_bits },
+    }
+}
+
+/// Fans the scenario × `sizes` matrix across `pool` (one analysis per
+/// worker at a time) and merges the entries in matrix order.
+pub fn run_portfolio(pool: &Pool, sizes: &[u32]) -> PortfolioReport {
+    let scenarios = scenario_matrix();
+    let jobs: Vec<(usize, u32)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(s, _)| sizes.iter().map(move |&w| (s, w)))
+        .collect();
+    let t = Instant::now();
+    let entries = pool.run(jobs.len(), |i| {
+        let (s, words) = jobs[i];
+        run_cell(&scenarios[s], words)
+    });
+    PortfolioReport { workers: pool.workers(), entries, wall: t.elapsed() }
+}
+
+/// The sequential baseline: the plain scenario loop, no pool involved.
+/// [`run_portfolio`] must be bit-identical to this under [`fingerprint`]
+/// for every pool size.
+pub fn run_portfolio_sequential(sizes: &[u32]) -> PortfolioReport {
+    let scenarios = scenario_matrix();
+    let t = Instant::now();
+    let mut entries = Vec::new();
+    for scenario in &scenarios {
+        for &words in sizes {
+            entries.push(run_cell(scenario, words));
+        }
+    }
+    PortfolioReport { workers: 1, entries, wall: t.elapsed() }
+}
+
+/// Projects a verdict onto its deterministic content: kind, refinement
+/// trajectory and encoding sizes — everything except wall-clock and
+/// solver-effort counters.
+fn verdict_fingerprint(v: &Verdict, out: &mut String) {
+    use std::fmt::Write as _;
+
+    match v {
+        Verdict::Secure(r) => {
+            let _ = write!(out, "secure(set={},removed={:?})", r.final_set_size, r.removed_atoms);
+        }
+        Verdict::Vulnerable(r) => {
+            let _ = write!(
+                out,
+                "vulnerable(at={},diffs={:?})",
+                r.cex.at_cycle,
+                r.cex.diffs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
+            );
+        }
+        Verdict::Inconclusive(msg) => {
+            let _ = write!(out, "inconclusive({msg})");
+        }
+    }
+    for it in v.iterations() {
+        let _ = write!(
+            out,
+            ";i{}w{}s{}r{}e{}d{}a{}",
+            it.iteration,
+            it.window,
+            it.set_size,
+            it.removed,
+            it.encoded_nodes,
+            it.encoded_delta,
+            it.aig_nodes
+        );
+    }
+}
+
+/// The deterministic projection of a whole portfolio: bitwise-comparable
+/// across pool sizes and against the sequential loop. Wall-clock fields
+/// are excluded on purpose — everything else (order, seeds, verdicts,
+/// iteration trajectories, state bits) must match exactly.
+pub fn fingerprint(report: &PortfolioReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for e in &report.entries {
+        let _ = write!(
+            out,
+            "{}@{}#seed={:#018x}#bits={}=",
+            e.scenario, e.words, e.seed, e.result.state_bits
+        );
+        verdict_fingerprint(&e.result.verdict, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_depend_on_coordinates_not_schedule() {
+        assert_eq!(job_seed("dma_timer/leaky", 8), job_seed("dma_timer/leaky", 8));
+        assert_ne!(job_seed("dma_timer/leaky", 8), job_seed("dma_timer/leaky", 16));
+        assert_ne!(job_seed("dma_timer/leaky", 8), job_seed("hwpe_memory/leaky", 8));
+    }
+
+    #[test]
+    fn matrix_order_is_scenario_major() {
+        let report = run_portfolio(&Pool::new(1), &[8]);
+        let names: Vec<_> = report.entries.iter().map(|e| e.scenario).collect();
+        assert_eq!(
+            names,
+            vec!["dma_timer/leaky", "hwpe_memory/leaky", "dma_timer/patched", "hwpe_memory/patched"]
+        );
+    }
+}

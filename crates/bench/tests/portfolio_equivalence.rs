@@ -1,0 +1,67 @@
+//! Parallel/sequential equivalence of the scenario-portfolio runner: the
+//! fanned-out matrix (verdicts, iteration trajectories, merged record
+//! order and seeds) must be **bit-identical** to the plain sequential
+//! scenario loop for every pool size, on all four scenario configurations.
+//!
+//! One test function on purpose: the formal runs are the expensive part,
+//! so every assertion (equivalence across pool sizes 1 / 2 / `num_cpus`,
+//! per-scenario verdicts, the e9 record shape) shares the same runs.
+
+use ssc_bench::portfolio::{
+    fingerprint, run_portfolio, run_portfolio_sequential, scenario_matrix,
+};
+use ssc_pool::Pool;
+
+#[test]
+fn parallel_portfolio_is_bit_identical_to_the_sequential_loop() {
+    let sizes = [8u32];
+    let sequential = run_portfolio_sequential(&sizes);
+    let reference = fingerprint(&sequential);
+    assert_eq!(sequential.entries.len(), scenario_matrix().len());
+
+    // Pool sizes 1, 2 and the machine's parallelism (deduplicated — on a
+    // 1-core host `num_cpus` collapses onto 1).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut pool_sizes = vec![1usize, 2, cores];
+    pool_sizes.sort_unstable();
+    pool_sizes.dedup();
+
+    let mut two_workers = None;
+    for workers in pool_sizes {
+        let parallel = run_portfolio(&Pool::new(workers), &sizes);
+        assert_eq!(
+            fingerprint(&parallel),
+            reference,
+            "portfolio diverges from the sequential loop at {workers} workers"
+        );
+        assert_eq!(parallel.workers, workers);
+        if workers == 2 {
+            two_workers = Some(parallel);
+        }
+    }
+    let parallel = two_workers.expect("pool size 2 is always in the matrix");
+
+    // Per-scenario expectations, carried through the deterministic merge.
+    for (entry, scenario) in sequential.entries.iter().zip(scenario_matrix()) {
+        assert_eq!(entry.scenario, scenario.name);
+        assert_eq!(
+            entry.result.verdict.is_vulnerable(),
+            scenario.leaky,
+            "unexpected verdict on {}",
+            entry.scenario
+        );
+        assert!(
+            !entry.result.verdict.iterations().is_empty(),
+            "{}: iteration stats must be carried into the merged entry",
+            entry.scenario
+        );
+    }
+
+    // The e9 record: jsonish and carrying every field the CI gate reads.
+    let json = ssc_bench::perf::e9_json(&parallel, sequential.wall, 4, true);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    for key in ["\"speedup\"", "\"cores\":4", "\"workers\":2", "\"equivalent\":true", "\"seed\""] {
+        assert!(json.contains(key), "e9 record must carry {key}: {json}");
+    }
+    assert_eq!(json.matches("\"scenario\"").count(), parallel.entries.len());
+}

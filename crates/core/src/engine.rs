@@ -695,3 +695,19 @@ impl<'p> Session<'p> {
         Counterexample { at_cycle, diffs, prot_base: prot, trace, initial_state }
     }
 }
+
+/// Compile-time thread-safety audit for the portfolio runner
+/// (`ssc-bench::portfolio`): a parallel analysis fleet constructs one
+/// [`UpecAnalysis`] + [`Session`] **per worker** (sessions borrow their
+/// analysis, so neither is shared across threads), which only requires
+/// the analysis inputs and the verdicts to cross thread boundaries. If a
+/// future change introduces interior mutability or thread-bound state in
+/// these types, this fails to compile instead of racing at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<UpecAnalysis>();
+    assert_send_sync::<crate::spec::UpecSpec>();
+    assert_send::<crate::report::Verdict>();
+    assert_send::<Session<'static>>();
+};

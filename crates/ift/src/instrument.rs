@@ -268,6 +268,16 @@ fn taint_rule(
     }
 }
 
+/// Compile-time thread-safety audit: sharded dynamic-IFT Monte-Carlo
+/// passes (`ssc-bench`'s batched trial loop over an `ssc_pool::Pool`)
+/// share one [`Instrumented`] design by reference while every worker
+/// builds its own `BatchTaintSim` — sound only while `Instrumented`
+/// carries no interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Instrumented>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

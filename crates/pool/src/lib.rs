@@ -1,0 +1,242 @@
+//! # ssc-pool — a hand-rolled scoped thread pool
+//!
+//! The parallelism primitive behind the portfolio runner
+//! (`ssc-bench::portfolio`) and the lane-block sharding of the attack
+//! sweeps and dynamic-IFT Monte-Carlo passes. Like the `crates/compat`
+//! shims it is deliberately dependency-free — no rayon, no crossbeam —
+//! because the build environment is offline; everything is `std::thread`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** [`Pool::run`] returns results in *job-index order*
+//!    no matter which worker executed which job, and jobs receive their
+//!    index (never a worker id), so seeding or output naming derived from
+//!    the job is independent of the schedule. Results of a parallel run
+//!    are bit-identical to a sequential loop over the same jobs.
+//! 2. **No work stealing.** Workers pull the next unclaimed job index from
+//!    one shared atomic counter — a single-producer queue degenerates to
+//!    exactly the sequential loop when `workers == 1`, and there are no
+//!    per-worker deques whose steal order could perturb scheduling.
+//! 3. **Scoped.** Jobs may borrow from the caller's stack
+//!    ([`std::thread::scope`]); nothing is `'static`, so netlists, SoCs
+//!    and analyses can be shared by reference.
+//!
+//! The pool size comes from [`Pool::from_env`]: the `SSC_POOL_WORKERS`
+//! environment variable when set (CI runs the suite once with
+//! `SSC_POOL_WORKERS=1` to pin the sequential path), otherwise
+//! [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "SSC_POOL_WORKERS";
+
+/// A fixed-size scoped thread pool (see the [crate docs](self)).
+///
+/// `Pool` is a *policy* object — it owns no threads. Each [`Pool::run`]
+/// spawns `workers - 1` scoped helper threads, the calling thread works
+/// too, and everything joins before `run` returns, so a `Pool` is `Sync`
+/// and freely shareable.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// A pool sized from the environment: `SSC_POOL_WORKERS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        Pool::new(workers)
+    }
+
+    /// The process-wide default pool ([`Pool::from_env`], resolved once).
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(Pool::from_env)
+    }
+
+    /// Number of workers (including the calling thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job(i)` for every `i in 0..jobs`, distributing indices over
+    /// the workers, and returns the results **in job-index order**.
+    ///
+    /// With one worker (or at most one job) everything runs inline on the
+    /// calling thread — the exact sequential loop, no threads spawned.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `job` is propagated to the caller (after the scope
+    /// joins the remaining workers). The run fails fast: once any job has
+    /// panicked, no worker claims further jobs — pool jobs can be
+    /// multi-minute formal analyses, so draining the queue after a failure
+    /// would burn the whole remaining matrix before reporting it.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || jobs <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let worker = || {
+            let mut done: Vec<(usize, T)> = Vec::new();
+            loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    return done;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    return done;
+                }
+                // Raise the poison flag on unwind so sibling workers stop
+                // claiming; the panic itself propagates through the scope.
+                struct Poison<'a>(&'a AtomicBool);
+                impl Drop for Poison<'_> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let guard = Poison(&poisoned);
+                done.push((i, job(i)));
+                std::mem::forget(guard);
+            }
+        };
+        let threads = self.workers.min(jobs);
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (1..threads).map(|_| s.spawn(worker)).collect();
+            let mut all = worker();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        // Deterministic merge: schedule-independent job-index order.
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), jobs);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_for_every_pool_size() {
+        for workers in [1, 2, 3, 8] {
+            let pool = Pool::new(workers);
+            let out = pool.run(23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_stateful_jobs() {
+        // Each job folds its own deterministic PRNG stream; any cross-job
+        // interference or reordering would change the merged vector.
+        let job = |i: usize| {
+            let mut x = i as u64 ^ 0x9E37_79B9_7F4A_7C15;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let sequential: Vec<u64> = (0..64).map(job).collect();
+        assert_eq!(Pool::new(4).run(64, job), sequential);
+        assert_eq!(Pool::new(64).run(64, job), sequential);
+    }
+
+    #[test]
+    fn zero_and_single_job_runs_inline() {
+        let pool = Pool::new(8);
+        assert!(pool.run(0, |_| -> u8 { unreachable!("no jobs") }).is_empty());
+        let tid = std::thread::current().id();
+        let out = pool.run(1, |i| {
+            assert_eq!(std::thread::current().id(), tid, "single job must run inline");
+            i + 41
+        });
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        assert_eq!(Pool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn jobs_may_borrow_from_the_stack() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(3);
+        let sums = pool.run(10, |i| data[i * 10..(i + 1) * 10].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err(), "a panicking job must fail the run");
+    }
+
+    #[test]
+    fn poisoned_run_stops_claiming_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let executed = AtomicUsize::new(0);
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(100, |i| {
+                if i == 0 {
+                    panic!("first job explodes");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                executed.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert!(r.is_err());
+        let done = executed.load(Ordering::Relaxed);
+        assert!(
+            done < 50,
+            "a poisoned run must stop claiming jobs quickly, yet {done}/99 survivors ran"
+        );
+    }
+}

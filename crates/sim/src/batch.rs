@@ -100,6 +100,12 @@ impl EvalDomain for BitSliceDomain {
         LaneValue { width: 0, bits: Vec::new() }
     }
 
+    fn value_assign(dst: &mut LaneValue, src: &LaneValue) {
+        dst.width = src.width;
+        dst.bits.clear();
+        dst.bits.extend_from_slice(&src.bits);
+    }
+
     fn eval_op(op: Op, width: u32, values: &[LaneValue], args: &[SignalId], out: &mut LaneValue) {
         let v = |i: usize| &values[args[i].index()];
         out.resize(width);

@@ -40,6 +40,14 @@ pub trait EvalDomain {
     /// is evaluated in place. Never read.
     fn value_dummy() -> Self::Value;
 
+    /// Overwrites `dst` with a copy of `src`, reusing `dst`'s allocation.
+    ///
+    /// This is the register-latch path of the engine's double-buffered
+    /// commit: once `dst` has ever held a value of `src`'s width, the
+    /// assignment must not touch the heap (widths are fixed per signal, so
+    /// the scratch buffers reach steady state after the first commit).
+    fn value_assign(dst: &mut Self::Value, src: &Self::Value);
+
     /// Evaluates `op` over `args` (indices into `values`) into `out`.
     ///
     /// `out` holds the slot's previous value; implementations overwrite it
@@ -94,6 +102,11 @@ impl EvalDomain for ScalarDomain {
     #[inline]
     fn value_dummy() -> Bv {
         Bv::zero(1)
+    }
+
+    #[inline]
+    fn value_assign(dst: &mut Bv, src: &Bv) {
+        *dst = *src;
     }
 
     fn eval_op(op: Op, width: u32, values: &[Bv], args: &[SignalId], out: &mut Bv) {

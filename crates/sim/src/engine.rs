@@ -26,6 +26,13 @@ pub struct Engine<'n, D: EvalDomain> {
     order: Vec<SignalId>,
     values: Vec<D::Value>,
     mems: Vec<D::Mem>,
+    /// `(register, next-state signal)` pairs in declaration order.
+    regs: Vec<(SignalId, SignalId)>,
+    /// Double-buffered register scratch table: `reg_next[i]` latches the
+    /// next value of `regs[i]` during [`Engine::commit`] and is swapped
+    /// into the value table, so the displaced old value becomes the next
+    /// cycle's scratch buffer — no per-cycle allocation in either domain.
+    reg_next: Vec<D::Value>,
     cycle: u64,
     dirty: bool,
 }
@@ -52,7 +59,17 @@ impl<'n, D: EvalDomain> Engine<'n, D> {
             .map(|i| D::value_zero(netlist.width_of(SignalId::from_index(i))))
             .collect();
         let mems = netlist.iter_mems().map(|(_, m)| D::mem_new(m.words, m.width)).collect();
-        let mut eng = Engine { netlist, order, values, mems, cycle: 0, dirty: true };
+        let regs: Vec<(SignalId, SignalId)> = netlist
+            .iter_nodes()
+            .filter_map(|(id, node)| match node {
+                Node::Reg(info) => Some((id, info.next.expect("checked netlist"))),
+                _ => None,
+            })
+            .collect();
+        let reg_next =
+            regs.iter().map(|&(id, _)| D::value_zero(netlist.width_of(id))).collect();
+        let mut eng =
+            Engine { netlist, order, values, mems, regs, reg_next, cycle: 0, dirty: true };
         eng.reset();
         Ok(eng)
     }
@@ -81,6 +98,12 @@ impl<'n, D: EvalDomain> Engine<'n, D> {
                 }
                 Node::Input { width, .. } => {
                     self.values[id.index()] = D::value_zero(*width);
+                }
+                // Constants are fixed for the engine's lifetime; seating
+                // them here keeps the per-cycle eval loop from rebuilding
+                // (and, in wide domains, reallocating) them every walk.
+                Node::Const(bv) => {
+                    self.values[id.index()] = D::value_const(*bv);
                 }
                 _ => {}
             }
@@ -125,10 +148,9 @@ impl<'n, D: EvalDomain> Engine<'n, D> {
         for idx in 0..self.order.len() {
             let id = self.order[idx];
             match self.netlist.node(id) {
-                Node::Input { .. } | Node::Reg(_) => continue, // state held in `values`
-                Node::Const(bv) => {
-                    self.values[id.index()] = D::value_const(*bv);
-                }
+                // Inputs/registers hold state in `values`; constants were
+                // seated by `reset` and never change.
+                Node::Input { .. } | Node::Reg(_) | Node::Const(_) => continue,
                 Node::Op { op, args, width } => {
                     // Take the slot out so the argument slots can be read
                     // while it is written (a node never reads its own
@@ -156,13 +178,12 @@ impl<'n, D: EvalDomain> Engine<'n, D> {
     /// if necessary), then advances the cycle counter.
     pub fn commit(&mut self) {
         self.eval();
-        // Collect register next-values before overwriting any of them.
-        let mut reg_updates: Vec<(SignalId, D::Value)> = Vec::new();
-        for (id, node) in self.netlist.iter_nodes() {
-            if let Node::Reg(info) = node {
-                let next = info.next.expect("checked netlist");
-                reg_updates.push((id, self.values[next.index()].clone()));
-            }
+        // Latch every register's next value into the persistent scratch
+        // table before overwriting any register (a next-state cone may read
+        // other registers). `value_assign` reuses the scratch buffers, so
+        // this is allocation-free once the buffers reached their widths.
+        for (i, &(_, next)) in self.regs.iter().enumerate() {
+            D::value_assign(&mut self.reg_next[i], &self.values[next.index()]);
         }
         // Write ports read combinational values only, so they can apply
         // directly; declaration order realizes later-port-wins.
@@ -176,8 +197,10 @@ impl<'n, D: EvalDomain> Engine<'n, D> {
                 );
             }
         }
-        for (id, v) in reg_updates {
-            self.values[id.index()] = v;
+        // Swap the latched values in; the displaced old register values
+        // become the next cycle's scratch buffers (double buffering).
+        for (i, &(id, _)) in self.regs.iter().enumerate() {
+            std::mem::swap(&mut self.values[id.index()], &mut self.reg_next[i]);
         }
         self.cycle += 1;
         self.dirty = true;

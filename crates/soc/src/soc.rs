@@ -94,6 +94,16 @@ pub struct Soc {
     pub cpu: Option<Cpu>,
 }
 
+/// Compile-time thread-safety audit: the sharded attack sweeps
+/// (`ssc_attacks::leak::sweep_batched_with_pool`) and the portfolio runner
+/// share one built [`Soc`] by reference across pool workers, each worker
+/// constructing its own simulator on top. That is only sound while `Soc`
+/// stays free of interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Soc>();
+};
+
 impl Soc {
     /// Generates a SoC for the given configuration.
     pub fn build(cfg: SocConfig) -> Soc {
