@@ -39,8 +39,10 @@ const NO_VAR: u32 = u32::MAX;
 ///
 /// The table is a dense `Vec` indexed by AIG node id (node ids are allocated
 /// contiguously), so the per-node lookup on the encoding hot path is one
-/// bounds-checked load instead of a hash probe.
-#[derive(Debug, Default)]
+/// bounds-checked load instead of a hash probe. `Clone` snapshots the whole
+/// table (one memcpy), which is how forked proof sessions
+/// (`ssc_ipc::Ipc::fork`) share an encoded prefix without re-encoding it.
+#[derive(Clone, Debug, Default)]
 pub struct CnfEncoder {
     /// Node id → solver variable index, [`NO_VAR`] when unencoded.
     map: Vec<u32>,

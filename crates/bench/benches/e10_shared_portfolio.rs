@@ -1,0 +1,72 @@
+//! E10: the shared-artifact / copy-on-write-session portfolio versus the
+//! from-scratch portfolio — the portfolio-level incrementality record.
+//! Emits `BENCH_e10_shared.json` (gated in CI: per-cell setup reduction
+//! ≥ 1.5× at the largest smoke size, plus fingerprint equivalence of the
+//! two runners).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_bench::portfolio;
+use ssc_pool::Pool;
+
+fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+    let mut g = c.benchmark_group("e10_shared_portfolio");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("setup_shared_vs_scratch_8w", |b| {
+        b.iter(|| {
+            let cmp = portfolio::compare_portfolio_setup(8);
+            assert!(cmp.shared_cells < cmp.scratch);
+        })
+    });
+    g.finish();
+
+    // Setup comparison per size; the trend gate reads the largest one.
+    let sizes: &[u32] = if smoke { &[8, 12] } else { &[8, 12, 16] };
+    let setups: Vec<portfolio::SetupComparison> =
+        sizes.iter().map(|&w| portfolio::compare_portfolio_setup(w)).collect();
+    for s in &setups {
+        println!(
+            "[e10] setup @ {:>2} words ({} cells): scratch {:?} vs shared base {:?} + cells {:?} \
+             ({:.2}x per cell, {:.2}x aggregate)",
+            s.words,
+            s.cells,
+            s.scratch,
+            s.shared_base,
+            s.shared_cells,
+            s.speedup(),
+            s.aggregate_speedup()
+        );
+    }
+
+    // Whole-portfolio wall clock, both runners on the same pool, plus the
+    // fingerprint attestation that sharing changed nothing observable.
+    let pool = Pool::from_env();
+    let scratch = portfolio::run_portfolio_from_scratch(&pool, sizes);
+    let shared = portfolio::run_portfolio(&pool, sizes);
+    let equivalent = portfolio::fingerprint(&scratch) == portfolio::fingerprint(&shared);
+    assert!(
+        equivalent,
+        "shared-artifact portfolio diverged from the from-scratch runner:\n--- scratch\n{}\n--- shared\n{}",
+        portfolio::fingerprint(&scratch),
+        portfolio::fingerprint(&shared)
+    );
+    println!(
+        "[e10] portfolio ({} jobs, {} workers): scratch {:?} vs shared {:?} ({:.2}x)",
+        shared.entries.len(),
+        shared.workers,
+        scratch.wall,
+        shared.wall,
+        scratch.wall.as_secs_f64() / shared.wall.as_secs_f64().max(1e-9)
+    );
+
+    let json = ssc_bench::perf::e10_json(&setups, scratch.wall, shared.wall, equivalent);
+    match ssc_bench::perf::write_record("e10_shared", &json) {
+        Ok(path) => println!("[e10] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e10] could not write perf record: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,12 +15,12 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("window_check", k), &k, |b, &k| {
             b.iter(|| {
                 let mut sess = Session::new(&an, k);
-                let mut assumptions = sess.base_assumptions(k).to_vec();
+                let mut assumptions = sess.base_assumptions(k);
                 let s = an.s_not_victim();
                 let pre = sess.state_eq(&s, 0);
                 let goal = sess.state_eq(&s, k);
                 assumptions.push(pre);
-                let _ = sess.ipc.check(&assumptions, goal);
+                let _ = sess.ipc_mut().check(&assumptions, goal);
             })
         });
     }

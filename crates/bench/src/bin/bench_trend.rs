@@ -2,7 +2,8 @@
 //! records and fails the build when a headline speedup regresses below its
 //! floor.
 //!
-//! Gates:
+//! Gates (one [`Gate`] table row each — adding a gate is one entry plus
+//! its evaluator):
 //!
 //! - `BENCH_e6_scaling.json` — the incremental-vs-fresh Alg. 2 speedup at
 //!   the **largest** recorded size must stay ≥ 1.5× on every configuration,
@@ -12,7 +13,11 @@
 //!   ≥ 2× the sequential scenario loop **when the record was taken on a
 //!   host with ≥ 4 cores** (on smaller hosts the gate reports itself
 //!   skipped — a 1-core container cannot regress a parallel speedup), and
-//!   the record must attest parallel/sequential equivalence.
+//!   the record must attest parallel/sequential equivalence,
+//! - `BENCH_e10_shared.json` — a from-scratch cell's setup (product build
+//!   and base-session encoding) must stay ≥ 1.5× the *marginal* shared
+//!   cell's (bind + copy-on-write fork) at the **largest** recorded size,
+//!   and the record must attest shared/scratch fingerprint equivalence.
 //!
 //! ```sh
 //! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
@@ -40,6 +45,30 @@ const E8_MIN_SPEEDUP: f64 = 8.0;
 const E9_MIN_SPEEDUP: f64 = 2.0;
 /// Host cores below which the e9 speedup floor is not enforceable.
 const E9_MIN_CORES: f64 = 4.0;
+/// Minimum shared-vs-scratch per-cell setup speedup at the largest e10 size.
+const E10_MIN_SETUP_SPEEDUP: f64 = 1.5;
+
+/// One bench gate: where its record lives, how to regenerate it, and the
+/// evaluator that turns the record into pass/fail lines. The uniform
+/// read/dispatch/exit-code handling lives in `main` — a new gate is one
+/// table entry.
+struct Gate {
+    /// Record file name under the record root.
+    file: &'static str,
+    /// Bench name to re-run when the record is absent.
+    regenerate: &'static str,
+    /// Evaluates the record; `Ok(false)` is a threshold violation (exit 1),
+    /// `Err` a malformed record (exit 2).
+    eval: fn(&str, &Path) -> Result<bool, RecordError>,
+}
+
+/// The gate table — `main` iterates this, nothing else dispatches.
+const GATES: &[Gate] = &[
+    Gate { file: "BENCH_e6_scaling.json", regenerate: "e6_scaling", eval: gate_e6 },
+    Gate { file: "BENCH_e8_lanes.json", regenerate: "e8_ift_baseline", eval: gate_e8 },
+    Gate { file: "BENCH_e9_portfolio.json", regenerate: "e9_portfolio", eval: gate_e9 },
+    Gate { file: "BENCH_e10_shared.json", regenerate: "e10_shared_portfolio", eval: gate_e10 },
+];
 
 /// Why a record could not be evaluated (exit code 2 — distinct from a
 /// threshold violation, which is a *successful* evaluation that failed
@@ -137,9 +166,29 @@ fn e6_comparisons(json: &str, path: &Path) -> Result<Vec<(f64, f64, String)>, Re
     Ok(out)
 }
 
-fn gate_e6(root: &Path) -> Result<bool, RecordError> {
-    let path = root.join("BENCH_e6_scaling.json");
-    let comparisons = e6_comparisons(&read(&path, "e6_scaling")?, &path)?;
+/// Reads the gate's record and evaluates it — the one code path every
+/// gate row goes through (tests included).
+fn run_gate(gate: &Gate, root: &Path) -> Result<bool, RecordError> {
+    let path = root.join(gate.file);
+    let json = read(&path, gate.regenerate)?;
+    (gate.eval)(&json, &path)
+}
+
+/// Requires the record to attest an equivalence check (`"equivalent":true`);
+/// a record whose runners diverged is malformed, not a perf regression.
+fn require_equivalent(json: &str, path: &Path, what: &str) -> Result<(), RecordError> {
+    if json.contains("\"equivalent\":true") {
+        Ok(())
+    } else {
+        Err(RecordError::Malformed {
+            path: path.to_path_buf(),
+            what: format!("field `equivalent` is not `true` — {what}"),
+        })
+    }
+}
+
+fn gate_e6(json: &str, path: &Path) -> Result<bool, RecordError> {
+    let comparisons = e6_comparisons(json, path)?;
     let max_words = comparisons.iter().map(|c| c.0).fold(f64::MIN, f64::max);
     let mut ok = true;
     for (words, speedup, config) in &comparisons {
@@ -164,11 +213,9 @@ fn gate_e6(root: &Path) -> Result<bool, RecordError> {
     Ok(ok)
 }
 
-fn gate_e8(root: &Path) -> Result<bool, RecordError> {
-    let path = root.join("BENCH_e8_lanes.json");
-    let json = read(&path, "e8_ift_baseline")?;
-    let speedup = require_f64(&json, "speedup", &path)?;
-    let lanes = field_f64(&json, "lanes").unwrap_or(0.0);
+fn gate_e8(json: &str, path: &Path) -> Result<bool, RecordError> {
+    let speedup = require_f64(json, "speedup", path)?;
+    let lanes = field_f64(json, "lanes").unwrap_or(0.0);
     let pass = speedup >= E8_MIN_SPEEDUP;
     println!(
         "[trend] e8 dynamic-IFT lanes-vs-scalar ({lanes:.0} lanes): {speedup:.2}x \
@@ -185,22 +232,13 @@ fn gate_e8(root: &Path) -> Result<bool, RecordError> {
     Ok(pass)
 }
 
-fn gate_e9(root: &Path) -> Result<bool, RecordError> {
-    let path = root.join("BENCH_e9_portfolio.json");
-    let json = read(&path, "e9_portfolio")?;
-    let speedup = require_f64(&json, "speedup", &path)?;
-    let cores = require_f64(&json, "cores", &path)?;
-    let workers = require_f64(&json, "workers", &path)?;
+fn gate_e9(json: &str, path: &Path) -> Result<bool, RecordError> {
+    let speedup = require_f64(json, "speedup", path)?;
+    let cores = require_f64(json, "cores", path)?;
+    let workers = require_f64(json, "workers", path)?;
     // Equivalence is a correctness attestation, not a perf floor: a record
     // whose parallel run diverged from the sequential loop is malformed.
-    if !json.contains("\"equivalent\":true") {
-        return Err(RecordError::Malformed {
-            path,
-            what: "field `equivalent` is not `true` — the parallel portfolio diverged \
-                   from the sequential loop"
-                .into(),
-        });
-    }
+    require_equivalent(json, path, "the parallel portfolio diverged from the sequential loop")?;
     if cores < E9_MIN_CORES {
         println!(
             "[trend] e9 portfolio-vs-sequential ({workers:.0} workers): {speedup:.2}x — gate \
@@ -225,11 +263,57 @@ fn gate_e9(root: &Path) -> Result<bool, RecordError> {
     Ok(pass)
 }
 
+/// The `(words, setup_speedup)` pairs of the e10 record's `sizes` array.
+fn e10_setups(json: &str, path: &Path) -> Result<Vec<(f64, f64)>, RecordError> {
+    let malformed = |what: String| RecordError::Malformed { path: path.to_path_buf(), what };
+    let (_, tail) = json
+        .split_once("\"sizes\":[")
+        .ok_or_else(|| malformed("no `sizes` array".into()))?;
+    let mut out = Vec::new();
+    for chunk in tail.split("{\"words\"").skip(1) {
+        let chunk = format!("{{\"words\"{chunk}");
+        let words = require_f64(&chunk, "words", path)?;
+        let speedup = require_f64(&chunk, "setup_speedup", path)?;
+        out.push((words, speedup));
+    }
+    if out.is_empty() {
+        return Err(malformed("empty `sizes` array".into()));
+    }
+    Ok(out)
+}
+
+fn gate_e10(json: &str, path: &Path) -> Result<bool, RecordError> {
+    require_equivalent(
+        json,
+        path,
+        "the shared-artifact portfolio diverged from the from-scratch runner",
+    )?;
+    let setups = e10_setups(json, path)?;
+    let &(words, speedup) = setups
+        .iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("e10_setups rejects empty arrays");
+    let pass = speedup >= E10_MIN_SETUP_SPEEDUP;
+    println!(
+        "[trend] e10 shared-vs-scratch per-cell setup ({words:.0} words): {speedup:.2}x \
+         (floor {E10_MIN_SETUP_SPEEDUP}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `setup_speedup` ({words:.0} words) in {} is \
+             {speedup:.2}, floor is {E10_MIN_SETUP_SPEEDUP}",
+            path.display()
+        );
+    }
+    Ok(pass)
+}
+
 fn main() -> ExitCode {
     let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(record_root);
     let mut ok = true;
-    for gate in [gate_e6, gate_e8, gate_e9] {
-        match gate(&root) {
+    for gate in GATES {
+        match run_gate(gate, &root) {
             Ok(pass) => ok &= pass,
             Err(e) => {
                 eprintln!("[trend] error: {e}");
@@ -284,23 +368,59 @@ mod tests {
         assert!(msg.contains("e9_portfolio"), "must say how to regenerate: {msg}");
     }
 
+    /// The table row whose record is `file` (tests go through the same
+    /// `run_gate` path as `main`).
+    fn gate_for(file: &str) -> &'static Gate {
+        GATES.iter().find(|g| g.file == file).expect("gate registered in the table")
+    }
+
     #[test]
     fn e9_gate_skips_below_four_cores_and_enforces_above() {
         let dir = std::env::temp_dir().join(format!("trend_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_e9_portfolio.json");
+        let gate = gate_for("BENCH_e9_portfolio.json");
 
         // 1-core record with a ~1x speedup: gate must pass (skipped).
         std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":1,"cores":1,"jobs":8,"sequential_us":100,"parallel_us":100,"speedup":1.000,"equivalent":true,"entries":[]}"#).unwrap();
-        assert!(gate_e9(&dir).unwrap(), "sub-4-core record must not fail the floor");
+        assert!(run_gate(gate, &dir).unwrap(), "sub-4-core record must not fail the floor");
 
         // 8-core record below the floor: gate must fail.
         std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":8,"cores":8,"jobs":8,"sequential_us":100,"parallel_us":80,"speedup":1.250,"equivalent":true,"entries":[]}"#).unwrap();
-        assert!(!gate_e9(&dir).unwrap(), "8-core record at 1.25x must regress");
+        assert!(!run_gate(gate, &dir).unwrap(), "8-core record at 1.25x must regress");
 
         // Equivalence attestation failure is malformed, not a regression.
         std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":8,"cores":8,"jobs":8,"sequential_us":100,"parallel_us":40,"speedup":2.500,"equivalent":false,"entries":[]}"#).unwrap();
-        let err = gate_e9(&dir).unwrap_err();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("equivalent"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn e10_gate_reads_largest_size_and_requires_equivalence() {
+        let dir =
+            std::env::temp_dir().join(format!("trend_test_e10_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e10_shared.json");
+        let gate = gate_for("BENCH_e10_shared.json");
+
+        // Absent record: exit-2 class error naming the bench.
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("e10_shared_portfolio"), "{err}");
+
+        // The floor applies to the *largest* size only: a slow small size
+        // must not regress while the largest passes.
+        std::fs::write(&path, r#"{"experiment":"e10_shared","sizes":[{"words":8,"cells":4,"scratch_setup_us":100,"shared_setup_us":90,"setup_speedup":1.111},{"words":12,"cells":4,"scratch_setup_us":400,"shared_setup_us":100,"setup_speedup":4.000}],"scratch_wall_us":100,"shared_wall_us":90,"wall_speedup":1.111,"equivalent":true}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "largest size at 4x must pass");
+
+        // Largest size below the floor: regression.
+        std::fs::write(&path, r#"{"experiment":"e10_shared","sizes":[{"words":8,"cells":4,"scratch_setup_us":400,"shared_setup_us":100,"setup_speedup":4.000},{"words":12,"cells":4,"scratch_setup_us":100,"shared_setup_us":90,"setup_speedup":1.111}],"scratch_wall_us":100,"shared_wall_us":90,"wall_speedup":1.111,"equivalent":true}"#).unwrap();
+        assert!(!run_gate(gate, &dir).unwrap(), "largest size at 1.11x must regress");
+
+        // Equivalence attestation failure is malformed, not a regression.
+        std::fs::write(&path, r#"{"experiment":"e10_shared","sizes":[{"words":8,"cells":4,"scratch_setup_us":400,"shared_setup_us":100,"setup_speedup":4.000}],"scratch_wall_us":100,"shared_wall_us":90,"wall_speedup":1.111,"equivalent":false}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
         assert!(err.to_string().contains("equivalent"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();

@@ -1,4 +1,4 @@
-//! Regenerates every experiment of the paper reproduction (E1–E9) and
+//! Regenerates every experiment of the paper reproduction (E1–E10) and
 //! prints the tables/series recorded in `EXPERIMENTS.md`.
 //!
 //! ```sh
@@ -31,6 +31,19 @@ fn main() {
     println!("  verdict: {}", d.verdict);
     if let Verdict::Vulnerable(rep) = &d.verdict {
         println!("{}", rep.cex);
+        // Sensitivity of the leak: replay the cex + 63 perturbed stimuli in
+        // one batch pass (the netlist is rebuilt deterministically, so the
+        // counterexample's atom ids transfer).
+        let soc = ssc_soc::Soc::build(ssc_soc::SocConfig::verification());
+        let an = upec_ssc::UpecAnalysis::new(
+            &soc.netlist,
+            upec_ssc::UpecSpec::soc_vulnerable_hwpe_memory(),
+        )
+        .expect("spec ok");
+        match upec_ssc::replay_neighborhood(&an, &rep.cex) {
+            Ok(n) => println!("  {n}"),
+            Err(e) => println!("  neighbourhood replay unavailable: {e}"),
+        }
     }
     println!("  runtime {:?} on {} state bits (single instance)", d.runtime, d.state_bits);
     let g = e2_detect_general();
@@ -141,5 +154,20 @@ fn main() {
         parallel.wall,
         sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
     );
+
+    hline("E10 shared-artifact portfolio setup");
+    println!("  words  cells  scratch setup  shared base  shared cells  per-cell speedup");
+    for w in [8u32, 12] {
+        let cmp = portfolio::compare_portfolio_setup(w);
+        println!(
+            "  {:>5}  {:>5}  {:>13?}  {:>11?}  {:>12?}  {:.2}x",
+            cmp.words,
+            cmp.cells,
+            cmp.scratch,
+            cmp.shared_base,
+            cmp.shared_cells,
+            cmp.speedup()
+        );
+    }
     println!();
 }

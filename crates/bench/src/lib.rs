@@ -8,14 +8,18 @@
 //!
 //! Since E9 the harness is **machine-saturating**: the scenario × size
 //! matrix of formal analyses fans across a hand-rolled scoped thread pool
-//! ([`ssc_pool::Pool`], one `UpecAnalysis` per worker — see [`portfolio`])
-//! and the simulation layers shard their independent 64-lane blocks across
-//! the same pool (`ssc_attacks::leak::sweep_batched` for channel sweeps,
-//! the batched dynamic-IFT Monte-Carlo loop here). Parallel results are
-//! **bit-identical** to the sequential loops: work is enumerated in a
-//! fixed order, merged by job index, and seeded by job coordinates —
-//! never by worker identity. `SSC_POOL_WORKERS=1` pins everything to the
-//! sequential path (CI runs the suite both ways).
+//! ([`ssc_pool::Pool`] — see [`portfolio`]) and the simulation layers
+//! shard their independent 64-lane blocks across the same pool
+//! (`ssc_attacks::leak::sweep_batched` for channel sweeps, the batched
+//! dynamic-IFT Monte-Carlo loop here). Since E10 the portfolio is also
+//! **work-sharing**: one product artifact + encoded base proof session per
+//! SoC size, copy-on-write-forked per scenario cell (two-phase plan in
+//! [`portfolio::run_portfolio`]). Parallel results are **bit-identical**
+//! to the sequential loops: work is enumerated in a fixed order, merged by
+//! job index, and seeded by job coordinates — never by worker identity;
+//! forked sessions are state-identical to privately built ones.
+//! `SSC_POOL_WORKERS=1` pins everything to the sequential path (CI runs
+//! the suite both ways).
 
 #![warn(missing_docs)]
 
@@ -125,13 +129,13 @@ pub fn e5_window_sweep(windows: &[usize]) -> Vec<WindowPoint> {
         let s = an.s_not_victim();
         let pre = sess.state_eq(&s, 0);
         let goal = sess.state_eq(&s, k);
-        let mut assumptions = sess.base_assumptions(k).to_vec();
+        let mut assumptions = sess.base_assumptions(k);
         assumptions.push(pre);
-        let _ = sess.ipc.check(&assumptions, goal);
+        let _ = sess.ipc_mut().check(&assumptions, goal);
         out.push(WindowPoint {
             window: k,
             runtime: t.elapsed(),
-            aig_nodes: sess.ipc.unroller().aig().num_nodes(),
+            aig_nodes: sess.ipc().unroller().aig().num_nodes(),
         });
     }
     out
@@ -557,7 +561,7 @@ pub mod perf {
             "{{\"iteration\":{},\"window\":{},\"set_size\":{},\"removed\":{},\"runtime_us\":{},\
              \"encoded_nodes\":{},\"encoded_delta\":{},\"aig_nodes\":{},\
              \"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
-             \"learnts\":{},\"db_reductions\":{},\"gcs\":{}}}",
+             \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{}}}",
             it.iteration,
             it.window,
             it.set_size,
@@ -573,6 +577,7 @@ pub mod perf {
             it.solver.learnts,
             it.solver.db_reductions,
             it.solver.gcs,
+            it.solver.core_seeds,
         )
     }
 
@@ -749,6 +754,67 @@ pub mod perf {
         out
     }
 
+    /// The E10 shared-portfolio record: per-cell analysis **setup** cost
+    /// (product build + base-session encoding) of the shared-artifact path
+    /// versus the from-scratch path per SoC size, plus the total portfolio
+    /// wall clock both ways.
+    ///
+    /// Format (all times in microseconds; `setup_speedup` compares a
+    /// from-scratch cell to a *marginal* shared cell, `shared_base_us` is
+    /// the once-per-size artifact+prefix cost it excludes,
+    /// `aggregate_speedup` includes it):
+    ///
+    /// ```json
+    /// {"experiment":"e10_shared",
+    ///  "sizes":[{"words":12,"cells":4,"scratch_setup_us":1,
+    ///            "shared_base_us":1,"shared_cells_us":1,
+    ///            "setup_speedup":3.5,"aggregate_speedup":1.6}],
+    ///  "scratch_wall_us":1,"shared_wall_us":1,"wall_speedup":1.2,
+    ///  "equivalent":true}
+    /// ```
+    ///
+    /// The CI trend gate enforces `setup_speedup >= 1.5` at the **largest**
+    /// recorded size and requires `equivalent` (the shared portfolio's
+    /// fingerprint matched the from-scratch runner's) to be `true`.
+    pub fn e10_json(
+        setups: &[crate::portfolio::SetupComparison],
+        scratch_wall: Duration,
+        shared_wall: Duration,
+        equivalent: bool,
+    ) -> String {
+        let wall_speedup =
+            scratch_wall.as_secs_f64() / shared_wall.as_secs_f64().max(1e-9);
+        let mut out = String::from("{\"experiment\":\"e10_shared\",\"sizes\":[");
+        for (i, s) in setups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"words\":{},\"cells\":{},\"scratch_setup_us\":{},\
+                 \"shared_base_us\":{},\"shared_cells_us\":{},\
+                 \"setup_speedup\":{:.3},\"aggregate_speedup\":{:.3}}}",
+                s.words,
+                s.cells,
+                us(s.scratch),
+                us(s.shared_base),
+                us(s.shared_cells),
+                s.speedup(),
+                s.aggregate_speedup(),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"scratch_wall_us\":{},\"shared_wall_us\":{},\"wall_speedup\":{:.3},\
+             \"equivalent\":{}}}",
+            us(scratch_wall),
+            us(shared_wall),
+            wall_speedup,
+            equivalent,
+        );
+        out
+    }
+
     /// Writes `BENCH_<experiment>.json` and returns the path.
     ///
     /// The record is anchored at the workspace root (the nearest ancestor
@@ -807,17 +873,17 @@ mod tests {
             encoded(&cmp.incremental.verdict),
             encoded(&cmp.fresh.verdict)
         );
-        // Every window after the first must encode less than the first
-        // window's full encoding — i.e. no window re-encodes the prefix.
+        // The shared prefix is encoded at session construction; no window's
+        // check may come close to re-encoding it.
         let iters = cmp.incremental.verdict.iterations();
         let first = iters.first().expect("at least one iteration");
-        for it in &iters[1..] {
+        for it in iters {
             assert!(
-                it.encoded_delta < first.encoded_delta,
-                "window {} re-encoded {} nodes (first window: {})",
+                it.encoded_delta * 4 < first.encoded_nodes,
+                "window {} re-encoded {} nodes (prefix encoding: {})",
                 it.window,
                 it.encoded_delta,
-                first.encoded_delta
+                first.encoded_nodes
             );
         }
     }

@@ -1,17 +1,30 @@
 //! The 2-safety product and the UPEC-SSC property macros.
 //!
-//! [`UpecAnalysis`] instantiates the design under verification **twice**
-//! inside one product netlist (instances `a` and `b`), adds the shared
-//! symbolic protected-range base, and provides the paper's property macros
-//! (Fig. 3):
+//! Three layers build on each other:
 //!
-//! * `Primary_Input_Constraints` — non-port inputs equal between instances,
-//! * `Victim_Task_Executing` — protected accesses may differ, all other
-//!   port activity is equal,
-//! * `State_Equivalence(S)` — equality of a state-atom set, with symbolic
-//!   range guards on victim-allocatable memory words.
+//! * [`ProductArtifact`] — the **scenario-independent** half of an
+//!   analysis: the source netlist instantiated **twice** inside one product
+//!   netlist (instances `a` and `b`), the shared symbolic protected-range
+//!   base, and the resolved victim-port/device signals. Built once per
+//!   design (one per SoC size in a portfolio) and `Arc`-shared by every
+//!   scenario analysis of that design.
+//! * [`UpecAnalysis`] — a *thin binding* of a [`UpecSpec`] to a shared
+//!   artifact ([`UpecAnalysis::bind`]): the spec-dependent pieces
+//!   (firmware constraints, spying-IP restrictions, quiesced IPs,
+//!   persistence policy) are validated here, never inside product
+//!   construction.
+//! * [`SessionPrefix`] / [`Session`] — the proof sessions. A prefix holds
+//!   everything scenario-independent *and already encoded into the
+//!   solver*: the unrolled cycles, the per-cycle input-equality and
+//!   victim macros (Fig. 3's `Primary_Input_Constraints` and
+//!   `Victim_Task_Executing`), the range-alignment validity and the
+//!   per-atom state-equality cones. [`SessionPrefix::fork`] snapshots it
+//!   (copy-on-write session forking via [`Ipc::fork`]), and
+//!   [`Session::with_prefix`] binds a fork to one scenario by adding only
+//!   the scenario's own assumptions on top.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ssc_aig::fx::FxHashMap;
 use ssc_aig::words::{self, Word};
@@ -22,7 +35,7 @@ use ssc_sat::Lit;
 
 use crate::atoms::{self, AtomSet, StateAtom};
 use crate::report::{AtomDiff, CexCycle, Counterexample, PortActivity};
-use crate::spec::{FirmwareConstraint, UpecSpec};
+use crate::spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};
 
 /// Instance selector within the product.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,23 +46,6 @@ pub enum Instance {
     B,
 }
 
-/// A UPEC-SSC analysis context: the product netlist plus the specification.
-///
-/// Create once per design/spec pair, then run [`UpecAnalysis::alg1`] /
-/// [`UpecAnalysis::alg2`] (see `procedure.rs`).
-pub struct UpecAnalysis {
-    src: Netlist,
-    product: Netlist,
-    spec: UpecSpec,
-    map_a: ImportMap,
-    map_b: ImportMap,
-    prot_base: Wire,
-    /// Source-netlist port wires (inputs).
-    port_src: PortSrc,
-    /// Victim-allocatable device base per source memory.
-    device_base: HashMap<MemId, u64>,
-}
-
 #[derive(Clone, Copy, Debug)]
 struct PortSrc {
     req: Wire,
@@ -58,24 +54,52 @@ struct PortSrc {
     wdata: Wire,
 }
 
-impl std::fmt::Debug for UpecAnalysis {
+/// The scenario-independent product of one design: source netlist,
+/// 2-safety product, import maps and resolved victim-port/device signals.
+///
+/// Build once per design ([`ProductArtifact::build`]), wrap in an [`Arc`]
+/// and [`UpecAnalysis::bind`] every scenario of a portfolio to the same
+/// artifact — the product netlist (the expensive double instantiation) is
+/// then constructed once instead of once per scenario.
+pub struct ProductArtifact {
+    src: Netlist,
+    product: Netlist,
+    map_a: ImportMap,
+    map_b: ImportMap,
+    prot_base: Wire,
+    /// Source-netlist port wires (inputs).
+    port_src: PortSrc,
+    /// Victim-allocatable device base per source memory.
+    device_base: HashMap<MemId, u64>,
+    /// The port names the artifact was resolved with (bind-time check).
+    port: VictimPort,
+    /// The device maps the artifact was resolved with (bind-time check).
+    devices: Vec<DeviceMap>,
+}
+
+impl std::fmt::Debug for ProductArtifact {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UpecAnalysis")
+        f.debug_struct("ProductArtifact")
             .field("design", &self.src.name())
             .field("product_nodes", &self.product.num_nodes())
             .finish()
     }
 }
 
-impl UpecAnalysis {
-    /// Builds the 2-safety product for `src` under `spec`.
+impl ProductArtifact {
+    /// Builds the 2-safety product for `src`, resolving the victim `port`
+    /// and the victim-allocatable `devices`.
     ///
     /// # Errors
     ///
-    /// Returns a message if the spec references signals/memories that do
-    /// not exist, or the port signals are not free inputs (i.e. the netlist
-    /// is not a verification view).
-    pub fn new(src: &Netlist, spec: UpecSpec) -> Result<Self, String> {
+    /// Returns a message if the port signals are not free inputs (i.e. the
+    /// netlist is not a verification view) or a device memory does not
+    /// exist.
+    pub fn build(
+        src: &Netlist,
+        port: &VictimPort,
+        devices: &[DeviceMap],
+    ) -> Result<ProductArtifact, String> {
         let find_input = |name: &str| -> Result<Wire, String> {
             let w = src
                 .find(name)
@@ -88,18 +112,122 @@ impl UpecAnalysis {
             }
         };
         let port_src = PortSrc {
-            req: find_input(&spec.port.req)?,
-            addr: find_input(&spec.port.addr)?,
-            we: find_input(&spec.port.we)?,
-            wdata: find_input(&spec.port.wdata)?,
+            req: find_input(&port.req)?,
+            addr: find_input(&port.addr)?,
+            we: find_input(&port.we)?,
+            wdata: find_input(&port.wdata)?,
         };
         let mut device_base = HashMap::new();
-        for dev in &spec.devices {
+        for dev in devices {
             let mem = src
                 .find_mem(&dev.mem_name)
                 .ok_or_else(|| format!("device memory `{}` not found", dev.mem_name))?;
             device_base.insert(mem, dev.base);
         }
+
+        let mut product = Netlist::new(format!("{}_upec_product", src.name()));
+        let map_a = product.import(src, "a");
+        let map_b = product.import(src, "b");
+        let prot_base = product.input("prot_base", 32);
+        product.check().map_err(|e| format!("product netlist invalid: {e}"))?;
+
+        Ok(ProductArtifact {
+            src: src.clone(),
+            product,
+            map_a,
+            map_b,
+            prot_base,
+            port_src,
+            device_base,
+            port: port.clone(),
+            devices: devices.to_vec(),
+        })
+    }
+
+    /// [`ProductArtifact::build`] with the port/devices taken from `spec`
+    /// (the artifact-relevant subset — the rest of the spec is not needed
+    /// until [`UpecAnalysis::bind`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProductArtifact::build`].
+    pub fn for_spec(src: &Netlist, spec: &UpecSpec) -> Result<ProductArtifact, String> {
+        ProductArtifact::build(src, &spec.port, &spec.devices)
+    }
+
+    /// The design under verification (single instance).
+    pub fn src(&self) -> &Netlist {
+        &self.src
+    }
+
+    /// The 2-safety product netlist.
+    pub fn product(&self) -> &Netlist {
+        &self.product
+    }
+
+    fn map(&self, inst: Instance) -> &ImportMap {
+        match inst {
+            Instance::A => &self.map_a,
+            Instance::B => &self.map_b,
+        }
+    }
+}
+
+/// A UPEC-SSC analysis context: a (possibly shared) [`ProductArtifact`]
+/// bound to one [`UpecSpec`].
+///
+/// Create with [`UpecAnalysis::new`] (builds a private artifact) or
+/// [`UpecAnalysis::bind`] (shares an existing one across scenarios), then
+/// run [`UpecAnalysis::alg1`] / [`UpecAnalysis::alg2`] (see
+/// `procedure.rs`).
+pub struct UpecAnalysis {
+    art: Arc<ProductArtifact>,
+    spec: UpecSpec,
+}
+
+impl std::fmt::Debug for UpecAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpecAnalysis")
+            .field("design", &self.art.src.name())
+            .field("product_nodes", &self.art.product.num_nodes())
+            .finish()
+    }
+}
+
+impl UpecAnalysis {
+    /// Builds a private 2-safety product for `src` and binds `spec` to it.
+    ///
+    /// For a portfolio of scenarios over one design, build the product once
+    /// with [`ProductArtifact::build`] and use [`UpecAnalysis::bind`]
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec references signals/memories that do
+    /// not exist, or the port signals are not free inputs (i.e. the netlist
+    /// is not a verification view).
+    pub fn new(src: &Netlist, spec: UpecSpec) -> Result<Self, String> {
+        let art = Arc::new(ProductArtifact::for_spec(src, &spec)?);
+        UpecAnalysis::bind(art, spec)
+    }
+
+    /// Binds `spec` to a shared artifact, validating only the
+    /// spec-dependent pieces (firmware constraints, spying-IP ports,
+    /// quiesced IPs) — the artifact already resolved the port and devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec's port/devices differ from the ones
+    /// the artifact was built with, or a spec-referenced signal does not
+    /// exist in the design.
+    pub fn bind(art: Arc<ProductArtifact>, spec: UpecSpec) -> Result<Self, String> {
+        if spec.port != art.port {
+            return Err("spec victim port differs from the artifact's".into());
+        }
+        if spec.devices != art.devices {
+            return Err("spec device maps differ from the artifact's".into());
+        }
+        let src = &art.src;
         for c in &spec.constraints {
             if let FirmwareConstraint::RegOutsideDevice { reg, .. } = c {
                 src.find(reg)
@@ -120,33 +248,22 @@ impl UpecAnalysis {
                 return Err(format!("quiesced IP flag `{name}` must be a register"));
             }
         }
+        Ok(UpecAnalysis { art, spec })
+    }
 
-        let mut product = Netlist::new(format!("{}_upec_product", src.name()));
-        let map_a = product.import(src, "a");
-        let map_b = product.import(src, "b");
-        let prot_base = product.input("prot_base", 32);
-        product.check().map_err(|e| format!("product netlist invalid: {e}"))?;
-
-        Ok(UpecAnalysis {
-            src: src.clone(),
-            product,
-            spec,
-            map_a,
-            map_b,
-            prot_base,
-            port_src,
-            device_base,
-        })
+    /// The shared product artifact this analysis is bound to.
+    pub fn artifact(&self) -> &Arc<ProductArtifact> {
+        &self.art
     }
 
     /// The design under verification (single instance).
     pub fn src(&self) -> &Netlist {
-        &self.src
+        &self.art.src
     }
 
     /// The 2-safety product netlist.
     pub fn product(&self) -> &Netlist {
-        &self.product
+        &self.art.product
     }
 
     /// The specification.
@@ -156,126 +273,184 @@ impl UpecAnalysis {
 
     /// Compiles `S_not_victim` (paper Def. 1).
     pub fn s_not_victim(&self) -> AtomSet {
-        atoms::not_victim_atoms(&self.src)
+        atoms::not_victim_atoms(&self.art.src)
     }
 
     /// Compiles `S_pers` (paper Def. 2) under the spec's policy.
     pub fn s_pers(&self) -> AtomSet {
-        self.spec.persistence.pers_atoms(&self.src)
+        self.spec.persistence.pers_atoms(&self.art.src)
     }
 
     /// Is `atom` persistent under the spec's policy?
     pub fn is_persistent(&self, atom: StateAtom) -> bool {
-        self.spec.persistence.is_persistent(&self.src, atom)
+        self.spec.persistence.is_persistent(&self.art.src, atom)
     }
 
     /// Human-readable atom name.
     pub fn atom_name(&self, atom: StateAtom) -> String {
-        atoms::atom_name(&self.src, atom)
-    }
-
-    fn map(&self, inst: Instance) -> &ImportMap {
-        match inst {
-            Instance::A => &self.map_a,
-            Instance::B => &self.map_b,
-        }
+        atoms::atom_name(&self.art.src, atom)
     }
 }
 
-/// A *persistent* proof session: the product unrolled over a growing
-/// window, with macro construction and counterexample extraction.
+/// One assumption ledger of a session: AIG refs, their pre-encoded solver
+/// literals, and per-window offsets (`offsets[w]` bounds the prefix valid
+/// for a `w`-transition window; `offsets[0]` ends the window-invariant
+/// block).
+#[derive(Clone, Default)]
+struct Ledger {
+    refs: Vec<AigRef>,
+    lits: Vec<Lit>,
+    offsets: Vec<usize>,
+}
+
+impl Ledger {
+    fn window(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+}
+
+/// The scenario-independent shared core of a prefix: everything beyond the
+/// artifact that the shared macros depend on. Scenarios bound to the same
+/// prefix must agree on it ([`Session::with_prefix`] asserts this).
+#[derive(Clone)]
+struct PrefixCore {
+    range_mask: u64,
+    ip_ports: Vec<IpPort>,
+}
+
+/// The shared, already-encoded prefix of a proof session: product
+/// unrolling, range-alignment validity, per-cycle input-equality and
+/// victim macros, and the per-atom state-equality cones for every
+/// `S_not_victim` atom — all scenario-independent, all Tseitin-encoded
+/// into the prefix's solver at construction time.
 ///
-/// One session is designed to serve an **entire procedure run** — all
-/// windows of Alg. 2 *and* the Alg. 1 fixpoint that finishes it — against
-/// one SAT solver, so learnt clauses carry over and nothing is re-encoded:
-///
-/// - the standing assumptions (range validity, firmware constraints,
-///   quiescing, per-cycle input equality and victim macro) are cached in
-///   `base` and only *extended* when the window grows ([`Session::ensure_window`]);
-/// - per-atom state-equality terms are cached in `eq_terms`, so shrinking a
-///   state set between fixpoint iterations reuses every surviving atom's
-///   AIG cone and CNF encoding;
-/// - the negated proof goal is installed as an activation-literal-guarded
-///   clause ([`Session::check_window`]) and retired when the sets change,
-///   which removes the obligation without invalidating the learnt-clause
-///   database.
-pub struct Session<'p> {
-    /// The underlying interval property checker (exposed so downstream
-    /// experiment harnesses can time individual checks).
-    pub ipc: Ipc<'p>,
-    an: &'p UpecAnalysis,
-    /// Cached standing assumptions: the window-invariant block first, then
-    /// one block per unrolled cycle.
-    base: Vec<AigRef>,
-    /// `base[..base_offsets[w]]` is the assumption set valid for a
-    /// `w`-transition window (`base_offsets[0]` ends the invariant block).
-    base_offsets: Vec<usize>,
+/// Build once per design/size ([`SessionPrefix::build`]), then
+/// [`SessionPrefix::fork`] per scenario: a fork snapshots the AIG, the
+/// node→variable table and the solver (see [`Ipc::fork`]) so the shared
+/// encoding work is paid exactly once, and every scenario's [`Session`]
+/// starts from it instead of re-encoding four (or forty) times.
+pub struct SessionPrefix<'p> {
+    ipc: Ipc<'p>,
+    art: &'p ProductArtifact,
+    core: PrefixCore,
+    /// Shared standing assumptions: alignment validity (invariant block),
+    /// then one input-eq + victim-macro block per unrolled cycle.
+    shared: Ledger,
     /// `(atom, t)` → guarded equality term, shared by every check that
     /// mentions the atom at that time.
     eq_terms: FxHashMap<(StateAtom, usize), AigRef>,
-    /// Scratch assumption-literal buffer reused across checks.
-    lit_buf: Vec<Lit>,
-    /// After a `Holds` from [`Session::check_window`]: whether the
-    /// assumption core avoided every pre-state atom-equality assumption
-    /// (`None` after a violated check).
-    last_core_without_state_eq: Option<bool>,
+    /// The atom universe whose equality terms are pre-built per time step.
+    universe: AtomSet,
 }
 
-impl<'p> Session<'p> {
-    /// Opens a session with `window` transitions unrolled (states
-    /// `0..=window` available).
-    pub fn new(an: &'p UpecAnalysis, window: usize) -> Self {
-        let ipc = Ipc::new(&an.product);
-        let mut sess = Session {
-            ipc,
-            an,
-            base: Vec::new(),
-            base_offsets: Vec::new(),
+impl std::fmt::Debug for SessionPrefix<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionPrefix")
+            .field("design", &self.art.src.name())
+            .field("window", &self.window())
+            .field("encoded_nodes", &self.ipc.encoded_nodes())
+            .finish()
+    }
+}
+
+impl<'p> SessionPrefix<'p> {
+    /// Builds and encodes the shared prefix for `window` transitions. The
+    /// scenario-independent core (range mask, spying-IP ports) is taken
+    /// from `spec`; any scenario later bound to this prefix must agree on
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a spying-IP port signal does not exist in the
+    /// design.
+    pub fn build(
+        art: &'p ProductArtifact,
+        spec: &UpecSpec,
+        window: usize,
+    ) -> Result<SessionPrefix<'p>, String> {
+        for ip in &spec.ip_ports {
+            for name in [&ip.req, &ip.addr] {
+                art.src
+                    .find(name)
+                    .ok_or_else(|| format!("IP port signal `{name}` not found"))?;
+            }
+        }
+        let mut p = SessionPrefix {
+            ipc: Ipc::new(&art.product),
+            art,
+            core: PrefixCore {
+                range_mask: spec.range_mask,
+                ip_ports: spec.ip_ports.clone(),
+            },
+            shared: Ledger::default(),
             eq_terms: FxHashMap::default(),
-            lit_buf: Vec::new(),
-            last_core_without_state_eq: None,
+            universe: atoms::not_victim_atoms(&art.src),
         };
-        // Window-invariant standing assumptions: symbolic-range validity,
-        // starting-state firmware constraints, IP quiescing.
-        let mut invariant = sess.range_validity();
-        invariant.extend(sess.firmware_state_assumptions());
-        invariant.extend(sess.quiescing_assumptions());
-        sess.base = invariant;
-        sess.base_offsets.push(sess.base.len());
-        sess.ensure_window(window.max(1));
-        sess
+        let inv = p.alignment_validity();
+        p.push_shared_block(inv);
+        p.build_eq_terms(0);
+        p.ensure_window(window.max(1));
+        Ok(p)
     }
 
-    /// Grows the window to `window` transitions, extending the unrolling
-    /// and the cached standing assumptions by exactly the new cycles.
-    pub fn ensure_window(&mut self, window: usize) {
-        self.ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
-        while self.base_offsets.len() <= window {
-            let cycle = self.base_offsets.len() - 1;
-            let mut block = self.input_eq(cycle);
-            block.extend(self.victim_macro(cycle));
-            block.extend(self.firmware_port_assumptions(cycle));
-            self.base.extend(block);
-            self.base_offsets.push(self.base.len());
+    /// Forks the prefix into an independent snapshot (see [`Ipc::fork`]):
+    /// the encoded shared formula, every cached term and all solver state
+    /// carry over; the fork and the original diverge freely from here on.
+    pub fn fork(&self) -> SessionPrefix<'p> {
+        SessionPrefix {
+            ipc: self.ipc.fork(),
+            art: self.art,
+            core: self.core.clone(),
+            shared: self.shared.clone(),
+            eq_terms: self.eq_terms.clone(),
+            universe: self.universe.clone(),
         }
     }
 
-    /// The number of transitions the session currently supports.
+    /// The number of transitions the prefix currently supports.
     pub fn window(&self) -> usize {
-        self.base_offsets.len() - 1
-    }
-
-    /// Solver statistics (for experiment reporting).
-    pub fn solver_stats(&self) -> ssc_sat::SolverStats {
-        self.ipc.solver_stats()
+        self.shared.window()
     }
 
     /// Cumulative count of CNF-encoded AIG nodes (see
-    /// [`Ipc::encoded_nodes`]); deltas of this counter prove the per-window
-    /// encoding work of the incremental engine is bounded by the newly
-    /// unrolled cycle's cone.
+    /// [`Ipc::encoded_nodes`]).
     pub fn encoded_nodes(&self) -> usize {
         self.ipc.encoded_nodes()
+    }
+
+    /// Grows the shared prefix to `window` transitions: unrolls the new
+    /// cycles, appends their input-eq + victim-macro blocks and pre-builds
+    /// the new time step's state-equality terms — everything encoded
+    /// eagerly so later forks inherit it.
+    pub fn ensure_window(&mut self, window: usize) {
+        self.ipc.unroller_mut().ensure_cycle(window.saturating_sub(1));
+        while self.shared.window() < window {
+            let cycle = self.shared.window();
+            let mut block = self.input_eq(cycle);
+            block.extend(self.victim_macro(cycle));
+            self.push_shared_block(block);
+            self.build_eq_terms(cycle + 1);
+        }
+    }
+
+    /// Appends one block of shared assumptions, encoding each literal.
+    fn push_shared_block(&mut self, refs: Vec<AigRef>) {
+        for r in refs {
+            let lit = self.ipc.lit_of(r);
+            self.shared.refs.push(r);
+            self.shared.lits.push(lit);
+        }
+        self.shared.offsets.push(self.shared.refs.len());
+    }
+
+    /// Pre-builds (and encodes) the equality term of every universe atom at
+    /// time `t`.
+    fn build_eq_terms(&mut self, t: usize) {
+        let atoms: Vec<StateAtom> = self.universe.iter().copied().collect();
+        for atom in atoms {
+            let term = self.atom_eq_term(atom, t);
+            let _ = self.ipc.lit_of(term);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -283,47 +458,47 @@ impl<'p> Session<'p> {
     // ------------------------------------------------------------------
 
     fn input_word(&self, inst: Instance, src_wire: Wire, cycle: usize) -> Word {
-        let mapped = self.an.map(inst).signal(src_wire.id());
-        let w = self.an.product.wire_of(mapped);
+        let mapped = self.art.map(inst).signal(src_wire.id());
+        let w = self.art.product.wire_of(mapped);
         self.ipc.unroller().input(w, cycle).clone()
     }
 
     /// The value of an arbitrary source-netlist signal in `inst` during
     /// `cycle`.
     pub fn signal_word(&self, inst: Instance, src_wire: Wire, cycle: usize) -> Word {
-        let mapped = self.an.map(inst).signal(src_wire.id());
-        let w = self.an.product.wire_of(mapped);
+        let mapped = self.art.map(inst).signal(src_wire.id());
+        let w = self.art.product.wire_of(mapped);
         self.ipc.unroller().signal(w, cycle).clone()
     }
 
     /// The shared protected-range base (cycle-0 symbol; the base is an
     /// allocation-time constant, so one symbol serves all cycles).
     fn prot_word(&self) -> Word {
-        self.ipc.unroller().input(self.an.prot_base, 0).clone()
+        self.ipc.unroller().input(self.art.prot_base, 0).clone()
     }
 
     /// The state word of `atom` in `inst` at time `t`.
     pub fn atom_word(&self, inst: Instance, atom: StateAtom, t: usize) -> Word {
         match atom {
             StateAtom::Reg(id) => {
-                let mapped = self.an.map(inst).signal(id);
+                let mapped = self.art.map(inst).signal(id);
                 self.ipc.unroller().reg_state(mapped, t).clone()
             }
             StateAtom::MemWord(mem, i) => {
-                let mapped = self.an.map(inst).mem(mem);
+                let mapped = self.art.map(inst).mem(mem);
                 self.ipc.unroller().mem_word_state(mapped, i, t).clone()
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // Macros
+    // Shared macros
     // ------------------------------------------------------------------
 
     /// `in_range(addr) = (addr & range_mask) == prot_base`.
     fn in_range(&mut self, addr: &Word) -> AigRef {
         let prot = self.prot_word();
-        let mask = self.an.spec.range_mask;
+        let mask = self.core.range_mask;
         let aig = self.ipc.unroller_mut().aig_mut();
         let mask_w = words::constant(aig, ssc_netlist::Bv::new(32, mask));
         let masked = words::and(aig, addr, &mask_w);
@@ -333,49 +508,39 @@ impl<'p> Session<'p> {
     /// For a guarded memory word: the literal "this word lies in the
     /// protected range" (a function of `prot_base` only).
     fn word_in_range(&mut self, mem: MemId, index: u32) -> Option<AigRef> {
-        let base = *self.an.device_base.get(&mem)?;
-        let addr = (base + 4 * u64::from(index)) & self.an.spec.range_mask;
+        let base = *self.art.device_base.get(&mem)?;
+        let addr = (base + 4 * u64::from(index)) & self.core.range_mask;
         let prot = self.prot_word();
         let aig = self.ipc.unroller_mut().aig_mut();
         Some(words::eq_const(aig, &prot, addr))
     }
 
-    /// Validity of the symbolic range: aligned to the mask, and (if
-    /// specified) inside the designated device window.
-    pub fn range_validity(&mut self) -> Vec<AigRef> {
+    /// The scenario-independent half of the range validity: the symbolic
+    /// base is aligned to the range mask (bits outside the mask are zero).
+    fn alignment_validity(&mut self) -> Vec<AigRef> {
         let prot = self.prot_word();
-        let spec_mask = self.an.spec.range_mask;
-        let dev_mask = self.an.spec.device_mask;
-        let in_dev = self.an.spec.range_in_device;
+        let spec_mask = self.core.range_mask;
         let aig = self.ipc.unroller_mut().aig_mut();
-        let mut out = Vec::new();
-        // Alignment: bits outside the mask are zero.
         let inv = words::constant(aig, ssc_netlist::Bv::new(32, !spec_mask));
         let low = words::and(aig, &prot, &inv);
-        out.push(words::eq_const(aig, &low, 0));
-        if let Some(dev) = in_dev {
-            let dm = words::constant(aig, ssc_netlist::Bv::new(32, dev_mask));
-            let masked = words::and(aig, &prot, &dm);
-            out.push(words::eq_const(aig, &masked, dev));
-        }
-        out
+        vec![words::eq_const(aig, &low, 0)]
     }
 
     /// `Primary_Input_Constraints` at `cycle`: all non-port inputs equal
     /// between the instances.
     pub fn input_eq(&mut self, cycle: usize) -> Vec<AigRef> {
         let port = [
-            self.an.port_src.req.id(),
-            self.an.port_src.addr.id(),
-            self.an.port_src.we.id(),
-            self.an.port_src.wdata.id(),
+            self.art.port_src.req.id(),
+            self.art.port_src.addr.id(),
+            self.art.port_src.we.id(),
+            self.art.port_src.wdata.id(),
         ];
         let inputs: Vec<Wire> = self
-            .an
+            .art
             .src
             .iter_nodes()
             .filter_map(|(id, node)| match node {
-                Node::Input { .. } if !port.contains(&id) => Some(self.an.src.wire_of(id)),
+                Node::Input { .. } if !port.contains(&id) => Some(self.art.src.wire_of(id)),
                 _ => None,
             })
             .collect();
@@ -393,7 +558,7 @@ impl<'p> Session<'p> {
     /// protected addresses may differ between the instances (they are the
     /// confidential information); all other accesses are equal.
     pub fn victim_macro(&mut self, cycle: usize) -> Vec<AigRef> {
-        let p = self.an.port_src;
+        let p = self.art.port_src;
         let req_a = self.input_word(Instance::A, p.req, cycle);
         let req_b = self.input_word(Instance::B, p.req, cycle);
         let addr_a = self.input_word(Instance::A, p.addr, cycle);
@@ -422,10 +587,10 @@ impl<'p> Session<'p> {
 
         // Threat-model restriction: spying IPs have no direct access to the
         // protected range — their bus requests never target it.
-        let ip_ports = self.an.spec.ip_ports.clone();
+        let ip_ports = self.core.ip_ports.clone();
         for ip in &ip_ports {
-            let req_w = self.an.src.find(&ip.req).expect("validated in new()");
-            let addr_w = self.an.src.find(&ip.addr).expect("validated in new()");
+            let req_w = self.art.src.find(&ip.req).expect("validated in build()");
+            let addr_w = self.art.src.find(&ip.addr).expect("validated in build()");
             for inst in [Instance::A, Instance::B] {
                 let req = self.signal_word(inst, req_w, cycle);
                 let addr = self.signal_word(inst, addr_w, cycle);
@@ -437,88 +602,14 @@ impl<'p> Session<'p> {
         out
     }
 
-    /// Firmware-constraint assumptions on the symbolic *starting state*
-    /// (the window-invariant half of the constraints).
-    pub fn firmware_state_assumptions(&mut self) -> Vec<AigRef> {
-        let mut out = Vec::new();
-        let constraints = self.an.spec.constraints.clone();
-        for c in &constraints {
-            if let FirmwareConstraint::RegOutsideDevice { reg, mask, device } = c {
-                let w = self.an.src.find(reg).expect("validated in new()");
-                for inst in [Instance::A, Instance::B] {
-                    let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
-                    let aig = self.ipc.unroller_mut().aig_mut();
-                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
-                    let masked = words::and(aig, &state, &m);
-                    let hit = words::eq_const(aig, &masked, *device);
-                    out.push(hit.not());
-                }
-            }
-        }
-        out
-    }
-
-    /// Firmware port-write constraints for one `cycle` (the per-cycle half
-    /// of the constraints, appended as the window grows).
-    pub fn firmware_port_assumptions(&mut self, cycle: usize) -> Vec<AigRef> {
-        let mut out = Vec::new();
-        let constraints = self.an.spec.constraints.clone();
-        for c in &constraints {
-            if let FirmwareConstraint::PortWriteOutsideDevice { cfg_addr, mask, device } = c {
-                let p = self.an.port_src;
-                for inst in [Instance::A, Instance::B] {
-                    let req = self.input_word(inst, p.req, cycle);
-                    let we = self.input_word(inst, p.we, cycle);
-                    let addr = self.input_word(inst, p.addr, cycle);
-                    let wd = self.input_word(inst, p.wdata, cycle);
-                    let aig = self.ipc.unroller_mut().aig_mut();
-                    let is_cfg = words::eq_const(aig, &addr, *cfg_addr);
-                    let wr0 = aig.and(req[0], we[0]);
-                    let wr = aig.and(wr0, is_cfg);
-                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
-                    let masked = words::and(aig, &wd, &m);
-                    let hit = words::eq_const(aig, &masked, *device);
-                    out.push(aig.implies(wr, hit.not()));
-                }
-            }
-        }
-        out
-    }
-
-    /// All standing assumptions for a `window`-transition property:
-    /// range validity, firmware constraints, IP quiescing, and per-cycle
-    /// input equality + victim macro.
-    ///
-    /// The result is a slice into the session's cache: repeated calls (and
-    /// calls for smaller windows) perform no AIG construction at all, and a
-    /// larger window only builds the newly added cycles' blocks.
-    pub fn base_assumptions(&mut self, window: usize) -> &[AigRef] {
-        self.ensure_window(window);
-        &self.base[..self.base_offsets[window]]
-    }
-
-    /// Quiescing assumptions: the named busy flags are 0 in the symbolic
-    /// starting state of both instances.
-    pub fn quiescing_assumptions(&mut self) -> Vec<AigRef> {
-        let names = self.an.spec.quiesced_ips.clone();
-        let mut out = Vec::new();
-        for name in &names {
-            let w = self.an.src.find(name).expect("validated in new()");
-            for inst in [Instance::A, Instance::B] {
-                let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
-                out.push(state[0].not());
-            }
-        }
-        out
-    }
-
     /// The guarded equality term of one atom at time `t`: *atom equal
     /// between the instances*, weakened by the "inside the protected range"
     /// exemption for victim-allocatable memory words.
     ///
-    /// Terms are cached per `(atom, t)`, so every check of a fixpoint run
-    /// reuses the same AIG node — and therefore the same CNF variables —
-    /// for an atom regardless of how the surrounding set shrinks.
+    /// Terms are cached per `(atom, t)` — for the universe atoms they are
+    /// pre-built (and encoded) when the prefix grows, so every fork and
+    /// every fixpoint iteration reuses the same AIG node and CNF variables
+    /// regardless of how the surrounding set shrinks.
     pub fn atom_eq_term(&mut self, atom: StateAtom, t: usize) -> AigRef {
         if let Some(&term) = self.eq_terms.get(&(atom, t)) {
             return term;
@@ -538,14 +629,323 @@ impl<'p> Session<'p> {
         self.eq_terms.insert((atom, t), term);
         term
     }
+}
+
+/// A *persistent* proof session: one scenario bound to a (possibly forked)
+/// [`SessionPrefix`], with macro construction, the incremental check and
+/// counterexample extraction.
+///
+/// One session is designed to serve an **entire procedure run** — all
+/// windows of Alg. 2 *and* the Alg. 1 fixpoint that finishes it — against
+/// one SAT solver, so learnt clauses carry over and nothing is re-encoded:
+///
+/// - the scenario-independent standing assumptions (range alignment,
+///   per-cycle input equality and victim macro) and the per-atom
+///   state-equality terms live in the prefix, pre-encoded — a session
+///   created from a fork ([`Session::with_prefix`]) inherits them without
+///   re-encoding anything;
+/// - the scenario's own assumptions (device-window validity, firmware
+///   constraints, quiescing) are kept in a second ledger and only
+///   *extended* when the window grows ([`Session::ensure_window`]);
+/// - the negated proof goal is installed as an activation-literal-guarded
+///   clause ([`Session::check_window`]) and retired when the sets change,
+///   which removes the obligation without invalidating the learnt-clause
+///   database.
+pub struct Session<'p> {
+    prefix: SessionPrefix<'p>,
+    an: &'p UpecAnalysis,
+    /// Scenario-specific standing assumptions: device-window validity,
+    /// firmware-state and quiescing assumptions (invariant block), then
+    /// one firmware-port block per unrolled cycle.
+    scenario: Ledger,
+    /// Scratch assumption-literal buffer reused across checks.
+    lit_buf: Vec<Lit>,
+    /// After a `Holds` from [`Session::check_window`]: whether the
+    /// assumption core avoided every pre-state atom-equality assumption
+    /// (`None` after a violated check).
+    last_core_without_state_eq: Option<bool>,
+    /// Atom → epoch of the last refinement that named it
+    /// ([`Session::note_shrunk`]); orders the pre-state assumptions
+    /// most-recently-shrunk-first.
+    shrink_stamp: FxHashMap<StateAtom, u64>,
+    shrink_epoch: u64,
+}
+
+impl<'p> Session<'p> {
+    /// Opens a session with `window` transitions unrolled (states
+    /// `0..=window` available), building a private prefix.
+    ///
+    /// This routes through exactly the same construction as a shared
+    /// prefix plus [`Session::with_prefix`], so a session over a private
+    /// prefix and a session forked from a shared one are state-identical —
+    /// the guarantee behind the fork-vs-fresh equivalence tests.
+    pub fn new(an: &'p UpecAnalysis, window: usize) -> Self {
+        let prefix = SessionPrefix::build(an.artifact(), an.spec(), window)
+            .expect("a bound spec was already validated");
+        Session::with_prefix(an, prefix)
+    }
+
+    /// Binds a (typically forked) prefix to one scenario: appends the
+    /// scenario's own standing assumptions on top of the inherited shared
+    /// encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix was built over a different [`ProductArtifact`]
+    /// than `an` is bound to, or the scenario disagrees with the prefix's
+    /// shared core (range mask, spying-IP ports) — both are programming
+    /// errors, not data-dependent conditions.
+    pub fn with_prefix(an: &'p UpecAnalysis, prefix: SessionPrefix<'p>) -> Self {
+        assert!(
+            std::ptr::eq(prefix.art, Arc::as_ptr(&an.art)),
+            "session prefix was built over a different product artifact"
+        );
+        assert!(
+            prefix.core.range_mask == an.spec.range_mask
+                && prefix.core.ip_ports == an.spec.ip_ports,
+            "scenario disagrees with the prefix's shared core (range mask / IP ports)"
+        );
+        let mut sess = Session {
+            prefix,
+            an,
+            scenario: Ledger::default(),
+            lit_buf: Vec::new(),
+            last_core_without_state_eq: None,
+            shrink_stamp: FxHashMap::default(),
+            shrink_epoch: 0,
+        };
+        let mut inv = sess.device_range_validity();
+        inv.extend(sess.firmware_state_assumptions());
+        inv.extend(sess.quiescing_assumptions());
+        sess.push_scenario_block(inv);
+        let window = sess.prefix.window();
+        while sess.scenario.window() < window {
+            let cycle = sess.scenario.window();
+            let block = sess.firmware_port_assumptions(cycle);
+            sess.push_scenario_block(block);
+        }
+        sess
+    }
+
+    /// Grows the window to `window` transitions, extending the unrolling
+    /// and both assumption ledgers by exactly the new cycles.
+    pub fn ensure_window(&mut self, window: usize) {
+        self.prefix.ensure_window(window);
+        while self.scenario.window() < window {
+            let cycle = self.scenario.window();
+            let block = self.firmware_port_assumptions(cycle);
+            self.push_scenario_block(block);
+        }
+    }
+
+    /// Appends one block of scenario assumptions, encoding each literal.
+    fn push_scenario_block(&mut self, refs: Vec<AigRef>) {
+        for r in refs {
+            let lit = self.prefix.ipc.lit_of(r);
+            self.scenario.refs.push(r);
+            self.scenario.lits.push(lit);
+        }
+        self.scenario.offsets.push(self.scenario.refs.len());
+    }
+
+    /// The analysis this session is bound to.
+    pub fn analysis(&self) -> &'p UpecAnalysis {
+        self.an
+    }
+
+    /// The underlying interval property checker (exposed so downstream
+    /// experiment harnesses can time individual checks).
+    pub fn ipc(&self) -> &Ipc<'p> {
+        &self.prefix.ipc
+    }
+
+    /// Mutable access to the underlying checker.
+    pub fn ipc_mut(&mut self) -> &mut Ipc<'p> {
+        &mut self.prefix.ipc
+    }
+
+    /// The number of transitions the session currently supports.
+    pub fn window(&self) -> usize {
+        self.prefix.window()
+    }
+
+    /// Solver statistics (for experiment reporting).
+    pub fn solver_stats(&self) -> ssc_sat::SolverStats {
+        self.prefix.ipc.solver_stats()
+    }
+
+    /// Cumulative count of CNF-encoded AIG nodes (see
+    /// [`Ipc::encoded_nodes`]); deltas of this counter prove the per-window
+    /// encoding work of the incremental engine is bounded by the newly
+    /// unrolled cycle's cone.
+    pub fn encoded_nodes(&self) -> usize {
+        self.prefix.ipc.encoded_nodes()
+    }
+
+    /// The value of an arbitrary source-netlist signal in `inst` during
+    /// `cycle`.
+    pub fn signal_word(&self, inst: Instance, src_wire: Wire, cycle: usize) -> Word {
+        self.prefix.signal_word(inst, src_wire, cycle)
+    }
+
+    /// The state word of `atom` in `inst` at time `t`.
+    pub fn atom_word(&self, inst: Instance, atom: StateAtom, t: usize) -> Word {
+        self.prefix.atom_word(inst, atom, t)
+    }
+
+    /// `Primary_Input_Constraints` at `cycle` (see
+    /// [`SessionPrefix::input_eq`]).
+    pub fn input_eq(&mut self, cycle: usize) -> Vec<AigRef> {
+        self.prefix.input_eq(cycle)
+    }
+
+    /// `Victim_Task_Executing` at `cycle` (see
+    /// [`SessionPrefix::victim_macro`]).
+    pub fn victim_macro(&mut self, cycle: usize) -> Vec<AigRef> {
+        self.prefix.victim_macro(cycle)
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario macros
+    // ------------------------------------------------------------------
+
+    /// The scenario half of the range validity: if specified, the symbolic
+    /// base lies inside the designated device window.
+    fn device_range_validity(&mut self) -> Vec<AigRef> {
+        let Some(dev) = self.an.spec.range_in_device else {
+            return Vec::new();
+        };
+        let dev_mask = self.an.spec.device_mask;
+        let prot = self.prefix.prot_word();
+        let aig = self.prefix.ipc.unroller_mut().aig_mut();
+        let dm = words::constant(aig, ssc_netlist::Bv::new(32, dev_mask));
+        let masked = words::and(aig, &prot, &dm);
+        vec![words::eq_const(aig, &masked, dev)]
+    }
+
+    /// Firmware-constraint assumptions on the symbolic *starting state*
+    /// (the window-invariant half of the constraints).
+    pub fn firmware_state_assumptions(&mut self) -> Vec<AigRef> {
+        let mut out = Vec::new();
+        let constraints = self.an.spec.constraints.clone();
+        for c in &constraints {
+            if let FirmwareConstraint::RegOutsideDevice { reg, mask, device } = c {
+                let w = self.an.src().find(reg).expect("validated in bind()");
+                for inst in [Instance::A, Instance::B] {
+                    let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
+                    let aig = self.prefix.ipc.unroller_mut().aig_mut();
+                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                    let masked = words::and(aig, &state, &m);
+                    let hit = words::eq_const(aig, &masked, *device);
+                    out.push(hit.not());
+                }
+            }
+        }
+        out
+    }
+
+    /// Firmware port-write constraints for one `cycle` (the per-cycle half
+    /// of the constraints, appended as the window grows).
+    pub fn firmware_port_assumptions(&mut self, cycle: usize) -> Vec<AigRef> {
+        let mut out = Vec::new();
+        let constraints = self.an.spec.constraints.clone();
+        for c in &constraints {
+            if let FirmwareConstraint::PortWriteOutsideDevice { cfg_addr, mask, device } = c {
+                let p = self.an.art.port_src;
+                for inst in [Instance::A, Instance::B] {
+                    let req = self.prefix.input_word(inst, p.req, cycle);
+                    let we = self.prefix.input_word(inst, p.we, cycle);
+                    let addr = self.prefix.input_word(inst, p.addr, cycle);
+                    let wd = self.prefix.input_word(inst, p.wdata, cycle);
+                    let aig = self.prefix.ipc.unroller_mut().aig_mut();
+                    let is_cfg = words::eq_const(aig, &addr, *cfg_addr);
+                    let wr0 = aig.and(req[0], we[0]);
+                    let wr = aig.and(wr0, is_cfg);
+                    let m = words::constant(aig, ssc_netlist::Bv::new(32, *mask));
+                    let masked = words::and(aig, &wd, &m);
+                    let hit = words::eq_const(aig, &masked, *device);
+                    out.push(aig.implies(wr, hit.not()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Quiescing assumptions: the named busy flags are 0 in the symbolic
+    /// starting state of both instances.
+    pub fn quiescing_assumptions(&mut self) -> Vec<AigRef> {
+        let names = self.an.spec.quiesced_ips.clone();
+        let mut out = Vec::new();
+        for name in &names {
+            let w = self.an.src().find(name).expect("validated in bind()");
+            for inst in [Instance::A, Instance::B] {
+                let state = self.atom_word(inst, StateAtom::Reg(w.id()), 0);
+                out.push(state[0].not());
+            }
+        }
+        out
+    }
+
+    /// All standing assumptions for a `window`-transition property: range
+    /// validity, firmware constraints, IP quiescing, and per-cycle input
+    /// equality + victim macro — the shared ledger first, then the
+    /// scenario ledger.
+    ///
+    /// Repeated calls (and calls for smaller windows) copy cached refs and
+    /// perform no AIG construction at all; a larger window only builds the
+    /// newly added cycles' blocks.
+    pub fn base_assumptions(&mut self, window: usize) -> Vec<AigRef> {
+        self.ensure_window(window);
+        let mut out = Vec::new();
+        self.for_base_blocks(window, |ledger, range| out.extend_from_slice(&ledger.refs[range]));
+        out
+    }
+
+    /// Visits the standing-assumption blocks for `window` in solve order:
+    /// per block boundary, the shared ledger's slice first, then the
+    /// scenario ledger's. Assumptions become solver decisions in order, so
+    /// the strongly pruning scenario constraints (device window, firmware,
+    /// quiescing) must follow their window block immediately — deferring
+    /// them to the end measurably slows satisfiable checks down.
+    fn for_base_blocks(&self, window: usize, mut f: impl FnMut(&Ledger, std::ops::Range<usize>)) {
+        let shared = &self.prefix.shared;
+        for w in 0..=window {
+            let start = if w == 0 { 0 } else { shared.offsets[w - 1] };
+            f(shared, start..shared.offsets[w]);
+            let start = if w == 0 { 0 } else { self.scenario.offsets[w - 1] };
+            f(&self.scenario, start..self.scenario.offsets[w]);
+        }
+    }
+
+    /// The guarded equality term of one atom at time `t` (see
+    /// [`SessionPrefix::atom_eq_term`]).
+    pub fn atom_eq_term(&mut self, atom: StateAtom, t: usize) -> AigRef {
+        self.prefix.atom_eq_term(atom, t)
+    }
 
     /// `State_Equivalence(S)` at time `t`: every atom in `S` equal between
     /// the instances; victim-allocatable memory words are exempt while they
     /// lie inside the protected range.
     pub fn state_eq(&mut self, set: &AtomSet, t: usize) -> AigRef {
         let conj: Vec<AigRef> = set.iter().map(|&atom| self.atom_eq_term(atom, t)).collect();
-        let aig = self.ipc.unroller_mut().aig_mut();
+        let aig = self.prefix.ipc.unroller_mut().aig_mut();
         aig.and_all(conj)
+    }
+
+    /// Records a refinement step: the given diff atoms were just named by a
+    /// counterexample (and removed from some tracked cycle set). Their
+    /// pre-state equality assumptions are the hottest constraints of the
+    /// next re-solve, so [`Session::check_window`] orders them first
+    /// (most-recently-shrunk-first — see `ssc_sat::SolverStats::core_seeds`
+    /// for the solver-side half of the re-solve tuning).
+    pub fn note_shrunk(&mut self, diffs: &[AtomDiff]) {
+        if diffs.is_empty() {
+            return;
+        }
+        self.shrink_epoch += 1;
+        for d in diffs {
+            self.shrink_stamp.insert(d.atom, self.shrink_epoch);
+        }
     }
 
     /// The incremental UPEC-SSC check: *assume the standing assumptions of
@@ -571,33 +971,36 @@ impl<'p> Session<'p> {
         for &(cycle, set) in goals {
             debug_assert!(cycle <= window, "goal cycle outside the window");
             for &atom in set {
-                neg_goal.push(self.atom_eq_term(atom, cycle).not());
+                neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
             }
         }
-        let act = self.ipc.activation_literal();
-        self.ipc.add_clause_under(act, &neg_goal);
+        let act = self.prefix.ipc.activation_literal();
+        self.prefix.ipc.add_clause_under(act, &neg_goal);
 
         let mut lits = std::mem::take(&mut self.lit_buf);
         lits.clear();
-        for i in 0..self.base_offsets[window] {
-            let r = self.base[i];
-            lits.push(self.ipc.lit_of(r));
-        }
+        self.for_base_blocks(window, |ledger, range| lits.extend_from_slice(&ledger.lits[range]));
         // `State_Equivalence(pre)` enters as one assumption literal *per
         // atom* (not one conjunction): logically identical, but on `Holds`
         // the solver's assumption core then reports which atoms' equalities
-        // the proof actually rested on.
+        // the proof actually rested on. Atoms named by recent refinements
+        // go first (a stable sort keeps the deterministic atom order within
+        // equal epochs).
         let pre_start = lits.len();
-        for &atom in pre {
-            let term = self.atom_eq_term(atom, 0);
-            let lit = self.ipc.lit_of(term);
+        let mut order: Vec<StateAtom> = pre.iter().copied().collect();
+        order.sort_by_key(|a| {
+            std::cmp::Reverse(self.shrink_stamp.get(a).copied().unwrap_or(0))
+        });
+        for atom in order {
+            let term = self.prefix.atom_eq_term(atom, 0);
+            let lit = self.prefix.ipc.lit_of(term);
             lits.push(lit);
         }
         lits.push(act);
-        let result = self.ipc.check_lits(&lits);
+        let result = self.prefix.ipc.check_lits(&lits);
         self.last_core_without_state_eq = match result {
             PropertyResult::Holds => {
-                let core = self.ipc.assumption_core();
+                let core = self.prefix.ipc.assumption_core();
                 Some(!lits[pre_start..lits.len() - 1].iter().any(|l| core.contains(l)))
             }
             PropertyResult::Violated => None,
@@ -605,7 +1008,7 @@ impl<'p> Session<'p> {
         self.lit_buf = lits;
         // The goal clause belongs to this check only; retiring it keeps the
         // clause database additive while the state sets shrink.
-        self.ipc.retire_activation(act);
+        self.prefix.ipc.retire_activation(act);
         result
     }
 
@@ -627,14 +1030,16 @@ impl<'p> Session<'p> {
     /// protected range are not counted).
     pub fn extract_diffs(&self, set: &AtomSet, t: usize) -> Vec<AtomDiff> {
         let prot = self
+            .prefix
             .ipc
-            .model_word(&self.prot_word())
+            .model_word(&self.prefix.prot_word())
             .expect("prot_base encoded by range validity");
         let mut out = Vec::new();
         for &atom in set {
             let wa = self.atom_word(Instance::A, atom, t);
             let wb = self.atom_word(Instance::B, atom, t);
-            let (Ok(va), Ok(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb))
+            let (Ok(va), Ok(vb)) =
+                (self.prefix.ipc.model_word(&wa), self.prefix.ipc.model_word(&wb))
             else {
                 continue;
             };
@@ -642,7 +1047,7 @@ impl<'p> Session<'p> {
                 continue;
             }
             if let StateAtom::MemWord(mem, i) = atom {
-                if let Some(base) = self.an.device_base.get(&mem) {
+                if let Some(base) = self.an.art.device_base.get(&mem) {
                     let addr = (base + 4 * u64::from(i)) & self.an.spec.range_mask;
                     if addr == prot {
                         continue; // victim-allocated word: exempt
@@ -662,12 +1067,13 @@ impl<'p> Session<'p> {
 
     /// Builds the full counterexample record after a violated check.
     pub fn capture_cex(&self, diffs: Vec<AtomDiff>, at_cycle: usize, window: usize) -> Counterexample {
-        let prot = self.ipc.model_word(&self.prot_word()).unwrap_or(0);
-        let p = self.an.port_src;
+        let prot = self.prefix.ipc.model_word(&self.prefix.prot_word()).unwrap_or(0);
+        let p = self.an.art.port_src;
         let mut trace = Vec::new();
         for c in 0..window {
-            let get =
-                |s: &Self, inst, w| s.ipc.model_word(&s.input_word(inst, w, c)).unwrap_or(0);
+            let get = |s: &Self, inst, w| {
+                s.prefix.ipc.model_word(&s.prefix.input_word(inst, w, c)).unwrap_or(0)
+            };
             let act = |s: &Self, inst: Instance| -> PortActivity {
                 let req = get(s, inst, p.req) == 1;
                 let addr = get(s, inst, p.addr);
@@ -685,10 +1091,12 @@ impl<'p> Session<'p> {
         }
         // Initial state of both instances for concrete replay.
         let mut initial_state = Vec::new();
-        for atom in atoms::all_atoms(&self.an.src) {
+        for atom in atoms::all_atoms(self.an.src()) {
             let wa = self.atom_word(Instance::A, atom, 0);
             let wb = self.atom_word(Instance::B, atom, 0);
-            if let (Ok(va), Ok(vb)) = (self.ipc.model_word(&wa), self.ipc.model_word(&wb)) {
+            if let (Ok(va), Ok(vb)) =
+                (self.prefix.ipc.model_word(&wa), self.prefix.ipc.model_word(&wb))
+            {
                 initial_state.push((atom, self.an.atom_name(atom), va, vb));
             }
         }
@@ -697,16 +1105,19 @@ impl<'p> Session<'p> {
 }
 
 /// Compile-time thread-safety audit for the portfolio runner
-/// (`ssc-bench::portfolio`): a parallel analysis fleet constructs one
-/// [`UpecAnalysis`] + [`Session`] **per worker** (sessions borrow their
-/// analysis, so neither is shared across threads), which only requires
-/// the analysis inputs and the verdicts to cross thread boundaries. If a
-/// future change introduces interior mutability or thread-bound state in
-/// these types, this fails to compile instead of racing at runtime.
+/// (`ssc-bench::portfolio`): phase one builds one [`ProductArtifact`] and
+/// one [`SessionPrefix`] per SoC size and **shares both by reference**
+/// across the pool workers (the prefix is only forked, never mutated, on
+/// worker threads), while phase two constructs one [`UpecAnalysis`] +
+/// [`Session`] per job. If a future change introduces interior mutability
+/// or thread-bound state in any of these types, this fails to compile
+/// instead of racing at runtime.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     const fn assert_send<T: Send>() {}
+    assert_send_sync::<ProductArtifact>();
     assert_send_sync::<UpecAnalysis>();
+    assert_send_sync::<SessionPrefix<'static>>();
     assert_send_sync::<crate::spec::UpecSpec>();
     assert_send::<crate::report::Verdict>();
     assert_send::<Session<'static>>();

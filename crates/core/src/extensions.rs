@@ -121,7 +121,7 @@ impl UpecAnalysis {
         for ipt in input_wires(src) {
             let a = sess.signal_word(Instance::A, ipt, 0);
             let b = sess.signal_word(Instance::B, ipt, 0);
-            let aig = sess.ipc.unroller_mut().aig_mut();
+            let aig = sess.ipc_mut().unroller_mut().aig_mut();
             assumptions.push(words::eq(aig, &a, &b));
         }
         // Equal state except `reg`.
@@ -129,7 +129,7 @@ impl UpecAnalysis {
         for &a in all.iter().filter(|&&a| a != atom) {
             let wa = sess.atom_word(Instance::A, a, 0);
             let wb = sess.atom_word(Instance::B, a, 0);
-            let aig = sess.ipc.unroller_mut().aig_mut();
+            let aig = sess.ipc_mut().unroller_mut().aig_mut();
             assumptions.push(words::eq(aig, &wa, &wb));
         }
         // Condition holds (in instance A; states other than `reg` are equal,
@@ -142,9 +142,9 @@ impl UpecAnalysis {
         // Goal: `reg` equal at t+1.
         let na = sess.atom_word(Instance::A, atom, 1);
         let nb = sess.atom_word(Instance::B, atom, 1);
-        let aig = sess.ipc.unroller_mut().aig_mut();
+        let aig = sess.ipc_mut().unroller_mut().aig_mut();
         let goal = words::eq(aig, &na, &nb);
-        Ok(sess.ipc.check(&assumptions, goal) == PropertyResult::Holds)
+        Ok(sess.ipc_mut().check(&assumptions, goal) == PropertyResult::Holds)
     }
 }
 

@@ -8,8 +8,11 @@
 //! - [`UpecSpec`]: the verification specification — victim port, symbolic
 //!   protected address ranges, victim-allocatable devices, firmware
 //!   constraints of a countermeasure,
-//! - [`UpecAnalysis`]: the 2-safety product (two instances of the design in
-//!   one netlist) plus the paper's property macros
+//! - [`ProductArtifact`]: the scenario-independent 2-safety product (two
+//!   instances of the design in one netlist), built once per design and
+//!   `Arc`-shared across every scenario analysis of that design,
+//! - [`UpecAnalysis`]: a thin binding of a spec to a (possibly shared)
+//!   artifact, plus the paper's property macros
 //!   (`Primary_Input_Constraints`, `Victim_Task_Executing`,
 //!   `State_Equivalence(S)`),
 //! - [`UpecAnalysis::alg1`]: the 2-cycle iterative fixpoint procedure
@@ -31,8 +34,8 @@
 //! valid while the property changes shape:
 //!
 //! - the standing assumptions are cached per cycle and only *appended*
-//!   when the window grows ([`Session::base_assumptions`] returns a slice
-//!   into the cache),
+//!   when the window grows ([`Session::base_assumptions`] copies out of
+//!   the cache),
 //! - per-atom state-equality terms are cached ([`Session::atom_eq_term`]),
 //!   so shrinking a state set between fixpoint iterations reuses every
 //!   surviving atom's encoding,
@@ -41,6 +44,33 @@
 //!   obligation while the learnt-clause database carries over, and
 //!   `ssc_ipc::Ipc::collect_garbage` sheds stale learnt clauses at window
 //!   boundaries.
+//!
+//! # Shared artifacts and copy-on-write session forks
+//!
+//! A session splits along the scenario boundary. The **scenario-
+//! independent** half — product unrolling, input-equality and victim
+//! macros, range-alignment validity, and the state-equality cone of every
+//! `S_not_victim` atom — lives in a [`SessionPrefix`], eagerly encoded
+//! into the solver at construction. The **scenario** half (device-window
+//! validity, firmware constraints, quiescing) is a second assumption
+//! ledger [`Session::with_prefix`] adds on top.
+//!
+//! That split is what makes a portfolio cheap: build one
+//! [`ProductArtifact`] and one prefix per SoC size, then
+//! [`SessionPrefix::fork`] per scenario — a copy-on-write snapshot of the
+//! encoded solver state (`ssc_ipc::Ipc::fork`) that inherits the shared
+//! encoding *and* everything the solver learnt on it, instead of paying
+//! product construction + prefix encoding once per cell.
+//! [`Session::new`] routes through the same prefix construction, so a
+//! forked session is state-identical to a privately built one — verdicts,
+//! refinement trajectories, even the encoding counters (asserted by
+//! `tests/incremental_crosscheck.rs`).
+//!
+//! Two re-solve tunings keep consecutive checks of one session fast: the
+//! solver seeds VSIDS activity from the previous check's assumption core
+//! (`ssc_sat::SolverStats::core_seeds` counts it), and
+//! [`Session::check_window`] orders the pre-state equality assumptions
+//! most-recently-shrunk-atoms-first ([`Session::note_shrunk`]).
 //!
 //! [`IterationStat`] records the proof of incrementality per iteration:
 //! `encoded_delta` (new CNF work, bounded by the newly unrolled cycle's
@@ -78,9 +108,9 @@ mod report;
 mod spec;
 
 pub use atoms::{AtomSet, PersistencePolicy, StateAtom};
-pub use engine::{Instance, Session, UpecAnalysis};
+pub use engine::{Instance, ProductArtifact, Session, SessionPrefix, UpecAnalysis};
 pub use extensions::ChannelFinding;
-pub use replay::replay_on_simulator;
+pub use replay::{replay_neighborhood, replay_on_simulator, NeighborhoodReport, Perturbation};
 pub use report::{
     AtomDiff, CexCycle, Counterexample, IterationStat, PortActivity, SecureReport, Verdict,
     VulnReport,

@@ -4,7 +4,10 @@
 //! procedure (Alg. 2) grows the property window cycle by cycle in place,
 //! and on saturation hands the *same* session to the inductive fixpoint
 //! (Alg. 1), so the SAT solver, the CNF encoding of the unrolled prefix
-//! and every learnt clause survive from the first check to the last.
+//! and every learnt clause survive from the first check to the last. The
+//! session may come from a shared per-size prefix fork
+//! ([`UpecAnalysis::alg2_with_session`] — the portfolio entry point) or be
+//! built privately ([`UpecAnalysis::alg2`]); both are state-identical.
 //! [`UpecAnalysis::alg2_fresh_baseline`] keeps the tear-down-per-check
 //! variant alive as a cross-check reference and performance baseline.
 
@@ -47,7 +50,7 @@ impl IterSnapshot {
             runtime: self.t.elapsed(),
             encoded_nodes: sess.encoded_nodes(),
             encoded_delta: sess.encoded_nodes() - self.encoded,
-            aig_nodes: sess.ipc.unroller().aig().num_nodes(),
+            aig_nodes: sess.ipc().unroller().aig().num_nodes(),
             solver: sess.solver_stats().delta_since(&self.stats),
         }
     }
@@ -117,6 +120,7 @@ impl UpecAnalysis {
                                 .into(),
                         );
                     }
+                    sess.note_shrunk(&diffs);
                     let hit_pers = diffs.iter().any(|d| d.persistent);
                     let removed = if hit_pers { 0 } else { diffs.len() };
                     iterations.push(snap.finish(
@@ -157,7 +161,26 @@ impl UpecAnalysis {
     /// the encoding work per window stays bounded by the newly unrolled
     /// cycle's cone.
     pub fn alg2(&self) -> Verdict {
-        self.alg2_impl(true)
+        self.alg2_impl(Some(Session::new(self, 1)))
+    }
+
+    /// Algorithm 2 running inside a caller-provided session — the entry
+    /// point of the shared-prefix portfolio: fork a per-size
+    /// [`crate::SessionPrefix`], bind it with [`Session::with_prefix`] and
+    /// hand it here, and the whole procedure runs on top of the shared
+    /// product encoding instead of rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sess` was created for a different analysis — its
+    /// scenario assumptions would not match the atom sets and persistence
+    /// classification this procedure derives from `self`.
+    pub fn alg2_with_session<'s>(&'s self, sess: Session<'s>) -> Verdict {
+        assert!(
+            std::ptr::eq(sess.analysis(), self),
+            "session belongs to a different analysis"
+        );
+        self.alg2_impl(Some(sess))
     }
 
     /// The fresh-session reference implementation of Alg. 2: a new
@@ -170,15 +193,16 @@ impl UpecAnalysis {
     /// performance baseline the `e6_scaling`/`e7_alg1_vs_alg2` experiments
     /// measure the persistent session against.
     pub fn alg2_fresh_baseline(&self) -> Verdict {
-        self.alg2_impl(false)
+        self.alg2_impl(None)
     }
 
-    fn alg2_impl(&self, incremental: bool) -> Verdict {
+    fn alg2_impl<'s>(&'s self, initial_sess: Option<Session<'s>>) -> Verdict {
         let start = Instant::now();
+        let incremental = initial_sess.is_some();
         let s_init = self.s_not_victim();
         let mut s: Vec<AtomSet> = vec![s_init.clone(), s_init];
         let mut k = 1usize;
-        let mut sess_slot: Option<Session<'_>> = incremental.then(|| Session::new(self, 1));
+        let mut sess_slot: Option<Session<'_>> = initial_sess;
         let mut iterations: Vec<IterationStat> = Vec::new();
 
         loop {
@@ -197,14 +221,14 @@ impl UpecAnalysis {
             } else {
                 // Baseline goal construction: one monolithic conjunction,
                 // re-encoded from scratch in the fresh session.
-                let mut assumptions = sess.base_assumptions(k).to_vec();
+                let mut assumptions = sess.base_assumptions(k);
                 assumptions.push(sess.state_eq(&s[0], 0));
                 let goals: Vec<_> = (1..=k).map(|c| sess.state_eq(&s[c], c)).collect();
                 let goal = {
-                    let aig = sess.ipc.unroller_mut().aig_mut();
+                    let aig = sess.ipc_mut().unroller_mut().aig_mut();
                     aig.and_all(goals)
                 };
-                sess.ipc.check(&assumptions, goal)
+                sess.ipc_mut().check(&assumptions, goal)
             };
 
             match result {
@@ -243,7 +267,7 @@ impl UpecAnalysis {
                         // Window boundary: shed stale learnt clauses while
                         // keeping glue/locked ones — the long-session GC
                         // hook of the persistent architecture.
-                        sess.ipc.collect_garbage();
+                        sess.ipc_mut().collect_garbage();
                     }
                 }
                 PropertyResult::Violated => {
@@ -260,6 +284,7 @@ impl UpecAnalysis {
                             vulnerable = Some((diffs, c));
                             break;
                         }
+                        sess.note_shrunk(&diffs);
                         removed_total += diffs.len();
                         for d in &diffs {
                             s[c].remove(&d.atom);
@@ -319,18 +344,18 @@ impl UpecAnalysis {
             return Ok(());
         }
         let mut sess = Session::new(self, 1);
-        let assumptions = sess.base_assumptions(1).to_vec();
+        let assumptions = sess.base_assumptions(1);
         let mut failing = Vec::new();
         for (reg, mask, device) in regs {
             let w = self.src().find(&reg).expect("validated");
             for inst in [Instance::A, Instance::B] {
                 let post = sess.atom_word(inst, crate::atoms::StateAtom::Reg(w.id()), 1);
-                let aig = sess.ipc.unroller_mut().aig_mut();
+                let aig = sess.ipc_mut().unroller_mut().aig_mut();
                 let m = words::constant(aig, ssc_netlist::Bv::new(32, mask));
                 let masked = words::and(aig, &post, &m);
                 let hit = words::eq_const(aig, &masked, device);
                 let goal = hit.not();
-                if sess.ipc.check(&assumptions, goal) == PropertyResult::Violated {
+                if sess.ipc_mut().check(&assumptions, goal) == PropertyResult::Violated {
                     failing.push(format!("{reg} ({inst:?})"));
                 }
             }

@@ -11,7 +11,7 @@ use crate::atoms::PersistencePolicy;
 
 /// Names of the CPU data-port signals in the verification view, where they
 /// are free primary inputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VictimPort {
     /// Request strobe (1 bit).
     pub req: String,
@@ -40,7 +40,7 @@ impl VictimPort {
 /// these IPs never access the protected range directly — the paper's
 /// threat-model restriction that "address ranges ... allocated to the
 /// victim task are not directly accessible by potentially spying IPs".
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IpPort {
     /// Request strobe signal name (1 bit).
     pub req: String,
@@ -50,7 +50,7 @@ pub struct IpPort {
 
 /// A victim-allocatable memory device: protected address ranges may be
 /// placed inside it, and its words are guarded by the symbolic range.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviceMap {
     /// Memory name in the netlist (e.g. `"pub_xbar.ram"`).
     pub mem_name: String,
@@ -64,7 +64,7 @@ pub struct DeviceMap {
 /// firmware constraints to be checked for compliance during firmware
 /// development" (Sec. 4.2). [`crate::UpecAnalysis::prove_constraints_inductive`]
 /// discharges the hardware side: legal configurations stay legal.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FirmwareConstraint {
     /// The named 32-bit register never points into the device window
     /// `device` (under [`ssc_soc::addr::DEV_MASK`]-style masking):

@@ -9,8 +9,10 @@
 //! encoding growth must stay bounded by the newly unrolled cycle's cone
 //! (i.e. zero full re-encodings across windows).
 
-use ssc_soc::Soc;
-use upec_ssc::{UpecAnalysis, UpecSpec, Verdict};
+use std::sync::Arc;
+
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{ProductArtifact, Session, SessionPrefix, UpecAnalysis, UpecSpec, Verdict};
 
 /// The formal twin of each simulation scenario: `(name, spec, leaky)`.
 /// The patched (`in_private`) layouts map to `soc_fixed`, whose
@@ -64,21 +66,98 @@ fn incremental_alg2_matches_fresh_session_reference_on_all_scenarios() {
         let alg1 = an.alg1();
         assert_eq!(kind(&alg1), kind(&incremental), "alg1 disagrees on {name}");
 
-        // Boundedness: every window after the first encodes strictly less
-        // than the first window's full prefix encoding — the "zero full
-        // re-encodings" acceptance criterion of the persistent session.
+        // Boundedness: the shared prefix (unrolling, macros, state-equality
+        // cones) is encoded eagerly at session construction, so no *check*
+        // may re-encode it — every iteration's encoding delta must stay far
+        // below the cumulative prefix encoding the first iteration reports.
         let iters = incremental.iterations();
         let first = iters.first().expect("procedures always iterate");
-        assert!(first.encoded_delta > 0, "{name}: first window must encode the prefix");
-        for it in &iters[1..] {
+        assert!(
+            first.encoded_nodes > 0,
+            "{name}: the session must have encoded the prefix"
+        );
+        for it in iters {
             assert!(
-                it.encoded_delta < first.encoded_delta,
+                it.encoded_delta * 4 < first.encoded_nodes,
                 "{name}: iteration {} (window {}) encoded {} nodes, \
-                 suspiciously close to a full re-encoding ({})",
+                 suspiciously close to a full prefix re-encoding ({})",
                 it.iteration,
                 it.window,
                 it.encoded_delta,
-                first.encoded_delta
+                first.encoded_nodes
+            );
+        }
+    }
+}
+
+/// The deterministic content of a verdict: kind, counterexample diff atoms
+/// / removed-atom lists, and the full refinement trajectory including the
+/// encoding counters — everything except wall-clock and solver effort.
+fn trajectory(v: &Verdict) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = match v {
+        Verdict::Secure(r) => {
+            format!("secure(set={},removed={:?})", r.final_set_size, r.removed_atoms)
+        }
+        Verdict::Vulnerable(r) => format!(
+            "vulnerable(at={},diffs={:?})",
+            r.cex.at_cycle,
+            r.cex.diffs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
+        ),
+        Verdict::Inconclusive(msg) => format!("inconclusive({msg})"),
+    };
+    for it in v.iterations() {
+        let _ = write!(
+            out,
+            ";i{}w{}s{}r{}e{}d{}a{}",
+            it.iteration,
+            it.window,
+            it.set_size,
+            it.removed,
+            it.encoded_nodes,
+            it.encoded_delta,
+            it.aig_nodes
+        );
+    }
+    out
+}
+
+/// The fork-vs-fresh acceptance criterion of the shared-artifact
+/// refactor: on every scenario configuration and at two SoC sizes, running
+/// Alg. 2 in a session **forked from one shared per-size prefix** must be
+/// state-identical — verdicts, diff-atom sets, refinement trajectories and
+/// even the encoding counters — to an independently built analysis
+/// (private artifact, private prefix). `Session::new` routes through the
+/// same prefix construction as `SessionPrefix::build`, so any divergence
+/// here means the fork leaked scenario state across cells.
+#[test]
+fn forked_sessions_match_independently_built_analyses() {
+    for words in [8u32, 12] {
+        let soc = Soc::build(SocConfig::verification_sized(words, words));
+        // The shared core (port, devices, range mask, IP ports) is common
+        // to all four scenarios; seed the artifact and prefix from the
+        // first one.
+        let seed = UpecSpec::soc_vulnerable();
+        let art =
+            Arc::new(ProductArtifact::for_spec(&soc.netlist, &seed).expect("spec ok"));
+        let prefix = SessionPrefix::build(&art, &seed, 1).expect("spec ok");
+        for (name, spec, leaky) in scenario_specs() {
+            let shared = UpecAnalysis::bind(art.clone(), spec.clone())
+                .expect("scenario binds to the shared artifact");
+            let forked =
+                shared.alg2_with_session(Session::with_prefix(&shared, prefix.fork()));
+            let independent =
+                UpecAnalysis::new(&soc.netlist, spec).expect("spec ok").alg2();
+            assert_eq!(
+                forked.is_vulnerable(),
+                leaky,
+                "unexpected verdict on {name}@{words}: {forked}"
+            );
+            assert_eq!(
+                trajectory(&forked),
+                trajectory(&independent),
+                "forked session diverges from the independent analysis on {name}@{words}"
             );
         }
     }

@@ -96,6 +96,33 @@ fn counterexample_replays_on_the_concrete_simulator() {
 }
 
 #[test]
+fn counterexample_neighbourhood_reports_sensitivity() {
+    let soc = verification_soc();
+    let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();
+    match an.alg2() {
+        Verdict::Vulnerable(r) => {
+            let n = upec_ssc::replay_neighborhood(&an, &r.cex)
+                .expect("the exact lane must replay like replay_on_simulator");
+            // 32-bit wdata + 32-bit addr give >= 63 distinct single-bit
+            // perturbations even for a 1-cycle counterexample.
+            assert_eq!(n.lanes, 64);
+            assert_eq!(n.perturbations.len(), 63);
+            let unique: std::collections::BTreeSet<String> =
+                n.perturbations.iter().map(|p| format!("{p:?}")).collect();
+            assert_eq!(unique.len(), 63, "perturbations must be distinct");
+            assert!(n.diverging & 1 == 1, "the exact counterexample lane must diverge");
+            assert!(
+                (0.0..=1.0).contains(&n.sensitivity()),
+                "sensitivity out of range: {}",
+                n.sensitivity()
+            );
+            assert!(n.to_string().contains("sensitivity"));
+        }
+        other => panic!("expected vulnerable, got {other}"),
+    }
+}
+
+#[test]
 fn s_pers_is_contained_in_s_not_victim() {
     let soc = verification_soc();
     let an = UpecAnalysis::new(&soc.netlist, UpecSpec::soc_vulnerable()).unwrap();

@@ -78,6 +78,31 @@ impl<'n> Ipc<'n> {
         }
     }
 
+    /// Forks the checker into an independent copy-on-write snapshot: the
+    /// unrolled AIG, the node→variable table and the whole solver state
+    /// (clause arena, learnt database, saved phases, VSIDS activities) are
+    /// carried over, and the two checkers diverge freely from here on.
+    ///
+    /// This is the portfolio-sharing primitive: encode the prefix every
+    /// scenario has in common **once** in a base checker, then fork it per
+    /// scenario — each fork pays only for the scenario-specific logic it
+    /// adds, never for re-encoding (or re-learning) the shared prefix. All
+    /// state lives in flat arenas, so the fork itself is a handful of
+    /// memcpys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is mid-solve (see [`ssc_sat::Solver::fork`]);
+    /// between checks this cannot happen.
+    pub fn fork(&self) -> Ipc<'n> {
+        Ipc {
+            unroller: self.unroller.clone(),
+            solver: self.solver.fork(),
+            enc: self.enc.clone(),
+            checks: self.checks,
+        }
+    }
+
     /// Read access to the unroller.
     pub fn unroller(&self) -> &Unroller<'n> {
         &self.unroller
@@ -150,6 +175,11 @@ impl<'n> Ipc<'n> {
         for &r in refs {
             lits.push(self.enc.lit_of(&mut self.solver, self.unroller.aig(), r));
         }
+        // The guarded clause is the proof obligation of the next solve;
+        // steer the decision heuristic toward its variables so the search
+        // starts where the goal lives rather than where encoding order
+        // happened to put the activity.
+        self.solver.bump_activity(lits.iter().copied().skip(1));
         self.solver.add_clause(lits);
     }
 
@@ -397,6 +427,32 @@ mod tests {
         let no_write = words::eq_const(aig, &en0, 0);
         let unchanged = words::eq(aig, &w2_1, &w2_0);
         assert_eq!(ipc.check(&[no_write], unchanged), PropertyResult::Holds);
+    }
+
+    /// A fork inherits the encoded node→var table (same AIG ref, same
+    /// literal, no re-encoding) and the two checkers diverge freely.
+    #[test]
+    fn fork_shares_encoding_and_diverges() {
+        let n = counter();
+        let mut ipc = Ipc::new(&n);
+        let count = n.find("count").unwrap();
+        let s0 = ipc.unroller().reg_state(count.id(), 0).clone();
+        let aig = ipc.unroller_mut().aig_mut();
+        let is_zero = words::eq_const(aig, &s0, 0);
+        let l = ipc.lit_of(is_zero);
+        let encoded = ipc.encoded_nodes();
+
+        let mut fork = ipc.fork();
+        assert_eq!(fork.encoded_nodes(), encoded, "the encoded prefix carries over");
+        assert_eq!(fork.lit_of(is_zero), l, "shared refs keep their variables");
+        assert_eq!(fork.encoded_nodes(), encoded, "re-query must not re-encode");
+
+        // Diverge: pin count@0 == 0 in the fork only. `¬is_zero` becomes
+        // unsatisfiable there (the property Holds) while the original's
+        // starting state stays fully symbolic.
+        fork.add_constraint(is_zero);
+        assert_eq!(fork.check_lits(&[!l]), PropertyResult::Holds);
+        assert_eq!(ipc.check_lits(&[!l]), PropertyResult::Violated);
     }
 
     /// Activation-literal clauses apply only while assumed and can be

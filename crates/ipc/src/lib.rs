@@ -40,6 +40,20 @@
 //! (glue and locked clauses survive) so an arbitrarily long session does
 //! not grow without bound.
 //!
+//! # Copy-on-write session forks
+//!
+//! A *portfolio* of related proof campaigns (the same design under several
+//! scenario specifications) shares most of its encoded formula: the
+//! unrolled cycles, the input-equality macros and the state-equality cones
+//! are scenario-independent. [`Ipc::fork`] turns one checker into a base
+//! image for all of them: build and encode the shared prefix once, then
+//! fork per scenario. A fork snapshots the AIG, the node→variable table and
+//! the full solver state (clause arena, learnt clauses, saved phases,
+//! VSIDS activities) — all flat arenas, so the snapshot is a handful of
+//! memcpys — after which each fork grows independently and pays only for
+//! its scenario-specific additions. Everything learnt on the shared prefix
+//! before the fork point benefits every fork.
+//!
 //! # Example: an unbounded proof from a 1-cycle window
 //!
 //! ```

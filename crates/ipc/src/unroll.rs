@@ -7,17 +7,29 @@
 //! are covered by the starting state, so bounded properties gain unbounded
 //! validity.
 
+use std::sync::Arc;
+
 use ssc_aig::lower::{lower_cycle, CycleInputs, CycleOutputs};
 use ssc_aig::words::Word;
 use ssc_aig::Aig;
 use ssc_netlist::{MemId, Netlist, SignalId, Wire};
 
 /// Incremental k-cycle unroller with a symbolic initial state.
+///
+/// `Clone` snapshots the AIG and shares the per-cycle leaf/output tables
+/// (the netlist is borrowed, not copied); forked proof sessions use it to
+/// share an unrolled prefix across scenarios instead of re-lowering it per
+/// scenario. Cycles are append-only and immutable once lowered, so each is
+/// held behind an [`Arc`] — a clone bumps one reference count per cycle
+/// instead of deep-copying thousands of per-signal words, which is what
+/// keeps a session fork down to memcpys.
+#[derive(Clone)]
 pub struct Unroller<'n> {
     netlist: &'n Netlist,
     aig: Aig,
-    /// Per-cycle leaf values and lowered outputs.
-    cycles: Vec<(CycleInputs, CycleOutputs)>,
+    /// Per-cycle leaf values and lowered outputs (immutable per entry;
+    /// shared across forks).
+    cycles: Vec<Arc<(CycleInputs, CycleOutputs)>>,
 }
 
 impl<'n> std::fmt::Debug for Unroller<'n> {
@@ -41,7 +53,7 @@ impl<'n> Unroller<'n> {
         let mut aig = Aig::new();
         let leaves = CycleInputs::fresh(netlist, &mut aig);
         let outs = lower_cycle(netlist, &mut aig, &leaves);
-        Unroller { netlist, aig, cycles: vec![(leaves, outs)] }
+        Unroller { netlist, aig, cycles: vec![Arc::new((leaves, outs))] }
     }
 
     /// The design being unrolled.
@@ -70,7 +82,7 @@ impl<'n> Unroller<'n> {
             let prev_outs = &self.cycles.last().expect("cycle 0 exists").1;
             let leaves = CycleInputs::next_cycle(self.netlist, &mut self.aig, prev_outs);
             let outs = lower_cycle(self.netlist, &mut self.aig, &leaves);
-            self.cycles.push((leaves, outs));
+            self.cycles.push(Arc::new((leaves, outs)));
         }
     }
 

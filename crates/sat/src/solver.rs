@@ -18,6 +18,10 @@ const CREF_UNDEF: CRef = CRef(u32::MAX);
 ///
 /// Layout per clause: `[len_and_flags, lbd, lit0, lit1, ...]` where
 /// `len_and_flags = len << 2 | deleted << 1 | learnt`.
+///
+/// The flat layout is also what makes [`Solver::fork`] cheap: snapshotting
+/// the arena is one contiguous memcpy, not a clause-by-clause rebuild.
+#[derive(Clone)]
 struct ClauseDb {
     data: Vec<u32>,
     /// Bytes wasted by deleted clauses (in u32 words), used to trigger GC.
@@ -128,6 +132,13 @@ pub struct SolverStats {
     pub gcs: u64,
     /// Number of `solve` calls completed.
     pub solves: u64,
+    /// Number of variables whose VSIDS activity was re-seeded from the
+    /// previous solve's assumption core (the re-solve tuning of long
+    /// sessions: consecutive `solve` calls of a proof session differ only
+    /// slightly, so the variables the last unsatisfiability proof rested on
+    /// are primed to be decided first instead of starting from decayed
+    /// activity).
+    pub core_seeds: u64,
 }
 
 impl SolverStats {
@@ -145,6 +156,7 @@ impl SolverStats {
             db_reductions: self.db_reductions - earlier.db_reductions,
             gcs: self.gcs - earlier.gcs,
             solves: self.solves - earlier.solves,
+            core_seeds: self.core_seeds - earlier.core_seeds,
         }
     }
 }
@@ -175,6 +187,7 @@ impl std::fmt::Display for SolverStats {
 /// assert_eq!(s.model_value(b.pos()), Some(true));
 /// assert_eq!(s.solve(&[b.neg()]), SolveResult::Unsat);
 /// ```
+#[derive(Clone)]
 pub struct Solver {
     db: ClauseDb,
     /// Problem clause refs (for GC).
@@ -266,6 +279,29 @@ impl Solver {
     /// The number of variables.
     pub fn num_vars(&self) -> usize {
         self.assigns.len()
+    }
+
+    /// Forks the solver into an independent snapshot: the clause arena,
+    /// learnt database, node-to-watch indices, saved phases, VSIDS
+    /// activities and level-0 trail are all carried over, and the two
+    /// solvers diverge freely from here on.
+    ///
+    /// This is the copy-on-write primitive of shared proof sessions: a base
+    /// session encodes the prefix common to a whole scenario portfolio
+    /// *once*, and every scenario forks it instead of re-encoding and
+    /// re-learning from scratch. Since the arenas are flat `Vec`s, the fork
+    /// itself is a handful of memcpys — the work a fork avoids (Tseitin
+    /// encoding, propagation, clause learning over the shared prefix) is
+    /// what makes it cheap, and each fork pays only for what it adds on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0 (i.e. from inside a solve;
+    /// `solve` always returns at level 0, so any between-solve call is
+    /// fine).
+    pub fn fork(&self) -> Solver {
+        assert_eq!(self.trail_lim.len(), 0, "fork above level 0");
+        self.clone()
     }
 
     /// Solver statistics so far.
@@ -606,6 +642,17 @@ impl Solver {
         self.seen[p.var().index()] = false;
     }
 
+    /// Bumps the VSIDS activity of the given literals' variables, as if
+    /// they had appeared in a conflict. Deterministic steering hook for
+    /// clients that know where the action is — e.g. a freshly installed
+    /// proof-goal clause, whose variables the next solve should decide
+    /// early.
+    pub fn bump_activity(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        for l in lits {
+            self.var_bump(l.var());
+        }
+    }
+
     /// The assumption core of the most recent [`SolveResult::Unsat`]: a
     /// subset of the `solve` call's assumption literals that is already
     /// sufficient for unsatisfiability. An *empty* core means the formula
@@ -795,6 +842,20 @@ impl Solver {
         if !self.ok {
             self.core.clear(); // unsat without any assumption
             return SolveResult::Unsat;
+        }
+        // Re-solve tuning: consecutive solves of a persistent session ask
+        // near-identical questions, so prime the decision heuristic with the
+        // variables the previous unsatisfiability proof rested on — one
+        // activity bump each, lifting them back above the decayed bulk
+        // without erasing the accumulated VSIDS ranking. Saved phases and
+        // activities already persist across solves; this re-focuses them.
+        if !self.core.is_empty() {
+            let seeds = std::mem::take(&mut self.core);
+            for l in &seeds {
+                self.var_bump(l.var());
+            }
+            self.stats.core_seeds += seeds.len() as u64;
+            self.core = seeds;
         }
         let budget_start = self.stats.conflicts;
         let mut restart_count: u64 = 0;

@@ -1,0 +1,58 @@
+//! The copy-on-write fork snapshot: a forked solver inherits the clause
+//! database, phases and activities, and the two solvers diverge freely —
+//! plus the core-seeding re-solve tuning it composes with.
+
+use ssc_sat::{SolveResult, Solver};
+
+#[test]
+fn fork_inherits_clauses_and_diverges() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause([a.pos(), b.pos()]);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+
+    let mut f = s.fork();
+    // Diverge: the fork forbids `a`, the original forbids `b`.
+    f.add_clause([a.neg()]);
+    s.add_clause([b.neg()]);
+    assert_eq!(f.solve(&[a.pos()]), SolveResult::Unsat);
+    assert_eq!(f.solve(&[]), SolveResult::Sat);
+    assert_eq!(f.model_value(b.pos()), Some(true));
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    assert_eq!(s.model_value(a.pos()), Some(true));
+    // The original never saw the fork's clause: `a` is still assumable.
+    assert_eq!(s.solve(&[a.pos()]), SolveResult::Sat);
+}
+
+#[test]
+fn fork_carries_statistics_and_diverges_them() {
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..8).map(|_| s.new_var()).collect();
+    for w in vars.windows(2) {
+        s.add_clause([w[0].pos(), w[1].neg()]);
+    }
+    assert_eq!(s.solve(&[vars[7].pos()]), SolveResult::Sat);
+    let base_solves = s.stats().solves;
+
+    let mut f = s.fork();
+    assert_eq!(f.stats().solves, base_solves, "stats snapshot carries over");
+    assert_eq!(f.solve(&[]), SolveResult::Sat);
+    assert_eq!(f.stats().solves, base_solves + 1);
+    assert_eq!(s.stats().solves, base_solves, "the original is untouched");
+}
+
+#[test]
+fn core_seeding_reprioritizes_previous_core_vars() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause([a.pos()]);
+    // Unsat under ¬a; the core is {¬a}.
+    assert_eq!(s.solve(&[a.neg()]), SolveResult::Unsat);
+    assert_eq!(s.assumption_core().len(), 1);
+    let before = s.stats().core_seeds;
+    // The next solve seeds activity from that core (one variable).
+    assert_eq!(s.solve(&[b.pos()]), SolveResult::Sat);
+    assert_eq!(s.stats().core_seeds, before + 1);
+}
