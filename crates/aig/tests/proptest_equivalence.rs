@@ -1,12 +1,12 @@
-//! Property-based cross-checks of the *four* semantics in the stack:
+//! Property-based cross-checks of the *five* semantics in the stack:
 //! random expression netlists are evaluated by (1) the `Bv` reference via
-//! the simulator, (2) the AIG lowering and (3) the 64-lane bit-sliced
-//! `BatchSim` backend — all must agree bit-for-bit, lane for lane.
+//! the simulator, (2) the AIG lowering, (3) the 64-lane bit-sliced
+//! `BatchSim<1>` backend and (4) the 256-lane wide `BatchSim<4>` backend —
+//! all must agree bit-for-bit, lane for lane.
 
 use proptest::prelude::*;
 use ssc_aig::lower::{lower_cycle, CycleInputs};
 use ssc_aig::Aig;
-use ssc_netlist::lanes::LANES;
 use ssc_netlist::{Bv, Netlist, Wire};
 use ssc_sim::{BatchSim, Sim};
 
@@ -227,10 +227,10 @@ proptest! {
     }
 }
 
-/// 64 independent 8-bit stimuli derived from one seed (SplitMix64).
-fn lane_stimuli(seed: u64) -> [u64; LANES] {
+/// `count` independent 8-bit stimuli derived from one seed (SplitMix64).
+fn lane_stimuli(seed: u64, count: usize) -> Vec<u64> {
     let mut state = seed;
-    let mut out = [0u64; LANES];
+    let mut out = vec![0u64; count];
     for v in &mut out {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
@@ -241,11 +241,89 @@ fn lane_stimuli(seed: u64) -> [u64; LANES] {
     out
 }
 
-// Lane/scalar equivalence: every lane of the bit-sliced batch backend must
-// equal a scalar `Sim` fed the same stimulus — over random netlists drawn
-// from the *full* operator alphabet (including the ops with non-trivial
-// bit-sliced kernels: multiplication, per-lane dynamic shifts, signed
-// comparison, reductions).
+/// The width-generic combinational property body: every lane of the
+/// width-`W` bit-sliced backend must equal a scalar `Sim` fed the same
+/// stimulus. Checking all `64·W` lanes against scalar runs covers the
+/// W=4-vs-W=1-vs-scalar triangle (both widths are pinned to the same
+/// reference on overlapping seeds).
+fn check_lanes_vs_scalar<const W: usize>(
+    n: &Netlist,
+    out: Wire,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let lanes = ssc_netlist::lanes::block_lanes::<W>();
+    let avs = lane_stimuli(seed, lanes);
+    let bvs = lane_stimuli(seed.wrapping_add(1), lanes);
+    let cvs = lane_stimuli(seed.wrapping_add(2), lanes);
+
+    let mut batch = BatchSim::<W>::new(n).unwrap();
+    batch.set_input_lanes("a", &avs);
+    batch.set_input_lanes("b", &bvs);
+    batch.set_input_lanes("c", &cvs);
+
+    for lane in 0..lanes {
+        let mut sim = Sim::new(n).unwrap();
+        sim.set_input("a", avs[lane]);
+        sim.set_input("b", bvs[lane]);
+        sim.set_input("c", cvs[lane]);
+        prop_assert_eq!(
+            batch.peek_lane(out, lane),
+            sim.peek(out),
+            "W={} lane {} (seed {})",
+            W,
+            lane,
+            seed
+        );
+    }
+    Ok(())
+}
+
+/// The width-generic sequential property body: the same register chain as
+/// `sequential_iteration_agrees`, stepped with per-lane inputs.
+fn check_sequential_lanes<const W: usize>(seed: u64, steps: usize) -> Result<(), TestCaseError> {
+    let mut n = Netlist::new("seq");
+    let x = n.input("x", 8);
+    let r = n.reg("r", 8, Some(Bv::zero(8)), ssc_netlist::StateMeta::default());
+    let sum = n.add(r.wire(), x);
+    let rot = n.shl_c(sum, 1);
+    let msb = n.bit(sum, 7);
+    let msb8 = n.zext(msb, 8);
+    let next = n.or(rot, msb8);
+    n.connect_reg(r, next);
+    n.mark_output("r", r.wire());
+    n.check().unwrap();
+    let _ = x;
+
+    let lanes = ssc_netlist::lanes::block_lanes::<W>();
+    let inits = lane_stimuli(seed, lanes);
+    let xs = lane_stimuli(seed.wrapping_add(3), lanes);
+
+    let mut batch = BatchSim::<W>::new(&n).unwrap();
+    batch.set_reg_lanes(r.wire(), &inits);
+    batch.set_input_lanes("x", &xs);
+    batch.step_n(steps as u64);
+
+    for lane in 0..lanes {
+        let mut sim = Sim::new(&n).unwrap();
+        sim.set_reg(r.wire(), Bv::new(8, inits[lane]));
+        sim.set_input("x", xs[lane]);
+        sim.step_n(steps as u64);
+        prop_assert_eq!(
+            batch.peek_lane(r.wire(), lane),
+            sim.peek(r.wire()),
+            "W={} lane {}",
+            W,
+            lane
+        );
+    }
+    Ok(())
+}
+
+// Lane/scalar equivalence: every lane of the bit-sliced batch backends —
+// 64-lane `W = 1` and 256-lane `W = 4` — must equal a scalar `Sim` fed the
+// same stimulus — over random netlists drawn from the *full* operator
+// alphabet (including the ops with non-trivial bit-sliced kernels:
+// multiplication, per-lane dynamic shifts, signed comparison, reductions).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -256,30 +334,7 @@ proptest! {
     ) {
         let (n, out) = build_random(&ops);
         n.check().expect("generated netlist is valid");
-
-        let avs = lane_stimuli(seed);
-        let bvs = lane_stimuli(seed.wrapping_add(1));
-        let cvs = lane_stimuli(seed.wrapping_add(2));
-
-        let mut batch = BatchSim::new(&n).unwrap();
-        batch.set_input_lanes("a", &avs);
-        batch.set_input_lanes("b", &bvs);
-        batch.set_input_lanes("c", &cvs);
-
-        for lane in 0..LANES {
-            let mut sim = Sim::new(&n).unwrap();
-            sim.set_input("a", avs[lane]);
-            sim.set_input("b", bvs[lane]);
-            sim.set_input("c", cvs[lane]);
-            prop_assert_eq!(
-                batch.peek_lane(out, lane),
-                sim.peek(out),
-                "lane {} of {} ops (seed {})",
-                lane,
-                ops.len(),
-                seed
-            );
-        }
+        check_lanes_vs_scalar::<1>(&n, out, seed)?;
     }
 
     #[test]
@@ -287,35 +342,30 @@ proptest! {
         seed in any::<u64>(),
         steps in 1usize..6,
     ) {
-        // The same register chain as `sequential_iteration_agrees`, stepped
-        // with per-lane inputs.
-        let mut n = Netlist::new("seq");
-        let x = n.input("x", 8);
-        let r = n.reg("r", 8, Some(Bv::zero(8)), ssc_netlist::StateMeta::default());
-        let sum = n.add(r.wire(), x);
-        let rot = n.shl_c(sum, 1);
-        let msb = n.bit(sum, 7);
-        let msb8 = n.zext(msb, 8);
-        let next = n.or(rot, msb8);
-        n.connect_reg(r, next);
-        n.mark_output("r", r.wire());
-        n.check().unwrap();
-        let _ = x;
+        check_sequential_lanes::<1>(seed, steps)?;
+    }
+}
 
-        let inits = lane_stimuli(seed);
-        let xs = lane_stimuli(seed.wrapping_add(3));
+// The wide 256-lane domain over the same full alphabet (fewer cases — each
+// case cross-checks 256 scalar runs).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
-        let mut batch = BatchSim::new(&n).unwrap();
-        batch.set_reg_lanes(r.wire(), &inits);
-        batch.set_input_lanes("x", &xs);
-        batch.step_n(steps as u64);
+    #[test]
+    fn wide_batch_lanes_agree_with_scalar_sim(
+        ops in proptest::collection::vec((op_strategy_full(), 0usize..64, 0usize..64), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let (n, out) = build_random(&ops);
+        n.check().expect("generated netlist is valid");
+        check_lanes_vs_scalar::<4>(&n, out, seed)?;
+    }
 
-        for lane in 0..LANES {
-            let mut sim = Sim::new(&n).unwrap();
-            sim.set_reg(r.wire(), Bv::new(8, inits[lane]));
-            sim.set_input("x", xs[lane]);
-            sim.step_n(steps as u64);
-            prop_assert_eq!(batch.peek_lane(r.wire(), lane), sim.peek(r.wire()), "lane {}", lane);
-        }
+    #[test]
+    fn wide_batch_lanes_agree_on_sequential_state(
+        seed in any::<u64>(),
+        steps in 1usize..6,
+    ) {
+        check_sequential_lanes::<4>(seed, steps)?;
     }
 }

@@ -94,15 +94,17 @@ pub fn sweep(
     ChannelReport { channel, timer_locked, points }
 }
 
-/// [`sweep`] on the 64-lane batch engine: all victim access counts of one
-/// lane block are evaluated in parallel lanes of a single scenario run, so
-/// a full `0..=max_n` sweep costs `ceil((max_n + 1) / 64)` runs instead of
-/// `max_n + 2` — and the blocks themselves are fanned across the process
-/// default thread pool ([`ssc_pool::Pool::global`]).
+/// [`sweep`] on the bit-sliced batch engine: all victim access counts of
+/// one lane block are evaluated in parallel lanes of a single scenario
+/// run, so a full `0..=max_n` sweep costs `ceil((max_n + 1) / lanes)` runs
+/// instead of `max_n + 2` — and the blocks themselves are fanned across
+/// the process default thread pool ([`ssc_pool::Pool::global`]). The lane
+/// width is the process default ([`ssc_pool::LaneWidth::global`] — 256
+/// lanes unless `SSC_LANE_WIDTH` narrows it).
 ///
 /// The report is point-for-point identical to the scalar [`sweep`] (the
 /// lanes are bit-exact replicas of scalar runs, and the `n = 0` lane
-/// doubles as the calibration baseline).
+/// doubles as the calibration baseline) at every width and pool size.
 pub fn sweep_batched(
     soc: &Soc,
     channel: Channel,
@@ -113,13 +115,8 @@ pub fn sweep_batched(
     sweep_batched_with_pool(soc, channel, victim, max_n, timer_locked, ssc_pool::Pool::global())
 }
 
-/// [`sweep_batched`] on an explicit pool.
-///
-/// Lane blocks wider than 64 lanes share **no** state (each block is its
-/// own `BatchSocSim`), so they shard freely across workers; the merge is
-/// in block order and the baseline is taken from lane 0 of block 0, which
-/// makes the parallel report bit-identical to the sequential block loop —
-/// and therefore to the scalar [`sweep`] — for every pool size.
+/// [`sweep_batched`] on an explicit pool (width still the process
+/// default).
 pub fn sweep_batched_with_pool(
     soc: &Soc,
     channel: Channel,
@@ -128,23 +125,75 @@ pub fn sweep_batched_with_pool(
     timer_locked: bool,
     pool: &ssc_pool::Pool,
 ) -> ChannelReport {
-    use ssc_netlist::lanes::LANES;
+    sweep_batched_with_width(
+        soc,
+        channel,
+        victim,
+        max_n,
+        timer_locked,
+        pool,
+        ssc_pool::LaneWidth::global(),
+    )
+}
 
-    let counts: Vec<u32> = (0..=max_n).collect();
-    let blocks: Vec<&[u32]> = counts.chunks(LANES).collect();
-    let outcomes_per_block: Vec<Vec<scenarios::RunOutcome>> = pool.run(blocks.len(), |b| {
-        let victims: Vec<VictimConfig> = blocks[b].iter().map(|&n| victim(n)).collect();
-        match channel {
-            Channel::DmaTimer => scenarios::dma_timer_attack_batch(soc, &victims, timer_locked),
-            Channel::HwpeMemory => {
-                scenarios::hwpe_memory_attack_batch(soc, &victims, timer_locked)
-            }
+/// [`sweep_batched`] on an explicit pool **and** lane width — the
+/// monomorphization point of the width-generic sweep.
+pub fn sweep_batched_with_width(
+    soc: &Soc,
+    channel: Channel,
+    victim: impl Fn(u32) -> VictimConfig + Copy + Sync,
+    max_n: u32,
+    timer_locked: bool,
+    pool: &ssc_pool::Pool,
+    width: ssc_pool::LaneWidth,
+) -> ChannelReport {
+    match width {
+        ssc_pool::LaneWidth::X64 => {
+            sweep_impl::<1>(soc, channel, victim, max_n, timer_locked, pool)
         }
-    });
+        ssc_pool::LaneWidth::X256 => {
+            sweep_impl::<4>(soc, channel, victim, max_n, timer_locked, pool)
+        }
+    }
+}
+
+/// The width-monomorphic sweep body.
+///
+/// Lane blocks share **no** state (each block is its own `BatchSocSim`),
+/// so they shard freely across workers through the shared
+/// [`ssc_pool::Pool::run_blocks`] partitioner; the merge is in block order
+/// and the baseline is taken from lane 0 of block 0, which makes the
+/// parallel report bit-identical to the sequential block loop — and
+/// therefore to the scalar [`sweep`] — for every pool size and width.
+fn sweep_impl<const W: usize>(
+    soc: &Soc,
+    channel: Channel,
+    victim: impl Fn(u32) -> VictimConfig + Copy + Sync,
+    max_n: u32,
+    timer_locked: bool,
+    pool: &ssc_pool::Pool,
+) -> ChannelReport {
+    let counts: Vec<u32> = (0..=max_n).collect();
+    let block_lanes = ssc_netlist::lanes::block_lanes::<W>();
+    let outcomes_per_block: Vec<Vec<scenarios::RunOutcome>> =
+        pool.run_blocks(counts.len(), block_lanes, |blk| {
+            let victims: Vec<VictimConfig> =
+                counts[blk.range()].iter().map(|&n| victim(n)).collect();
+            match channel {
+                Channel::DmaTimer => {
+                    scenarios::dma_timer_attack_batch::<W>(soc, &victims, timer_locked)
+                }
+                Channel::HwpeMemory => {
+                    scenarios::hwpe_memory_attack_batch::<W>(soc, &victims, timer_locked)
+                }
+            }
+        });
     // The first lane of the first block is the n = 0 calibration run.
     let baseline = outcomes_per_block[0][0].observation;
     let mut points = Vec::with_capacity(counts.len());
-    for (block, outcomes) in blocks.iter().zip(&outcomes_per_block) {
+    for (block, outcomes) in
+        counts.chunks(block_lanes).zip(&outcomes_per_block)
+    {
         for (&n, outcome) in block.iter().zip(outcomes) {
             points.push(LeakPoint {
                 actual: n,

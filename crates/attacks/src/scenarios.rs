@@ -8,7 +8,6 @@
 //! preempts the victim after a fixed number of cycles, like a real tick
 //! interrupt would.
 
-use ssc_netlist::lanes::LANES;
 use ssc_soc::asm::Asm;
 use ssc_soc::{addr, BatchSocSim, Soc, SocSim};
 
@@ -89,9 +88,10 @@ fn run_three_phases(
     RunOutcome { observation: h.peek("gpio_out"), cycles: h.cycle() }
 }
 
-/// The batched three-phase runner: up to 64 scenario instances — one per
-/// simulation lane, each with its **own victim program** — run in a single
-/// netlist walk per cycle.
+/// The batched three-phase runner: up to `64·W` scenario instances — one
+/// per simulation lane, each with its **own victim program** — run in a
+/// single netlist walk per cycle (64 lanes at the default `W = 1`, 256 at
+/// `W = 4`).
 ///
 /// Preparation and retrieval are identical in every lane, so prep halts in
 /// lockstep; retrieval lanes may halt at different cycles (their scans walk
@@ -101,16 +101,17 @@ fn run_three_phases(
 /// [`run_three_phases`] fed the same victim; [`RunOutcome::cycles`] is the
 /// shared batch cycle count (all lanes ran until the slowest halted), not
 /// the per-victim runtime a scalar run would report.
-fn run_three_phases_batch(
+fn run_three_phases_batch<const W: usize>(
     soc: &Soc,
     prep: &Asm,
     victims: &[Asm],
     retrieve: &Asm,
     lock_timer: bool,
 ) -> Vec<RunOutcome> {
+    let lanes = BatchSocSim::<W>::LANES;
     assert!(!victims.is_empty(), "at least one victim program required");
-    assert!(victims.len() <= LANES, "at most {LANES} victims per batch run");
-    let mut h = BatchSocSim::new(soc);
+    assert!(victims.len() <= lanes, "at most {lanes} victims per batch run");
+    let mut h = BatchSocSim::<W>::new(soc);
     h.load_program(layout::PREP, prep);
     h.load_program(layout::RETRIEVE, retrieve);
     // Lanes beyond the victim list are *inactive*. They must not run
@@ -124,7 +125,7 @@ fn run_three_phases_batch(
         a.ebreak();
         a
     };
-    for lane in 0..LANES {
+    for lane in 0..lanes {
         let v = victims.get(lane).unwrap_or(&neutral);
         h.load_program_lane(lane, layout::VICTIM, v);
     }
@@ -163,12 +164,13 @@ pub fn dma_timer_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> Ru
     run_three_phases(soc, &prep, &vic, &ret, lock_timer)
 }
 
-/// [`dma_timer_attack`] for up to 64 victim configurations at once (one
-/// simulation lane each). Element `i` of the result corresponds to
-/// `victims[i]` and is bit-identical to the scalar attack's observation
-/// (`cycles` is the shared batch cycle count — see
-/// [`run_three_phases_batch`]).
-pub fn dma_timer_attack_batch(
+/// [`dma_timer_attack`] for up to `64·W` victim configurations at once
+/// (one simulation lane each; `W` is the lane-block word width — 1 for the
+/// 64-lane engine, 4 for the 256-lane wide engine). Element `i` of the
+/// result corresponds to `victims[i]` and is bit-identical to the scalar
+/// attack's observation at every width (`cycles` is the shared batch cycle
+/// count — see [`run_three_phases_batch`]).
+pub fn dma_timer_attack_batch<const W: usize>(
     soc: &Soc,
     victims: &[VictimConfig],
     lock_timer: bool,
@@ -177,7 +179,7 @@ pub fn dma_timer_attack_batch(
     let vics: Vec<Asm> =
         victims.iter().map(|v| programs::victim_accesses(v.base, v.accesses)).collect();
     let ret = programs::retrieve_timer();
-    run_three_phases_batch(soc, &prep, &vics, &ret, lock_timer)
+    run_three_phases_batch::<W>(soc, &prep, &vics, &ret, lock_timer)
 }
 
 /// The **HWPE + memory** attack (paper Sec. 4.1, the new BUSted variant):
@@ -192,12 +194,13 @@ pub fn hwpe_memory_attack(soc: &Soc, victim: VictimConfig, lock_timer: bool) -> 
     run_three_phases(soc, &prep, &vic, &ret, lock_timer)
 }
 
-/// [`hwpe_memory_attack`] for up to 64 victim configurations at once (one
-/// simulation lane each). Element `i` of the result corresponds to
-/// `victims[i]` and is bit-identical to the scalar attack's observation
+/// [`hwpe_memory_attack`] for up to `64·W` victim configurations at once
+/// (one simulation lane each; see [`dma_timer_attack_batch`] for the width
+/// parameter). Element `i` of the result corresponds to `victims[i]` and
+/// is bit-identical to the scalar attack's observation at every width
 /// (`cycles` is the shared batch cycle count — see
 /// [`run_three_phases_batch`]).
-pub fn hwpe_memory_attack_batch(
+pub fn hwpe_memory_attack_batch<const W: usize>(
     soc: &Soc,
     victims: &[VictimConfig],
     lock_timer: bool,
@@ -206,7 +209,7 @@ pub fn hwpe_memory_attack_batch(
     let vics: Vec<Asm> =
         victims.iter().map(|v| programs::victim_accesses(v.base, v.accesses)).collect();
     let ret = programs::retrieve_frontier(PRIME_OFF, PRIME_WORDS);
-    run_three_phases_batch(soc, &prep, &vics, &ret, lock_timer)
+    run_three_phases_batch::<W>(soc, &prep, &vics, &ret, lock_timer)
 }
 
 /// A calibrated channel read-out: runs the scenario with `n = 0` to obtain

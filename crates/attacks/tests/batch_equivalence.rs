@@ -1,9 +1,11 @@
-//! Lane/scalar equivalence of the attack scenarios: the 64-lane batched
-//! sweep must reproduce the scalar sweep **bit-identically** on every
+//! Lane/scalar equivalence of the attack scenarios: the batched sweep —
+//! at **both** engine widths (64-lane `u64` and 256-lane `u64x4` blocks)
+//! — must reproduce the scalar sweep **bit-identically** on every
 //! channel × timer-policy configuration (and on the countermeasure
 //! layout), point for point.
 
-use ssc_attacks::leak::{sweep, sweep_batched};
+use ssc_attacks::leak::{sweep, sweep_batched, sweep_batched_with_width};
+use ssc_pool::{LaneWidth, Pool};
 use ssc_attacks::scenarios::{
     dma_timer_attack, dma_timer_attack_batch, hwpe_memory_attack, hwpe_memory_attack_batch,
     Channel, VictimConfig,
@@ -31,6 +33,23 @@ fn batched_sweep_is_bit_identical_to_scalar_on_all_four_configs() {
         );
         assert_eq!(scalar.exact_accuracy(), batched.exact_accuracy());
         assert_eq!(scalar.distinguishable(), batched.distinguishable());
+        // Both explicit widths agree with the scalar reference too (the
+        // default width above is whichever `SSC_LANE_WIDTH` selected).
+        for width in [LaneWidth::X64, LaneWidth::X256] {
+            let explicit = sweep_batched_with_width(
+                &soc,
+                channel,
+                VictimConfig::in_public,
+                10,
+                locked,
+                Pool::global(),
+                width,
+            );
+            assert_eq!(
+                scalar.points, explicit.points,
+                "{width:?} diverges on {channel:?} (timer_locked={locked})"
+            );
+        }
     }
 }
 
@@ -78,12 +97,44 @@ mod partial_blocks {
             );
         }
     }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The wide 256-lane domain's partial blocks over the full
+        /// 1..=255 range: a random sweep size leaving 1..=255 inactive
+        /// wide lanes must be bit-identical to the 64-lane engine on the
+        /// same configuration (which the cases above pin to the scalar
+        /// reference). Sizes above 64 additionally cross the narrow
+        /// engine's block seam inside one wide block.
+        #[test]
+        fn wide_partial_block_sweep_is_bit_identical_to_narrow(
+            configs in 1u32..=255,
+            which in 0usize..4,
+            private in any::<bool>(),
+        ) {
+            let (channel, locked) = CONFIGS[which];
+            let victim = if private { VictimConfig::in_private } else { VictimConfig::in_public };
+            let soc = Soc::sim_view();
+            let max_n = configs - 1;
+            let pool = Pool::global();
+            let narrow = sweep_batched_with_width(
+                &soc, channel, victim, max_n, locked, pool, LaneWidth::X64);
+            let wide = sweep_batched_with_width(
+                &soc, channel, victim, max_n, locked, pool, LaneWidth::X256);
+            prop_assert_eq!(
+                &narrow.points,
+                &wide.points,
+                "wide/narrow divergence: {} configs on {:?} (timer_locked={}, private={})",
+                configs, channel, locked, private
+            );
+        }
+    }
 }
 
 #[test]
 fn sharded_sweep_is_bit_identical_across_pool_sizes() {
     use ssc_attacks::leak::sweep_batched_with_pool;
-    use ssc_pool::Pool;
 
     let soc = Soc::sim_view();
     // 96 points = one full block + one partial block; enough to exercise
@@ -123,11 +174,63 @@ fn sharded_sweep_is_bit_identical_across_pool_sizes() {
 }
 
 #[test]
+fn wide_sharded_sweep_is_bit_identical_across_pool_sizes() {
+    let soc = Soc::sim_view();
+    // 300 points = one full 256-lane block + one partial block; the wide
+    // domain's cross-block baseline handoff and parallel merge.
+    let max_n = 299;
+    for (channel, locked) in [CONFIGS[0], CONFIGS[3]] {
+        let sequential = sweep_batched_with_width(
+            &soc,
+            channel,
+            VictimConfig::in_public,
+            max_n,
+            locked,
+            &Pool::new(1),
+            LaneWidth::X256,
+        );
+        for workers in [2, 4] {
+            let sharded = sweep_batched_with_width(
+                &soc,
+                channel,
+                VictimConfig::in_public,
+                max_n,
+                locked,
+                &Pool::new(workers),
+                LaneWidth::X256,
+            );
+            assert_eq!(
+                sequential.points, sharded.points,
+                "wide sharded sweep diverges at {workers} workers on {channel:?} (locked={locked})"
+            );
+        }
+        // The narrow engine decomposes the same sweep into different
+        // blocks; the merged report must still be identical.
+        let narrow = sweep_batched_with_width(
+            &soc,
+            channel,
+            VictimConfig::in_public,
+            max_n,
+            locked,
+            &Pool::new(2),
+            LaneWidth::X64,
+        );
+        assert_eq!(
+            sequential.points, narrow.points,
+            "wide/narrow block decomposition diverges on {channel:?} (locked={locked})"
+        );
+    }
+}
+
+#[test]
 fn batch_outcomes_align_with_individual_scalar_attacks() {
     let soc = Soc::sim_view();
     let victims: Vec<VictimConfig> = (0..16).map(VictimConfig::in_public).collect();
-    let batch_t = dma_timer_attack_batch(&soc, &victims, false);
-    let batch_m = hwpe_memory_attack_batch(&soc, &victims, false);
+    let batch_t = dma_timer_attack_batch::<1>(&soc, &victims, false);
+    let batch_m = hwpe_memory_attack_batch::<1>(&soc, &victims, false);
+    // The wide engine answers the same victims in one 256-lane walk.
+    let wide_t = dma_timer_attack_batch::<4>(&soc, &victims, false);
+    let wide_m = hwpe_memory_attack_batch::<4>(&soc, &victims, false);
     for (i, v) in victims.iter().enumerate() {
         assert_eq!(
             batch_t[i].observation,
@@ -139,5 +242,7 @@ fn batch_outcomes_align_with_individual_scalar_attacks() {
             hwpe_memory_attack(&soc, *v, false).observation,
             "memory channel lane {i}"
         );
+        assert_eq!(wide_t[i].observation, batch_t[i].observation, "wide timer lane {i}");
+        assert_eq!(wide_m[i].observation, batch_m[i].observation, "wide memory lane {i}");
     }
 }

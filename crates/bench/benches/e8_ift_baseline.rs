@@ -26,7 +26,14 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 64;
-            ssc_bench::dynamic_trial_batch(&inst, seed)
+            ssc_bench::dynamic_trial_batch::<1>(&inst, seed)
+        })
+    });
+    g.bench_function("dynamic_trial_batch256", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 256;
+            ssc_bench::dynamic_trial_batch::<4>(&inst, seed)
         })
     });
     g.bench_function("taint_bmc_depth2", |b| {
@@ -45,14 +52,20 @@ fn bench(c: &mut Criterion) {
         r.upec_fixed
     );
 
-    // The lanes-vs-scalar throughput record the CI trend gate checks.
-    let cmp = ssc_bench::e8_lanes_comparison(256);
+    // The per-width lanes-vs-scalar throughput record the CI trend gate
+    // checks (scalar vs 64-lane vs 256-lane).
+    let cmp = ssc_bench::e8_lanes_comparison(512);
     println!(
-        "[e8] dynamic IFT lanes: {} trials, scalar {:?} vs batch {:?} ({:.1}x, rate {:.0}%)",
+        "[e8] dynamic IFT lanes: {} trials, scalar {:?} vs batch64 {:?} ({:.1}x) vs \
+         batch256 {:?} ({:.1}x, {:.2}x over 64; avx2={}, rate {:.0}%)",
         cmp.trials,
         cmp.scalar_runtime,
         cmp.batch_runtime,
         cmp.speedup(),
+        cmp.wide_runtime,
+        cmp.wide_speedup(),
+        cmp.wide_vs_batch(),
+        cmp.avx2,
         cmp.detection_rate() * 100.0
     );
     let json = ssc_bench::perf::e8_lanes_json(&cmp);

@@ -41,6 +41,9 @@ use std::process::ExitCode;
 const E6_MIN_SPEEDUP: f64 = 1.5;
 /// Minimum lanes-vs-scalar dynamic-IFT throughput ratio.
 const E8_MIN_SPEEDUP: f64 = 8.0;
+/// Minimum 256-lane-vs-64-lane throughput ratio (enforced only on records
+/// taken on AVX2-capable hosts — the wide engine's target ISA).
+const E8_MIN_WIDE_VS_BATCH: f64 = 1.5;
 /// Minimum portfolio-vs-sequential speedup (on ≥ `E9_MIN_CORES` cores).
 const E9_MIN_SPEEDUP: f64 = 2.0;
 /// Host cores below which the e9 speedup floor is not enforceable.
@@ -216,7 +219,7 @@ fn gate_e6(json: &str, path: &Path) -> Result<bool, RecordError> {
 fn gate_e8(json: &str, path: &Path) -> Result<bool, RecordError> {
     let speedup = require_f64(json, "speedup", path)?;
     let lanes = field_f64(json, "lanes").unwrap_or(0.0);
-    let pass = speedup >= E8_MIN_SPEEDUP;
+    let mut pass = speedup >= E8_MIN_SPEEDUP;
     println!(
         "[trend] e8 dynamic-IFT lanes-vs-scalar ({lanes:.0} lanes): {speedup:.2}x \
          (floor {E8_MIN_SPEEDUP}x) {}",
@@ -229,6 +232,44 @@ fn gate_e8(json: &str, path: &Path) -> Result<bool, RecordError> {
             path.display()
         );
     }
+
+    // The width dimension: 256-lane vs 64-lane trial throughput. Like the
+    // e9 core-count gate, the floor is only enforceable where the wide
+    // engine's target ISA exists — records from non-AVX2 hosts skip with a
+    // notice instead of failing.
+    let wide_vs_batch = require_f64(json, "wide_vs_batch", path)?;
+    let wide_lanes = field_f64(json, "wide_lanes").unwrap_or(0.0);
+    let avx2 = if json.contains("\"avx2\":true") {
+        true
+    } else if json.contains("\"avx2\":false") {
+        false
+    } else {
+        return Err(RecordError::Malformed {
+            path: path.to_path_buf(),
+            what: "missing or non-boolean field `avx2`".into(),
+        });
+    };
+    if !avx2 {
+        println!(
+            "[trend] e8 wide-vs-64 ({wide_lanes:.0} lanes): {wide_vs_batch:.2}x — gate skipped \
+             (recorded on a non-AVX2 host, floor {E8_MIN_WIDE_VS_BATCH}x needs AVX2)"
+        );
+        return Ok(pass);
+    }
+    let wide_pass = wide_vs_batch >= E8_MIN_WIDE_VS_BATCH;
+    println!(
+        "[trend] e8 wide-vs-64 ({wide_lanes:.0} lanes, AVX2): {wide_vs_batch:.2}x \
+         (floor {E8_MIN_WIDE_VS_BATCH}x) {}",
+        if wide_pass { "ok" } else { "REGRESSED" }
+    );
+    if !wide_pass {
+        eprintln!(
+            "[trend] threshold violated: field `wide_vs_batch` in {} is {wide_vs_batch:.2}, \
+             floor is {E8_MIN_WIDE_VS_BATCH}",
+            path.display()
+        );
+    }
+    pass &= wide_pass;
     Ok(pass)
 }
 
@@ -372,6 +413,35 @@ mod tests {
     /// `run_gate` path as `main`).
     fn gate_for(file: &str) -> &'static Gate {
         GATES.iter().find(|g| g.file == file).expect("gate registered in the table")
+    }
+
+    #[test]
+    fn e8_gate_enforces_wide_floor_on_avx2_and_skips_without() {
+        let dir = std::env::temp_dir().join(format!("trend_test_e8_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e8_lanes.json");
+        let gate = gate_for("BENCH_e8_lanes.json");
+
+        // AVX2 host, both floors met: pass.
+        std::fs::write(&path, r#"{"experiment":"e8_lanes","lanes":64,"wide_lanes":256,"trials":512,"scalar_us":350000,"batch_us":15000,"wide_us":6000,"speedup":23.3,"wide_speedup":58.3,"wide_vs_batch":2.5,"avx2":true,"hits":198,"detection_rate":0.39}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "both floors met must pass");
+
+        // AVX2 host, wide floor missed: regression even though the 64-lane
+        // floor holds.
+        std::fs::write(&path, r#"{"experiment":"e8_lanes","lanes":64,"wide_lanes":256,"trials":512,"scalar_us":350000,"batch_us":15000,"wide_us":14000,"speedup":23.3,"wide_speedup":25.0,"wide_vs_batch":1.07,"avx2":true,"hits":198,"detection_rate":0.39}"#).unwrap();
+        assert!(!run_gate(gate, &dir).unwrap(), "wide floor at 1.07x on AVX2 must regress");
+
+        // Non-AVX2 host: the wide floor is skipped with a notice; only the
+        // 64-lane floor is enforced.
+        std::fs::write(&path, r#"{"experiment":"e8_lanes","lanes":64,"wide_lanes":256,"trials":512,"scalar_us":350000,"batch_us":15000,"wide_us":14000,"speedup":23.3,"wide_speedup":25.0,"wide_vs_batch":1.07,"avx2":false,"hits":198,"detection_rate":0.39}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "non-AVX2 record must skip the wide floor");
+
+        // A record without the width dimension at all is malformed.
+        std::fs::write(&path, r#"{"experiment":"e8_lanes","lanes":64,"trials":512,"scalar_us":350000,"batch_us":15000,"speedup":23.3,"hits":198,"detection_rate":0.39}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("wide_vs_batch"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

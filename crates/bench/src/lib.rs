@@ -9,9 +9,11 @@
 //! Since E9 the harness is **machine-saturating**: the scenario × size
 //! matrix of formal analyses fans across a hand-rolled scoped thread pool
 //! ([`ssc_pool::Pool`] — see [`portfolio`]) and the simulation layers
-//! shard their independent 64-lane blocks across the same pool
-//! (`ssc_attacks::leak::sweep_batched` for channel sweeps, the batched
-//! dynamic-IFT Monte-Carlo loop here). Since E10 the portfolio is also
+//! shard their independent lane blocks (64 or 256 lanes each — the
+//! width-generic bit-sliced engines, partitioned by the shared
+//! [`ssc_pool::Pool::run_blocks`] at the [`ssc_pool::LaneWidth`] default)
+//! across the same pool (`ssc_attacks::leak::sweep_batched` for channel
+//! sweeps, the batched dynamic-IFT Monte-Carlo loop here). Since E10 the portfolio is also
 //! **work-sharing**: one product artifact + encoded base proof session per
 //! SoC size, copy-on-write-forked per scenario cell (two-phase plan in
 //! [`portfolio::run_portfolio`]). Parallel results are **bit-identical**
@@ -30,15 +32,17 @@ use std::time::{Duration, Instant};
 use ssc_attacks::leak::{sweep_batched, ChannelReport};
 use ssc_attacks::scenarios::{Channel, VictimConfig};
 use ssc_netlist::analysis;
-use ssc_netlist::lanes::LANES;
+use ssc_netlist::lanes::{block_lanes, Block};
+use ssc_pool::LaneWidth;
 use ssc_soc::{Soc, SocConfig};
 use upec_ssc::{UpecAnalysis, UpecSpec, Verdict};
 
 /// E1 — Fig. 1: the DMA+timer channel sweep on the simulated SoC.
 ///
-/// Runs on the 64-lane batch engine: every victim access count is one
-/// simulation lane, so the whole sweep is a single scenario run (the
-/// batched report is bit-identical to the scalar one — see
+/// Runs on the bit-sliced batch engine at the process-default lane width:
+/// every victim access count is one simulation lane, so the whole sweep is
+/// a single scenario run (the batched report is bit-identical to the
+/// scalar one at every width — see
 /// `ssc-attacks/tests/batch_equivalence.rs`).
 pub fn e1_dma_timer_sweep(max_n: u32) -> ChannelReport {
     let soc = Soc::sim_view();
@@ -283,9 +287,10 @@ pub struct IftComparison {
 /// Runs the IFT baseline comparison (see `examples/ift_compare.rs` for the
 /// narrated version).
 ///
-/// The dynamic-IFT Monte-Carlo trials run on the 64-lane batch engine
-/// ([`dynamic_trial_batch`]): one instrumented-netlist pass evaluates 64
-/// seeded trials, with per-seed decisions identical to the scalar
+/// The dynamic-IFT Monte-Carlo trials run on the bit-sliced batch engine
+/// at the process-default lane width ([`dynamic_trial_batch`]): one
+/// instrumented-netlist pass evaluates a whole lane block of seeded
+/// trials, with per-seed decisions identical to the scalar
 /// [`dynamic_trial`].
 pub fn e8_ift_baseline(trials: u64) -> IftComparison {
     use ssc_ift::bmc::{taint_bmc, Sink};
@@ -398,20 +403,25 @@ pub fn dynamic_trial(inst: &ssc_ift::Instrumented, seed: u64) -> bool {
     ts.mem_tainted("pub_xbar.ram") || ts.reg_tainted("hwpe.progress")
 }
 
-/// 64 dynamic-IFT trials in one instrumented-netlist pass: lane `l` runs
-/// the trial seeded `base_seed + l` on the bit-sliced batch engine.
+/// `64·W` dynamic-IFT trials in one instrumented-netlist pass: lane `l`
+/// runs the trial seeded `base_seed + l` on the width-`W` bit-sliced batch
+/// engine (64 trials at `W = 1`, 256 at `W = 4`).
 ///
-/// Returns the detection mask (bit `l` set = trial `base_seed + l` exposed
-/// the flow); each lane's decision is identical to
-/// `dynamic_trial(inst, base_seed + l)`.
-pub fn dynamic_trial_batch(inst: &ssc_ift::Instrumented, base_seed: u64) -> u64 {
+/// Returns the detection mask (lane `l` set = trial `base_seed + l`
+/// exposed the flow); each lane's decision is identical to
+/// `dynamic_trial(inst, base_seed + l)` at every width.
+pub fn dynamic_trial_batch<const W: usize>(
+    inst: &ssc_ift::Instrumented,
+    base_seed: u64,
+) -> Block<W> {
     use ssc_ift::dynamic::BatchTaintSim;
     use ssc_soc::{addr, port_names};
 
+    let lanes = block_lanes::<W>();
     let schedules: Vec<(u64, Vec<bool>)> =
-        (0..LANES as u64).map(|l| trial_schedule(base_seed + l)).collect();
+        (0..lanes as u64).map(|l| trial_schedule(base_seed + l)).collect();
 
-    let mut ts = BatchTaintSim::new(inst);
+    let mut ts = BatchTaintSim::<W>::new(inst);
     for (reg, val) in TRIAL_CONFIG {
         ts.set_input(port_names::REQ, 1);
         ts.set_input(port_names::WE, 1);
@@ -426,11 +436,14 @@ pub fn dynamic_trial_batch(inst: &ssc_ift::Instrumented, base_seed: u64) -> u64 
     let noise_range = addr::PUB_RAM_BASE + 0x3C0;
     // The scalar trial leaves ADDR untouched on idle cycles; replicate the
     // hold per lane.
-    let mut addr_held = [TRIAL_CONFIG[3].0; LANES];
+    let mut addr_held = vec![TRIAL_CONFIG[3].0; lanes];
+    let mut req = vec![0u64; lanes];
+    let mut taint_req = vec![0u64; lanes];
+    let mut taint_addr = vec![0u64; lanes];
     for cycle in 0..TRIAL_CYCLES {
-        let mut req = [0u64; LANES];
-        let mut taint_req = [0u64; LANES];
-        let mut taint_addr = [0u64; LANES];
+        req.fill(0);
+        taint_req.fill(0);
+        taint_addr.fill(0);
         for (l, (secret_cycle, noise)) in schedules.iter().enumerate() {
             if cycle == *secret_cycle {
                 req[l] = 1;
@@ -453,38 +466,62 @@ pub fn dynamic_trial_batch(inst: &ssc_ift::Instrumented, base_seed: u64) -> u64 
 }
 
 /// Counts dynamic-IFT detections for seeds `base..base + trials` using the
-/// batch engine (64 seeds per pass; a final partial pass masks the unused
-/// lanes).
-///
-/// Monte-Carlo passes share no state (each builds its own `BatchTaintSim`
-/// over the shared instrumented netlist), so the seed blocks shard across
-/// `pool`; block seeds derive from the block index, so the hit count is
-/// identical to the sequential loop for every pool size.
+/// batch engine at the process-default lane width (`64·W` seeds per pass;
+/// a final partial pass masks the unused lanes).
 fn count_batch_hits(
     inst: &ssc_ift::Instrumented,
     base: u64,
     trials: u64,
     pool: &ssc_pool::Pool,
 ) -> u64 {
-    let blocks = trials.div_ceil(LANES as u64) as usize;
-    pool.run(blocks, |b| {
-        let s = base + b as u64 * LANES as u64;
-        let take = (base + trials - s).min(LANES as u64);
-        let valid = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
-        u64::from((dynamic_trial_batch(inst, s) & valid).count_ones())
+    count_batch_hits_width(inst, base, trials, pool, LaneWidth::global())
+}
+
+/// [`count_batch_hits`] at an explicit lane width — the monomorphization
+/// point of the width-generic Monte-Carlo loop.
+fn count_batch_hits_width(
+    inst: &ssc_ift::Instrumented,
+    base: u64,
+    trials: u64,
+    pool: &ssc_pool::Pool,
+    width: LaneWidth,
+) -> u64 {
+    match width {
+        LaneWidth::X64 => count_hits_impl::<1>(inst, base, trials, pool),
+        LaneWidth::X256 => count_hits_impl::<4>(inst, base, trials, pool),
+    }
+}
+
+/// The width-monomorphic Monte-Carlo body.
+///
+/// Monte-Carlo passes share no state (each builds its own `BatchTaintSim`
+/// over the shared instrumented netlist), so the seed blocks shard across
+/// `pool` through the shared [`ssc_pool::Pool::run_blocks`] partitioner;
+/// block seeds derive from the block coordinates, so the hit count is
+/// identical to the sequential loop for every pool size and width.
+fn count_hits_impl<const W: usize>(
+    inst: &ssc_ift::Instrumented,
+    base: u64,
+    trials: u64,
+    pool: &ssc_pool::Pool,
+) -> u64 {
+    pool.run_blocks(trials as usize, block_lanes::<W>(), |blk| {
+        let mask = dynamic_trial_batch::<W>(inst, base + blk.start as u64);
+        u64::from((mask & Block::low_mask(blk.len)).count_ones())
     })
     .iter()
     .sum()
 }
 
-/// The lanes-vs-scalar throughput comparison behind `BENCH_e8_lanes.json`:
-/// the same `trials` dynamic-IFT trials (same seeds, same decisions) run
-/// once on the scalar [`dynamic_trial`] loop and once on the 64-lane
-/// [`dynamic_trial_batch`] engine.
+/// The per-width throughput comparison behind `BENCH_e8_lanes.json`: the
+/// same `trials` dynamic-IFT trials (same seeds, same decisions) run once
+/// on the scalar [`dynamic_trial`] loop, once on the 64-lane
+/// (`W = 1`) [`dynamic_trial_batch`] engine, and once on the 256-lane
+/// (`W = 4`) wide engine.
 ///
-/// Both sides are timed **single-worker** (the batch loop on a 1-worker
-/// pool): the recorded `speedup` isolates the bit-parallel *lane* win so
-/// it stays comparable across hosts with different core counts — thread
+/// All sides are timed **single-worker** (the batch loops on a 1-worker
+/// pool): the recorded speedups isolate the bit-parallel *lane* win so
+/// they stay comparable across hosts with different core counts — thread
 /// parallelism on top of it is the e9 portfolio record's business.
 #[derive(Clone, Debug)]
 pub struct E8LanesComparison {
@@ -492,28 +529,61 @@ pub struct E8LanesComparison {
     pub trials: u64,
     /// Wall-clock time of the scalar loop.
     pub scalar_runtime: Duration,
-    /// Wall-clock time of the batched loop.
+    /// Wall-clock time of the 64-lane batched loop.
     pub batch_runtime: Duration,
+    /// Wall-clock time of the 256-lane wide batched loop.
+    pub wide_runtime: Duration,
     /// Detections seen by the scalar loop.
     pub scalar_hits: u64,
-    /// Detections seen by the batched loop (must equal `scalar_hits`).
+    /// Detections seen by the 64-lane loop (must equal `scalar_hits`).
     pub batch_hits: u64,
+    /// Detections seen by the 256-lane loop (must equal `scalar_hits`).
+    pub wide_hits: u64,
+    /// Whether the host advertises AVX2 (the wide engine's target ISA —
+    /// the CI gate only enforces the wide floor where this is `true`).
+    pub avx2: bool,
 }
 
 impl E8LanesComparison {
-    /// Trial-throughput speedup of the batch engine over the scalar loop.
+    /// Trial-throughput speedup of the 64-lane engine over the scalar
+    /// loop.
     pub fn speedup(&self) -> f64 {
         self.scalar_runtime.as_secs_f64() / self.batch_runtime.as_secs_f64().max(1e-9)
     }
 
-    /// Detection rate (identical for both engines).
+    /// Trial-throughput speedup of the 256-lane engine over the scalar
+    /// loop.
+    pub fn wide_speedup(&self) -> f64 {
+        self.scalar_runtime.as_secs_f64() / self.wide_runtime.as_secs_f64().max(1e-9)
+    }
+
+    /// Trial-throughput speedup of the 256-lane engine over the 64-lane
+    /// engine — the width knob's marginal win, gated at ≥ 1.5× on
+    /// AVX2-capable hosts.
+    pub fn wide_vs_batch(&self) -> f64 {
+        self.batch_runtime.as_secs_f64() / self.wide_runtime.as_secs_f64().max(1e-9)
+    }
+
+    /// Detection rate (identical for all engines).
     pub fn detection_rate(&self) -> f64 {
         self.batch_hits as f64 / self.trials.max(1) as f64
     }
 }
 
-/// Runs the lanes-vs-scalar comparison; asserts both engines agree on
-/// every seed's detection count.
+/// `true` if the host supports the wide engine's target ISA (AVX2).
+pub fn host_has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runs the per-width lanes-vs-scalar comparison; asserts all engines
+/// agree on every seed's detection count.
 pub fn e8_lanes_comparison(trials: u64) -> E8LanesComparison {
     use ssc_soc::port_names;
 
@@ -522,20 +592,38 @@ pub fn e8_lanes_comparison(trials: u64) -> E8LanesComparison {
         &soc.netlist,
         &[port_names::REQ, port_names::ADDR, port_names::WE, port_names::WDATA],
     );
+    let single = ssc_pool::Pool::new(1);
 
     let t = Instant::now();
     let scalar_hits = (0..trials).filter(|&s| dynamic_trial(&inst, s)).count() as u64;
     let scalar_runtime = t.elapsed();
 
     let t = Instant::now();
-    let batch_hits = count_batch_hits(&inst, 0, trials, &ssc_pool::Pool::new(1));
+    let batch_hits = count_batch_hits_width(&inst, 0, trials, &single, LaneWidth::X64);
     let batch_runtime = t.elapsed();
+
+    let t = Instant::now();
+    let wide_hits = count_batch_hits_width(&inst, 0, trials, &single, LaneWidth::X256);
+    let wide_runtime = t.elapsed();
 
     assert_eq!(
         scalar_hits, batch_hits,
-        "batched dynamic IFT must reproduce the scalar detections"
+        "64-lane dynamic IFT must reproduce the scalar detections"
     );
-    E8LanesComparison { trials, scalar_runtime, batch_runtime, scalar_hits, batch_hits }
+    assert_eq!(
+        scalar_hits, wide_hits,
+        "256-lane dynamic IFT must reproduce the scalar detections"
+    );
+    E8LanesComparison {
+        trials,
+        scalar_runtime,
+        batch_runtime,
+        wide_runtime,
+        scalar_hits,
+        batch_hits,
+        wide_hits,
+        avx2: host_has_avx2(),
+    }
 }
 
 /// Machine-readable perf records (`BENCH_<experiment>.json`).
@@ -561,7 +649,8 @@ pub mod perf {
             "{{\"iteration\":{},\"window\":{},\"set_size\":{},\"removed\":{},\"runtime_us\":{},\
              \"encoded_nodes\":{},\"encoded_delta\":{},\"aig_nodes\":{},\
              \"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
-             \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{}}}",
+             \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{},\
+             \"era_drops\":{}}}",
             it.iteration,
             it.window,
             it.set_size,
@@ -578,6 +667,7 @@ pub mod perf {
             it.solver.db_reductions,
             it.solver.gcs,
             it.solver.core_seeds,
+            it.solver.era_drops,
         )
     }
 
@@ -674,19 +764,27 @@ pub mod perf {
         out
     }
 
-    /// The E8 lanes record: dynamic-IFT trial throughput of the 64-lane
-    /// batch engine versus the scalar loop (the `speedup` field is what
-    /// the CI trend gate checks against its ≥ 8× floor).
+    /// The E8 lanes record: dynamic-IFT trial throughput per engine width
+    /// versus the scalar loop. The `speedup` field (64-lane vs scalar) is
+    /// gated at ≥ 8× by the CI trend gate; `wide_vs_batch` (256-lane vs
+    /// 64-lane) is gated at ≥ 1.5× when `avx2` is `true` (skipped with a
+    /// notice otherwise — a host without the wide ISA cannot regress it).
     pub fn e8_lanes_json(c: &E8LanesComparison) -> String {
         format!(
-            "{{\"experiment\":\"e8_lanes\",\"lanes\":{},\"trials\":{},\
-             \"scalar_us\":{},\"batch_us\":{},\"speedup\":{:.3},\
-             \"hits\":{},\"detection_rate\":{:.4}}}",
+            "{{\"experiment\":\"e8_lanes\",\"lanes\":{},\"wide_lanes\":{},\"trials\":{},\
+             \"scalar_us\":{},\"batch_us\":{},\"wide_us\":{},\
+             \"speedup\":{:.3},\"wide_speedup\":{:.3},\"wide_vs_batch\":{:.3},\
+             \"avx2\":{},\"hits\":{},\"detection_rate\":{:.4}}}",
             ssc_netlist::lanes::LANES,
+            ssc_netlist::lanes::block_lanes::<{ ssc_sim::WIDE_WORDS }>(),
             c.trials,
             us(c.scalar_runtime),
             us(c.batch_runtime),
+            us(c.wide_runtime),
             c.speedup(),
+            c.wide_speedup(),
+            c.wide_vs_batch(),
+            c.avx2,
             c.batch_hits,
             c.detection_rate(),
         )
@@ -906,34 +1004,92 @@ mod tests {
             &soc.netlist,
             &[port_names::REQ, port_names::ADDR, port_names::WE, port_names::WDATA],
         );
-        let mask = dynamic_trial_batch(&inst, 0);
-        for lane in 0..LANES as u64 {
+        let mask = dynamic_trial_batch::<1>(&inst, 0);
+        for lane in 0..block_lanes::<1>() {
             assert_eq!(
-                mask >> lane & 1 == 1,
-                dynamic_trial(&inst, lane),
+                mask.bit(lane),
+                dynamic_trial(&inst, lane as u64),
                 "lane {lane} diverges from the scalar trial"
             );
         }
         // A detection rate of exactly 0 or 1 would make the equivalence
         // check vacuous; the stimulus distribution keeps it strictly inside.
-        assert!(mask != 0 && mask != u64::MAX, "degenerate trial batch: {mask:#x}");
+        assert!(
+            !mask.is_zero() && mask != Block::ONES,
+            "degenerate trial batch: {mask:?}"
+        );
+    }
+
+    #[test]
+    fn wide_dynamic_trials_match_scalar_decisions_across_all_blocks() {
+        use ssc_soc::port_names;
+
+        let soc = Soc::verification_view();
+        let inst = ssc_ift::instrument(
+            &soc.netlist,
+            &[port_names::REQ, port_names::ADDR, port_names::WE, port_names::WDATA],
+        );
+        let mask = dynamic_trial_batch::<4>(&inst, 0);
+        // Every wide lane reproduces the scalar decision for its seed
+        // (which also pins the wide engine to the narrow one — the narrow
+        // case above covers the same first 64 seeds).
+        for lane in 0..block_lanes::<4>() {
+            assert_eq!(
+                mask.bit(lane),
+                dynamic_trial(&inst, lane as u64),
+                "wide lane {lane} diverges from the scalar trial"
+            );
+        }
+        assert!(
+            !mask.is_zero() && mask != Block::ONES,
+            "degenerate trial batch: {mask:?}"
+        );
+        // The sharded counter agrees across widths and pool sizes,
+        // including partial trailing blocks (190 = 2×64 + 62 narrow,
+        // 256-lane block + partial wide).
+        let trials = 190;
+        let reference =
+            count_batch_hits_width(&inst, 0, trials, &ssc_pool::Pool::new(1), LaneWidth::X64);
+        for width in [LaneWidth::X64, LaneWidth::X256] {
+            for workers in [1, 3] {
+                let hits = count_batch_hits_width(
+                    &inst,
+                    0,
+                    trials,
+                    &ssc_pool::Pool::new(workers),
+                    width,
+                );
+                assert_eq!(hits, reference, "{width:?} at {workers} workers diverges");
+            }
+        }
     }
 
     #[test]
     fn e8_lanes_comparison_agrees_and_its_record_is_jsonish() {
         let cmp = e8_lanes_comparison(96);
         assert_eq!(cmp.scalar_hits, cmp.batch_hits);
+        assert_eq!(cmp.scalar_hits, cmp.wide_hits);
         let json = perf::e8_lanes_json(&cmp);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"lanes\":64"));
-        // The wall-clock speedup itself is asserted by the CI trend gate on
-        // the emitted record, not here, where scheduler jitter would flake;
-        // a batch pass beating 64 scalar passes is still robustly true.
+        assert!(json.contains("\"wide_lanes\":256"));
+        assert!(json.contains("\"wide_vs_batch\""));
+        assert!(json.contains("\"avx2\":"));
+        // The wall-clock speedups themselves are asserted by the CI trend
+        // gate on the emitted record, not here, where scheduler jitter
+        // would flake; a batch pass beating 64 scalar passes is still
+        // robustly true, as is the wide pass beating the scalar loop.
         assert!(
             cmp.batch_runtime < cmp.scalar_runtime,
             "batch {:?} must undercut scalar {:?}",
             cmp.batch_runtime,
+            cmp.scalar_runtime
+        );
+        assert!(
+            cmp.wide_runtime < cmp.scalar_runtime,
+            "wide {:?} must undercut scalar {:?}",
+            cmp.wide_runtime,
             cmp.scalar_runtime
         );
     }

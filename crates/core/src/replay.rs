@@ -191,7 +191,7 @@ pub fn replay_neighborhood(
     an: &UpecAnalysis,
     cex: &Counterexample,
 ) -> Result<NeighborhoodReport, String> {
-    const LANES: usize = BatchSim::LANES;
+    const LANES: usize = BatchSim::<1>::LANES;
 
     let src = an.src();
     let mut sim_a = BatchSim::new(src).map_err(|e| format!("sim A: {e}"))?;

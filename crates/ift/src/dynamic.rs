@@ -1,12 +1,13 @@
 //! Dynamic taint simulation over an instrumented netlist.
 //!
 //! Two front-ends share the instrumented design: [`TaintSim`] runs one
-//! seeded trial per netlist walk, [`BatchTaintSim`] runs 64 — one trial per
-//! bit-sliced simulation lane — which is what makes the dynamic-IFT
+//! seeded trial per netlist walk, [`BatchTaintSim<W>`](BatchTaintSim) runs
+//! `64·W` — one trial per bit-sliced simulation lane (64 at the default
+//! `W = 1`, 256 at `W = 4`) — which is what makes the dynamic-IFT
 //! Monte-Carlo baseline (experiment E8) comparable in throughput to the
 //! formal procedure it is benchmarked against.
 
-use ssc_netlist::lanes::LANES;
+use ssc_netlist::lanes::Block;
 use ssc_netlist::{Bv, MemId, Netlist};
 use ssc_sim::{BatchSim, Sim};
 
@@ -114,20 +115,23 @@ impl<'n> TaintSim<'n> {
     }
 }
 
-/// A 64-lane taint simulator: one independent seeded taint trial per
+/// A `64·W`-lane taint simulator: one independent seeded taint trial per
 /// bit-sliced lane.
 ///
 /// The API mirrors [`TaintSim`] with per-lane variants; taint sinks are
-/// read back as *lane masks* (bit `l` set = the flow was observed in trial
-/// `l`), so one netlist pass answers 64 Monte-Carlo trials of the dynamic
-/// IFT baseline.
-pub struct BatchTaintSim<'n> {
-    sim: BatchSim<'n>,
+/// read back as *lane masks* ([`Block<W>`] — lane `l` set = the flow was
+/// observed in trial `l`), so one netlist pass answers `64·W` Monte-Carlo
+/// trials of the dynamic IFT baseline.
+pub struct BatchTaintSim<'n, const W: usize = 1> {
+    sim: BatchSim<'n, W>,
     netlist: &'n Netlist,
 }
 
-impl<'n> BatchTaintSim<'n> {
-    /// Creates a 64-lane simulation of the instrumented design.
+impl<'n, const W: usize> BatchTaintSim<'n, W> {
+    /// Number of independent taint trials (simulation lanes) per walk.
+    pub const LANES: usize = BatchSim::<'n, W>::LANES;
+
+    /// Creates a `64·W`-lane simulation of the instrumented design.
     ///
     /// # Panics
     ///
@@ -139,7 +143,7 @@ impl<'n> BatchTaintSim<'n> {
     }
 
     /// Access the underlying batch simulator.
-    pub fn sim(&mut self) -> &mut BatchSim<'n> {
+    pub fn sim(&mut self) -> &mut BatchSim<'n, W> {
         &mut self.sim
     }
 
@@ -148,8 +152,9 @@ impl<'n> BatchTaintSim<'n> {
         self.sim.set_input(name, value);
     }
 
-    /// Drives an original input with one value per lane.
-    pub fn set_input_lanes(&mut self, name: &str, values: &[u64; LANES]) {
+    /// Drives an original input with one value per lane
+    /// (`values.len()` must be [`Self::LANES`]).
+    pub fn set_input_lanes(&mut self, name: &str, values: &[u64]) {
         self.sim.set_input_lanes(name, values);
     }
 
@@ -160,7 +165,20 @@ impl<'n> BatchTaintSim<'n> {
     ///
     /// Panics if `name` was not declared a taint source.
     pub fn set_taint(&mut self, source: &str, mask: u64) {
-        self.set_taint_lanes(source, &[mask; LANES]);
+        let (port, w) = self.taint_port(source);
+        // Broadcast fast-path: one splat per bit position, no per-lane
+        // packing (mirrors `BatchSim::set_input`).
+        self.sim.set_input(&port, mask & Bv::mask_for(w.width()));
+    }
+
+    /// Resolves the shadow input port of a taint source.
+    fn taint_port(&self, source: &str) -> (String, ssc_netlist::Wire) {
+        let port = format!("t${source}");
+        let w = self
+            .netlist
+            .find(&port)
+            .unwrap_or_else(|| panic!("`{source}` is not a taint source"));
+        (port, w)
     }
 
     /// Drives the taint of a source input with one mask per lane. Mask
@@ -169,13 +187,9 @@ impl<'n> BatchTaintSim<'n> {
     /// # Panics
     ///
     /// Panics if `name` was not declared a taint source.
-    pub fn set_taint_lanes(&mut self, source: &str, masks: &[u64; LANES]) {
-        let port = format!("t${source}");
-        let w = self
-            .netlist
-            .find(&port)
-            .unwrap_or_else(|| panic!("`{source}` is not a taint source"));
-        let mut vals = *masks;
+    pub fn set_taint_lanes(&mut self, source: &str, masks: &[u64]) {
+        let (port, w) = self.taint_port(source);
+        let mut vals = masks.to_vec();
         for v in &mut vals {
             *v &= Bv::mask_for(w.width());
         }
@@ -211,20 +225,20 @@ impl<'n> BatchTaintSim<'n> {
     /// # Panics
     ///
     /// Panics if the memory does not exist.
-    pub fn mem_tainted_lanes(&mut self, mem_name: &str) -> u64 {
+    pub fn mem_tainted_lanes(&mut self, mem_name: &str) -> Block<W> {
         let mid: MemId = self
             .netlist
             .find_mem(&format!("t${mem_name}"))
             .unwrap_or_else(|| panic!("no shadow memory for `{mem_name}`"));
         let words = self.netlist.mem(mid).words;
-        let mut mask = 0u64;
+        let mut mask = Block::ZERO;
         for i in 0..words {
-            for l in 0..LANES {
-                if mask >> l & 1 == 0 && !self.sim.read_mem_lane(mid, i, l).is_zero() {
-                    mask |= 1 << l;
+            for l in 0..Self::LANES {
+                if !mask.bit(l) && !self.sim.read_mem_lane(mid, i, l).is_zero() {
+                    mask.set_bit(l, true);
                 }
             }
-            if mask == u64::MAX {
+            if mask == Block::ONES {
                 break;
             }
         }
@@ -237,15 +251,15 @@ impl<'n> BatchTaintSim<'n> {
     /// # Panics
     ///
     /// Panics if the register has no taint companion.
-    pub fn reg_tainted_lanes(&mut self, reg_name: &str) -> u64 {
+    pub fn reg_tainted_lanes(&mut self, reg_name: &str) -> Block<W> {
         let w = self
             .netlist
             .find(&format!("t${reg_name}"))
             .unwrap_or_else(|| panic!("no taint companion for `{reg_name}`"));
-        let mut mask = 0u64;
+        let mut mask = Block::ZERO;
         for (l, &v) in self.sim.peek_lanes(w).iter().enumerate() {
             if v != 0 {
-                mask |= 1 << l;
+                mask.set_bit(l, true);
             }
         }
         mask
@@ -297,19 +311,23 @@ mod tests {
         n.mark_output("rd", rd);
         let inst = instrument(&n, &["data"]);
 
-        let mut ts = BatchTaintSim::new(&inst);
+        let mut ts = BatchTaintSim::<1>::new(&inst);
         ts.set_input("we", 1);
         ts.set_input("addr", 3);
         ts.set_input("data", 9);
         // Taint the data source in odd lanes only.
-        let mut masks = [0u64; LANES];
+        let mut masks = [0u64; 64];
         for (l, m) in masks.iter_mut().enumerate() {
             *m = if l % 2 == 1 { u64::MAX } else { 0 };
         }
         ts.set_taint_lanes("data", &masks);
         ts.step();
         let tainted = ts.mem_tainted_lanes("ram");
-        assert_eq!(tainted, 0xAAAA_AAAA_AAAA_AAAA, "odd lanes only: {tainted:#x}");
+        assert_eq!(
+            tainted,
+            Block::from(0xAAAA_AAAA_AAAA_AAAA),
+            "odd lanes only: {tainted:?}"
+        );
         // Scalar cross-check on two representative lanes.
         let mut scalar = TaintSim::new(&inst);
         scalar.set_input("we", 1);
@@ -318,5 +336,38 @@ mod tests {
         scalar.set_taint("data", u64::MAX);
         scalar.step();
         assert!(scalar.mem_tainted("ram"));
+    }
+
+    #[test]
+    fn wide_batch_taint_sim_isolates_256_lanes() {
+        const LANES: usize = BatchTaintSim::<4>::LANES;
+        let mut n = Netlist::new("t");
+        let we = n.input("we", 1);
+        let addr = n.input("addr", 2);
+        let data = n.input("data", 8);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(true));
+        n.mem_write(mem, we, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+        let inst = instrument(&n, &["data"]);
+
+        let mut ts = BatchTaintSim::<4>::new(&inst);
+        ts.set_input("we", 1);
+        ts.set_input("addr", 3);
+        ts.set_input("data", 9);
+        // Taint every third lane — the pattern straddles all block words.
+        let masks: Vec<u64> =
+            (0..LANES).map(|l| if l % 3 == 0 { u64::MAX } else { 0 }).collect();
+        ts.set_taint_lanes("data", &masks);
+        ts.step();
+        let tainted = ts.mem_tainted_lanes("ram");
+        let reg_clean = ts.reg_tainted_lanes("rd");
+        for l in 0..LANES {
+            assert_eq!(tainted.bit(l), l % 3 == 0, "lane {l}");
+        }
+        // rd reads the tainted word combinationally in the same lanes.
+        for l in 0..LANES {
+            assert_eq!(reg_clean.bit(l), l % 3 == 0, "rd taint lane {l}");
+        }
     }
 }

@@ -51,6 +51,10 @@ pub struct Ipc<'n> {
     solver: Solver,
     enc: CnfEncoder,
     checks: u64,
+    /// Live activation literals and the solver era opened for each —
+    /// retired entries are removed, so the list stays as small as the set
+    /// of currently-active guarded goals.
+    act_eras: Vec<(Lit, u32)>,
 }
 
 impl<'n> std::fmt::Debug for Ipc<'n> {
@@ -75,6 +79,7 @@ impl<'n> Ipc<'n> {
             solver: Solver::new(),
             enc: CnfEncoder::new(),
             checks: 0,
+            act_eras: Vec::new(),
         }
     }
 
@@ -100,6 +105,7 @@ impl<'n> Ipc<'n> {
             solver: self.solver.fork(),
             enc: self.enc.clone(),
             checks: self.checks,
+            act_eras: self.act_eras.clone(),
         }
     }
 
@@ -158,8 +164,32 @@ impl<'n> Ipc<'n> {
     /// Allocates a fresh *activation literal*: a solver variable not tied
     /// to any AIG node, used to guard retirable clauses
     /// (see [`Ipc::add_clause_under`]).
+    ///
+    /// A solver *activation era* is opened alongside the literal
+    /// ([`ssc_sat::Solver::begin_era`]): learnt clauses derived while this
+    /// goal is active are tagged with it, so retiring the goal
+    /// ([`Ipc::retire_activation`]) lets [`Ipc::fork`] drop the goal's
+    /// lemmas instead of copying dead weight into every child (the
+    /// in-session GC deliberately keeps them — see
+    /// [`ssc_sat::Solver::collect_garbage`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another activation literal is still outstanding. Era
+    /// tagging attributes lemmas to the **most recently begun** era, so
+    /// goals must be guarded one at a time (create → solve → retire, the
+    /// discipline `Session::check_window` follows) — overlapping goals
+    /// would silently misattribute lemmas between them.
     pub fn activation_literal(&mut self) -> Lit {
-        self.solver.new_var().pos()
+        assert!(
+            self.act_eras.is_empty(),
+            "activation literal requested while another goal is outstanding — era tagging \
+             requires create → solve → retire, one goal at a time"
+        );
+        let act = self.solver.new_var().pos();
+        let era = self.solver.begin_era();
+        self.act_eras.push((act, era));
+        act
     }
 
     /// Adds the clause `act → (r₁ ∨ … ∨ rₙ)`, i.e. `¬act ∨ r₁ ∨ … ∨ rₙ`.
@@ -185,9 +215,16 @@ impl<'n> Ipc<'n> {
 
     /// Permanently deactivates an activation literal: all clauses guarded
     /// by `act` become vacuously satisfied. Learnt clauses are *not*
-    /// invalidated — retirement adds the unit `¬act`, it removes nothing.
+    /// invalidated — retirement adds the unit `¬act`, it removes nothing
+    /// immediately; the goal's activation era is marked retired, so a
+    /// later [`Ipc::fork`] sheds the lemmas that were derived under this
+    /// goal instead of copying them into the child.
     pub fn retire_activation(&mut self, act: Lit) {
         self.solver.add_clause([!act]);
+        if let Some(pos) = self.act_eras.iter().position(|&(a, _)| a == act) {
+            let (_, era) = self.act_eras.swap_remove(pos);
+            self.solver.retire_era(era);
+        }
     }
 
     /// Checks the property *assume `assumptions`, prove `goal`*.

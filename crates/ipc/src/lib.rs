@@ -38,7 +38,13 @@
 //!
 //! Between windows, [`Ipc::collect_garbage`] can shed stale learnt clauses
 //! (glue and locked clauses survive) so an arbitrarily long session does
-//! not grow without bound.
+//! not grow without bound. Each activation literal also opens a solver
+//! *activation era* tagging the learnt clauses derived under its goal;
+//! once the goal is retired, [`Ipc::fork`] drops the era's lemmas — a fork
+//! never inherits learnts that belong purely to a previous scenario's
+//! retired goals. (Within one session the same lemmas mostly concern the
+//! shared formula and keep serving the next window's near-identical goal,
+//! so the in-session GC leaves them to its ordinary LBD ranking.)
 //!
 //! # Copy-on-write session forks
 //!

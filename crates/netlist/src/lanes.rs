@@ -1,22 +1,27 @@
-//! Lane-packed (bit-sliced) value transposition.
+//! Lane-packed (bit-sliced) value transposition, width-generic over the
+//! SIMD block size.
 //!
 //! The bit-parallel simulation backend (`ssc-sim`'s `BatchSim`) evaluates
-//! [`LANES`] independent stimuli per netlist walk by storing one *bit
-//! position* of all lanes per `u64` word: a `w`-bit signal becomes `w`
-//! words, and word `i` holds bit `i` of every lane (`bit l` of word `i` is
-//! bit `i` of lane `l`'s value).
+//! many independent stimuli per netlist walk by storing one *bit position*
+//! of all lanes per machine word. The word is a [`Block<W>`] of `W` `u64`s
+//! (64·W lanes): a `w`-bit signal becomes `w` blocks, and block `i` holds
+//! bit `i` of every lane. `W = 1` is the classic 64-lane `u64` layout;
+//! `W = 4` is a 256-lane block whose bitwise kernels autovectorize to
+//! AVX2/SVE registers.
 //!
-//! Converting between that bit-sliced layout and per-lane scalars is a
-//! 64×64 bit-matrix transpose. This module provides the transpose (the
-//! recursive block-swap algorithm, 6·64 word operations instead of the
-//! naive 64·64 single-bit moves) plus the pack/unpack entry points the
-//! simulator's memory gather/scatter paths are built on.
+//! Converting between the bit-sliced layout and per-lane scalars is a
+//! bit-matrix transpose. Because lane scalars are at most 64 bits wide,
+//! the `W`-wide transpose decomposes into `W` independent 64×64 transposes
+//! ([`transpose64`], the recursive block-swap algorithm — 6·64 word
+//! operations instead of the naive 64·64 single-bit moves): lane group `k`
+//! (lanes `64k..64k+64`) transposes on its own and lands in word `k` of
+//! every block.
 //!
 //! # Layout
 //!
 //! ```text
-//! per-lane:    vals[l]            = the w-bit value of lane l (l < 64)
-//! bit-sliced:  bits[i] >> l & 1   = bit i of lane l            (i < w)
+//! per-lane:    vals[k][l]               = value of lane 64k + l   (l < 64)
+//! bit-sliced:  bits[i].word(k) >> l & 1 = bit i of lane 64k + l   (i < w)
 //! ```
 //!
 //! # Example
@@ -32,9 +37,275 @@
 //! assert_eq!(bits[2] >> 3 & 1, 1);
 //! assert_eq!(lanes::unpack(&bits[..3]), vals);
 //! ```
+//!
+//! The width-generic entry points ([`pack_block`], [`unpack_block`],
+//! [`lane_of`], [`set_lane_of`], [`broadcast_block`]) are the same
+//! operations over `[Block<W>]`; the `u64` functions above are the
+//! `W = 1` special case kept for the 64-lane call sites.
 
-/// Number of simulation lanes packed per word (the width of `u64`).
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// Number of simulation lanes packed per `u64` word.
 pub const LANES: usize = 64;
+
+/// Number of lanes carried by a `W`-word block.
+#[must_use]
+pub const fn block_lanes<const W: usize>() -> usize {
+    LANES * W
+}
+
+/// A `W`-word SIMD lane block: one bit position of `64·W` lanes.
+///
+/// Lane `l` lives in word `l / 64`, bit `l % 64`, so `Block<1>` is
+/// layout-identical to the plain `u64` word of the 64-lane layout. All
+/// bitwise operators act word-wise; with `W = 4` the compiler vectorizes
+/// them to 256-bit registers on AVX2-class targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct Block<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> Block<W> {
+    /// All lanes clear.
+    pub const ZERO: Self = Block([0; W]);
+    /// All lanes set.
+    pub const ONES: Self = Block([u64::MAX; W]);
+    /// Number of lanes in this block width.
+    pub const LANES: usize = LANES * W;
+
+    /// All lanes set to `bit`.
+    #[inline]
+    #[must_use]
+    pub fn splat(bit: bool) -> Self {
+        if bit {
+            Self::ONES
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// `true` if no lane is set.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// The `k`-th `u64` word (lanes `64k..64k+64`).
+    #[inline]
+    #[must_use]
+    pub fn word(&self, k: usize) -> u64 {
+        self.0[k]
+    }
+
+    /// The lane-`l` bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= Self::LANES`.
+    #[inline]
+    #[must_use]
+    pub fn bit(&self, l: usize) -> bool {
+        assert!(l < Self::LANES, "lane {l} out of range");
+        self.0[l / LANES] >> (l % LANES) & 1 == 1
+    }
+
+    /// Sets or clears the lane-`l` bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= Self::LANES`.
+    #[inline]
+    pub fn set_bit(&mut self, l: usize, v: bool) {
+        assert!(l < Self::LANES, "lane {l} out of range");
+        let sel = 1u64 << (l % LANES);
+        let w = &mut self.0[l / LANES];
+        *w = (*w & !sel) | if v { sel } else { 0 };
+    }
+
+    /// Number of set lanes.
+    #[inline]
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The mask with the first `n` lanes set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Self::LANES`.
+    #[must_use]
+    pub fn low_mask(n: usize) -> Self {
+        assert!(n <= Self::LANES, "{n} lanes out of range");
+        let mut out = Self::ZERO;
+        for (k, w) in out.0.iter_mut().enumerate() {
+            let lo = k * LANES;
+            *w = match n.saturating_sub(lo) {
+                0 => 0,
+                m if m >= LANES => u64::MAX,
+                m => (1u64 << m) - 1,
+            };
+        }
+        out
+    }
+}
+
+impl From<u64> for Block<1> {
+    fn from(w: u64) -> Self {
+        Block([w])
+    }
+}
+
+impl Block<1> {
+    /// The single word of a 64-lane block (the classic `u64` lane mask).
+    #[inline]
+    #[must_use]
+    pub fn to_u64(self) -> u64 {
+        self.0[0]
+    }
+}
+
+impl<const W: usize> std::fmt::Debug for Block<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Block[")?;
+        for (k, w) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:#018x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const W: usize> Default for Block<W> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+macro_rules! block_binop {
+    ($trait:ident, $fn:ident, $assign_trait:ident, $assign_fn:ident, $assign_op:tt) => {
+        impl<const W: usize> $trait for Block<W> {
+            type Output = Block<W>;
+            #[inline]
+            fn $fn(mut self, rhs: Block<W>) -> Block<W> {
+                for k in 0..W {
+                    self.0[k] $assign_op rhs.0[k];
+                }
+                self
+            }
+        }
+        impl<const W: usize> $assign_trait for Block<W> {
+            #[inline]
+            fn $assign_fn(&mut self, rhs: Block<W>) {
+                for k in 0..W {
+                    self.0[k] $assign_op rhs.0[k];
+                }
+            }
+        }
+    };
+}
+
+block_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+block_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+block_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const W: usize> Not for Block<W> {
+    type Output = Block<W>;
+    #[inline]
+    fn not(mut self) -> Block<W> {
+        for k in 0..W {
+            self.0[k] = !self.0[k];
+        }
+        self
+    }
+}
+
+/// Packs per-lane scalars (grouped 64 lanes per row) into the bit-sliced
+/// block layout: `W` independent 64×64 transposes, row `k` landing in word
+/// `k` of every output block.
+///
+/// The result is always [`LANES`] blocks; a consumer of a `w`-bit signal
+/// uses the first `w`.
+#[must_use]
+pub fn pack_block<const W: usize>(vals: &[[u64; LANES]; W]) -> [Block<W>; LANES] {
+    let mut out = [Block::ZERO; LANES];
+    for (k, row) in vals.iter().enumerate() {
+        let mut t = *row;
+        transpose64(&mut t);
+        for (o, &w) in out.iter_mut().zip(t.iter()) {
+            o.0[k] = w;
+        }
+    }
+    out
+}
+
+/// Unpacks bit-sliced blocks back into per-lane scalars (grouped 64 lanes
+/// per row). `bits.len()` is the signal width, at most [`LANES`]; missing
+/// high bits read as zero.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` exceeds [`LANES`].
+#[must_use]
+pub fn unpack_block<const W: usize>(bits: &[Block<W>]) -> [[u64; LANES]; W] {
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let mut out = [[0u64; LANES]; W];
+    for (k, row) in out.iter_mut().enumerate() {
+        for (i, b) in bits.iter().enumerate() {
+            row[i] = b.0[k];
+        }
+        transpose64(row);
+    }
+    out
+}
+
+/// Extracts lane `l` of a bit-sliced block value without a full transpose.
+///
+/// # Panics
+///
+/// Panics if `l >= 64·W` or `bits.len() > LANES`.
+#[must_use]
+pub fn lane_of<const W: usize>(bits: &[Block<W>], l: usize) -> u64 {
+    assert!(l < block_lanes::<W>(), "lane {l} out of range");
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let (k, sh) = (l / LANES, l % LANES);
+    let mut v = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        v |= ((b.0[k] >> sh) & 1) << i;
+    }
+    v
+}
+
+/// Overwrites lane `l` of a bit-sliced block value with the scalar `value`
+/// (truncated to `bits.len()` bits).
+///
+/// # Panics
+///
+/// Panics if `l >= 64·W` or `bits.len() > LANES`.
+pub fn set_lane_of<const W: usize>(bits: &mut [Block<W>], l: usize, value: u64) {
+    assert!(l < block_lanes::<W>(), "lane {l} out of range");
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    let (k, sh) = (l / LANES, l % LANES);
+    let sel = 1u64 << sh;
+    for (i, b) in bits.iter_mut().enumerate() {
+        b.0[k] = (b.0[k] & !sel) | (((value >> i) & 1) << sh);
+    }
+}
+
+/// Broadcasts one scalar into every lane of a bit-sliced block value
+/// (truncated to `bits.len()` bits).
+///
+/// # Panics
+///
+/// Panics if `bits.len() > LANES`.
+pub fn broadcast_block<const W: usize>(bits: &mut [Block<W>], value: u64) {
+    assert!(bits.len() <= LANES, "bit-sliced value wider than {LANES}");
+    for (i, b) in bits.iter_mut().enumerate() {
+        *b = Block::splat((value >> i) & 1 == 1);
+    }
+}
 
 /// In-place 64×64 bit-matrix transpose.
 ///
@@ -215,5 +486,79 @@ mod tests {
         broadcast(&mut bits, 0xA5);
         let back = unpack(&bits);
         assert!(back.iter().all(|&v| v == 0xA5));
+    }
+
+    #[test]
+    fn block1_layout_matches_the_u64_layout() {
+        let mut state = 0xFACEu64;
+        let width = 11usize;
+        let mask = (1u64 << width) - 1;
+        let mut vals = [0u64; LANES];
+        for v in &mut vals {
+            *v = splitmix(&mut state) & mask;
+        }
+        let flat = pack(&vals);
+        let blocks = pack_block::<1>(&[vals]);
+        for (i, &word) in flat.iter().enumerate() {
+            assert_eq!(blocks[i].word(0), word, "bit {i}");
+        }
+        assert_eq!(unpack_block(&blocks[..width]), [vals]);
+        for (l, &v) in vals.iter().enumerate() {
+            assert_eq!(lane_of(&blocks[..width], l), v, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn wide_block_roundtrip_and_lane_access() {
+        const W: usize = 4;
+        let mut state = 99u64;
+        let width = 23usize;
+        let mask = (1u64 << width) - 1;
+        let mut vals = [[0u64; LANES]; W];
+        for row in &mut vals {
+            for v in row.iter_mut() {
+                *v = splitmix(&mut state) & mask;
+            }
+        }
+        let blocks = pack_block(&vals);
+        assert_eq!(unpack_block(&blocks[..width]), vals);
+        for l in 0..block_lanes::<W>() {
+            assert_eq!(lane_of(&blocks[..width], l), vals[l / LANES][l % LANES], "lane {l}");
+        }
+        // set_lane_of touches exactly one lane.
+        let mut edited = blocks;
+        set_lane_of(&mut edited[..width], 131, 0x5_A5A5);
+        let back = unpack_block(&edited[..width]);
+        for l in 0..block_lanes::<W>() {
+            let expect = if l == 131 { 0x5_A5A5 & mask } else { vals[l / LANES][l % LANES] };
+            assert_eq!(back[l / LANES][l % LANES], expect, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn wide_broadcast_and_masks() {
+        const W: usize = 4;
+        let mut bits = [Block::<W>::ZERO; 9];
+        broadcast_block(&mut bits, 0x1A5);
+        for l in [0usize, 63, 64, 200, 255] {
+            assert_eq!(lane_of(&bits, l), 0x1A5, "lane {l}");
+        }
+        assert_eq!(Block::<W>::low_mask(0), Block::ZERO);
+        assert_eq!(Block::<W>::low_mask(256), Block::ONES);
+        let m = Block::<W>::low_mask(130);
+        assert_eq!(m.count_ones(), 130);
+        assert!(m.bit(129) && !m.bit(130));
+        // Bit ops behave lane-wise.
+        let mut x = Block::<W>::low_mask(100);
+        x |= Block::low_mask(130);
+        assert_eq!(x, Block::low_mask(130));
+        assert_eq!(x & !Block::<W>::low_mask(100), {
+            let mut hi = Block::low_mask(130);
+            for l in 0..100 {
+                hi.set_bit(l, false);
+            }
+            hi
+        });
+        assert_eq!((x ^ x).count_ones(), 0);
     }
 }

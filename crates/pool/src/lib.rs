@@ -34,6 +34,87 @@ use std::sync::OnceLock;
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "SSC_POOL_WORKERS";
 
+/// Environment variable overriding the default SIMD lane-block width.
+///
+/// Accepts the width in *lanes* (`64`, `256`) or in `u64` words per block
+/// (`1`, `4`); anything else falls back to the built-in default
+/// ([`LaneWidth::X256`]).
+pub const WIDTH_ENV: &str = "SSC_LANE_WIDTH";
+
+/// The SIMD block width of the bit-sliced simulation engines: how many
+/// lanes one `ssc-sim` batch walk carries, and therefore how large the
+/// blocks handed out by [`Pool::run_blocks`] are.
+///
+/// This is the **single place** the runtime lane width is selected; the
+/// batch entry points (`ssc-attacks::leak::sweep_batched`, the dynamic-IFT
+/// Monte-Carlo loop in `ssc-bench`) dispatch their monomorphized `W` on it
+/// and partition work through the shared [`Pool::run_blocks`] partitioner.
+/// Every width is bit-identical on every workload — the knob is purely a
+/// throughput choice (wide blocks amortize the per-node walk overhead over
+/// 4× the lanes and autovectorize on AVX2/SVE hosts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// 64 lanes per block (`u64` words — the classic bit-sliced engine).
+    X64,
+    /// 256 lanes per block (`u64x4` words — the wide SIMD engine).
+    X256,
+}
+
+impl LaneWidth {
+    /// `u64` words per block (the `W` of the generic engines).
+    #[must_use]
+    pub const fn words(self) -> usize {
+        match self {
+            LaneWidth::X64 => 1,
+            LaneWidth::X256 => 4,
+        }
+    }
+
+    /// Simulation lanes per block.
+    #[must_use]
+    pub const fn lanes(self) -> usize {
+        64 * self.words()
+    }
+
+    /// The width selected by [`WIDTH_ENV`], or the wide default.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(WIDTH_ENV).ok().as_deref() {
+            Some("64" | "1") => LaneWidth::X64,
+            _ => LaneWidth::X256,
+        }
+    }
+
+    /// The process-wide default width ([`LaneWidth::from_env`], resolved
+    /// once).
+    pub fn global() -> LaneWidth {
+        static GLOBAL: OnceLock<LaneWidth> = OnceLock::new();
+        *GLOBAL.get_or_init(LaneWidth::from_env)
+    }
+}
+
+/// One contiguous block of work items assigned to a single pool job by
+/// [`Pool::run_blocks`]: items `start..start + len` of the caller's
+/// enumeration, at most one lane-block's worth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneBlock {
+    /// Block index (also the job index — deterministic, schedule-free).
+    pub index: usize,
+    /// First item covered by this block.
+    pub start: usize,
+    /// Number of items in this block (`<= lanes_per_block`; the final
+    /// block of a sweep is usually partial).
+    pub len: usize,
+}
+
+impl LaneBlock {
+    /// The item range this block covers.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
 /// A fixed-size scoped thread pool (see the [crate docs](self)).
 ///
 /// `Pool` is a *policy* object — it owns no threads. Each [`Pool::run`]
@@ -141,6 +222,33 @@ impl Pool {
         debug_assert_eq!(tagged.len(), jobs);
         tagged.into_iter().map(|(_, t)| t).collect()
     }
+
+    /// Partitions `items` work items into contiguous [`LaneBlock`]s of at
+    /// most `lanes_per_block` items and runs `job` once per block on the
+    /// pool, returning results **in block order**.
+    ///
+    /// This is the one lane-block partitioner of the batch stack: the
+    /// attack sweeps and the dynamic-IFT Monte-Carlo loop both shard their
+    /// independent simulation blocks through it, so block boundaries (and
+    /// with them, the bit-exact block decomposition of a sweep) are decided
+    /// in exactly one place regardless of the engine width in use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes_per_block == 0`, or propagates a `job` panic like
+    /// [`Pool::run`].
+    pub fn run_blocks<T, F>(&self, items: usize, lanes_per_block: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(LaneBlock) -> T + Sync,
+    {
+        assert!(lanes_per_block > 0, "lane blocks must hold at least one item");
+        let blocks = items.div_ceil(lanes_per_block);
+        self.run(blocks, |index| {
+            let start = index * lanes_per_block;
+            job(LaneBlock { index, start, len: lanes_per_block.min(items - start) })
+        })
+    }
 }
 
 impl Default for Pool {
@@ -201,6 +309,40 @@ mod tests {
         let pool = Pool::new(3);
         let sums = pool.run(10, |i| data[i * 10..(i + 1) * 10].iter().sum::<u64>());
         assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_blocks_partitions_deterministically() {
+        for workers in [1, 3] {
+            let pool = Pool::new(workers);
+            // 150 items in 64-lane blocks: 64 + 64 + 22.
+            let blocks = pool.run_blocks(150, 64, |b| b);
+            assert_eq!(
+                blocks,
+                vec![
+                    LaneBlock { index: 0, start: 0, len: 64 },
+                    LaneBlock { index: 1, start: 64, len: 64 },
+                    LaneBlock { index: 2, start: 128, len: 22 },
+                ],
+                "workers={workers}"
+            );
+            // An exact multiple has no partial tail; zero items, no blocks.
+            assert_eq!(pool.run_blocks(512, 256, |b| b.len), vec![256, 256]);
+            assert!(pool.run_blocks(0, 64, |b| b).is_empty());
+        }
+        // Block ranges tile the item space exactly.
+        let blocks = Pool::new(2).run_blocks(1000, 256, |b| b);
+        let covered: usize = blocks.iter().map(|b| b.range().len()).sum();
+        assert_eq!(covered, 1000);
+        assert_eq!(blocks.last().unwrap().range(), 768..1000);
+    }
+
+    #[test]
+    fn lane_width_words_and_lanes_agree() {
+        assert_eq!(LaneWidth::X64.words(), 1);
+        assert_eq!(LaneWidth::X64.lanes(), 64);
+        assert_eq!(LaneWidth::X256.words(), 4);
+        assert_eq!(LaneWidth::X256.lanes(), 256);
     }
 
     #[test]

@@ -139,6 +139,11 @@ pub struct SolverStats {
     /// are primed to be decided first instead of starting from decayed
     /// activity).
     pub core_seeds: u64,
+    /// Number of learnt clauses dropped because the activation era that
+    /// produced them was retired (see [`Solver::begin_era`] /
+    /// [`Solver::retire_era`] — the fork-aware clause-database hygiene of
+    /// long sessions).
+    pub era_drops: u64,
 }
 
 impl SolverStats {
@@ -157,6 +162,7 @@ impl SolverStats {
             gcs: self.gcs - earlier.gcs,
             solves: self.solves - earlier.solves,
             core_seeds: self.core_seeds - earlier.core_seeds,
+            era_drops: self.era_drops - earlier.era_drops,
         }
     }
 }
@@ -194,6 +200,14 @@ pub struct Solver {
     clauses: Vec<CRef>,
     /// Learnt clause refs.
     learnts: Vec<CRef>,
+    /// Activation era each learnt was derived in, aligned with `learnts`
+    /// (era 0 = outside any guarded proof goal).
+    learnt_eras: Vec<u32>,
+    /// Current activation era — stamped onto subsequently learnt clauses.
+    era: u32,
+    /// `retired[e]` = era `e` has been retired; its learnts are hygiene
+    /// candidates for [`Solver::collect_garbage`] and [`Solver::fork`].
+    retired_eras: Vec<bool>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     polarity: Vec<bool>,
@@ -234,6 +248,9 @@ impl Solver {
             db: ClauseDb::new(),
             clauses: Vec::new(),
             learnts: Vec::new(),
+            learnt_eras: Vec::new(),
+            era: 0,
+            retired_eras: vec![false],
             watches: Vec::new(),
             assigns: Vec::new(),
             polarity: Vec::new(),
@@ -294,6 +311,13 @@ impl Solver {
     /// encoding, propagation, clause learning over the shared prefix) is
     /// what makes it cheap, and each fork pays only for what it adds on top.
     ///
+    /// Fork-aware clause hygiene: learnt clauses whose activation era has
+    /// been retired ([`Solver::retire_era`]) are derived from a previous
+    /// goal's guarded clause — dead weight to a fork that will never
+    /// re-assume that goal — so the fork drops them
+    /// ([`Solver::purge_retired_learnts`]) instead of carrying them into
+    /// every child.
+    ///
     /// # Panics
     ///
     /// Panics if called above decision level 0 (i.e. from inside a solve;
@@ -301,7 +325,111 @@ impl Solver {
     /// fine).
     pub fn fork(&self) -> Solver {
         assert_eq!(self.trail_lim.len(), 0, "fork above level 0");
-        self.clone()
+        let mut child = self.clone();
+        if child.purge_retired_learnts() > 0 && child.db.wasted > 0 {
+            child.garbage_collect();
+        }
+        child
+    }
+
+    /// Starts a new *activation era* and returns its id: learnt clauses
+    /// recorded from now on are tagged with it. Clients guarding a proof
+    /// goal behind an activation literal open an era alongside the literal,
+    /// so the lemmas derived while that goal was active can be identified —
+    /// and shed — once the goal is retired.
+    ///
+    /// Tagging is by the **most recently begun** era (the solver does not
+    /// know which assumptions of a given solve are activation literals),
+    /// so attribution is only meaningful under a one-goal-at-a-time
+    /// discipline: begin an era, solve under its goal, retire it before
+    /// beginning the next (`ssc-ipc` enforces this at its activation-literal
+    /// layer).
+    pub fn begin_era(&mut self) -> u32 {
+        // Era ids are allocated monotonically (one slot per era ever
+        // begun), so an id is never reused even after the current era
+        // falls back to 0 on retirement.
+        let id = self.retired_eras.len() as u32;
+        self.retired_eras.push(false);
+        self.era = id;
+        id
+    }
+
+    /// The current activation era (0 before any [`Solver::begin_era`]).
+    pub fn current_era(&self) -> u32 {
+        self.era
+    }
+
+    /// Marks an era retired: its learnt clauses become hygiene candidates
+    /// that [`Solver::collect_garbage`] and [`Solver::fork`] drop instead
+    /// of carrying forward. Era 0 (learnts derived outside any guarded
+    /// goal) cannot be retired.
+    ///
+    /// Dropping a learnt clause is always sound — every learnt is implied
+    /// by the problem clauses — so retirement is purely a heuristic
+    /// declaration that the era's lemmas are no longer worth their weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `era` is 0 or was never begun.
+    pub fn retire_era(&mut self, era: u32) {
+        assert!(era > 0, "era 0 (the unguarded base) cannot be retired");
+        assert!((era as usize) < self.retired_eras.len(), "era {era} was never begun");
+        self.retired_eras[era as usize] = true;
+        // Retiring the *current* era drops back to the unguarded base:
+        // lemmas derived between now and the next `begin_era` belong to no
+        // goal and must not inherit a retired tag.
+        if era == self.era {
+            self.era = 0;
+        }
+    }
+
+    /// Drops every learnt clause whose activation era has been retired
+    /// (except clauses currently locked as reasons) and returns how many
+    /// were dropped. Called by [`Solver::fork`] so children never inherit
+    /// lemmas belonging purely to previous retired goals; exposed for
+    /// owners that want the purge in-session (note the caveat on
+    /// [`Solver::collect_garbage`] — the time-based tag over-approximates
+    /// goal ancestry, so an in-session purge also sheds still-useful
+    /// shared-formula lemmas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn purge_retired_learnts(&mut self) -> u64 {
+        assert_eq!(self.trail_lim.len(), 0, "purge_retired_learnts above level 0");
+        if !self.retired_eras.iter().any(|&r| r) {
+            return 0;
+        }
+        let mut dropped = 0u64;
+        for i in 0..self.learnts.len() {
+            let c = self.learnts[i];
+            if self.retired_eras[self.learnt_eras[i] as usize] && !self.is_locked(c) {
+                self.detach(c);
+                self.db.delete(c);
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.retain_live_learnts();
+            self.stats.era_drops += dropped;
+            self.stats.learnts = self.learnts.len() as u64;
+        }
+        dropped
+    }
+
+    /// Compacts `learnts` and the aligned `learnt_eras` down to the
+    /// clauses not marked deleted in the arena.
+    fn retain_live_learnts(&mut self) {
+        let mut kept = 0usize;
+        for i in 0..self.learnts.len() {
+            if !self.db.is_deleted(self.learnts[i]) {
+                self.learnts[kept] = self.learnts[i];
+                self.learnt_eras[kept] = self.learnt_eras[i];
+                kept += 1;
+            }
+        }
+        self.learnts.truncate(kept);
+        self.learnt_eras.truncate(kept);
     }
 
     /// Solver statistics so far.
@@ -690,6 +818,7 @@ impl Solver {
         let lbd = self.compute_lbd(cref);
         self.db.set_lbd(cref, lbd);
         self.learnts.push(cref);
+        self.learnt_eras.push(self.era);
         self.stats.learnts = self.learnts.len() as u64;
         self.attach(cref);
         self.unchecked_enqueue(lits[0], cref);
@@ -727,7 +856,7 @@ impl Solver {
             self.db.delete(c);
             deleted += 1;
         }
-        self.learnts.retain(|c| !self.db.is_deleted(*c));
+        self.retain_live_learnts();
         self.stats.learnts = self.learnts.len() as u64;
         if self.db.wasted * 2 > self.db.data.len() {
             self.garbage_collect();
@@ -743,6 +872,16 @@ impl Solver {
     /// discarding the solver. Glue clauses (LBD ≤ 2) and clauses locked as
     /// level-0 reasons survive, so the call never loses soundness or the
     /// most valuable lemmas.
+    ///
+    /// Retired-era learnts are deliberately **not** purged here: era
+    /// tagging is by time, not ancestry, so within one session a retired
+    /// goal's era mostly holds lemmas about the shared formula that the
+    /// *next* window's near-identical goal still profits from — purging
+    /// them at every boundary would undo the persistent session's
+    /// cross-window clause reuse. The purge belongs to [`Solver::fork`]
+    /// (a fork for a new scenario never re-assumes the retired goals);
+    /// owners that do want it in-session call
+    /// [`Solver::purge_retired_learnts`] explicitly.
     ///
     /// # Panics
     ///

@@ -56,3 +56,82 @@ fn core_seeding_reprioritizes_previous_core_vars() {
     assert_eq!(s.solve(&[b.pos()]), SolveResult::Sat);
     assert_eq!(s.stats().core_seeds, before + 1);
 }
+
+/// Installs a pigeonhole instance PHP(pigeons, holes) whose per-pigeon
+/// clauses are guarded by `act` (hole exclusivity is unguarded): solving
+/// under `act` is unsatisfiable and needs real conflict analysis, so the
+/// solver derives learnt clauses attributable to the guarded goal.
+fn guarded_pigeonhole(s: &mut Solver, act: ssc_sat::Lit, pigeons: usize, holes: usize) {
+    let p: Vec<Vec<_>> =
+        (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+    for row in &p {
+        let mut clause = vec![!act];
+        clause.extend(row.iter().map(|v| v.pos()));
+        s.add_clause(clause);
+    }
+    for a in 0..pigeons {
+        for b in a + 1..pigeons {
+            for (pa, pb) in p[a].iter().zip(&p[b]) {
+                s.add_clause([pa.neg(), pb.neg()]);
+            }
+        }
+    }
+}
+
+#[test]
+fn retired_era_learnts_are_dropped_by_fork_and_collect_garbage() {
+    let mut s = Solver::new();
+    let act = s.new_var().pos();
+    let era = s.begin_era();
+    assert_eq!(s.current_era(), era);
+    guarded_pigeonhole(&mut s, act, 6, 5);
+    assert_eq!(s.solve(&[act]), SolveResult::Unsat, "PHP under the goal is unsat");
+    let learnts_before = s.stats().learnts;
+    assert!(learnts_before > 0, "the guarded goal must actually produce lemmas");
+
+    // Retire the goal: unit ¬act plus the era retirement.
+    s.add_clause([!act]);
+    s.retire_era(era);
+    assert_eq!(s.current_era(), 0, "retiring the current era falls back to the base");
+
+    // A fork sheds the retired goal's lemmas instead of copying them.
+    let mut f = s.fork();
+    assert!(f.stats().era_drops > 0, "fork must drop retired-era learnts");
+    assert!(
+        f.stats().learnts < learnts_before,
+        "fork carries {} learnts, expected fewer than {learnts_before}",
+        f.stats().learnts
+    );
+    // The within-session GC deliberately does NOT era-purge (the
+    // time-based tag over-approximates goal ancestry, and the next
+    // window's near-identical goal still profits from shared-formula
+    // lemmas); the purge is explicit for session owners.
+    s.collect_garbage();
+    assert_eq!(s.stats().era_drops, 0, "collect_garbage must not era-purge");
+    let dropped = s.purge_retired_learnts();
+    assert_eq!(s.stats().era_drops, dropped, "explicit purge is accounted");
+
+    // Both solvers remain correct: without the goal the formula is
+    // satisfiable, and re-assuming the retired activation is futile.
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    assert_eq!(f.solve(&[]), SolveResult::Sat);
+    assert_eq!(f.solve(&[act]), SolveResult::Unsat, "retired activation stays retired");
+}
+
+#[test]
+fn unretired_eras_survive_garbage_collection() {
+    let mut s = Solver::new();
+    let act = s.new_var().pos();
+    let era = s.begin_era();
+    guarded_pigeonhole(&mut s, act, 6, 5);
+    assert_eq!(s.solve(&[act]), SolveResult::Unsat);
+    assert!(s.stats().learnts > 0);
+    // No era retired: the hygiene pass must not touch anything (ordinary
+    // LBD-ranked reduction may still shed the worse half).
+    s.collect_garbage();
+    assert_eq!(s.stats().era_drops, 0, "no retired era, no era-based drops");
+    // The goal is still active and still unsat.
+    assert_eq!(s.solve(&[act]), SolveResult::Unsat);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    let _ = era;
+}

@@ -1,112 +1,145 @@
-//! The 64-lane bit-sliced evaluation domain and its simulator front-end.
+//! The width-generic bit-sliced evaluation domain and its simulator
+//! front-end.
 //!
-//! [`BatchSim`] evaluates [`LANES`](ssc_netlist::lanes::LANES) (= 64)
-//! independent stimuli per netlist walk. A `w`-bit signal is stored as `w`
-//! `u64` words where word `i` holds bit `i` of every lane (the layout of
-//! [`ssc_netlist::lanes`]); bitwise operators then act on all 64 lanes at
-//! once, arithmetic ripples carries across the `w` words, and per-lane
-//! control flow (muxes, dynamic shifts, memory addressing) is resolved with
-//! lane masks instead of branches.
+//! [`BatchSim<W>`] evaluates `64·W` independent stimuli per netlist walk. A
+//! `w`-bit signal is stored as `w` [`Block<W>`]s where block `i` holds bit
+//! `i` of every lane (the layout of [`ssc_netlist::lanes`]); bitwise
+//! operators then act on all lanes at once, arithmetic ripples carries
+//! across the `w` blocks, and per-lane control flow (muxes, dynamic shifts,
+//! memory addressing) is resolved with lane masks instead of branches. The
+//! kernels are written word-wise over `[u64; W]`, so `W = 1` is the classic
+//! 64-lane `u64` engine and `W = 4` a 256-lane engine whose inner loops
+//! autovectorize to AVX2/SVE registers.
 //!
 //! Memories are the one exception to the bit-sliced layout: they keep
-//! *per-lane scalar* words (`data[word * 64 + lane]`), because memory reads
-//! and writes are address-dependent gathers/scatters — the packed↔scalar
-//! transposition happens at the memory boundary and nowhere else.
+//! *per-lane scalar* words (`data[word * lanes + lane]`), because memory
+//! reads and writes are address-dependent gathers/scatters — the
+//! packed↔scalar transposition happens at the memory boundary and nowhere
+//! else.
 //!
 //! Every lane is bit-identical to a scalar [`crate::Sim`] run fed the same
-//! stimulus: the lanes share no state and the domain is cross-checked
-//! against the scalar semantics property-by-property.
+//! stimulus — for every `W`: the lanes share no state and the domain is
+//! cross-checked against the scalar semantics property-by-property (and
+//! `W = 4` against `W = 1`).
 
-use ssc_netlist::lanes::{self, LANES};
+use ssc_netlist::lanes::{self, Block};
 use ssc_netlist::{Bv, MemId, Netlist, NetlistError, Node, Op, SignalId, Wire};
 
 use crate::domain::EvalDomain;
 use crate::engine::Engine;
 use crate::trace::BatchTrace;
 
-/// A bit-sliced value: `bits[i]` holds bit `i` of all 64 lanes.
+/// Block width (in `u64` words) of the wide 256-lane instantiation.
+pub const WIDE_WORDS: usize = 4;
+
+/// A bit-sliced value: `bits[i]` holds bit `i` of all `64·W` lanes.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LaneValue {
+pub struct LaneValue<const W: usize = 1> {
     width: u32,
-    bits: Vec<u64>,
+    bits: Vec<Block<W>>,
 }
 
-impl LaneValue {
+impl<const W: usize> LaneValue<W> {
     /// The signal width in bits (`bits().len()`).
     pub fn width(&self) -> u32 {
         self.width
     }
 
-    /// The bit-position words (see [`ssc_netlist::lanes`] for the layout).
-    pub fn bits(&self) -> &[u64] {
+    /// The bit-position blocks (see [`ssc_netlist::lanes`] for the layout).
+    pub fn bits(&self) -> &[Block<W>] {
         &self.bits
     }
 
     /// Extracts one lane as a [`Bv`].
     pub fn lane(&self, l: usize) -> Bv {
-        Bv::new(self.width, lanes::lane(&self.bits, l))
+        Bv::new(self.width, lanes::lane_of(&self.bits, l))
     }
 
-    /// All 64 lanes as scalars.
-    pub fn unpack(&self) -> [u64; LANES] {
-        lanes::unpack(&self.bits)
+    /// All `64·W` lanes as scalars, lane-indexed.
+    pub fn unpack(&self) -> Vec<u64> {
+        let rows = lanes::unpack_block(&self.bits);
+        let mut out = Vec::with_capacity(lanes::block_lanes::<W>());
+        for row in &rows {
+            out.extend_from_slice(row);
+        }
+        out
     }
 
     fn resize(&mut self, width: u32) {
         self.width = width;
-        self.bits.resize(width as usize, 0);
+        self.bits.resize(width as usize, Block::ZERO);
     }
 }
 
-/// A bit-sliced memory: per-lane scalar words, `data[word * LANES + lane]`.
+/// A bit-sliced memory: per-lane scalar words, `data[word * lanes + lane]`.
 #[derive(Clone, Debug)]
-pub struct LaneMem {
+pub struct LaneMem<const W: usize = 1> {
     width: u32,
     words: u32,
     data: Vec<u64>,
 }
 
-impl LaneMem {
+impl<const W: usize> LaneMem<W> {
+    const LANES: usize = lanes::block_lanes::<W>();
+
     /// Reads the word at `index` in `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range (an unchecked lane would silently
+    /// alias a neighbouring word's data in the flat layout).
     pub fn word(&self, index: u32, lane: usize) -> Bv {
-        Bv::new(self.width, self.data[index as usize * LANES + lane])
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        Bv::new(self.width, self.data[index as usize * Self::LANES + lane])
     }
 
     /// Overwrites the word at `index` in `lane` (masked to the word width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
     pub fn set_word(&mut self, index: u32, lane: usize, value: Bv) {
-        self.data[index as usize * LANES + lane] = value.val();
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        self.data[index as usize * Self::LANES + lane] = value.val();
     }
 }
 
-/// The 64-lane bit-sliced evaluation domain.
+/// The width-generic bit-sliced evaluation domain: `W` `u64` words per
+/// block, `64·W` lanes per walk.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct BitSliceDomain;
+pub struct BitSliceDomain<const W: usize = 1>;
 
-impl EvalDomain for BitSliceDomain {
-    type Value = LaneValue;
-    type Mem = LaneMem;
+impl<const W: usize> EvalDomain for BitSliceDomain<W> {
+    type Value = LaneValue<W>;
+    type Mem = LaneMem<W>;
 
-    fn value_zero(width: u32) -> LaneValue {
-        LaneValue { width, bits: vec![0; width as usize] }
+    fn value_zero(width: u32) -> LaneValue<W> {
+        LaneValue { width, bits: vec![Block::ZERO; width as usize] }
     }
 
-    fn value_const(bv: Bv) -> LaneValue {
+    fn value_const(bv: Bv) -> LaneValue<W> {
         let mut v = Self::value_zero(bv.width());
-        lanes::broadcast(&mut v.bits, bv.val());
+        lanes::broadcast_block(&mut v.bits, bv.val());
         v
     }
 
-    fn value_dummy() -> LaneValue {
+    fn value_dummy() -> LaneValue<W> {
         LaneValue { width: 0, bits: Vec::new() }
     }
 
-    fn value_assign(dst: &mut LaneValue, src: &LaneValue) {
+    fn value_assign(dst: &mut LaneValue<W>, src: &LaneValue<W>) {
         dst.width = src.width;
         dst.bits.clear();
         dst.bits.extend_from_slice(&src.bits);
     }
 
-    fn eval_op(op: Op, width: u32, values: &[LaneValue], args: &[SignalId], out: &mut LaneValue) {
+    fn eval_op(
+        op: Op,
+        width: u32,
+        values: &[LaneValue<W>],
+        args: &[SignalId],
+        out: &mut LaneValue<W>,
+    ) {
         let v = |i: usize| &values[args[i].index()];
         out.resize(width);
         let w = width as usize;
@@ -129,7 +162,7 @@ impl EvalDomain for BitSliceDomain {
             }
             Op::Add => {
                 let (a, b) = (v(0), v(1));
-                let mut carry = 0u64;
+                let mut carry = Block::ZERO;
                 for i in 0..w {
                     let (x, y) = (a.bits[i], b.bits[i]);
                     let xy = x ^ y;
@@ -139,7 +172,7 @@ impl EvalDomain for BitSliceDomain {
             }
             Op::Sub => {
                 let (a, b) = (v(0), v(1));
-                let mut borrow = 0u64;
+                let mut borrow = Block::ZERO;
                 for i in 0..w {
                     let (x, y) = (a.bits[i], b.bits[i]);
                     out.bits[i] = x ^ y ^ borrow;
@@ -148,13 +181,13 @@ impl EvalDomain for BitSliceDomain {
             }
             Op::Mul => {
                 let (a, b) = (v(0), v(1));
-                out.bits[..w].fill(0);
+                out.bits[..w].fill(Block::ZERO);
                 for j in 0..w {
                     let sel = b.bits[j];
-                    if sel == 0 {
+                    if sel.is_zero() {
                         continue;
                     }
-                    let mut carry = 0u64;
+                    let mut carry = Block::ZERO;
                     for i in j..w {
                         let p = a.bits[i - j] & sel;
                         let o = out.bits[i];
@@ -166,7 +199,7 @@ impl EvalDomain for BitSliceDomain {
             }
             Op::Eq => {
                 let (a, b) = (v(0), v(1));
-                let mut acc = u64::MAX;
+                let mut acc = Block::ONES;
                 for i in 0..a.bits.len() {
                     acc &= !(a.bits[i] ^ b.bits[i]);
                 }
@@ -175,11 +208,11 @@ impl EvalDomain for BitSliceDomain {
             Op::Ult | Op::Slt => {
                 let (a, b) = (v(0), v(1));
                 let top = a.bits.len() - 1;
-                let mut borrow = 0u64;
+                let mut borrow = Block::ZERO;
                 for i in 0..a.bits.len() {
                     // Signed comparison = unsigned with both sign bits
                     // flipped.
-                    let flip = if op == Op::Slt && i == top { u64::MAX } else { 0 };
+                    let flip = Block::splat(op == Op::Slt && i == top);
                     let (x, y) = (a.bits[i] ^ flip, b.bits[i] ^ flip);
                     borrow = (!x & y) | ((!x | y) & borrow);
                 }
@@ -189,14 +222,14 @@ impl EvalDomain for BitSliceDomain {
                 let a = v(0);
                 let s = s as usize;
                 for i in (0..w).rev() {
-                    out.bits[i] = if i >= s { a.bits[i - s] } else { 0 };
+                    out.bits[i] = if i >= s { a.bits[i - s] } else { Block::ZERO };
                 }
             }
             Op::ShrC(s) => {
                 let a = v(0);
                 let s = s as usize;
                 for i in 0..w {
-                    out.bits[i] = if i + s < w { a.bits[i + s] } else { 0 };
+                    out.bits[i] = if i + s < w { a.bits[i + s] } else { Block::ZERO };
                 }
             }
             Op::SarC(s) => {
@@ -211,9 +244,9 @@ impl EvalDomain for BitSliceDomain {
                 out.bits[..w].copy_from_slice(&a.bits);
                 let sign = a.bits[w - 1];
                 // Lanes whose amount reaches the width shift everything out.
-                let mut big = 0u64;
+                let mut big = Block::ZERO;
                 for (k, &sel) in amt.bits.iter().enumerate() {
-                    if sel == 0 {
+                    if sel.is_zero() {
                         continue;
                     }
                     let sh = 1usize << k.min(63);
@@ -231,7 +264,7 @@ impl EvalDomain for BitSliceDomain {
                             }
                         }
                         Op::Shr | Op::Sar => {
-                            let fill = if op == Op::Sar { sign } else { 0 };
+                            let fill = if op == Op::Sar { sign } else { Block::ZERO };
                             for i in 0..w - sh {
                                 out.bits[i] = (sel & out.bits[i + sh]) | (!sel & out.bits[i]);
                             }
@@ -242,8 +275,8 @@ impl EvalDomain for BitSliceDomain {
                         _ => unreachable!(),
                     }
                 }
-                if big != 0 {
-                    let fill = if op == Op::Sar { sign } else { 0 };
+                if !big.is_zero() {
+                    let fill = if op == Op::Sar { sign } else { Block::ZERO };
                     for i in 0..w {
                         out.bits[i] = (big & fill) | (!big & out.bits[i]);
                     }
@@ -266,7 +299,7 @@ impl EvalDomain for BitSliceDomain {
                 let a = v(0);
                 let aw = a.bits.len();
                 out.bits[..aw].copy_from_slice(&a.bits);
-                out.bits[aw..w].fill(0);
+                out.bits[aw..w].fill(Block::ZERO);
             }
             Op::Sext => {
                 let a = v(0);
@@ -282,85 +315,98 @@ impl EvalDomain for BitSliceDomain {
                 }
             }
             Op::ReduceOr => {
-                out.bits[0] = v(0).bits.iter().fold(0, |acc, &b| acc | b);
+                out.bits[0] = v(0).bits.iter().fold(Block::ZERO, |acc, &b| acc | b);
             }
             Op::ReduceAnd => {
-                out.bits[0] = v(0).bits.iter().fold(u64::MAX, |acc, &b| acc & b);
+                out.bits[0] = v(0).bits.iter().fold(Block::ONES, |acc, &b| acc & b);
             }
             Op::ReduceXor => {
-                out.bits[0] = v(0).bits.iter().fold(0, |acc, &b| acc ^ b);
+                out.bits[0] = v(0).bits.iter().fold(Block::ZERO, |acc, &b| acc ^ b);
             }
         }
     }
 
-    fn mem_new(words: u32, width: u32) -> LaneMem {
-        LaneMem { width, words, data: vec![0; words as usize * LANES] }
+    fn mem_new(words: u32, width: u32) -> LaneMem<W> {
+        LaneMem { width, words, data: vec![0; words as usize * LaneMem::<W>::LANES] }
     }
 
-    fn mem_reset(mem: &mut LaneMem, init: Option<&[Bv]>) {
+    fn mem_reset(mem: &mut LaneMem<W>, init: Option<&[Bv]>) {
+        let lanes = LaneMem::<W>::LANES;
         match init {
             Some(init) => {
                 for (w, bv) in init.iter().enumerate() {
-                    mem.data[w * LANES..(w + 1) * LANES].fill(bv.val());
+                    mem.data[w * lanes..(w + 1) * lanes].fill(bv.val());
                 }
             }
             None => mem.data.fill(0),
         }
     }
 
-    fn mem_read(mem: &LaneMem, addr: &LaneValue, width: u32, out: &mut LaneValue) {
+    fn mem_read(mem: &LaneMem<W>, addr: &LaneValue<W>, width: u32, out: &mut LaneValue<W>) {
         out.resize(width);
-        let addrs = addr.unpack();
-        let mut vals = [0u64; LANES];
-        for (l, &a) in addrs.iter().enumerate() {
-            if a < u64::from(mem.words) {
-                vals[l] = mem.data[a as usize * LANES + l];
+        let addrs = lanes::unpack_block(&addr.bits);
+        let mut vals = [[0u64; lanes::LANES]; W];
+        for k in 0..W {
+            for (l, &a) in addrs[k].iter().enumerate() {
+                if a < u64::from(mem.words) {
+                    vals[k][l] = mem.data[a as usize * Self::Mem::LANES + k * lanes::LANES + l];
+                }
             }
         }
-        let packed = lanes::pack(&vals);
+        let packed = lanes::pack_block(&vals);
         out.bits.copy_from_slice(&packed[..width as usize]);
     }
 
-    fn mem_write(mem: &mut LaneMem, en: &LaneValue, addr: &LaneValue, data: &LaneValue) {
+    fn mem_write(mem: &mut LaneMem<W>, en: &LaneValue<W>, addr: &LaneValue<W>, data: &LaneValue<W>) {
         let sel = en.bits[0];
-        if sel == 0 {
+        if sel.is_zero() {
             return;
         }
-        let addrs = addr.unpack();
-        let vals = data.unpack();
-        for l in 0..LANES {
-            if (sel >> l) & 1 == 1 {
-                let a = addrs[l];
-                if a < u64::from(mem.words) {
-                    mem.data[a as usize * LANES + l] = vals[l];
+        let addrs = lanes::unpack_block(&addr.bits);
+        let vals = lanes::unpack_block(&data.bits);
+        for k in 0..W {
+            let word = sel.word(k);
+            if word == 0 {
+                continue;
+            }
+            for l in 0..lanes::LANES {
+                if (word >> l) & 1 == 1 {
+                    let a = addrs[k][l];
+                    if a < u64::from(mem.words) {
+                        mem.data[a as usize * Self::Mem::LANES + k * lanes::LANES + l] =
+                            vals[k][l];
+                    }
                 }
             }
         }
     }
 }
 
-/// A cycle-accurate simulator evaluating 64 independent stimuli per pass.
+/// A cycle-accurate simulator evaluating `64·W` independent stimuli per
+/// pass (`W = 1`, the default, is the 64-lane engine; `W = 4` the 256-lane
+/// wide engine — see [`WIDE_WORDS`]).
 ///
 /// `BatchSim` mirrors [`crate::Sim`]'s API with per-lane variants: inputs,
 /// registers and memory words can be driven per lane
 /// ([`BatchSim::set_input_lanes`], [`BatchSim::set_mem_word_lane`], …) or
 /// broadcast to all lanes at once ([`BatchSim::set_input`], …), and signals
 /// are observed per lane ([`BatchSim::peek_lanes`]). Every lane is
-/// bit-identical to a scalar `Sim` run fed the same stimulus.
+/// bit-identical to a scalar `Sim` run fed the same stimulus, for every
+/// block width.
 ///
 /// Use `BatchSim` when many *independent* trials of the same design are
 /// needed (channel sweeps, Monte-Carlo taint trials); use `Sim` for single
 /// runs and interactive debugging — a batch walk costs a few times a scalar
 /// walk, so it only pays off when several lanes carry distinct stimuli.
 #[derive(Clone, Debug)]
-pub struct BatchSim<'n> {
-    engine: Engine<'n, BitSliceDomain>,
-    trace: BatchTrace,
+pub struct BatchSim<'n, const W: usize = 1> {
+    engine: Engine<'n, BitSliceDomain<W>>,
+    trace: BatchTrace<W>,
 }
 
-impl<'n> BatchSim<'n> {
+impl<'n, const W: usize> BatchSim<'n, W> {
     /// Number of lanes evaluated per pass.
-    pub const LANES: usize = LANES;
+    pub const LANES: usize = lanes::block_lanes::<W>();
 
     /// Creates a batch simulator for `netlist` and resets it.
     ///
@@ -412,16 +458,19 @@ impl<'n> BatchSim<'n> {
     pub fn set_input(&mut self, name: &str, value: u64) {
         let w = self.find(name);
         Self::assert_fits(w, value, "input", name);
-        self.set_input_wire_lanes(w, &[value; LANES]);
+        let mut v = BitSliceDomain::<W>::value_zero(w.width());
+        lanes::broadcast_block(&mut v.bits, value);
+        self.set_input_wire_value(w, v);
     }
 
-    /// Drives a primary input by name with one value per lane.
+    /// Drives a primary input by name with one value per lane
+    /// (`values.len()` must be [`BatchSim::LANES`]).
     ///
     /// # Panics
     ///
-    /// Panics if no input with that name exists or any lane's value does
-    /// not fit the port width.
-    pub fn set_input_lanes(&mut self, name: &str, values: &[u64; LANES]) {
+    /// Panics if no input with that name exists, the slice is not exactly
+    /// one value per lane, or any lane's value does not fit the port width.
+    pub fn set_input_lanes(&mut self, name: &str, values: &[u64]) {
         let w = self.find(name);
         for &v in values {
             Self::assert_fits(w, v, "input", name);
@@ -433,14 +482,18 @@ impl<'n> BatchSim<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if the wire is not an input or any lane's value does not fit
-    /// its width.
-    pub fn set_input_wire_lanes(&mut self, wire: Wire, values: &[u64; LANES]) {
+    /// Panics if the wire is not an input, the slice is not exactly one
+    /// value per lane, or any lane's value does not fit its width.
+    pub fn set_input_wire_lanes(&mut self, wire: Wire, values: &[u64]) {
+        self.set_input_wire_value(wire, pack_value(wire.width(), values));
+    }
+
+    fn set_input_wire_value(&mut self, wire: Wire, v: LaneValue<W>) {
         assert!(
             matches!(self.engine.netlist().node(wire.id()), Node::Input { .. }),
             "set_input on non-input signal"
         );
-        self.engine.set_value(wire.id(), pack_value(wire.width(), values));
+        self.engine.set_value(wire.id(), v);
     }
 
     /// Overwrites a register's current state in every lane.
@@ -450,21 +503,28 @@ impl<'n> BatchSim<'n> {
     /// Panics if the wire is not a register output or widths mismatch.
     pub fn set_reg(&mut self, wire: Wire, value: Bv) {
         assert_eq!(wire.width(), value.width(), "register width mismatch");
-        self.set_reg_lanes(wire, &[value.val(); LANES]);
+        let mut v = BitSliceDomain::<W>::value_zero(wire.width());
+        lanes::broadcast_block(&mut v.bits, value.val());
+        self.set_reg_value(wire, v);
     }
 
     /// Overwrites a register's current state with one value per lane.
     ///
     /// # Panics
     ///
-    /// Panics if the wire is not a register output or any lane's value does
-    /// not fit the register width.
-    pub fn set_reg_lanes(&mut self, wire: Wire, values: &[u64; LANES]) {
+    /// Panics if the wire is not a register output, the slice is not
+    /// exactly one value per lane, or any lane's value does not fit the
+    /// register width.
+    pub fn set_reg_lanes(&mut self, wire: Wire, values: &[u64]) {
+        self.set_reg_value(wire, pack_value(wire.width(), values));
+    }
+
+    fn set_reg_value(&mut self, wire: Wire, v: LaneValue<W>) {
         assert!(
             matches!(self.engine.netlist().node(wire.id()), Node::Reg(_)),
             "set_reg on non-register signal"
         );
-        self.engine.set_value(wire.id(), pack_value(wire.width(), values));
+        self.engine.set_value(wire.id(), v);
     }
 
     /// Overwrites one memory word in every lane.
@@ -477,7 +537,7 @@ impl<'n> BatchSim<'n> {
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
         assert_eq!(value.width(), m.width, "memory word width mismatch");
         let st = self.engine.mem_mut(mem);
-        for l in 0..LANES {
+        for l in 0..Self::LANES {
             st.set_word(index, l, value);
         }
     }
@@ -486,9 +546,10 @@ impl<'n> BatchSim<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if the word index is out of range or any lane's value does
-    /// not fit the word width.
-    pub fn set_mem_word_lanes(&mut self, mem: MemId, index: u32, values: &[u64; LANES]) {
+    /// Panics if the word index is out of range, the slice is not exactly
+    /// one value per lane, or any lane's value does not fit the word width.
+    pub fn set_mem_word_lanes(&mut self, mem: MemId, index: u32, values: &[u64]) {
+        assert_eq!(values.len(), Self::LANES, "one value per lane required");
         let m = self.engine.netlist().mem(mem);
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
         let (name, width) = (m.name.clone(), m.width);
@@ -512,7 +573,7 @@ impl<'n> BatchSim<'n> {
     pub fn set_mem_word_lane(&mut self, mem: MemId, index: u32, lane: usize, value: Bv) {
         let m = self.engine.netlist().mem(mem);
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
-        assert!(lane < LANES, "lane {lane} out of range");
+        assert!(lane < Self::LANES, "lane {lane} out of range");
         assert_eq!(value.width(), m.width, "memory word width mismatch");
         self.engine.mem_mut(mem).set_word(index, lane, value);
     }
@@ -525,20 +586,20 @@ impl<'n> BatchSim<'n> {
     pub fn read_mem_lane(&self, mem: MemId, index: u32, lane: usize) -> Bv {
         let m = self.engine.netlist().mem(mem);
         assert!(index < m.words, "word index {index} out of range for `{}`", m.name);
-        assert!(lane < LANES, "lane {lane} out of range");
+        assert!(lane < Self::LANES, "lane {lane} out of range");
         self.engine.mem(mem).word(index, lane)
     }
 
     /// The current value of a signal in one lane (evaluating first if
     /// needed).
     pub fn peek_lane(&mut self, wire: Wire, lane: usize) -> Bv {
-        assert!(lane < LANES, "lane {lane} out of range");
+        assert!(lane < Self::LANES, "lane {lane} out of range");
         self.engine.eval();
         self.engine.value(wire.id()).lane(lane)
     }
 
-    /// The current value of a signal in all lanes.
-    pub fn peek_lanes(&mut self, wire: Wire) -> [u64; LANES] {
+    /// The current value of a signal in all lanes (lane-indexed).
+    pub fn peek_lanes(&mut self, wire: Wire) -> Vec<u64> {
         self.engine.eval();
         self.engine.value(wire.id()).unpack()
     }
@@ -548,7 +609,7 @@ impl<'n> BatchSim<'n> {
     /// # Panics
     ///
     /// Panics if no signal with that name exists.
-    pub fn peek_name_lanes(&mut self, name: &str) -> [u64; LANES] {
+    pub fn peek_name_lanes(&mut self, name: &str) -> Vec<u64> {
         let w = self.find(name);
         self.peek_lanes(w)
     }
@@ -558,7 +619,7 @@ impl<'n> BatchSim<'n> {
     /// # Panics
     ///
     /// Panics if the signal is wider than one bit.
-    pub fn lanes_high(&mut self, wire: Wire) -> u64 {
+    pub fn lanes_high(&mut self, wire: Wire) -> Block<W> {
         assert_eq!(wire.width(), 1, "lanes_high expects a 1-bit signal");
         self.engine.eval();
         self.engine.value(wire.id()).bits()[0]
@@ -583,7 +644,7 @@ impl<'n> BatchSim<'n> {
     /// observed high, or `None` if some lane never rose within the bound.
     pub fn step_until_all_high(&mut self, signal: Wire, max_cycles: u64) -> Option<u64> {
         for i in 0..=max_cycles {
-            if self.lanes_high(signal) == u64::MAX {
+            if self.lanes_high(signal) == Block::ONES {
                 return Some(i);
             }
             if i < max_cycles {
@@ -610,32 +671,37 @@ impl<'n> BatchSim<'n> {
         }
         let cycle = self.engine.cycle();
         let probes: Vec<Wire> = self.trace.probe_wires().collect();
-        let vals: Vec<Vec<u64>> =
+        let vals: Vec<Vec<Block<W>>> =
             probes.iter().map(|w| self.engine.value(w.id()).bits().to_vec()).collect();
         self.trace.record(cycle, vals);
     }
 
     /// The recorded per-lane trace of watched signals.
-    pub fn trace(&self) -> &BatchTrace {
+    pub fn trace(&self) -> &BatchTrace<W> {
         &self.trace
     }
 }
 
 /// Packs per-lane scalars into a [`LaneValue`], refusing over-wide values
 /// (the wire-level backstop of the named `set_input` assertions — a wider
-/// scalar is a stimulus bug, not something to truncate silently).
-fn pack_value(width: u32, values: &[u64; LANES]) -> LaneValue {
+/// scalar is a stimulus bug, not something to truncate silently) and
+/// wrong-size slices (one value per lane, exactly).
+fn pack_value<const W: usize>(width: u32, values: &[u64]) -> LaneValue<W> {
+    assert_eq!(values.len(), lanes::block_lanes::<W>(), "one value per lane required");
     let mask = Bv::mask_for(width);
+    let mut rows = [[0u64; lanes::LANES]; W];
     for (l, &v) in values.iter().enumerate() {
         assert!(v & !mask == 0, "lane {l} value {v:#x} does not fit {width} bits");
+        rows[l / lanes::LANES][l % lanes::LANES] = v;
     }
-    let packed = lanes::pack(values);
+    let packed = lanes::pack_block(&rows);
     LaneValue { width, bits: packed[..width as usize].to_vec() }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssc_netlist::lanes::LANES;
     use ssc_netlist::StateMeta;
 
     fn counter() -> Netlist {
@@ -653,7 +719,7 @@ mod tests {
     #[test]
     fn lanes_count_independently() {
         let n = counter();
-        let mut sim = BatchSim::new(&n).unwrap();
+        let mut sim = BatchSim::<1>::new(&n).unwrap();
         // Enable only even lanes.
         let mut en = [0u64; LANES];
         for (l, e) in en.iter_mut().enumerate() {
@@ -668,6 +734,22 @@ mod tests {
     }
 
     #[test]
+    fn wide_lanes_count_independently() {
+        const L: usize = BatchSim::<4>::LANES;
+        let n = counter();
+        let mut sim = BatchSim::<4>::new(&n).unwrap();
+        // Lane l counts iff l % 3 == 0 — exercises all four block words.
+        let en: Vec<u64> = (0..L).map(|l| (l % 3 == 0) as u64).collect();
+        sim.set_input_lanes("en", &en);
+        sim.step_n(7);
+        let counts = sim.peek_name_lanes("count");
+        assert_eq!(counts.len(), 256);
+        for (l, &c) in counts.iter().enumerate() {
+            assert_eq!(c, if l % 3 == 0 { 7 } else { 0 }, "lane {l}");
+        }
+    }
+
+    #[test]
     fn per_lane_memory_states() {
         let mut n = Netlist::new("mem");
         let we = n.input("we", 1);
@@ -678,7 +760,7 @@ mod tests {
         let rd = n.mem_read(mem, addr);
         n.mark_output("rd", rd);
 
-        let mut sim = BatchSim::new(&n).unwrap();
+        let mut sim = BatchSim::<1>::new(&n).unwrap();
         // Each lane writes its own value to its own address.
         let mut addrs = [0u64; LANES];
         let mut datas = [0u64; LANES];
@@ -700,15 +782,62 @@ mod tests {
     }
 
     #[test]
+    fn wide_per_lane_memory_states() {
+        const L: usize = BatchSim::<4>::LANES;
+        let mut n = Netlist::new("mem");
+        let we = n.input("we", 1);
+        let addr = n.input("addr", 4);
+        let data = n.input("data", 32);
+        let mem = n.memory("ram", 16, 32, StateMeta::memory(true));
+        n.mem_write(mem, we, addr, data);
+        let rd = n.mem_read(mem, addr);
+        n.mark_output("rd", rd);
+
+        let mut sim = BatchSim::<4>::new(&n).unwrap();
+        let addrs: Vec<u64> = (0..L).map(|l| (l % 16) as u64).collect();
+        let datas: Vec<u64> = (0..L).map(|l| 0x1000 + l as u64).collect();
+        // Only lanes above 64 write — the write-enable mask must respect
+        // block-word boundaries.
+        let wes: Vec<u64> = (0..L).map(|l| (l >= 64) as u64).collect();
+        sim.set_input_lanes("we", &wes);
+        sim.set_input_lanes("addr", &addrs);
+        sim.set_input_lanes("data", &datas);
+        sim.step();
+        sim.set_input("we", 0);
+        let rds = sim.peek_lanes(rd);
+        for (l, &v) in rds.iter().enumerate() {
+            let expect = if l >= 64 { 0x1000 + l as u64 } else { 0 };
+            assert_eq!(v, expect, "lane {l}");
+        }
+        assert_eq!(sim.read_mem_lane(mem, 3, 3 + 128).val(), 0x1000 + 131);
+    }
+
+    #[test]
     fn broadcast_set_input_asserts_width() {
         let n = counter();
-        let mut sim = BatchSim::new(&n).unwrap();
+        let mut sim = BatchSim::<1>::new(&n).unwrap();
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             sim.set_input("en", 2);
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().expect("panic message");
         assert!(msg.contains("`en`"), "panic must name the signal: {msg}");
+    }
+
+    #[test]
+    fn lane_count_mismatch_is_rejected() {
+        let n = counter();
+        let mut sim = BatchSim::<4>::new(&n).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set_input_lanes("en", &[0u64; 64]); // 64 values, 256 lanes
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic message");
+        assert!(msg.contains("one value per lane"), "{msg}");
     }
 
     #[test]
@@ -719,7 +848,7 @@ mod tests {
         let lt = n.ult(count, four);
         let done = n.not(lt);
         n.set_name(done, "done");
-        let mut sim = BatchSim::new(&n).unwrap();
+        let mut sim = BatchSim::<1>::new(&n).unwrap();
         sim.set_input("en", 1);
         // Lane l starts at count = l (lanes 0..=4 need 4-l more steps).
         let mut starts = [10u64; LANES];
@@ -731,9 +860,27 @@ mod tests {
     }
 
     #[test]
+    fn wide_step_until_all_high_waits_for_the_highest_lane() {
+        const L: usize = BatchSim::<4>::LANES;
+        let mut n = counter();
+        let count = n.find("count").unwrap();
+        let four = n.lit(8, 4);
+        let lt = n.ult(count, four);
+        let done = n.not(lt);
+        n.set_name(done, "done");
+        let mut sim = BatchSim::<4>::new(&n).unwrap();
+        sim.set_input("en", 1);
+        // Only lane 200 is behind.
+        let mut starts = vec![10u64; L];
+        starts[200] = 1;
+        sim.set_reg_lanes(count, &starts);
+        assert_eq!(sim.step_until_all_high(done, 100), Some(3));
+    }
+
+    #[test]
     fn batch_trace_records_per_lane_series() {
         let n = counter();
-        let mut sim = BatchSim::new(&n).unwrap();
+        let mut sim = BatchSim::<1>::new(&n).unwrap();
         sim.watch("count");
         let mut en = [0u64; LANES];
         en[7] = 1;
@@ -749,5 +896,45 @@ mod tests {
             lane0.series("count").unwrap().iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
             vec![0, 0, 0]
         );
+    }
+
+    #[test]
+    fn wide_trace_views_high_lanes() {
+        const L: usize = BatchSim::<4>::LANES;
+        let n = counter();
+        let mut sim = BatchSim::<4>::new(&n).unwrap();
+        sim.watch("count");
+        let mut en = vec![0u64; L];
+        en[199] = 1;
+        sim.set_input_lanes("en", &en);
+        sim.step_n(3);
+        let lane = sim.trace().lane_view(199);
+        assert_eq!(
+            lane.series("count").unwrap().iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let idle = sim.trace().lane_view(198);
+        assert_eq!(
+            idle.series("count").unwrap().iter().map(|(_, v)| v.val()).collect::<Vec<_>>(),
+            vec![0, 0, 0]
+        );
+    }
+
+    /// The wide engine is bit-identical to the 64-lane engine on matching
+    /// stimuli — the direct W=4 vs W=1 cross-check at the `BatchSim` level.
+    #[test]
+    fn wide_engine_matches_narrow_engine_lane_for_lane() {
+        const L: usize = BatchSim::<4>::LANES;
+        let n = counter();
+        let mut narrow = BatchSim::<1>::new(&n).unwrap();
+        let mut wide = BatchSim::<4>::new(&n).unwrap();
+        let en_wide: Vec<u64> = (0..L).map(|l| (l % 5 < 2) as u64).collect();
+        narrow.set_input_lanes("en", &en_wide[..64]);
+        wide.set_input_lanes("en", &en_wide);
+        narrow.step_n(9);
+        wide.step_n(9);
+        let c_narrow = narrow.peek_name_lanes("count");
+        let c_wide = wide.peek_name_lanes("count");
+        assert_eq!(c_narrow[..], c_wide[..64], "first block diverges");
     }
 }

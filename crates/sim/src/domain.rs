@@ -2,13 +2,15 @@
 //!
 //! The engine ([`crate::engine::Engine`]) walks the netlist in topological
 //! order and latches state on clock edges; *what a value is* — a single
-//! [`Bv`], or one bit-position of 64 packed stimuli — is decided by the
-//! [`EvalDomain`] implementation it is instantiated with:
+//! [`Bv`], or one bit-position of `64·W` packed stimuli — is decided by
+//! the [`EvalDomain`] implementation it is instantiated with:
 //!
 //! - [`ScalarDomain`] evaluates one stimulus at a time and backs the
 //!   classic [`crate::Sim`],
-//! - [`crate::batch::BitSliceDomain`] evaluates 64 independent stimuli per
-//!   walk and backs [`crate::BatchSim`].
+//! - [`crate::batch::BitSliceDomain<W>`](crate::batch::BitSliceDomain)
+//!   evaluates `64·W` independent stimuli per walk (64 at the default
+//!   `W = 1`, 256 at `W = 4`) and backs
+//!   [`crate::BatchSim<W>`](crate::BatchSim).
 //!
 //! A domain supplies constants, the combinational operator semantics and
 //! the memory representation (scalar memories are plain `Bv` arrays; the

@@ -17,26 +17,64 @@
 //!
 //! The interpreter loop lives in the domain-generic [`Engine`]; *what a
 //! value is* is decided by the [`domain::EvalDomain`] it is instantiated
-//! with. Two domains ship with the crate:
+//! with. Two domain families ship with the crate:
 //!
 //! - the **scalar** domain ([`domain::ScalarDomain`], value = [`Bv`]) backs
 //!   [`Sim`] — one stimulus per walk, the reference semantics;
-//! - the **64-lane bit-sliced** domain ([`batch::BitSliceDomain`]) backs
-//!   [`BatchSim`] — a `w`-bit signal becomes `w` `u64` words where word
-//!   `i` carries bit `i` of 64 *independent* stimuli (the
-//!   [`ssc_netlist::lanes`] layout), so one netlist walk advances 64
-//!   trials. Memories stay per-lane scalar (`data[word * 64 + lane]`)
-//!   because reads/writes are address-dependent gathers; packing is
-//!   transposed at the memory boundary only.
+//! - the **width-generic bit-sliced** domain
+//!   ([`batch::BitSliceDomain<W>`](batch::BitSliceDomain)) backs
+//!   [`BatchSim<W>`](BatchSim) — a `w`-bit signal becomes `w`
+//!   [`ssc_netlist::lanes::Block<W>`](ssc_netlist::lanes::Block)s (each
+//!   `W` `u64` words) where block `i` carries bit `i` of `64·W`
+//!   *independent* stimuli (the [`ssc_netlist::lanes`] layout), so one
+//!   netlist walk advances `64·W` trials. `W = 1` (the default) is the
+//!   classic 64-lane engine; `W = 4` ([`batch::WIDE_WORDS`]) is the
+//!   256-lane wide engine whose word-wise kernels autovectorize to
+//!   AVX2/SVE registers. Memories stay per-lane scalar
+//!   (`data[word * 64·W + lane]`) because reads/writes are
+//!   address-dependent gathers; packing is transposed at the memory
+//!   boundary only.
+//!
+//! ## The width-generic block design
+//!
+//! Three layers make a lane width:
+//!
+//! 1. **Block layout** (`ssc_netlist::lanes`): a
+//!    [`Block<W>`](ssc_netlist::lanes::Block) is `[u64; W]` — lane `l`
+//!    lives in word `l / 64`, bit `l % 64`, so `Block<1>` is
+//!    layout-identical to the historical `u64` word and `W = 1` results
+//!    are bit-identical to the pre-width-generic engine by construction.
+//!    All kernels (ripple-carry add/sub/mul, borrow-chain compares,
+//!    mask-blend mux, per-lane dynamic shifts) are written against the
+//!    block's word-wise bit operators, never against `u64` directly.
+//! 2. **Transpose boundary** (`pack_block`/`unpack_block`): converting
+//!    per-lane scalars to the bit-sliced layout decomposes into `W`
+//!    independent 64×64 transposes (lane group `k` lands in word `k` of
+//!    every block). Only stimulus injection, observation, and the memory
+//!    gather/scatter path cross this boundary; the evaluation loop never
+//!    does.
+//! 3. **Width-parameterized front-ends**: `BatchSim<W>`, `BatchTrace<W>`,
+//!    and (downstream) `BatchSocSim<W>`/`BatchTaintSim<W>` and the batch
+//!    attack/IFT entry points are `const W: usize` generic with `W = 1`
+//!    defaults; lane-block sharding and the runtime width default live in
+//!    `ssc_pool` (`LaneWidth`), which is the single place the width is
+//!    selected and partitioned.
+//!
+//! **Adding a width** (say AVX-512's `W = 8`): no kernel changes — add the
+//! new `W` arm to `ssc_pool::LaneWidth` (words/lanes/env parsing) and the
+//! monomorphization `match`es that dispatch on it (`ssc-attacks::leak`,
+//! `ssc-bench::count_batch_hits`), and extend the equivalence suites'
+//! width lists. Everything else is already generic.
 //!
 //! **When to use which:** `Sim` for single runs, counterexample replay and
 //! interactive debugging; `BatchSim` whenever ≥ a handful of *independent*
 //! trials of the same design are needed (channel sweeps, Monte-Carlo taint
-//! trials) — a batch walk costs a few scalar walks but carries 64 lanes,
-//! an order-of-magnitude throughput win. Every lane is bit-identical to a
-//! scalar run fed the same stimulus; the property tests in
-//! `ssc-aig/tests/proptest_equivalence.rs` and the attack-scenario
-//! cross-checks in `ssc-attacks` enforce this.
+//! trials) — a batch walk costs a few scalar walks but carries `64·W`
+//! lanes, an order-of-magnitude throughput win. Every lane is
+//! bit-identical to a scalar run fed the same stimulus, at every width;
+//! the property tests in `ssc-aig/tests/proptest_equivalence.rs` and the
+//! attack-scenario cross-checks in `ssc-attacks` enforce this for both
+//! `W = 1` and `W = 4`.
 //!
 //! # Example
 //!
@@ -66,9 +104,13 @@ pub mod domain;
 mod engine;
 mod trace;
 
-pub use batch::BatchSim;
+pub use batch::{BatchSim, WIDE_WORDS};
 pub use engine::Engine;
 pub use trace::{BatchTrace, Trace};
+
+/// The 256-lane wide batch simulator (`u64x4` blocks — autovectorizes to
+/// AVX2/SVE on capable targets).
+pub type WideBatchSim<'n> = BatchSim<'n, WIDE_WORDS>;
 
 use ssc_netlist::{Bv, MemId, Netlist, NetlistError, Node, Wire};
 

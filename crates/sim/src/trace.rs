@@ -105,20 +105,29 @@ impl Trace {
 
 /// A lane-aware recording of watched signals over simulated cycles.
 ///
-/// The 64-lane counterpart of [`Trace`], filled by `BatchSim::watch`:
-/// every sample stores each probe's *bit-sliced* words (see
+/// The `64·W`-lane counterpart of [`Trace`], filled by `BatchSim::watch`:
+/// every sample stores each probe's *bit-sliced* blocks (see
 /// [`ssc_netlist::lanes`]), so recording costs no per-lane transposition.
 /// Per-lane inspection — including VCD export — goes through
 /// [`BatchTrace::lane_view`], which materializes an ordinary [`Trace`] for
 /// one lane.
-#[derive(Clone, Debug, Default)]
-pub struct BatchTrace {
+#[derive(Clone, Debug)]
+pub struct BatchTrace<const W: usize = 1> {
     probes: Vec<(String, Wire)>,
-    /// samples[i] = (cycle, bit-sliced words per probe, aligned with `probes`)
-    samples: Vec<(u64, Vec<Vec<u64>>)>,
+    /// samples[i] = (cycle, bit-sliced blocks per probe, aligned with `probes`)
+    samples: Vec<(u64, Vec<Vec<ssc_netlist::lanes::Block<W>>>)>,
 }
 
-impl BatchTrace {
+impl<const W: usize> Default for BatchTrace<W> {
+    fn default() -> Self {
+        BatchTrace { probes: Vec::new(), samples: Vec::new() }
+    }
+}
+
+impl<const W: usize> BatchTrace<W> {
+    /// Number of lanes per sample.
+    pub const LANES: usize = ssc_netlist::lanes::block_lanes::<W>();
+
     /// Creates an empty trace with no probes.
     pub fn new() -> Self {
         BatchTrace::default()
@@ -152,7 +161,7 @@ impl BatchTrace {
     /// # Panics
     ///
     /// Panics if `values.len()` differs from the number of probes.
-    pub fn record(&mut self, cycle: u64, values: Vec<Vec<u64>>) {
+    pub fn record(&mut self, cycle: u64, values: Vec<Vec<ssc_netlist::lanes::Block<W>>>) {
         assert_eq!(values.len(), self.probes.len(), "trace sample arity mismatch");
         self.samples.push((cycle, values));
     }
@@ -167,9 +176,9 @@ impl BatchTrace {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= Self::LANES`.
     pub fn lane_view(&self, lane: usize) -> Trace {
-        assert!(lane < ssc_netlist::lanes::LANES, "lane {lane} out of range");
+        assert!(lane < Self::LANES, "lane {lane} out of range");
         let mut t = Trace::new();
         for (name, wire) in &self.probes {
             t.add_probe(name, *wire);
@@ -179,7 +188,9 @@ impl BatchTrace {
                 .probes
                 .iter()
                 .zip(vals)
-                .map(|((_, w), bits)| Bv::new(w.width(), ssc_netlist::lanes::lane(bits, lane)))
+                .map(|((_, w), bits)| {
+                    Bv::new(w.width(), ssc_netlist::lanes::lane_of(bits, lane))
+                })
                 .collect();
             t.record(*cycle, &scalars);
         }
@@ -194,7 +205,7 @@ impl BatchTrace {
             self.samples
                 .iter()
                 .map(|(c, vals)| {
-                    (*c, Bv::new(wire.width(), ssc_netlist::lanes::lane(&vals[idx], lane)))
+                    (*c, Bv::new(wire.width(), ssc_netlist::lanes::lane_of(&vals[idx], lane)))
                 })
                 .collect(),
         )

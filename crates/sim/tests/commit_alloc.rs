@@ -88,8 +88,8 @@ fn steady_state_steps_do_not_allocate_in_either_domain() {
     let n = design();
 
     // --- bit-sliced domain (the acceptance criterion) ---
-    let mut batch = BatchSim::new(&n).unwrap();
-    let mut lanes = [0u64; BatchSim::LANES];
+    let mut batch = BatchSim::<1>::new(&n).unwrap();
+    let mut lanes = [0u64; BatchSim::<1>::LANES];
     for (l, v) in lanes.iter_mut().enumerate() {
         *v = (l % 2) as u64;
     }
@@ -105,6 +105,22 @@ fn steady_state_steps_do_not_allocate_in_either_domain() {
     assert_eq!(
         batch_allocs, 0,
         "bit-sliced steady-state stepping must be allocation-free, saw {batch_allocs} \
+         allocations over 100 cycles"
+    );
+
+    // --- wide bit-sliced domain (256 lanes, u64x4 blocks) ---
+    let mut wide = ssc_sim::WideBatchSim::new(&n).unwrap();
+    let wide_lanes: Vec<u64> =
+        (0..ssc_sim::WideBatchSim::LANES).map(|l| (l % 2) as u64).collect();
+    wide.set_input_lanes("en", &wide_lanes);
+    wide.set_input("sel", 0);
+    wide.step_n(4);
+    let before = allocations();
+    wide.step_n(100);
+    let wide_allocs = allocations() - before;
+    assert_eq!(
+        wide_allocs, 0,
+        "wide bit-sliced steady-state stepping must be allocation-free, saw {wide_allocs} \
          allocations over 100 cycles"
     );
 

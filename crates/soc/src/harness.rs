@@ -1,12 +1,12 @@
 //! Simulation harness: load programs, context-switch between tasks, inspect
 //! memory — the "OS" around the bare-metal SoC.
 //!
-//! [`SocSim`] drives one scalar simulation; [`BatchSocSim`] drives 64
-//! independent SoC instances per netlist walk (one per bit-sliced lane),
-//! which the attack-scenario sweeps use to evaluate every victim access
-//! count in parallel.
+//! [`SocSim`] drives one scalar simulation; [`BatchSocSim`] drives `64·W`
+//! independent SoC instances per netlist walk (one per bit-sliced lane of
+//! a width-`W` block — 64 at the default `W = 1`, 256 at `W = 4`), which
+//! the attack-scenario sweeps use to evaluate every victim access count in
+//! parallel.
 
-use ssc_netlist::lanes::LANES;
 use ssc_netlist::Bv;
 use ssc_sim::{BatchSim, Sim};
 
@@ -125,28 +125,33 @@ impl<'n> SocSim<'n> {
     }
 }
 
-/// A 64-lane SoC simulation: every bit-sliced lane is one independent SoC
-/// instance with its own instruction memory, RAM contents and peripheral
-/// state.
+/// A `64·W`-lane SoC simulation: every bit-sliced lane is one independent
+/// SoC instance with its own instruction memory, RAM contents and
+/// peripheral state (the default `W = 1` is the 64-lane engine; `W = 4`
+/// runs 256 instances per walk).
 ///
 /// Broadcast operations ([`BatchSocSim::load_program`],
 /// [`BatchSocSim::switch_to`]) drive all lanes identically; per-lane
 /// operations ([`BatchSocSim::load_program_lane`]) let lanes run *different*
 /// task images — the attack sweeps load one victim program per lane and
-/// recover 64 channel observations from a single run.
-pub struct BatchSocSim<'n> {
-    sim: BatchSim<'n>,
+/// recover one channel observation per lane from a single run.
+pub struct BatchSocSim<'n, const W: usize = 1> {
+    sim: BatchSim<'n, W>,
     soc: &'n Soc,
 }
 
-impl<'n> std::fmt::Debug for BatchSocSim<'n> {
+impl<'n, const W: usize> std::fmt::Debug for BatchSocSim<'n, W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchSocSim").field("cycle", &self.sim.cycle()).finish()
     }
 }
 
-impl<'n> BatchSocSim<'n> {
-    /// Creates a 64-lane simulation of `soc` (must be a simulation view).
+impl<'n, const W: usize> BatchSocSim<'n, W> {
+    /// Number of independent SoC instances (simulation lanes) per walk.
+    pub const LANES: usize = BatchSim::<'n, W>::LANES;
+
+    /// Creates a `64·W`-lane simulation of `soc` (must be a simulation
+    /// view).
     ///
     /// # Panics
     ///
@@ -158,7 +163,7 @@ impl<'n> BatchSocSim<'n> {
     }
 
     /// Access to the underlying batch simulator.
-    pub fn sim(&mut self) -> &mut BatchSim<'n> {
+    pub fn sim(&mut self) -> &mut BatchSim<'n, W> {
         &mut self.sim
     }
 
@@ -246,8 +251,8 @@ impl<'n> BatchSocSim<'n> {
         self.sim.read_mem_lane(self.soc.pub_ram, index, lane).val()
     }
 
-    /// Peeks any named signal across all lanes.
-    pub fn peek_lanes(&mut self, name: &str) -> [u64; LANES] {
+    /// Peeks any named signal across all lanes (lane-indexed).
+    pub fn peek_lanes(&mut self, name: &str) -> Vec<u64> {
         self.sim.peek_name_lanes(name)
     }
 }
@@ -302,8 +307,9 @@ mod tests {
 
     #[test]
     fn batch_lanes_run_distinct_programs() {
+        const LANES: usize = BatchSocSim::<1>::LANES;
         let soc = Soc::build(SocConfig::sim());
-        let mut h = BatchSocSim::new(&soc);
+        let mut h = BatchSocSim::<1>::new(&soc);
         // Every lane publishes its own id to GPIO.
         for lane in 0..LANES {
             let mut a = Asm::new();
@@ -335,7 +341,7 @@ mod tests {
         scalar.switch_to(0);
         scalar.run_until_halt(100).unwrap();
 
-        let mut batch = BatchSocSim::new(&soc);
+        let mut batch = BatchSocSim::<1>::new(&soc);
         batch.load_program(0, &program);
         batch.switch_to(0);
         batch.run_until_all_halt(100).unwrap();
@@ -343,6 +349,33 @@ mod tests {
         for lane in [0usize, 17, 63] {
             assert_eq!(batch.pub_word_lane(1, lane), scalar.pub_word(1));
             assert_eq!(batch.reg_lane(Reg::X2, lane), scalar.reg(Reg::X2));
+        }
+    }
+
+    #[test]
+    fn wide_batch_lanes_run_distinct_programs() {
+        const LANES: usize = BatchSocSim::<4>::LANES;
+        let soc = Soc::build(SocConfig::sim());
+        let mut h = BatchSocSim::<4>::new(&soc);
+        // A sample of lanes across all four block words publish their id;
+        // the rest halt immediately.
+        let active = [0usize, 1, 63, 64, 100, 127, 128, 191, 192, 255];
+        for lane in 0..LANES {
+            let mut a = Asm::new();
+            if active.contains(&lane) {
+                a.li(Reg::X1, addr::GPIO_OUT as u32);
+                a.addi(Reg::X2, Reg::X0, (lane % 256) as i32);
+                a.sw(Reg::X1, Reg::X2, 0);
+            }
+            a.ebreak();
+            h.load_program_lane(lane, 0, &a);
+        }
+        h.switch_to(0);
+        assert!(h.run_until_all_halt(200).is_some());
+        let out = h.peek_lanes("gpio_out");
+        assert_eq!(out.len(), 256);
+        for &lane in &active {
+            assert_eq!(out[lane], (lane % 256) as u64, "lane {lane}");
         }
     }
 
