@@ -103,6 +103,9 @@ impl CnfEncoder {
         if let Some(v) = self.lookup(node) {
             return v;
         }
+        // Fault-injection point on the cold (not-yet-encoded) path: one
+        // relaxed atomic load unless a chaos plan targets the encoder.
+        ssc_sat::chaos::point(ssc_sat::chaos::Site::Encode, 0);
         // Iterative DFS: encode fan-in before the gate itself.
         let mut stack = std::mem::take(&mut self.stack);
         stack.clear();

@@ -22,9 +22,23 @@
 //! forked sessions are state-identical to privately built ones.
 //! `SSC_POOL_WORKERS=1` pins everything to the sequential path (CI runs
 //! the suite both ways).
+//!
+//! # Fault tolerance
+//!
+//! The portfolio also has a **fault-isolated** mode
+//! ([`portfolio::run_portfolio_fallible`]): cells run under per-attempt
+//! effort budgets with an escalation ladder
+//! ([`portfolio::RetryPolicy`]), a panicking cell is confined to its
+//! matrix slot (`ssc_pool::Pool::try_run`), and a cell whose ladder runs
+//! dry is recorded as an inconclusive verdict with a machine-readable
+//! cause — one bad cell never costs the rest of the matrix. The [`chaos`]
+//! harness injects deterministic faults (panics, budget exhaustion,
+//! forced cancellation) addressed at cells by their seed, which is how
+//! the chaos tests pin all of this down.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod portfolio;
 
 use std::time::{Duration, Instant};

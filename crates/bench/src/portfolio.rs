@@ -43,8 +43,12 @@ use std::time::{Duration, Instant};
 
 use ssc_netlist::analysis;
 use ssc_pool::Pool;
+use ssc_sat::chaos;
 use ssc_soc::{Soc, SocConfig};
-use upec_ssc::{ProductArtifact, Session, SessionPrefix, UpecAnalysis, UpecSpec, Verdict};
+use upec_ssc::{
+    Budget, CancelToken, ProductArtifact, Session, SessionPrefix, UpecAnalysis, UpecSpec,
+    Verdict,
+};
 
 use crate::FormalResult;
 
@@ -113,7 +117,12 @@ pub struct PortfolioReport {
 /// The deterministic per-job seed: FNV-1a over the matrix coordinates.
 /// Schedule-independent by construction — two runs of the same matrix
 /// produce the same seeds no matter how jobs land on workers.
-fn job_seed(scenario: &str, words: u32) -> u64 {
+///
+/// Public because it doubles as the **chaos key** of a portfolio cell:
+/// fault-injection plans ([`crate::chaos`]) address cells by this seed, so
+/// tests can target e.g. "the hwpe_memory/leaky cell at 8 words" without
+/// caring how jobs land on workers.
+pub fn job_seed(scenario: &str, words: u32) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in scenario.bytes().chain(words.to_le_bytes()) {
         h ^= u64::from(b);
@@ -136,8 +145,11 @@ fn build_size_base(words: u32, seed_spec: &UpecSpec) -> Arc<ProductArtifact> {
 ///
 /// # Panics
 ///
-/// Panics if the verdict contradicts the scenario's expectation — a
-/// portfolio cell silently flipping verdicts must never be merged.
+/// Panics if a **conclusive** verdict contradicts the scenario's
+/// expectation — a portfolio cell silently flipping verdicts must never
+/// be merged. An inconclusive verdict (a budgeted cell that ran out of
+/// effort) is recorded as-is: "gave up" is a legitimate, machine-readable
+/// outcome, not a flip.
 fn seal_cell(
     scenario: &Scenario,
     words: u32,
@@ -145,12 +157,14 @@ fn seal_cell(
     verdict: Verdict,
     runtime: Duration,
 ) -> PortfolioEntry {
-    assert_eq!(
-        verdict.is_vulnerable(),
-        scenario.leaky,
-        "portfolio cell {}@{words} flipped its verdict: {verdict}",
-        scenario.name
-    );
+    if !matches!(verdict, Verdict::Inconclusive(_)) {
+        assert_eq!(
+            verdict.is_vulnerable(),
+            scenario.leaky,
+            "portfolio cell {}@{words} flipped its verdict: {verdict}",
+            scenario.name
+        );
+    }
     PortfolioEntry {
         scenario: scenario.name,
         words,
@@ -336,8 +350,9 @@ pub fn compare_portfolio_setup(words: u32) -> SetupComparison {
 
 /// Projects a verdict onto its deterministic content: kind, refinement
 /// trajectory and encoding sizes — everything except wall-clock and
-/// solver-effort counters.
-fn verdict_fingerprint(v: &Verdict, out: &mut String) {
+/// solver-effort counters. Public so fault-injection tests can compare a
+/// surviving cell's verdict against an uninjected run's cell by cell.
+pub fn verdict_fingerprint(v: &Verdict, out: &mut String) {
     use std::fmt::Write as _;
 
     match v {
@@ -352,8 +367,8 @@ fn verdict_fingerprint(v: &Verdict, out: &mut String) {
                 r.cex.diffs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
             );
         }
-        Verdict::Inconclusive(msg) => {
-            let _ = write!(out, "inconclusive({msg})");
+        Verdict::Inconclusive(r) => {
+            let _ = write!(out, "inconclusive({})", r.cause.code());
         }
     }
     for it in v.iterations() {
@@ -377,16 +392,326 @@ fn verdict_fingerprint(v: &Verdict, out: &mut String) {
 /// everything else (order, seeds, verdicts, iteration trajectories, state
 /// bits) must match exactly.
 pub fn fingerprint(report: &PortfolioReport) -> String {
+    let mut out = String::new();
+    for e in &report.entries {
+        entry_fingerprint(e, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// One entry's deterministic line (shared by [`fingerprint`] and
+/// [`fingerprint_fallible`]): coordinates, seed, state bits, verdict.
+fn entry_fingerprint(e: &PortfolioEntry, out: &mut String) {
+    use std::fmt::Write as _;
+
+    let _ = write!(
+        out,
+        "{}@{}#seed={:#018x}#bits={}=",
+        e.scenario, e.words, e.seed, e.result.state_bits
+    );
+    verdict_fingerprint(&e.result.verdict, out);
+}
+
+/// A per-attempt effort budget of the fallible portfolio runner: the
+/// deterministic (counter-based) subset of [`Budget`], expressible as a
+/// plain value so retry ladders can be written down, compared and
+/// fingerprinted. Wall-clock deadlines and cancellation tokens stay out
+/// on purpose — cells retried under them would not be reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellBudget {
+    /// Per-solve conflict limit (`None` = unlimited).
+    pub conflicts: Option<u64>,
+    /// Per-solve propagation limit (`None` = unlimited).
+    pub propagations: Option<u64>,
+}
+
+impl CellBudget {
+    /// No limits — the terminal rung of an escalation ladder that must
+    /// always conclude.
+    pub const UNLIMITED: CellBudget = CellBudget { conflicts: None, propagations: None };
+
+    /// A conflict-limited budget.
+    #[must_use]
+    pub const fn conflicts(n: u64) -> Self {
+        CellBudget { conflicts: Some(n), propagations: None }
+    }
+
+    /// A propagation-limited budget.
+    #[must_use]
+    pub const fn propagations(n: u64) -> Self {
+        CellBudget { conflicts: None, propagations: Some(n) }
+    }
+
+    /// The solver [`Budget`] this cell budget denotes, tagged with the
+    /// cell's seed so solve-path fault injection can address the cell.
+    #[must_use]
+    pub fn to_budget(self, tag: u64) -> Budget {
+        Budget {
+            conflicts: self.conflicts,
+            propagations: self.propagations,
+            deadline: None,
+            cancel: None,
+            tag,
+        }
+    }
+}
+
+impl std::fmt::Display for CellBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.conflicts, self.propagations) {
+            (None, None) => f.write_str("unlimited"),
+            (c, p) => {
+                let mut sep = "";
+                if let Some(c) = c {
+                    write!(f, "conflicts<={c}")?;
+                    sep = ",";
+                }
+                if let Some(p) = p {
+                    write!(f, "{sep}props<={p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The per-cell retry ladder of [`run_portfolio_fallible`]: attempt 1 runs
+/// under `budgets[0]`, and a cell interrupted by its budget is retried
+/// under each successive (typically larger) rung until one concludes or
+/// the ladder runs dry — in which case the cell's last inconclusive
+/// verdict is recorded, never panicked over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// The budget of each attempt, first to last. Never empty.
+    pub budgets: Vec<CellBudget>,
+}
+
+impl RetryPolicy {
+    /// A single unbudgeted attempt — the fallible runner's equivalent of
+    /// [`run_portfolio`]'s effort profile (panic isolation still applies).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RetryPolicy { budgets: vec![CellBudget::UNLIMITED] }
+    }
+
+    /// An escalation ladder over explicit rungs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty — every cell needs at least one
+    /// attempt.
+    #[must_use]
+    pub fn escalating(budgets: Vec<CellBudget>) -> Self {
+        assert!(!budgets.is_empty(), "a retry policy needs at least one budget rung");
+        RetryPolicy { budgets }
+    }
+}
+
+/// How a fault-isolated portfolio cell ended.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell produced a verdict (possibly an inconclusive one, if its
+    /// ladder ran dry).
+    Completed(PortfolioEntry),
+    /// The cell's job panicked; the panic was confined to the cell by
+    /// [`ssc_pool::Pool::try_run`] and stringified here.
+    Panicked {
+        /// The panic payload.
+        message: String,
+    },
+}
+
+/// One cell of a fault-isolated portfolio run: the outcome plus the retry
+/// accounting the acceptance criteria ask for (how many attempts, under
+/// which final budget).
+#[derive(Clone, Debug)]
+pub struct FallibleCell {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Public/private memory words of the analyzed SoC.
+    pub words: u32,
+    /// The cell's deterministic seed (also its chaos key).
+    pub seed: u64,
+    /// Attempts consumed (1 = first budget sufficed). `0` for a panicked
+    /// cell: the unwind escaped before attempt accounting could complete,
+    /// so no attempt is known to have finished.
+    pub attempts: u32,
+    /// The budget of the last attempt ([`RetryPolicy::budgets`]'s first
+    /// rung for a panicked cell).
+    pub final_budget: CellBudget,
+    /// What happened.
+    pub outcome: CellOutcome,
+}
+
+/// A completed fault-isolated portfolio run.
+#[derive(Clone, Debug)]
+pub struct FalliblePortfolioReport {
+    /// Workers of the pool that ran it.
+    pub workers: usize,
+    /// Cells in matrix order (scenario-major, then size) — panicked cells
+    /// keep their slot, so the matrix shape is intact regardless of
+    /// failures.
+    pub cells: Vec<FallibleCell>,
+    /// Wall-clock time of the whole portfolio.
+    pub wall: Duration,
+}
+
+impl FalliblePortfolioReport {
+    /// The cells that panicked.
+    pub fn panicked(&self) -> impl Iterator<Item = &FallibleCell> {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Panicked { .. }))
+    }
+}
+
+/// Runs one matrix cell under `policy` with full fault accounting: each
+/// attempt forks a fresh session off the shared prefix (an interrupted
+/// solver is reusable, but a fresh fork keeps every attempt bit-identical
+/// to a first try), installs the rung's budget tagged with the cell seed,
+/// and runs the unrolled procedure. Interrupted attempts escalate to the
+/// next rung; the last rung's verdict — conclusive or not — is final.
+///
+/// The cell-setup chaos point fires here, keyed by the cell seed:
+/// [`chaos::Fault::Panic`] unwinds out (to be caught by
+/// [`ssc_pool::Pool::try_run`]), while [`chaos::Fault::ExhaustBudget`] /
+/// [`chaos::Fault::Cancel`] force every attempt's budget into the
+/// corresponding failure so the whole ladder visibly runs dry.
+pub fn run_cell_fallible(
+    scenario: &Scenario,
+    art: &Arc<ProductArtifact>,
+    prefix: &SessionPrefix<'_>,
+    words: u32,
+    policy: &RetryPolicy,
+) -> FallibleCell {
+    let seed = job_seed(scenario.name, words);
+    let (mut force_exhaust, mut force_cancel) = (false, false);
+    match chaos::point(chaos::Site::CellSetup, seed) {
+        Some(chaos::Fault::ExhaustBudget) => force_exhaust = true,
+        Some(chaos::Fault::Cancel) => force_cancel = true,
+        _ => {}
+    }
+    let state_bits = analysis::state_bit_count(art.src());
+    let t = Instant::now();
+    let mut attempts = 0u32;
+    let mut final_budget = policy.budgets[0];
+    let mut entry = None;
+    for (rung, &cell_budget) in policy.budgets.iter().enumerate() {
+        attempts += 1;
+        final_budget = cell_budget;
+        let mut budget = cell_budget.to_budget(seed);
+        if force_exhaust {
+            budget.conflicts = Some(0);
+        }
+        if force_cancel {
+            let token = CancelToken::new();
+            token.cancel();
+            budget.cancel = Some(token);
+        }
+        let an = UpecAnalysis::bind(art.clone(), scenario.spec.clone())
+            .expect("portfolio spec matches the SoC");
+        let mut sess = Session::with_prefix(&an, prefix.fork());
+        sess.set_budget(budget);
+        let verdict = an.alg2_with_session(sess);
+        let interrupted = matches!(
+            &verdict,
+            Verdict::Inconclusive(r) if r.cause.interrupt().is_some()
+        );
+        if interrupted && rung + 1 < policy.budgets.len() {
+            continue;
+        }
+        entry = Some(seal_cell(scenario, words, state_bits, verdict, t.elapsed()));
+        break;
+    }
+    let entry = entry.expect("the ladder's last rung always records a verdict");
+    FallibleCell {
+        scenario: scenario.name,
+        words,
+        seed,
+        attempts,
+        final_budget,
+        outcome: CellOutcome::Completed(entry),
+    }
+}
+
+/// The fault-isolated portfolio runner: the same two-phase plan as
+/// [`run_portfolio`], but phase 2 fans cells through
+/// [`ssc_pool::Pool::try_run`] under a per-cell [`RetryPolicy`]. A cell
+/// that panics is recorded as [`CellOutcome::Panicked`] in its matrix slot
+/// with the stringified payload; every other cell completes normally (no
+/// fail-fast poisoning), and a cell whose budget runs out escalates
+/// through the policy's ladder before settling for inconclusive.
+///
+/// Phase 1 (shared artifacts + prefixes) stays on the infallible
+/// [`ssc_pool::Pool::run`] on purpose: a size's base is shared by all its
+/// cells, so losing it is not isolable to one cell — that failure should
+/// stop the run.
+pub fn run_portfolio_fallible(
+    pool: &Pool,
+    sizes: &[u32],
+    policy: &RetryPolicy,
+) -> FalliblePortfolioReport {
+    let scenarios = scenario_matrix();
+    let seed_spec = scenarios[0].spec.clone();
+    let t = Instant::now();
+    let artifacts: Vec<Arc<ProductArtifact>> =
+        pool.run(sizes.len(), |i| build_size_base(sizes[i], &seed_spec));
+    let prefixes: Vec<SessionPrefix<'_>> = pool.run(artifacts.len(), |i| {
+        SessionPrefix::build(&artifacts[i], &seed_spec, 1).expect("spec already validated")
+    });
+    let jobs: Vec<(usize, usize)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(s, _)| (0..sizes.len()).map(move |w| (s, w)))
+        .collect();
+    let cells = pool
+        .try_run(jobs.len(), |i| {
+            let (s, w) = jobs[i];
+            run_cell_fallible(&scenarios[s], &artifacts[w], &prefixes[w], sizes[w], policy)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(cell) => cell,
+            Err(p) => {
+                let (s, w) = jobs[i];
+                FallibleCell {
+                    scenario: scenarios[s].name,
+                    words: sizes[w],
+                    seed: job_seed(scenarios[s].name, sizes[w]),
+                    attempts: 0,
+                    final_budget: policy.budgets[0],
+                    outcome: CellOutcome::Panicked { message: p.message },
+                }
+            }
+        })
+        .collect();
+    FalliblePortfolioReport { workers: pool.workers(), cells, wall: t.elapsed() }
+}
+
+/// The deterministic projection of a fault-isolated portfolio: entry lines
+/// share their format with [`fingerprint`] (so surviving cells can be
+/// compared against an uninjected run line by line), extended with the
+/// retry accounting; panicked cells record the panic message, which is
+/// itself deterministic for chaos-injected panics (the payload embeds the
+/// site and cell key, not addresses or timings).
+pub fn fingerprint_fallible(report: &FalliblePortfolioReport) -> String {
     use std::fmt::Write as _;
 
     let mut out = String::new();
-    for e in &report.entries {
-        let _ = write!(
-            out,
-            "{}@{}#seed={:#018x}#bits={}=",
-            e.scenario, e.words, e.seed, e.result.state_bits
-        );
-        verdict_fingerprint(&e.result.verdict, &mut out);
+    for c in &report.cells {
+        match &c.outcome {
+            CellOutcome::Completed(e) => entry_fingerprint(e, &mut out),
+            CellOutcome::Panicked { message } => {
+                let _ = write!(
+                    out,
+                    "{}@{}#seed={:#018x}=panicked({message})",
+                    c.scenario, c.words, c.seed
+                );
+            }
+        }
+        let _ = write!(out, "#attempts={}#budget={}", c.attempts, c.final_budget);
         out.push('\n');
     }
     out

@@ -1,0 +1,109 @@
+//! Budget determinism: a portfolio run under a counter-based budget is a
+//! deterministic function of (matrix, budget) — same inconclusive causes,
+//! same partial trajectories, on every pool size and on every repeat.
+//!
+//! Also pins the escalation ladder's recovery property: a cell that runs
+//! out of budget on an early rung and recovers on a later one reaches the
+//! *same verdict* an unbudgeted run reaches.
+
+use ssc_bench::portfolio::{
+    fingerprint_fallible, run_portfolio_fallible, CellBudget, CellOutcome, RetryPolicy,
+};
+use ssc_pool::Pool;
+use upec_ssc::Verdict;
+
+const SIZES: &[u32] = &[8];
+
+/// A conflict budget small enough that at least one size-8 cell runs out:
+/// the secure cells need UNSAT proofs, which cost conflicts.
+const TIGHT: CellBudget = CellBudget::conflicts(5);
+
+#[test]
+fn tight_budget_runs_are_bit_identical_across_pool_sizes_and_repeats() {
+    let policy = RetryPolicy::escalating(vec![TIGHT]);
+    let reference = fingerprint_fallible(&run_portfolio_fallible(&Pool::new(1), SIZES, &policy));
+
+    // The budget must actually have interrupted someone, or this test
+    // pins nothing.
+    assert!(
+        reference.contains("interrupt:conflict-budget"),
+        "expected at least one interrupted cell under {TIGHT}, got:\n{reference}"
+    );
+
+    for workers in [1, 2, 4] {
+        for repeat in 0..2 {
+            let report = run_portfolio_fallible(&Pool::new(workers), SIZES, &policy);
+            assert_eq!(
+                fingerprint_fallible(&report),
+                reference,
+                "workers={workers} repeat={repeat}: a counter-based budget must \
+                 interrupt at the same point with the same cause and the same \
+                 partial trajectory on every schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupted_cells_carry_their_partial_trajectory() {
+    let policy = RetryPolicy::escalating(vec![TIGHT]);
+    let report = run_portfolio_fallible(&Pool::new(2), SIZES, &policy);
+    let mut interrupted = 0;
+    for cell in &report.cells {
+        let CellOutcome::Completed(entry) = &cell.outcome else {
+            panic!("no panics expected: {:?}", cell.outcome);
+        };
+        if let Verdict::Inconclusive(r) = &entry.result.verdict {
+            interrupted += 1;
+            let int = r.cause.interrupt().expect("budgeted stop carries the interrupt");
+            assert!(int.cause.is_deterministic(), "conflict budgets are deterministic");
+            assert!(
+                !r.iterations.is_empty(),
+                "{}@{}: the trajectory up to the stop must be recorded",
+                cell.scenario,
+                cell.words
+            );
+            assert_eq!(cell.attempts, 1, "single-rung ladder: one attempt");
+            assert_eq!(cell.final_budget, TIGHT);
+        }
+    }
+    assert!(interrupted >= 1, "the tight budget must interrupt at least one cell");
+}
+
+#[test]
+fn escalation_ladder_recovers_the_unbudgeted_verdicts() {
+    let unlimited =
+        run_portfolio_fallible(&Pool::new(2), SIZES, &RetryPolicy::unlimited());
+    let ladder = RetryPolicy::escalating(vec![TIGHT, CellBudget::UNLIMITED]);
+    let recovered = run_portfolio_fallible(&Pool::new(2), SIZES, &ladder);
+
+    let strip = |report: &ssc_bench::portfolio::FalliblePortfolioReport| -> Vec<String> {
+        fingerprint_fallible(report)
+            .lines()
+            .map(|l| l.split("#attempts=").next().unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(
+        strip(&recovered),
+        strip(&unlimited),
+        "every cell must recover its unbudgeted verdict on the ladder's last rung"
+    );
+
+    // At least one cell must have actually taken the second rung — the
+    // recovery property is vacuous otherwise.
+    assert!(
+        recovered.cells.iter().any(|c| c.attempts == 2),
+        "expected at least one escalated cell under {TIGHT}"
+    );
+    for cell in &recovered.cells {
+        let CellOutcome::Completed(entry) = &cell.outcome else {
+            panic!("no panics expected: {:?}", cell.outcome);
+        };
+        assert!(
+            !matches!(entry.result.verdict, Verdict::Inconclusive(_)),
+            "{}@{}: the unlimited rung must conclude",
+            cell.scenario,
+            cell.words
+        );
+    }
+}

@@ -774,6 +774,14 @@ impl<'p> Session<'p> {
         self.prefix.ipc.solver_stats()
     }
 
+    /// Installs the resource [`ssc_sat::Budget`] governing every subsequent
+    /// check of this session. A check whose budget runs out surfaces as
+    /// `PropertyResult::Interrupted`, which the procedures convert into
+    /// [`crate::Verdict::Inconclusive`] with the partial trajectory.
+    pub fn set_budget(&mut self, budget: ssc_sat::Budget) {
+        self.prefix.ipc.set_budget(budget);
+    }
+
     /// Cumulative count of CNF-encoded AIG nodes (see
     /// [`Ipc::encoded_nodes`]); deltas of this counter prove the per-window
     /// encoding work of the incremental engine is bounded by the newly
@@ -1003,7 +1011,7 @@ impl<'p> Session<'p> {
                 let core = self.prefix.ipc.assumption_core();
                 Some(!lits[pre_start..lits.len() - 1].iter().any(|l| core.contains(l)))
             }
-            PropertyResult::Violated => None,
+            PropertyResult::Violated | PropertyResult::Interrupted(_) => None,
         };
         self.lit_buf = lits;
         // The goal clause belongs to this check only; retiring it keeps the

@@ -72,6 +72,24 @@
 //! [`Session::check_window`] orders the pre-state equality assumptions
 //! most-recently-shrunk-atoms-first ([`Session::note_shrunk`]).
 //!
+//! # Bounded effort & graceful degradation
+//!
+//! Every procedure can run under a resource [`Budget`] (per-solve conflict
+//! / propagation limits, a wall-clock deadline, a shareable [`CancelToken`]):
+//! install it with [`Session::set_budget`] or use the
+//! [`UpecAnalysis::alg2_budgeted`] entry point. A solver call whose budget
+//! runs out is converted into [`Verdict::Inconclusive`] carrying the
+//! machine-readable [`InconclusiveCause`] and the **partial iteration
+//! trajectory** up to the stop — exhaustion never panics. The soundness
+//! argument is simple and structural: `Unknown`/`Interrupted` results are
+//! *never* mapped to `Secure` or `Vulnerable` anywhere in the stack (and
+//! [`UpecAnalysis::prove_constraints_inductive`] fails closed, counting an
+//! interrupted obligation as unproven), so a budgeted run can only ever
+//! degrade from an answer to an explicit "gave up", never to a wrong
+//! verdict. Counter-based budgets interrupt deterministically: the same
+//! scenario under the same budget reproduces the same cause and the same
+//! partial trajectory.
+//!
 //! [`IterationStat`] records the proof of incrementality per iteration:
 //! `encoded_delta` (new CNF work, bounded by the newly unrolled cycle's
 //! cone), plus solver-statistics deltas (conflicts, propagations,
@@ -112,7 +130,8 @@ pub use engine::{Instance, ProductArtifact, Session, SessionPrefix, UpecAnalysis
 pub use extensions::ChannelFinding;
 pub use replay::{replay_neighborhood, replay_on_simulator, NeighborhoodReport, Perturbation};
 pub use report::{
-    AtomDiff, CexCycle, Counterexample, IterationStat, PortActivity, SecureReport, Verdict,
-    VulnReport,
+    AtomDiff, CexCycle, Counterexample, InconclusiveCause, InconclusiveReport, IterationStat,
+    PortActivity, SecureReport, Verdict, VulnReport,
 };
+pub use ssc_sat::{Budget, CancelToken, Interrupt, InterruptCause};
 pub use spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};

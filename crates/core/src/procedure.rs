@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use crate::atoms::AtomSet;
 use crate::engine::{Session, UpecAnalysis};
-use crate::report::{IterationStat, SecureReport, Verdict, VulnReport};
+use crate::report::{
+    InconclusiveCause, InconclusiveReport, IterationStat, SecureReport, Verdict, VulnReport,
+};
 use ssc_ipc::PropertyResult;
 
 /// Snapshot of the measurable session state taken around one solver call.
@@ -112,13 +114,25 @@ impl UpecAnalysis {
                         total_runtime: start.elapsed(),
                     });
                 }
+                PropertyResult::Interrupted(int) => {
+                    // Bounded effort surfaces as an explicit gave-up verdict
+                    // with the partial trajectory — never as Secure/Vulnerable.
+                    iterations.push(snap.finish(sess, iterations.len() + 1, 1, set_size, 0));
+                    return Verdict::Inconclusive(InconclusiveReport {
+                        cause: InconclusiveCause::Interrupted(int),
+                        iterations,
+                        total_runtime: start.elapsed(),
+                    });
+                }
                 PropertyResult::Violated => {
                     let diffs = sess.extract_diffs(&s, 1);
                     if diffs.is_empty() {
-                        return Verdict::Inconclusive(
-                            "solver produced a model without an observable state difference"
-                                .into(),
-                        );
+                        iterations.push(snap.finish(sess, iterations.len() + 1, 1, set_size, 0));
+                        return Verdict::Inconclusive(InconclusiveReport {
+                            cause: InconclusiveCause::NoObservableDifference,
+                            iterations,
+                            total_runtime: start.elapsed(),
+                        });
                     }
                     sess.note_shrunk(&diffs);
                     let hit_pers = diffs.iter().any(|d| d.persistent);
@@ -180,6 +194,19 @@ impl UpecAnalysis {
             std::ptr::eq(sess.analysis(), self),
             "session belongs to a different analysis"
         );
+        self.alg2_impl(Some(sess))
+    }
+
+    /// [`UpecAnalysis::alg2`] under a resource [`ssc_sat::Budget`]: every
+    /// solver call of the run (window growths, refinements, the concluding
+    /// induction) is governed by `budget`. A call whose budget runs out
+    /// surfaces as [`Verdict::Inconclusive`] with
+    /// [`InconclusiveCause::Interrupted`] and the partial iteration
+    /// trajectory — the analysis never panics on exhaustion and never maps
+    /// an interrupted run to `Secure`/`Vulnerable`.
+    pub fn alg2_budgeted(&self, budget: ssc_sat::Budget) -> Verdict {
+        let mut sess = Session::new(self, 1);
+        sess.set_budget(budget);
         self.alg2_impl(Some(sess))
     }
 
@@ -255,10 +282,13 @@ impl UpecAnalysis {
                         return merge_alg2_result(tail, iterations, start);
                     }
                     if k >= self.spec().max_unroll {
-                        return Verdict::Inconclusive(format!(
-                            "no fixpoint within the unroll limit of {} cycles",
-                            self.spec().max_unroll
-                        ));
+                        return Verdict::Inconclusive(InconclusiveReport {
+                            cause: InconclusiveCause::UnrollLimitReached {
+                                max_unroll: self.spec().max_unroll,
+                            },
+                            iterations,
+                            total_runtime: start.elapsed(),
+                        });
                     }
                     k += 1;
                     let prev = s[k - 1].clone();
@@ -306,10 +336,20 @@ impl UpecAnalysis {
                         });
                     }
                     if removed_total == 0 {
-                        return Verdict::Inconclusive(
-                            "violated check without extractable divergence".into(),
-                        );
+                        return Verdict::Inconclusive(InconclusiveReport {
+                            cause: InconclusiveCause::NoExtractableDivergence,
+                            iterations,
+                            total_runtime: start.elapsed(),
+                        });
                     }
+                }
+                PropertyResult::Interrupted(int) => {
+                    iterations.push(snap.finish(sess, iterations.len() + 1, k, set_size, 0));
+                    return Verdict::Inconclusive(InconclusiveReport {
+                        cause: InconclusiveCause::Interrupted(int),
+                        iterations,
+                        total_runtime: start.elapsed(),
+                    });
                 }
             }
         }
@@ -355,8 +395,13 @@ impl UpecAnalysis {
                 let masked = words::and(aig, &post, &m);
                 let hit = words::eq_const(aig, &masked, device);
                 let goal = hit.not();
-                if sess.ipc_mut().check(&assumptions, goal) == PropertyResult::Violated {
-                    failing.push(format!("{reg} ({inst:?})"));
+                match sess.ipc_mut().check(&assumptions, goal) {
+                    PropertyResult::Holds => {}
+                    PropertyResult::Violated => failing.push(format!("{reg} ({inst:?})")),
+                    // Fail closed: an interrupted obligation is *not proven*,
+                    // so it must count as failing rather than pass silently.
+                    PropertyResult::Interrupted(int) => failing
+                        .push(format!("{reg} ({inst:?}) [interrupted: {}]", int.cause.code())),
                 }
             }
         }
@@ -386,6 +431,14 @@ fn merge_alg2_result(
             r.total_runtime = start.elapsed();
             Verdict::Vulnerable(r)
         }
-        other => other,
+        // An inconclusive tail (e.g. an interrupt inside the concluding
+        // Alg. 1) keeps the full trajectory too: the window-growth
+        // iterations followed by the partial inductive ones.
+        Verdict::Inconclusive(mut r) => {
+            iterations.extend(r.iterations);
+            r.iterations = iterations;
+            r.total_runtime = start.elapsed();
+            Verdict::Inconclusive(r)
+        }
     }
 }

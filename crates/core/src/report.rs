@@ -154,8 +154,90 @@ pub enum Verdict {
     /// A vulnerability was found: victim behaviour reaches persistent,
     /// attacker-accessible state.
     Vulnerable(VulnReport),
-    /// The unroll bound was exhausted before a fixpoint (diagnostic).
-    Inconclusive(String),
+    /// The procedure gave up without an answer — see
+    /// [`InconclusiveReport::cause`]. Soundness of bounded effort rests on
+    /// this variant: an interrupted or exhausted run is *never* mapped to
+    /// `Secure` or `Vulnerable`.
+    Inconclusive(InconclusiveReport),
+}
+
+/// Machine-readable cause of an inconclusive verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InconclusiveCause {
+    /// The unroll bound was exhausted before the fixpoint saturated.
+    UnrollLimitReached {
+        /// The bound that was exhausted.
+        max_unroll: usize,
+    },
+    /// A violated check whose model shows no observable state difference
+    /// (diagnostic; points at a modelling gap).
+    NoObservableDifference,
+    /// A violated check without an extractable divergence in any cycle
+    /// (diagnostic; points at a modelling gap).
+    NoExtractableDivergence,
+    /// A solver call was stopped by its resource budget or a cancellation
+    /// before reaching an answer.
+    Interrupted(ssc_sat::Interrupt),
+}
+
+impl InconclusiveCause {
+    /// Stable machine-readable code (used in fingerprints and reports).
+    /// Interrupts encode their [`ssc_sat::InterruptCause`], e.g.
+    /// `"interrupt:conflict-budget"`.
+    pub fn code(&self) -> &'static str {
+        use ssc_sat::InterruptCause::*;
+        match self {
+            InconclusiveCause::UnrollLimitReached { .. } => "unroll-limit",
+            InconclusiveCause::NoObservableDifference => "no-observable-difference",
+            InconclusiveCause::NoExtractableDivergence => "no-extractable-divergence",
+            InconclusiveCause::Interrupted(int) => match int.cause {
+                Conflicts => "interrupt:conflict-budget",
+                Propagations => "interrupt:propagation-budget",
+                Deadline => "interrupt:deadline",
+                Cancelled => "interrupt:cancelled",
+            },
+        }
+    }
+
+    /// The interrupt record, if this cause is [`InconclusiveCause::Interrupted`].
+    pub fn interrupt(&self) -> Option<&ssc_sat::Interrupt> {
+        match self {
+            InconclusiveCause::Interrupted(int) => Some(int),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InconclusiveCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InconclusiveCause::UnrollLimitReached { max_unroll } => {
+                write!(f, "no fixpoint within the unroll bound of {max_unroll} cycles")
+            }
+            InconclusiveCause::NoObservableDifference => {
+                f.write_str("solver produced a model without an observable state difference")
+            }
+            InconclusiveCause::NoExtractableDivergence => {
+                f.write_str("counterexample without an extractable divergence")
+            }
+            InconclusiveCause::Interrupted(int) => {
+                write!(f, "solve interrupted ({})", int.cause.code())
+            }
+        }
+    }
+}
+
+/// Report for a run that gave up: why, and the partial iteration
+/// trajectory completed before the stop (the interrupted iteration is
+/// included last, with the work it performed up to the interrupt).
+#[derive(Clone, Debug)]
+pub struct InconclusiveReport {
+    /// Why the run gave up.
+    pub cause: InconclusiveCause,
+    /// Per-iteration statistics up to (and including) the aborted one.
+    pub iterations: Vec<IterationStat>,
+    /// Total wall-clock time until the stop.
+    pub total_runtime: Duration,
 }
 
 impl Verdict {
@@ -169,12 +251,13 @@ impl Verdict {
         matches!(self, Verdict::Vulnerable(_))
     }
 
-    /// The iteration statistics of the run.
+    /// The iteration statistics of the run (for an inconclusive run, the
+    /// partial trajectory up to the stop).
     pub fn iterations(&self) -> &[IterationStat] {
         match self {
             Verdict::Secure(r) => &r.iterations,
             Verdict::Vulnerable(r) => &r.iterations,
-            Verdict::Inconclusive(_) => &[],
+            Verdict::Inconclusive(r) => &r.iterations,
         }
     }
 }
@@ -222,7 +305,14 @@ impl fmt::Display for Verdict {
                 r.cex.headline(),
                 r.total_runtime
             ),
-            Verdict::Inconclusive(msg) => write!(f, "INCONCLUSIVE: {msg}"),
+            Verdict::Inconclusive(r) => write!(
+                f,
+                "INCONCLUSIVE [{}]: {} after {} iteration(s) (total {:.2?})",
+                r.cause.code(),
+                r.cause,
+                r.iterations.len(),
+                r.total_runtime
+            ),
         }
     }
 }

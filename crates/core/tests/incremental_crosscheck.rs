@@ -105,7 +105,7 @@ fn trajectory(v: &Verdict) -> String {
             r.cex.at_cycle,
             r.cex.diffs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
         ),
-        Verdict::Inconclusive(msg) => format!("inconclusive({msg})"),
+        Verdict::Inconclusive(r) => format!("inconclusive({})", r.cause.code()),
     };
     for it in v.iterations() {
         let _ = write!(

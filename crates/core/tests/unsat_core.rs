@@ -42,6 +42,9 @@ fn violated_check_clears_the_core_flag() {
                     s.remove(&d.atom);
                 }
             }
+            PropertyResult::Interrupted(int) => {
+                panic!("unbudgeted check interrupted: {:?}", int.cause)
+            }
         }
     }
     panic!("no violated check within the iteration bound");
@@ -77,6 +80,9 @@ fn nonvacuous_hold_reports_a_core_verdict() {
                 for d in &diffs {
                     s.remove(&d.atom);
                 }
+            }
+            PropertyResult::Interrupted(int) => {
+                panic!("unbudgeted check interrupted: {:?}", int.cause)
             }
         }
     }

@@ -31,7 +31,7 @@ use ssc_aig::cnf::{CnfEncoder, ModelError};
 use ssc_aig::words::Word;
 use ssc_aig::AigRef;
 use ssc_netlist::{Bv, Netlist};
-use ssc_sat::{Lit, SolveResult, Solver};
+use ssc_sat::{Budget, Interrupt, Lit, SolveResult, Solver};
 
 use crate::unroll::Unroller;
 
@@ -43,6 +43,12 @@ pub enum PropertyResult {
     /// A counterexample exists; query it via [`Ipc::model_word`] /
     /// [`Ipc::model_bv`].
     Violated,
+    /// The check was stopped by the checker's [`Budget`] (or a
+    /// cancellation) before reaching an answer — neither a proof nor a
+    /// counterexample. Callers must treat this as "gave up", never as
+    /// either verdict; the session stays valid and the check can be
+    /// re-run under a larger budget.
+    Interrupted(Interrupt),
 }
 
 /// An interval property checker over one design.
@@ -251,7 +257,21 @@ impl<'n> Ipc<'n> {
         match self.solver.solve(assumptions) {
             SolveResult::Sat => PropertyResult::Violated,
             SolveResult::Unsat => PropertyResult::Holds,
+            SolveResult::Unknown(int) => PropertyResult::Interrupted(int),
         }
+    }
+
+    /// Installs the resource [`Budget`] governing every subsequent check's
+    /// solve (see [`ssc_sat::Solver::set_budget`]). A check whose budget
+    /// runs out returns [`PropertyResult::Interrupted`].
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.solver.set_budget(budget);
+    }
+
+    /// The currently installed [`Budget`]. Note that [`Ipc::fork`] clones
+    /// it into the child, sharing any attached cancellation token.
+    pub fn budget(&self) -> &Budget {
+        self.solver.budget()
     }
 
     /// The assumption core of the most recent [`PropertyResult::Holds`]:
@@ -490,6 +510,33 @@ mod tests {
         fork.add_constraint(is_zero);
         assert_eq!(fork.check_lits(&[!l]), PropertyResult::Holds);
         assert_eq!(ipc.check_lits(&[!l]), PropertyResult::Violated);
+    }
+
+    /// A budgeted check that runs out reports `Interrupted` — and the
+    /// session survives: clearing the budget re-runs the same check to its
+    /// real verdict.
+    #[test]
+    fn budgeted_check_interrupts_and_session_survives() {
+        let n = counter();
+        let mut ipc = Ipc::new(&n);
+        let count = n.find("count").unwrap();
+        let s0 = ipc.unroller().reg_state(count.id(), 0).clone();
+        let s1 = ipc.unroller().reg_state(count.id(), 1).clone();
+        let aig = ipc.unroller_mut().aig_mut();
+        let goal = words::eq(aig, &s1, &s0);
+
+        let token = ssc_sat::CancelToken::new();
+        token.cancel();
+        ipc.set_budget(Budget::unlimited().with_cancel(&token));
+        match ipc.check(&[], goal) {
+            PropertyResult::Interrupted(int) => {
+                assert_eq!(int.cause, ssc_sat::InterruptCause::Cancelled);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        ipc.set_budget(Budget::unlimited());
+        assert_eq!(ipc.check(&[], goal), PropertyResult::Violated);
+        assert_eq!(ipc.num_checks(), 2);
     }
 
     /// Activation-literal clauses apply only while assumed and can be

@@ -37,8 +37,10 @@ pub const WORKERS_ENV: &str = "SSC_POOL_WORKERS";
 /// Environment variable overriding the default SIMD lane-block width.
 ///
 /// Accepts the width in *lanes* (`64`, `256`) or in `u64` words per block
-/// (`1`, `4`); anything else falls back to the built-in default
-/// ([`LaneWidth::X256`]).
+/// (`1`, `4`). Any other value makes [`LaneWidth::from_env`] panic with
+/// the variable name and the offending value — a malformed override is a
+/// configuration error, and silently falling back to the default would
+/// make e.g. a mistyped CI matrix entry measure the wrong engine.
 pub const WIDTH_ENV: &str = "SSC_LANE_WIDTH";
 
 /// The SIMD block width of the bit-sliced simulation engines: how many
@@ -76,12 +78,37 @@ impl LaneWidth {
         64 * self.words()
     }
 
-    /// The width selected by [`WIDTH_ENV`], or the wide default.
+    /// Parses a [`WIDTH_ENV`] override (`None` = variable unset).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending value if it names no supported width.
+    pub fn parse_env(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None => Ok(LaneWidth::X256),
+            Some("64" | "1") => Ok(LaneWidth::X64),
+            Some("256" | "4") => Ok(LaneWidth::X256),
+            Some(other) => Err(other.to_string()),
+        }
+    }
+
+    /// The width selected by [`WIDTH_ENV`], or the wide default when the
+    /// variable is unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the variable and the offending value) if the
+    /// variable is set to anything but `64`/`1` or `256`/`4` — malformed
+    /// overrides fail loudly instead of silently running the default.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var(WIDTH_ENV).ok().as_deref() {
-            Some("64" | "1") => LaneWidth::X64,
-            _ => LaneWidth::X256,
+        let raw = std::env::var(WIDTH_ENV).ok();
+        match Self::parse_env(raw.as_deref()) {
+            Ok(width) => width,
+            Err(bad) => panic!(
+                "invalid {WIDTH_ENV}={bad:?}: expected a lane width of 64/256 \
+                 (or its word count 1/4)"
+            ),
         }
     }
 
@@ -90,6 +117,26 @@ impl LaneWidth {
     pub fn global() -> LaneWidth {
         static GLOBAL: OnceLock<LaneWidth> = OnceLock::new();
         *GLOBAL.get_or_init(LaneWidth::from_env)
+    }
+}
+
+/// A job that panicked during a fault-isolated [`Pool::try_run`].
+///
+/// Carries the job index and the stringified panic payload (`&str` and
+/// `String` payloads verbatim, anything else a placeholder), so a
+/// portfolio runner can report *which* cell died and *why* without the
+/// panic tearing down the sibling jobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub job: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
     }
 }
 
@@ -132,16 +179,41 @@ impl Pool {
         Pool { workers: workers.max(1) }
     }
 
-    /// A pool sized from the environment: `SSC_POOL_WORKERS` when set to a
-    /// positive integer, otherwise the machine's available parallelism.
+    /// Parses a [`WORKERS_ENV`] override (`None` = variable unset, which
+    /// resolves to `None` = use the machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending value if it is not a positive integer.
+    pub fn parse_env(raw: Option<&str>) -> Result<Option<usize>, String> {
+        match raw {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(w) if w > 0 => Ok(Some(w)),
+                _ => Err(v.to_string()),
+            },
+        }
+    }
+
+    /// A pool sized from the environment: `SSC_POOL_WORKERS` when set,
+    /// otherwise the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the variable and the offending value) if
+    /// `SSC_POOL_WORKERS` is set to anything but a positive integer —
+    /// malformed overrides fail loudly instead of silently sizing the pool
+    /// to the machine.
     pub fn from_env() -> Self {
-        let workers = std::env::var(WORKERS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or_else(|| {
+        let raw = std::env::var(WORKERS_ENV).ok();
+        let workers = match Self::parse_env(raw.as_deref()) {
+            Ok(over) => over.unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+            }),
+            Err(bad) => {
+                panic!("invalid {WORKERS_ENV}={bad:?}: expected a positive integer")
+            }
+        };
         Pool::new(workers)
     }
 
@@ -223,6 +295,30 @@ impl Pool {
         tagged.into_iter().map(|(_, t)| t).collect()
     }
 
+    /// Fault-isolated variant of [`Pool::run`]: a panicking job becomes an
+    /// `Err(JobPanic)` in its slot instead of tearing down the run.
+    ///
+    /// Every job executes (no fail-fast poisoning — isolation means one
+    /// bad cell must not cost the rest of the matrix), results stay in
+    /// job-index order, and the schedule-independence guarantees of
+    /// [`Pool::run`] carry over unchanged since this is a thin
+    /// [`std::panic::catch_unwind`] wrapper around it.
+    ///
+    /// `AssertUnwindSafe` is sound here in the same sense it is for the
+    /// pool itself: a panicking job's partially mutated state is confined
+    /// to that job's slot — callers observe it only as the `Err`.
+    pub fn try_run<T, F>(&self, jobs: usize, job: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(jobs, |i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i))).map_err(
+                |payload| JobPanic { job: i, message: panic_message(&*payload) },
+            )
+        })
+    }
+
     /// Partitions `items` work items into contiguous [`LaneBlock`]s of at
     /// most `lanes_per_block` items and runs `job` once per block on the
     /// pool, returning results **in block order**.
@@ -254,6 +350,19 @@ impl Pool {
 impl Default for Pool {
     fn default() -> Self {
         Pool::from_env()
+    }
+}
+
+/// Stringifies a panic payload: `&str` and `String` payloads verbatim,
+/// anything else a placeholder (panics with exotic payloads are rare and
+/// carry no portable message anyway).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -357,6 +466,90 @@ mod tests {
             })
         }));
         assert!(r.is_err(), "a panicking job must fail the run");
+    }
+
+    #[test]
+    fn try_run_isolates_panicking_jobs() {
+        // Jobs 3 and 7 panic; every other job's result must arrive intact
+        // and in index order, on every pool size including the inline path.
+        for workers in [1, 2, 4, 8] {
+            let pool = Pool::new(workers);
+            let out = pool.try_run(10, |i| {
+                if i == 3 {
+                    panic!("cell {i} exploded");
+                }
+                if i == 7 {
+                    // String payload (the formatting machinery's kind).
+                    std::panic::panic_any(format!("cell {i} exploded richly"));
+                }
+                i * 10
+            });
+            assert_eq!(out.len(), 10, "workers={workers}");
+            for (i, slot) in out.iter().enumerate() {
+                match (i, slot) {
+                    (3, Err(p)) => {
+                        assert_eq!(p.job, 3);
+                        assert_eq!(p.message, "cell 3 exploded");
+                    }
+                    (7, Err(p)) => {
+                        assert_eq!(p.job, 7);
+                        assert_eq!(p.message, "cell 7 exploded richly");
+                    }
+                    (_, Ok(v)) => assert_eq!(*v, i * 10, "workers={workers}"),
+                    (_, other) => panic!("job {i} (workers={workers}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_executes_all_jobs_despite_failures() {
+        // Unlike `run`'s fail-fast poisoning, isolation must not skip
+        // surviving jobs — even when the very first job panics.
+        let executed = AtomicUsize::new(0);
+        let out = Pool::new(2).try_run(50, |i| {
+            if i == 0 {
+                panic!("first job explodes");
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 49);
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn non_string_panic_payload_gets_placeholder() {
+        let out = Pool::new(1).try_run(1, |_| -> () { std::panic::panic_any(42_u32) });
+        match &out[0] {
+            Err(p) => assert_eq!(p.message, "<non-string panic payload>"),
+            Ok(()) => panic!("job must have panicked"),
+        }
+    }
+
+    #[test]
+    fn workers_env_parser_accepts_positive_integers_only() {
+        assert_eq!(Pool::parse_env(None), Ok(None));
+        assert_eq!(Pool::parse_env(Some("1")), Ok(Some(1)));
+        assert_eq!(Pool::parse_env(Some("16")), Ok(Some(16)));
+        assert_eq!(Pool::parse_env(Some("0")), Err("0".to_string()));
+        assert_eq!(Pool::parse_env(Some("-2")), Err("-2".to_string()));
+        assert_eq!(Pool::parse_env(Some("four")), Err("four".to_string()));
+        assert_eq!(Pool::parse_env(Some("")), Err(String::new()));
+        assert_eq!(Pool::parse_env(Some("4 ")), Err("4 ".to_string()));
+    }
+
+    #[test]
+    fn lane_width_parser_accepts_known_widths_only() {
+        assert_eq!(LaneWidth::parse_env(None), Ok(LaneWidth::X256));
+        assert_eq!(LaneWidth::parse_env(Some("64")), Ok(LaneWidth::X64));
+        assert_eq!(LaneWidth::parse_env(Some("1")), Ok(LaneWidth::X64));
+        assert_eq!(LaneWidth::parse_env(Some("256")), Ok(LaneWidth::X256));
+        assert_eq!(LaneWidth::parse_env(Some("4")), Ok(LaneWidth::X256));
+        assert_eq!(LaneWidth::parse_env(Some("128")), Err("128".to_string()));
+        assert_eq!(LaneWidth::parse_env(Some("wide")), Err("wide".to_string()));
+        assert_eq!(LaneWidth::parse_env(Some("")), Err(String::new()));
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Resource governance for [`Solver::solve`](crate::Solver::solve):
+//! effort budgets, a shareable cooperative cancellation token, and the
+//! [`Interrupt`] record a budgeted solve returns instead of an answer.
+//!
+//! A [`Budget`] never changes *what* the solver concludes, only *whether*
+//! it is allowed to keep working: a solve that would exceed its budget
+//! stops at a consistent point (decision level 0, state intact) and
+//! returns [`SolveResult::Unknown`](crate::SolveResult::Unknown). Conflict
+//! and propagation budgets are counted on the solver's own deterministic
+//! counters, so the same formula + assumptions + budget always interrupts
+//! at the same point with the same cause; deadlines and cancellation are
+//! wall-clock driven and therefore not deterministic.
+
+use crate::solver::SolverStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable cooperative cancellation flag.
+///
+/// Clones share the underlying flag: hand one clone to the solver via
+/// [`Budget::cancel`] and keep another on the controlling thread;
+/// [`CancelToken::cancel`] makes every in-flight solve holding the token
+/// return [`SolveResult::Unknown`](crate::SolveResult::Unknown) with
+/// [`InterruptCause::Cancelled`] at its next poll point (the token is
+/// checked on the propagation hot path, amortized every few hundred
+/// propagations).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a new, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; there is no way to lower it again —
+    /// create a fresh token for the next run.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called (on this clone or
+    /// any other clone of the same token).
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Resource limits for [`Solver::solve`](crate::Solver::solve) calls.
+///
+/// `conflicts` and `propagations` are **per-solve** limits (counted from
+/// the start of each solve call), so one budget governs every check of a
+/// long incremental session uniformly. `deadline` is an absolute instant,
+/// naturally bounding a whole run of consecutive solves. The default
+/// budget is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum conflicts a single solve may encounter (`None` = unlimited).
+    pub conflicts: Option<u64>,
+    /// Maximum literals a single solve may propagate (`None` = unlimited).
+    pub propagations: Option<u64>,
+    /// Absolute wall-clock deadline (`None` = unlimited). Checked at
+    /// amortized poll points, so a solve may overrun it by a sliver.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation token (`None` = not cancellable).
+    pub cancel: Option<CancelToken>,
+    /// Opaque caller tag identifying the governed work unit (e.g. a
+    /// portfolio cell seed). The solver only passes it to the
+    /// fault-injection registry ([`crate::chaos`]) as the key of its
+    /// solve-path injection point, which keeps injected faults addressed
+    /// at *logical* work units rather than schedule-dependent call counts.
+    pub tag: u64,
+}
+
+impl Budget {
+    /// An unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-solve conflict limit.
+    pub fn with_conflicts(mut self, conflicts: u64) -> Self {
+        self.conflicts = Some(conflicts);
+        self
+    }
+
+    /// Sets the per-solve propagation limit.
+    pub fn with_propagations(mut self, propagations: u64) -> Self {
+        self.propagations = Some(propagations);
+        self
+    }
+
+    /// Sets the absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches (a clone of) a cancellation token.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Sets the caller tag (see [`Budget::tag`]).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Whether this budget imposes no limit at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.conflicts.is_none()
+            && self.propagations.is_none()
+            && self.deadline.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// Why a solve stopped without reaching a verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterruptCause {
+    /// The per-solve conflict budget was exhausted.
+    Conflicts,
+    /// The per-solve propagation budget was exhausted.
+    Propagations,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancellation token was raised.
+    Cancelled,
+}
+
+impl InterruptCause {
+    /// Stable machine-readable code for reports and fingerprints.
+    pub fn code(&self) -> &'static str {
+        match self {
+            InterruptCause::Conflicts => "conflict-budget",
+            InterruptCause::Propagations => "propagation-budget",
+            InterruptCause::Deadline => "deadline",
+            InterruptCause::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether this cause is a deterministic function of the formula,
+    /// assumptions and budget (true for the counter-based budgets, false
+    /// for the wall-clock-driven ones).
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, InterruptCause::Conflicts | InterruptCause::Propagations)
+    }
+}
+
+impl std::fmt::Display for InterruptCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The record of an interrupted solve, carried by
+/// [`SolveResult::Unknown`](crate::SolveResult::Unknown).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interrupt {
+    /// What stopped the solve.
+    pub cause: InterruptCause,
+    /// The work the interrupted solve performed before stopping:
+    /// per-solve deltas of the cumulative counters (gauge fields such as
+    /// `learnts` hold the value at the interrupt). Deterministic whenever
+    /// [`InterruptCause::is_deterministic`] holds.
+    pub stats: SolverStats,
+}

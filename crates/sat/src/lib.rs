@@ -12,6 +12,28 @@
 //! - incremental solving under assumptions (the workhorse of the iterative
 //!   UPEC-SSC procedure, which re-solves with shrinking state sets).
 //!
+//! # Bounded effort & graceful degradation
+//!
+//! A solver can be put under a resource [`Budget`]: a per-solve conflict
+//! and/or propagation limit, an absolute wall-clock deadline, and a
+//! shareable [`CancelToken`] polled on the propagation hot path. A solve
+//! whose budget runs out stops at decision level 0 and returns
+//! [`SolveResult::Unknown`] carrying an [`Interrupt`] (the
+//! [`InterruptCause`] plus the work performed up to the stop) — it
+//! **never panics and never degrades into a wrong `Sat`/`Unsat`**, which
+//! is what keeps budgeted verification sound: the layers above map
+//! `Unknown` to an explicit inconclusive outcome, so "proved" and "gave
+//! up" stay distinguishable all the way to the final verdict. The
+//! counter-based limits are measured on the solver's own deterministic
+//! counters, so a given formula + assumptions + budget always interrupts
+//! at the same point with the same cause; interrupting loses no state,
+//! and re-solving with a larger budget resumes from everything learnt so
+//! far.
+//!
+//! The [`chaos`] module hosts the (dependency-root) fault-injection
+//! registry used by the robustness test harness; its hooks are a single
+//! relaxed atomic load when disarmed.
+//!
 //! # Example
 //!
 //! ```
@@ -31,11 +53,14 @@
 
 #![warn(missing_docs)]
 
+mod budget;
+pub mod chaos;
 pub mod dimacs;
 mod heap;
 mod lit;
 mod solver;
 
+pub use budget::{Budget, CancelToken, Interrupt, InterruptCause};
 pub use lit::{LBool, Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};
 

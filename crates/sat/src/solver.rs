@@ -5,8 +5,11 @@
 //! minimization, exponential VSIDS decision heuristic with phase saving,
 //! Luby restarts and LBD-aware learnt-clause database reduction.
 
+use crate::budget::{Budget, CancelToken, Interrupt, InterruptCause};
+use crate::chaos;
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use std::time::Instant;
 
 /// Reference to a clause in the arena (offset of its header word).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,6 +107,12 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The solve was stopped by its [`Budget`] (or a cancellation) before
+    /// reaching an answer. The solver is left at decision level 0 with all
+    /// state intact — re-solving with a larger budget is always valid.
+    /// [`Solver::model_value`] and [`Solver::assumption_core`] hold stale
+    /// data from the last conclusive solve.
+    Unknown(Interrupt),
 }
 
 /// Runtime statistics of a solver instance.
@@ -144,6 +153,9 @@ pub struct SolverStats {
     /// [`Solver::retire_era`] — the fork-aware clause-database hygiene of
     /// long sessions).
     pub era_drops: u64,
+    /// Number of `solve` calls that returned [`SolveResult::Unknown`]
+    /// because their [`Budget`] ran out or they were cancelled.
+    pub interrupts: u64,
 }
 
 impl SolverStats {
@@ -163,6 +175,7 @@ impl SolverStats {
             solves: self.solves - earlier.solves,
             core_seeds: self.core_seeds - earlier.core_seeds,
             era_drops: self.era_drops - earlier.era_drops,
+            interrupts: self.interrupts - earlier.interrupts,
         }
     }
 }
@@ -228,8 +241,18 @@ pub struct Solver {
     model: Vec<LBool>,
     /// Assumption core of the most recent `Unsat` result.
     core: Vec<Lit>,
-    /// Conflict budget for the current `solve` call (None = unlimited).
-    conflict_budget: Option<u64>,
+    /// Resource governance for `solve` calls (see [`Budget`]).
+    budget: Budget,
+    /// True while inside `solve` — gates the interrupt machinery so that
+    /// between-solve propagation (e.g. from `add_clause`) can never be cut
+    /// short by a stale limit or a raised cancellation token.
+    solving: bool,
+    /// Absolute cumulative-counter ceilings for the current solve
+    /// (`u64::MAX` = unlimited); derived from `budget` at solve entry.
+    limit_conflicts: u64,
+    limit_props: u64,
+    /// Interrupt cause tripped mid-solve, consumed by the solve loop.
+    interrupt: Option<InterruptCause>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -269,7 +292,11 @@ impl Solver {
             stats: SolverStats::default(),
             model: Vec::new(),
             core: Vec::new(),
-            conflict_budget: None,
+            budget: Budget::default(),
+            solving: false,
+            limit_conflicts: u64::MAX,
+            limit_props: u64::MAX,
+            interrupt: None,
         }
     }
 
@@ -437,12 +464,31 @@ impl Solver {
         self.stats
     }
 
-    /// Limits the next [`Solver::solve`] calls to `budget` conflicts; when
-    /// exceeded the solve returns `Unsat`... no — it aborts. Use `None` to
-    /// remove the limit. Exceeding the budget makes `solve` panic to avoid
-    /// silently wrong verdicts; intended for experiments that bound effort.
+    /// Limits every subsequent [`Solver::solve`] call to `budget` conflicts
+    /// *each*; a solve exceeding it stops and returns
+    /// [`SolveResult::Unknown`] with [`InterruptCause::Conflicts`] instead
+    /// of an answer — it never panics and never reports a wrong verdict.
+    /// Use `None` to remove the limit. Shorthand for setting only the
+    /// conflict field of the [`Budget`] installed via [`Solver::set_budget`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.conflict_budget = budget;
+        self.budget.conflicts = budget;
+    }
+
+    /// Installs the resource [`Budget`] governing subsequent
+    /// [`Solver::solve`] calls (replacing the previous one). See [`Budget`]
+    /// for the semantics of each limit.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed [`Budget`].
+    ///
+    /// Note that [`Solver::fork`] clones it into the child — including any
+    /// attached [`crate::CancelToken`], which the child then *shares* with
+    /// the parent. Call [`Solver::set_budget`] on the fork for independent
+    /// governance.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     #[inline]
@@ -533,6 +579,21 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            // Budget hot path. The counter limit is a single predictable
+            // compare (the ceiling is `u64::MAX` unless a propagation budget
+            // is active); wall-clock and cancellation polls are amortized.
+            if self.stats.propagations >= self.limit_props {
+                self.interrupt = Some(InterruptCause::Propagations);
+            } else if self.stats.propagations & 0x3FF == 0 {
+                self.poll_interrupt();
+            }
+            if self.interrupt.is_some() {
+                // Stop at a consistent point between trail literals: the
+                // remaining queue is simply left unpropagated and the solve
+                // loop converts the pending interrupt into `Unknown`.
+                self.qhead = self.trail.len();
+                return None;
+            }
 
             let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut j = 0;
@@ -591,6 +652,29 @@ impl Solver {
             }
         }
         conflict
+    }
+
+    /// Amortized poll of the wall-clock-driven interrupt sources
+    /// (cancellation token, deadline). Gated on `solving` so a raised token
+    /// can never truncate between-solve propagation (e.g. `add_clause`
+    /// unit propagation), which must always run to completion for
+    /// soundness.
+    fn poll_interrupt(&mut self) {
+        if !self.solving || self.interrupt.is_some() {
+            return;
+        }
+        if self.budget.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.interrupt = Some(InterruptCause::Cancelled);
+        } else if self.budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.interrupt = Some(InterruptCause::Deadline);
+        }
+    }
+
+    /// Books an interrupted solve: bumps the counter and builds the
+    /// `Unknown` result carrying this solve's work delta.
+    fn interrupted(&mut self, cause: InterruptCause, entry: &SolverStats) -> SolveResult {
+        self.stats.interrupts += 1;
+        SolveResult::Unknown(Interrupt { cause, stats: self.stats.delta_since(entry) })
     }
 
     fn cancel_until(&mut self, target: u32) {
@@ -972,16 +1056,40 @@ impl Solver {
     /// solver is left at decision level 0 and can be reused incrementally
     /// (more clauses/vars may be added, different assumptions tried).
     ///
-    /// # Panics
-    ///
-    /// Panics if a conflict budget set via
-    /// [`Solver::set_conflict_budget`] is exhausted.
+    /// If a [`Budget`] is installed ([`Solver::set_budget`] /
+    /// [`Solver::set_conflict_budget`]) and runs out — or an attached
+    /// [`CancelToken`] is raised — the solve stops at decision level 0 and
+    /// returns [`SolveResult::Unknown`] instead of an answer; it never
+    /// panics on exhaustion and never converts a budget limit into a wrong
+    /// `Sat`/`Unsat`. A budgeted `Unknown` leaves the solver fully valid:
+    /// the same call with a larger budget picks up with everything learnt
+    /// so far.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let entry_stats = self.stats;
         self.stats.solves += 1;
         if !self.ok {
             self.core.clear(); // unsat without any assumption
             return SolveResult::Unsat;
         }
+        // Fault injection (no-op unless a chaos plan targeting this solve's
+        // budget tag is armed): a panic fault unwinds out of `point`, an
+        // exhaustion fault shrinks this call's conflict budget to zero so it
+        // trips the genuine interrupt path, a cancel fault behaves like a
+        // token raised before the solve started.
+        let mut conflicts_allowed = self.budget.conflicts;
+        match chaos::point(chaos::Site::Solve, self.budget.tag) {
+            Some(chaos::Fault::ExhaustBudget) => conflicts_allowed = Some(0),
+            Some(chaos::Fault::Cancel) => {
+                return self.interrupted(InterruptCause::Cancelled, &entry_stats);
+            }
+            _ => {}
+        }
+        self.limit_conflicts = conflicts_allowed.map_or(u64::MAX, |b| self.stats.conflicts + b);
+        self.limit_props =
+            self.budget.propagations.map_or(u64::MAX, |b| self.stats.propagations + b);
+        self.interrupt = None;
+        self.solving = true;
+        self.poll_interrupt(); // pre-raised token / already-past deadline
         // Re-solve tuning: consecutive solves of a persistent session ask
         // near-identical questions, so prime the decision heuristic with the
         // variables the previous unsatisfiability proof rested on — one
@@ -996,25 +1104,30 @@ impl Solver {
             self.stats.core_seeds += seeds.len() as u64;
             self.core = seeds;
         }
-        let budget_start = self.stats.conflicts;
         let mut restart_count: u64 = 0;
         let mut conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
         let mut conflicts_in_run: u64 = 0;
 
         let result = loop {
-            if let Some(confl) = self.propagate() {
+            if let Some(cause) = self.interrupt.take() {
+                break self.interrupted(cause, &entry_stats);
+            }
+            let confl = self.propagate();
+            if let Some(cause) = self.interrupt.take() {
+                break self.interrupted(cause, &entry_stats);
+            }
+            if let Some(confl) = confl {
                 self.stats.conflicts += 1;
                 conflicts_in_run += 1;
-                if let Some(b) = self.conflict_budget {
-                    assert!(
-                        self.stats.conflicts - budget_start <= b,
-                        "SAT conflict budget exhausted"
-                    );
-                }
                 if self.decision_level() == 0 {
+                    // A sound answer beats an exhausted budget: level-0
+                    // conflicts prove unsatisfiability outright.
                     self.ok = false;
                     self.core.clear(); // unsat without any assumption
                     break SolveResult::Unsat;
+                }
+                if self.stats.conflicts > self.limit_conflicts {
+                    break self.interrupted(InterruptCause::Conflicts, &entry_stats);
                 }
                 let (learnt, bt_level) = self.analyze(confl);
                 // Never backtrack past the assumptions that are still valid:
@@ -1079,6 +1192,10 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        self.solving = false;
+        self.interrupt = None;
+        self.limit_conflicts = u64::MAX;
+        self.limit_props = u64::MAX;
         result
     }
 
