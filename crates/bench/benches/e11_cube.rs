@@ -1,0 +1,116 @@
+//! E11: cube-and-conquer escalation of the dominating window-2 induction
+//! check versus the sequential (escalation-off) path, on the e9 secure
+//! portfolio cells — the cells that spend 60–70% of their runtime in that
+//! one check. Emits `BENCH_e11_cube.json` (gated in CI at ≥ 2× on ≥ 4-core
+//! hosts), and asserts the determinism attestation the record carries:
+//! escalated verdicts fingerprint-identical across pool sizes 1/2/4 and a
+//! shuffled cube ordering.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_bench::portfolio::{self, Scenario};
+use ssc_bench::{cell_fingerprint, compare_cube_cell, CubeCellComparison};
+use ssc_pool::Pool;
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{CubeConfig, ProductArtifact, SessionPrefix};
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The escalation configuration under test: built-in defaults with the
+/// escalation switch pinned on (the environment may have it off — CI's
+/// second suite run does) and an explicit worker/order override.
+fn cfg(workers: usize, order_seed: u64) -> CubeConfig {
+    CubeConfig { enabled: true, workers, order_seed, ..CubeConfig::disabled() }
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+    let words = 8u32;
+
+    // The e9 secure cells: their window-2 induction check is the
+    // escalation target (the leaky cells find a counterexample long
+    // before the probe cap matters).
+    let matrix = portfolio::scenario_matrix();
+    let seed_spec = matrix[0].spec.clone();
+    let secure: Vec<Scenario> = matrix.into_iter().filter(|s| !s.leaky).collect();
+    let secure = if smoke { &secure[..1] } else { &secure[..] };
+
+    // One shared artifact + base prefix, exactly like a portfolio size
+    // phase — every comparison run forks it, so all runs start
+    // state-identical.
+    let soc = Soc::build(SocConfig::verification_sized(words, words));
+    let art = Arc::new(
+        ProductArtifact::for_spec(&soc.netlist, &seed_spec)
+            .expect("portfolio spec matches the SoC"),
+    );
+    let prefix =
+        SessionPrefix::build(&art, &seed_spec, 1).expect("spec already validated");
+
+    let headline = cfg(Pool::from_env().workers(), 0);
+    let mut cells: Vec<CubeCellComparison> = Vec::new();
+    let mut equivalent = true;
+    for sc in secure {
+        let cmp = compare_cube_cell(sc, &art, &prefix, words, headline.clone());
+        println!(
+            "[e11] {:>22} @ {} words: sequential {:?} vs escalated {:?} ({:.2}x, {} races, \
+             {} fallbacks, {}us wasted, matches_sequential={})",
+            cmp.scenario,
+            words,
+            cmp.sequential.runtime,
+            cmp.escalated.runtime,
+            cmp.speedup(),
+            cmp.races,
+            cmp.fallbacks,
+            cmp.wasted_us,
+            cmp.matches_sequential,
+        );
+
+        // The determinism attestation: the escalated trajectory must be
+        // bit-identical whichever pool size races the cubes and however
+        // the cube → race-slot mapping is permuted.
+        let mut reference = String::new();
+        portfolio::verdict_fingerprint(&cmp.escalated.verdict, &mut reference);
+        for (workers, order_seed) in [(1, 0), (2, 0), (4, 0), (2, 0xC0FFEE)] {
+            let entry = portfolio::run_cell_with_cube(
+                sc,
+                &art,
+                &prefix,
+                words,
+                cfg(workers, order_seed),
+            );
+            let fp = cell_fingerprint(&entry);
+            if fp != reference {
+                equivalent = false;
+                eprintln!(
+                    "[e11] DIVERGED: {} with {workers} workers, order seed {order_seed:#x}:\n\
+                     --- reference\n{reference}\n--- got\n{fp}",
+                    sc.name
+                );
+            }
+        }
+        cells.push(cmp);
+    }
+    assert!(
+        equivalent,
+        "escalated verdicts must be fingerprint-identical across pool sizes and cube orderings"
+    );
+
+    let json = ssc_bench::perf::e11_json(
+        &cells,
+        headline.workers,
+        cores(),
+        headline.conflict_threshold,
+        headline.split_vars,
+        equivalent,
+    );
+    match ssc_bench::perf::write_record("e11_cube", &json) {
+        Ok(path) => println!("[e11] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e11] could not write perf record: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

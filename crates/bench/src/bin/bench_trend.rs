@@ -17,7 +17,14 @@
 //! - `BENCH_e10_shared.json` — a from-scratch cell's setup (product build
 //!   and base-session encoding) must stay ≥ 1.5× the *marginal* shared
 //!   cell's (bind + copy-on-write fork) at the **largest** recorded size,
-//!   and the record must attest shared/scratch fingerprint equivalence.
+//!   and the record must attest shared/scratch fingerprint equivalence,
+//! - `BENCH_e11_cube.json` — cube-and-conquer escalation of the dominating
+//!   window-2 induction checks must stay ≥ 2× the sequential
+//!   (escalation-off) path on the e9 secure cells **when the record was
+//!   taken on a host with ≥ 4 cores** (skipped with a notice below — cube
+//!   races serialize on small hosts), and the record must attest that
+//!   escalated verdicts were fingerprint-identical across pool sizes and
+//!   shuffled cube orderings (`equivalent`).
 //!
 //! ```sh
 //! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
@@ -50,6 +57,11 @@ const E9_MIN_SPEEDUP: f64 = 2.0;
 const E9_MIN_CORES: f64 = 4.0;
 /// Minimum shared-vs-scratch per-cell setup speedup at the largest e10 size.
 const E10_MIN_SETUP_SPEEDUP: f64 = 1.5;
+/// Minimum escalated-vs-sequential speedup on the e11 secure cells (on
+/// ≥ `E11_MIN_CORES` cores).
+const E11_MIN_SPEEDUP: f64 = 2.0;
+/// Host cores below which the e11 speedup floor is not enforceable.
+const E11_MIN_CORES: f64 = 4.0;
 
 /// One bench gate: where its record lives, how to regenerate it, and the
 /// evaluator that turns the record into pass/fail lines. The uniform
@@ -71,6 +83,7 @@ const GATES: &[Gate] = &[
     Gate { file: "BENCH_e8_lanes.json", regenerate: "e8_ift_baseline", eval: gate_e8 },
     Gate { file: "BENCH_e9_portfolio.json", regenerate: "e9_portfolio", eval: gate_e9 },
     Gate { file: "BENCH_e10_shared.json", regenerate: "e10_shared_portfolio", eval: gate_e10 },
+    Gate { file: "BENCH_e11_cube.json", regenerate: "e11_cube", eval: gate_e11 },
 ];
 
 /// Why a record could not be evaluated (exit code 2 — distinct from a
@@ -304,6 +317,42 @@ fn gate_e9(json: &str, path: &Path) -> Result<bool, RecordError> {
     Ok(pass)
 }
 
+fn gate_e11(json: &str, path: &Path) -> Result<bool, RecordError> {
+    let speedup = require_f64(json, "speedup", path)?;
+    let cores = require_f64(json, "cores", path)?;
+    let workers = require_f64(json, "workers", path)?;
+    // `equivalent` attests determinism: escalated verdicts were
+    // fingerprint-identical across pool sizes 1/2/4 and shuffled cube
+    // orderings. A record whose races diverged is malformed, not slow.
+    require_equivalent(
+        json,
+        path,
+        "escalated verdicts diverged across pool sizes or cube orderings",
+    )?;
+    if cores < E11_MIN_CORES {
+        println!(
+            "[trend] e11 escalated-vs-sequential ({workers:.0} workers): {speedup:.2}x — gate \
+             skipped (recorded on {cores:.0} cores, floor {E11_MIN_SPEEDUP}x needs >= \
+             {E11_MIN_CORES:.0})"
+        );
+        return Ok(true);
+    }
+    let pass = speedup >= E11_MIN_SPEEDUP;
+    println!(
+        "[trend] e11 escalated-vs-sequential ({workers:.0} workers, {cores:.0} cores): \
+         {speedup:.2}x (floor {E11_MIN_SPEEDUP}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `speedup` in {} is {speedup:.2}, floor is \
+             {E11_MIN_SPEEDUP}",
+            path.display()
+        );
+    }
+    Ok(pass)
+}
+
 /// The `(words, setup_speedup)` pairs of the e10 record's `sizes` array.
 fn e10_setups(json: &str, path: &Path) -> Result<Vec<(f64, f64)>, RecordError> {
     let malformed = |what: String| RecordError::Malformed { path: path.to_path_buf(), what };
@@ -461,6 +510,39 @@ mod tests {
 
         // Equivalence attestation failure is malformed, not a regression.
         std::fs::write(&path, r#"{"experiment":"e9_portfolio","workers":8,"cores":8,"jobs":8,"sequential_us":100,"parallel_us":40,"speedup":2.500,"equivalent":false,"entries":[]}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("equivalent"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn e11_gate_skips_below_four_cores_and_enforces_above() {
+        let dir =
+            std::env::temp_dir().join(format!("trend_test_e11_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e11_cube.json");
+        let gate = gate_for("BENCH_e11_cube.json");
+
+        // Absent record: exit-2 class error naming the bench to re-run.
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("e11_cube"), "{err}");
+
+        // 1-core record below the floor: gate must pass (skipped) — cube
+        // races serialize without cores, the floor is not enforceable.
+        std::fs::write(&path, r#"{"experiment":"e11_cube","workers":1,"cores":1,"conflict_threshold":10000,"split_vars":2,"sequential_us":100,"escalated_us":120,"speedup":0.833,"equivalent":true,"matches_sequential":true,"races":2,"fallbacks":0,"wasted_us":0,"cells":[]}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "sub-4-core record must not fail the floor");
+
+        // 8-core record below the floor: regression.
+        std::fs::write(&path, r#"{"experiment":"e11_cube","workers":4,"cores":8,"conflict_threshold":10000,"split_vars":2,"sequential_us":100,"escalated_us":80,"speedup":1.250,"equivalent":true,"matches_sequential":true,"races":2,"fallbacks":0,"wasted_us":10,"cells":[]}"#).unwrap();
+        assert!(!run_gate(gate, &dir).unwrap(), "8-core record at 1.25x must regress");
+
+        // 8-core record above the floor: pass.
+        std::fs::write(&path, r#"{"experiment":"e11_cube","workers":4,"cores":8,"conflict_threshold":10000,"split_vars":2,"sequential_us":100,"escalated_us":40,"speedup":2.500,"equivalent":true,"matches_sequential":true,"races":2,"fallbacks":0,"wasted_us":10,"cells":[]}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "8-core record at 2.5x must pass");
+
+        // Determinism attestation failure is malformed, not a regression.
+        std::fs::write(&path, r#"{"experiment":"e11_cube","workers":4,"cores":8,"conflict_threshold":10000,"split_vars":2,"sequential_us":100,"escalated_us":40,"speedup":2.500,"equivalent":false,"matches_sequential":true,"races":2,"fallbacks":0,"wasted_us":10,"cells":[]}"#).unwrap();
         let err = run_gate(gate, &dir).unwrap_err();
         assert!(err.to_string().contains("equivalent"), "{err}");
 

@@ -640,6 +640,88 @@ pub fn e8_lanes_comparison(trials: u64) -> E8LanesComparison {
     }
 }
 
+/// E11 — head-to-head of one portfolio cell with cube escalation pinned
+/// off (the pre-PR-7 sequential incremental path) versus escalated
+/// (conflict-capped probe → `2^j`-cube race over forked sessions, see
+/// `upec_ssc`'s *Cube-and-conquer escalation* docs), both run on the same
+/// shared prefix.
+#[derive(Clone, Debug)]
+pub struct CubeCellComparison {
+    /// Scenario label of the cell.
+    pub scenario: &'static str,
+    /// Public/private memory words of the analyzed SoC.
+    pub words: u32,
+    /// The escalation-off run.
+    pub sequential: FormalResult,
+    /// The escalated run.
+    pub escalated: FormalResult,
+    /// Iterations of the escalated run that actually raced cubes (carry a
+    /// [`upec_ssc::CubeReport`]).
+    pub races: usize,
+    /// Races that fell back to the parent's sequential solve (a cube died
+    /// without a SAT sibling).
+    pub fallbacks: usize,
+    /// Total wall clock spent in losing (cancelled) cubes, summed over
+    /// all races, in microseconds.
+    pub wasted_us: u64,
+    /// Whether the escalated refinement trajectory matched the
+    /// escalation-off run under [`portfolio::verdict_fingerprint`].
+    /// Informational: a merged cube core may legitimately differ from a
+    /// sequential core, steering Alg. 2 differently while both verdicts
+    /// stay correct.
+    pub matches_sequential: bool,
+}
+
+impl CubeCellComparison {
+    /// Sequential-over-escalated wall-clock ratio (> 1 = escalation won).
+    pub fn speedup(&self) -> f64 {
+        self.sequential.runtime.as_secs_f64() / self.escalated.runtime.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The deterministic projection of one cell's verdict (verdict kind,
+/// refinement trajectory, encoding sizes — no wall clock, no solver
+/// counters, no cube diagnostics), as one owned string.
+pub fn cell_fingerprint(entry: &portfolio::PortfolioEntry) -> String {
+    let mut out = String::new();
+    portfolio::verdict_fingerprint(&entry.result.verdict, &mut out);
+    out
+}
+
+/// Measures [`CubeCellComparison`] for one cell: runs it with escalation
+/// off, then escalated under `cube`, on the same shared artifact +
+/// prefix, and aggregates the escalated run's [`upec_ssc::CubeReport`]s.
+pub fn compare_cube_cell(
+    scenario: &portfolio::Scenario,
+    art: &std::sync::Arc<upec_ssc::ProductArtifact>,
+    prefix: &upec_ssc::SessionPrefix<'_>,
+    words: u32,
+    cube: upec_ssc::CubeConfig,
+) -> CubeCellComparison {
+    let seq =
+        portfolio::run_cell_with_cube(scenario, art, prefix, words, upec_ssc::CubeConfig::disabled());
+    let esc = portfolio::run_cell_with_cube(scenario, art, prefix, words, cube);
+    let matches_sequential = cell_fingerprint(&seq) == cell_fingerprint(&esc);
+    let (mut races, mut fallbacks, mut wasted_us) = (0usize, 0usize, 0u64);
+    for it in esc.result.verdict.iterations() {
+        if let Some(c) = &it.cube {
+            races += 1;
+            fallbacks += usize::from(c.fallback);
+            wasted_us += c.wasted_us;
+        }
+    }
+    CubeCellComparison {
+        scenario: scenario.name,
+        words,
+        sequential: seq.result,
+        escalated: esc.result,
+        races,
+        fallbacks,
+        wasted_us,
+        matches_sequential,
+    }
+}
+
 /// Machine-readable perf records (`BENCH_<experiment>.json`).
 ///
 /// The records are hand-assembled JSON (the workspace has no serde) written
@@ -657,14 +739,16 @@ pub mod perf {
         d.as_micros()
     }
 
-    /// Serializes one iteration's statistics.
+    /// Serializes one iteration's statistics. `cube` is `null` for
+    /// iterations whose check stayed on the sequential path, else the
+    /// [`upec_ssc::CubeReport`] of the race ([`cube_json`]).
     fn iteration_json(it: &IterationStat) -> String {
         format!(
             "{{\"iteration\":{},\"window\":{},\"set_size\":{},\"removed\":{},\"runtime_us\":{},\
              \"encoded_nodes\":{},\"encoded_delta\":{},\"aig_nodes\":{},\
              \"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
              \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{},\
-             \"era_drops\":{}}}",
+             \"era_drops\":{},\"atoms_core_dropped\":{},\"cube\":{}}}",
             it.iteration,
             it.window,
             it.set_size,
@@ -682,6 +766,27 @@ pub mod perf {
             it.solver.gcs,
             it.solver.core_seeds,
             it.solver.era_drops,
+            it.atoms_core_dropped,
+            it.cube.as_ref().map_or_else(|| "null".to_string(), cube_json),
+        )
+    }
+
+    /// Serializes one cube race's observability record. `winner` is the
+    /// index of the first SAT cube in slot order (`null` after an
+    /// all-UNSAT or fallback race), `conflicts` is indexed by cube (sign
+    /// combination), and `wasted_us` sums the wall clock of the losing
+    /// cubes. All of these except `cubes` and `fallback` are
+    /// schedule-dependent — they are diagnostics, deliberately excluded
+    /// from the determinism fingerprint.
+    fn cube_json(c: &upec_ssc::CubeReport) -> String {
+        let conflicts: Vec<String> = c.conflicts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"cubes\":{},\"winner\":{},\"wasted_us\":{},\"conflicts\":[{}],\"fallback\":{}}}",
+            c.cubes,
+            c.winner.map_or_else(|| "null".to_string(), |w| w.to_string()),
+            c.wasted_us,
+            conflicts.join(","),
+            c.fallback,
         )
     }
 
@@ -924,6 +1029,98 @@ pub mod perf {
             wall_speedup,
             equivalent,
         );
+        out
+    }
+
+    /// The E11 cube-escalation record: the e9 secure portfolio cells run
+    /// with cube escalation pinned off (the pre-PR-7 sequential path)
+    /// versus escalated (conflict-capped probe → `2^j`-cube race over
+    /// forked sessions) on the same shared prefix.
+    ///
+    /// Format (all times in microseconds):
+    ///
+    /// ```json
+    /// {"experiment":"e11_cube",
+    ///  "workers":4,"cores":8,
+    ///  "conflict_threshold":10000,"split_vars":2,
+    ///  "sequential_us":1,"escalated_us":1,"speedup":2.0,
+    ///  "equivalent":true,"matches_sequential":true,
+    ///  "races":2,"fallbacks":0,"wasted_us":1,
+    ///  "cells":[{"scenario":"dma_timer/patched","words":8,
+    ///            "verdict":"secure","sequential_us":1,"escalated_us":1,
+    ///            "speedup":2.0,"races":1,"fallbacks":0,"wasted_us":1,
+    ///            "matches_sequential":true,"iterations":[...]}]}
+    /// ```
+    ///
+    /// `workers`/`cores` are the cube-race pool size and the host
+    /// parallelism the record was taken with — the CI trend gate only
+    /// enforces the ≥ 2× `speedup` floor when `cores >= 4` (a 1-core host
+    /// cannot demonstrate a parallel speedup; it reports itself skipped).
+    /// `equivalent` attests that the **escalated** verdicts were
+    /// fingerprint-identical across pool sizes 1/2/4 *and* shuffled cube
+    /// orderings (the determinism guarantee; required `true` by the gate).
+    /// `matches_sequential` reports whether the escalated refinement
+    /// trajectory also matched the escalation-off run bit for bit —
+    /// informational, since a merged cube core may legitimately differ
+    /// from a sequential core while both verdicts stay correct. `races` /
+    /// `fallbacks` / `wasted_us` aggregate the per-iteration
+    /// [`upec_ssc::CubeReport`]s of the `cells` (whose `iterations` embed
+    /// them in full).
+    pub fn e11_json(
+        cells: &[crate::CubeCellComparison],
+        workers: usize,
+        cores: usize,
+        conflict_threshold: u64,
+        split_vars: u32,
+        equivalent: bool,
+    ) -> String {
+        let sequential: Duration = cells.iter().map(|c| c.sequential.runtime).sum();
+        let escalated: Duration = cells.iter().map(|c| c.escalated.runtime).sum();
+        let speedup = sequential.as_secs_f64() / escalated.as_secs_f64().max(1e-9);
+        let matches_sequential = cells.iter().all(|c| c.matches_sequential);
+        let mut out = format!(
+            "{{\"experiment\":\"e11_cube\",\"workers\":{},\"cores\":{},\
+             \"conflict_threshold\":{},\"split_vars\":{},\
+             \"sequential_us\":{},\"escalated_us\":{},\"speedup\":{:.3},\
+             \"equivalent\":{},\"matches_sequential\":{},\
+             \"races\":{},\"fallbacks\":{},\"wasted_us\":{},\"cells\":[",
+            workers,
+            cores,
+            conflict_threshold,
+            split_vars,
+            us(sequential),
+            us(escalated),
+            speedup,
+            equivalent,
+            matches_sequential,
+            cells.iter().map(|c| c.races).sum::<usize>(),
+            cells.iter().map(|c| c.fallbacks).sum::<usize>(),
+            cells.iter().map(|c| c.wasted_us).sum::<u64>(),
+        );
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"words\":{},\"verdict\":\"{}\",\
+                 \"sequential_us\":{},\"escalated_us\":{},\"speedup\":{:.3},\
+                 \"races\":{},\"fallbacks\":{},\"wasted_us\":{},\
+                 \"matches_sequential\":{},\"iterations\":{}}}",
+                c.scenario,
+                c.words,
+                verdict_kind(&c.escalated.verdict),
+                us(c.sequential.runtime),
+                us(c.escalated.runtime),
+                c.speedup(),
+                c.races,
+                c.fallbacks,
+                c.wasted_us,
+                c.matches_sequential,
+                iterations_json(&c.escalated.verdict),
+            );
+        }
+        out.push_str("]}");
         out
     }
 

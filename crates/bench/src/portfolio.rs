@@ -46,8 +46,8 @@ use ssc_pool::Pool;
 use ssc_sat::chaos;
 use ssc_soc::{Soc, SocConfig};
 use upec_ssc::{
-    Budget, CancelToken, ProductArtifact, Session, SessionPrefix, UpecAnalysis, UpecSpec,
-    Verdict,
+    Budget, CancelToken, CubeConfig, ProductArtifact, Session, SessionPrefix, UpecAnalysis,
+    UpecSpec, Verdict,
 };
 
 use crate::FormalResult;
@@ -187,6 +187,28 @@ fn run_cell_shared(
     let an = UpecAnalysis::bind(art.clone(), scenario.spec.clone())
         .expect("portfolio spec matches the SoC");
     let sess = Session::with_prefix(&an, prefix.fork());
+    let verdict = an.alg2_with_session(sess);
+    seal_cell(scenario, words, state_bits, verdict, t.elapsed())
+}
+
+/// [`run_cell_shared`] with an explicit cube-escalation configuration
+/// pinned on the session (instead of the `SSC_CUBE_*` environment
+/// default) — how the e11 bench and the cube determinism tests compare
+/// the sequential path against escalated runs at chosen pool sizes and
+/// cube orderings on the *same* shared prefix.
+pub fn run_cell_with_cube(
+    scenario: &Scenario,
+    art: &Arc<ProductArtifact>,
+    prefix: &SessionPrefix<'_>,
+    words: u32,
+    cube: CubeConfig,
+) -> PortfolioEntry {
+    let state_bits = analysis::state_bit_count(art.src());
+    let t = Instant::now();
+    let an = UpecAnalysis::bind(art.clone(), scenario.spec.clone())
+        .expect("portfolio spec matches the SoC");
+    let mut sess = Session::with_prefix(&an, prefix.fork());
+    sess.set_cube_config(cube);
     let verdict = an.alg2_with_session(sess);
     seal_cell(scenario, words, state_bits, verdict, t.elapsed())
 }

@@ -1,0 +1,212 @@
+//! Determinism and fault-confinement suite for the cube-and-conquer
+//! escalation of `Session::check_window` (PR 7):
+//!
+//! - escalated verdicts and refinement fingerprints are identical across
+//!   cube-race pool sizes 1/2/4 (what `SSC_POOL_WORKERS` feeds) and
+//!   shuffled cube → race-slot orderings,
+//! - a force-cancelled cube (the fate of every losing sibling after a SAT
+//!   winner) never decides a verdict and leaves the parent session
+//!   incrementally usable for the rest of the procedure,
+//! - a chaos-injected panic inside one cube's solve is confined to that
+//!   cube by `ssc_pool::Pool::race`'s isolation, the race falls back to
+//!   the parent's sequential solve, and the verdict is unchanged.
+//!
+//! The chaos registry is process-global and every test here races cubes
+//! with the same parent budget tag (0), so the whole file serializes on
+//! one mutex.
+//!
+//! Every test runs full secure portfolio cells whose window-2 checks are
+//! deliberately forced over the probe cap — minutes of solving in release
+//! and hours in debug — so the suite skips itself in debug builds. CI
+//! runs it in release (the default suite passes in both pool
+//! configurations).
+
+use std::sync::{Arc, Mutex};
+
+/// Skip (with a notice) under debug profiles: the forced escalations cost
+/// tens of thousands of solver conflicts per race, which the unoptimized
+/// solver multiplies by an order of magnitude. Returns `true` when the
+/// test should bail out.
+fn skip_in_debug(test: &str) -> bool {
+    if cfg!(debug_assertions) {
+        eprintln!("[cube] {test}: skipped in debug builds — run with --release (CI does)");
+        return true;
+    }
+    false
+}
+
+use ssc_bench::portfolio::{self, Scenario};
+use ssc_bench::cell_fingerprint;
+use ssc_sat::chaos::{self, ChaosPlan, Fault, Site};
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{cube_tag, CubeConfig, ProductArtifact, SessionPrefix, Verdict};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const WORDS: u32 = 8;
+
+/// A conflict threshold low enough that the secure cell's window-≥ 2
+/// induction checks all blow through the probe cap and escalate (they
+/// cost tens of thousands of conflicts at 8 words), keeping the suite's
+/// runtime dominated by work the race actually parallelizes.
+const TEST_THRESHOLD: u64 = 2_000;
+
+fn escalated(workers: usize, order_seed: u64) -> CubeConfig {
+    CubeConfig {
+        enabled: true,
+        conflict_threshold: TEST_THRESHOLD,
+        workers,
+        order_seed,
+        ..CubeConfig::disabled()
+    }
+}
+
+/// The shared per-size base (artifact + encoded prefix), exactly as the
+/// portfolio's size phase builds it — every run forks this, so all runs
+/// start state-identical.
+fn base(seed_spec: &upec_ssc::UpecSpec) -> Arc<ProductArtifact> {
+    let soc = Soc::build(SocConfig::verification_sized(WORDS, WORDS));
+    Arc::new(
+        ProductArtifact::for_spec(&soc.netlist, seed_spec)
+            .expect("portfolio spec matches the SoC"),
+    )
+}
+
+/// The secure dma_timer/patched cell — the e9 cell whose window-2
+/// induction check dominates its runtime — plus the prefix seed spec.
+fn secure_scenario() -> (Scenario, upec_ssc::UpecSpec) {
+    let matrix = portfolio::scenario_matrix();
+    let seed_spec = matrix[0].spec.clone();
+    let sc = matrix
+        .into_iter()
+        .find(|s| !s.leaky)
+        .expect("the matrix has secure scenarios");
+    (sc, seed_spec)
+}
+
+fn races(verdict: &Verdict) -> usize {
+    verdict.iterations().iter().filter(|it| it.cube.is_some()).count()
+}
+
+fn fallbacks(verdict: &Verdict) -> usize {
+    verdict
+        .iterations()
+        .iter()
+        .filter_map(|it| it.cube.as_ref())
+        .filter(|c| c.fallback)
+        .count()
+}
+
+#[test]
+fn escalated_verdicts_identical_across_pool_sizes_and_cube_orderings() {
+    if skip_in_debug("escalated_verdicts_identical_across_pool_sizes_and_cube_orderings") {
+        return;
+    }
+    let _s = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (sc, seed_spec) = secure_scenario();
+    let art = base(&seed_spec);
+    let prefix = SessionPrefix::build(&art, &seed_spec, 1).expect("spec already validated");
+
+    // The escalation-off baseline: no iteration may carry a cube report.
+    let off = portfolio::run_cell_with_cube(&sc, &art, &prefix, WORDS, CubeConfig::disabled());
+    assert!(off.result.verdict.is_secure());
+    assert_eq!(races(&off.result.verdict), 0, "escalation off must never race");
+
+    // Escalated runs across pool sizes and a shuffled cube ordering: the
+    // verdict and the whole refinement fingerprint must be bit-identical
+    // (first-SAT and all-UNSAT are both order-independent conclusions).
+    let mut reference: Option<String> = None;
+    for (workers, order_seed) in [(1usize, 0u64), (2, 0), (4, 0), (2, 0xC0FFEE)] {
+        let entry = portfolio::run_cell_with_cube(
+            &sc,
+            &art,
+            &prefix,
+            WORDS,
+            escalated(workers, order_seed),
+        );
+        assert!(entry.result.verdict.is_secure());
+        assert!(
+            races(&entry.result.verdict) > 0,
+            "the threshold must force at least one race, or this test is vacuous"
+        );
+        let fp = cell_fingerprint(&entry);
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(
+                &fp, r,
+                "escalated fingerprint diverged at {workers} workers, seed {order_seed:#x}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn force_cancelled_cube_never_decides_and_parent_stays_usable() {
+    if skip_in_debug("force_cancelled_cube_never_decides_and_parent_stays_usable") {
+        return;
+    }
+    let _s = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (sc, seed_spec) = secure_scenario();
+    let art = base(&seed_spec);
+    let prefix = SessionPrefix::build(&art, &seed_spec, 1).expect("spec already validated");
+
+    // Force-cancel cube 1 of every race (the parent check runs under the
+    // default budget, tag 0). A cancelled cube leaves its subspace
+    // unverified, so no race may conclude UNSAT from the survivors alone:
+    // every race must fall back to the parent's sequential solve — and
+    // the parent session must remain usable for that solve *and* every
+    // later window and fixpoint iteration of the same procedure.
+    let _guard = chaos::arm(ChaosPlan {
+        site: Site::Solve,
+        key: Some(cube_tag(0, 1)),
+        fault: Fault::Cancel,
+    });
+    let entry = portfolio::run_cell_with_cube(&sc, &art, &prefix, WORDS, escalated(2, 0));
+    assert!(chaos::fired() >= 1, "the cancellation must actually have been injected");
+    assert!(
+        entry.result.verdict.is_secure(),
+        "a cancelled cube must never change the verdict"
+    );
+    let raced = races(&entry.result.verdict);
+    assert!(raced > 0, "the threshold must force at least one race");
+    assert_eq!(
+        fallbacks(&entry.result.verdict),
+        raced,
+        "every race with a cancelled cube must fall back to the sequential solve"
+    );
+}
+
+#[test]
+fn chaos_panic_in_one_cube_is_confined_and_verdict_unchanged() {
+    if skip_in_debug("chaos_panic_in_one_cube_is_confined_and_verdict_unchanged") {
+        return;
+    }
+    let _s = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (sc, seed_spec) = secure_scenario();
+    let art = base(&seed_spec);
+    let prefix = SessionPrefix::build(&art, &seed_spec, 1).expect("spec already validated");
+
+    // Panic inside cube 0's solve, every race. `Pool::race` confines the
+    // unwind to the cube's job slot; the dead cube's subspace counts as
+    // unverified, the race reports `fallback` and the parent's sequential
+    // solve settles the check — this test *completing* with the secure
+    // verdict is the confinement proof.
+    let _guard = chaos::arm(ChaosPlan {
+        site: Site::Solve,
+        key: Some(cube_tag(0, 0)),
+        fault: Fault::Panic,
+    });
+    let entry = portfolio::run_cell_with_cube(&sc, &art, &prefix, WORDS, escalated(2, 0));
+    assert!(chaos::fired() >= 1, "the panic must actually have been injected");
+    assert!(
+        entry.result.verdict.is_secure(),
+        "a dead cube must never change the verdict"
+    );
+    let raced = races(&entry.result.verdict);
+    assert!(raced > 0, "the threshold must force at least one race");
+    assert_eq!(
+        fallbacks(&entry.result.verdict),
+        raced,
+        "every race with a dead cube must fall back to the sequential solve"
+    );
+}

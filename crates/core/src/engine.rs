@@ -25,16 +25,18 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
-use ssc_aig::fx::FxHashMap;
+use ssc_aig::fx::{FxHashMap, FxHashSet};
 use ssc_aig::words::{self, Word};
 use ssc_aig::AigRef;
 use ssc_ipc::{Ipc, PropertyResult};
 use ssc_netlist::{ImportMap, MemId, Netlist, Node, Wire};
-use ssc_sat::Lit;
+use ssc_pool::Pool;
+use ssc_sat::{Budget, CancelToken, InterruptCause, Lit, Var};
 
 use crate::atoms::{self, AtomSet, StateAtom};
-use crate::report::{AtomDiff, CexCycle, Counterexample, PortActivity};
+use crate::report::{AtomDiff, CexCycle, Counterexample, CubeReport, PortActivity};
 use crate::spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};
 
 /// Instance selector within the product.
@@ -631,6 +633,195 @@ impl<'p> SessionPrefix<'p> {
     }
 }
 
+/// Environment variable: master switch for the cube-and-conquer
+/// escalation of hard window checks. `0`/`off`/`false` disable it,
+/// `1`/`on`/`true` force it on; unset, escalation is on exactly when the
+/// cube pool has at least two workers — a single-worker race serializes
+/// the cubes and can only lose to the sequential solve it replaced.
+pub const CUBE_ESCALATE_ENV: &str = "SSC_CUBE_ESCALATE";
+
+/// Environment variable overriding [`CubeConfig::conflict_threshold`].
+pub const CUBE_THRESHOLD_ENV: &str = "SSC_CUBE_CONFLICT_THRESHOLD";
+
+/// Environment variable overriding [`CubeConfig::split_vars`].
+pub const CUBE_SPLIT_VARS_ENV: &str = "SSC_CUBE_SPLIT_VARS";
+
+/// Environment variable overriding [`CubeConfig::order_seed`].
+pub const CUBE_ORDER_SEED_ENV: &str = "SSC_CUBE_ORDER_SEED";
+
+/// Checks at window 1 (Alg. 1 and the concluding genuine induction) never
+/// drop goal disjuncts — unsat-core-guided atom dropping is a Alg. 2
+/// window-search heuristic, and the window-1 check is the soundness
+/// backstop it leans on.
+const DROP_MIN_WINDOW: usize = 2;
+
+/// Configuration of the cube-and-conquer escalation of
+/// [`Session::check_window`] (see the crate-level *Cube-and-conquer
+/// escalation* section).
+#[derive(Clone, Debug)]
+pub struct CubeConfig {
+    /// Master switch ([`CUBE_ESCALATE_ENV`]). Disabled, every check runs
+    /// on the sequential incremental path exactly as before.
+    pub enabled: bool,
+    /// Conflict count at which a probe solve is abandoned and the check
+    /// escalates to a cube race ([`CUBE_THRESHOLD_ENV`]). Checks cheaper
+    /// than this never pay a fork.
+    pub conflict_threshold: u64,
+    /// Number of split variables `j`; a race spawns all `2^j` sign
+    /// combinations as cubes ([`CUBE_SPLIT_VARS_ENV`]). The cube count
+    /// depends only on this — never on the worker count — so the
+    /// partition is identical across pool sizes.
+    pub split_vars: u32,
+    /// Smallest window escalation applies to; window-1 checks (Alg. 1 and
+    /// the concluding induction) always stay sequential.
+    pub min_window: usize,
+    /// Worker threads racing the cubes (from [`ssc_pool::Pool::from_env`],
+    /// i.e. `SSC_POOL_WORKERS`).
+    pub workers: usize,
+    /// Seed permuting the cube → race-slot mapping
+    /// ([`CUBE_ORDER_SEED_ENV`], `0` = identity). Exists so tests can
+    /// prove verdicts and fingerprints are independent of racing order.
+    pub order_seed: u64,
+}
+
+impl CubeConfig {
+    /// The built-in defaults: enabled whenever the pool has a second
+    /// worker to race on (on one worker the cubes serialize and the race
+    /// is pure overhead — [`CUBE_ESCALATE_ENV`]`=1` still forces it),
+    /// 10k-conflict threshold (the e9 secure-cell window-2 checks cost
+    /// 33–53k), 2 split variables (4 cubes), window ≥ 2, pool-sized
+    /// workers, identity order.
+    fn defaults() -> CubeConfig {
+        let workers = Pool::from_env().workers();
+        CubeConfig {
+            enabled: workers >= 2,
+            conflict_threshold: 10_000,
+            split_vars: 2,
+            min_window: 2,
+            workers,
+            order_seed: 0,
+        }
+    }
+
+    /// A configuration with escalation off (and defaults everywhere else).
+    pub fn disabled() -> CubeConfig {
+        CubeConfig { enabled: false, ..CubeConfig::defaults() }
+    }
+
+    /// Parses the four environment overrides (`None` = variable unset).
+    ///
+    /// # Errors
+    ///
+    /// Returns `(variable name, offending value)` for the first malformed
+    /// override: the switch accepts `0/off/false/1/on/true`, the threshold
+    /// a positive integer, the split count an integer in `1..=8` (256
+    /// cubes at most), the seed any `u64`.
+    pub fn parse_env(
+        escalate: Option<&str>,
+        threshold: Option<&str>,
+        split_vars: Option<&str>,
+        order_seed: Option<&str>,
+    ) -> Result<CubeConfig, (&'static str, String)> {
+        let mut cfg = CubeConfig::defaults();
+        match escalate {
+            None => {}
+            Some("0" | "off" | "false") => cfg.enabled = false,
+            Some("1" | "on" | "true") => cfg.enabled = true,
+            Some(bad) => return Err((CUBE_ESCALATE_ENV, bad.to_string())),
+        }
+        if let Some(raw) = threshold {
+            match raw.parse::<u64>() {
+                Ok(n) if n > 0 => cfg.conflict_threshold = n,
+                _ => return Err((CUBE_THRESHOLD_ENV, raw.to_string())),
+            }
+        }
+        if let Some(raw) = split_vars {
+            match raw.parse::<u32>() {
+                Ok(n) if (1..=8).contains(&n) => cfg.split_vars = n,
+                _ => return Err((CUBE_SPLIT_VARS_ENV, raw.to_string())),
+            }
+        }
+        if let Some(raw) = order_seed {
+            match raw.parse::<u64>() {
+                Ok(n) => cfg.order_seed = n,
+                Err(_) => return Err((CUBE_ORDER_SEED_ENV, raw.to_string())),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The configuration from the environment (every session starts with
+    /// this; tests and benches pin explicit configs via
+    /// [`Session::set_cube_config`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the variable and the offending value — on a
+    /// malformed override: silently falling back to defaults would make a
+    /// mistyped CI matrix entry measure the wrong engine.
+    pub fn from_env() -> CubeConfig {
+        let get = |name: &str| std::env::var(name).ok();
+        let (esc, thr, split, seed) = (
+            get(CUBE_ESCALATE_ENV),
+            get(CUBE_THRESHOLD_ENV),
+            get(CUBE_SPLIT_VARS_ENV),
+            get(CUBE_ORDER_SEED_ENV),
+        );
+        match CubeConfig::parse_env(
+            esc.as_deref(),
+            thr.as_deref(),
+            split.as_deref(),
+            seed.as_deref(),
+        ) {
+            Ok(cfg) => cfg,
+            Err((var, bad)) => panic!("invalid {var}={bad:?}"),
+        }
+    }
+}
+
+/// The [`ssc_sat::Budget::tag`] of cube `cube` under a parent check
+/// tagged `parent`: a deterministic FNV-1a-style mix, distinct from the
+/// parent tag and from every sibling. Public so chaos tests can address
+/// the solve of one specific cube ([`ssc_sat::chaos::Site::Solve`] is
+/// keyed by the budget tag).
+pub fn cube_tag(parent: u64, cube: usize) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ parent;
+    h = h.wrapping_mul(PRIME);
+    h ^= cube as u64 + 1;
+    h.wrapping_mul(PRIME)
+}
+
+/// The cube → race-slot permutation for `seed` (`0` = identity): a
+/// Fisher–Yates shuffle over a xorshift stream. Verdict and fingerprint
+/// must not depend on it — that is what the shuffled-order tests pin.
+fn cube_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if seed == 0 {
+        return order;
+    }
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        order.swap(i, (s as usize) % (i + 1));
+    }
+    order
+}
+
+/// What one cube's fork reported back to the race.
+struct CubeOutcome {
+    /// Cube index (sign combination), not race slot.
+    cube: usize,
+    result: PropertyResult,
+    /// On `Holds`: the fork's assumption core with cube literals stripped.
+    core: Vec<Lit>,
+    /// Conflicts this cube's solve spent (delta over the parent counter).
+    conflicts: u64,
+    elapsed: std::time::Duration,
+}
+
 /// A *persistent* proof session: one scenario bound to a (possibly forked)
 /// [`SessionPrefix`], with macro construction, the incremental check and
 /// counterexample extraction.
@@ -669,6 +860,26 @@ pub struct Session<'p> {
     /// most-recently-shrunk-first.
     shrink_stamp: FxHashMap<StateAtom, u64>,
     shrink_epoch: u64,
+    /// Cube-and-conquer escalation policy (defaults to
+    /// [`CubeConfig::from_env`]).
+    cube: CubeConfig,
+    /// Report of the most recent escalated check, drained per iteration by
+    /// [`Session::take_cube_report`].
+    last_cube: Option<CubeReport>,
+    /// Goal disjuncts dropped by unsat-core-guided atom dropping in the
+    /// most recent check, drained by [`Session::take_atoms_core_dropped`].
+    atoms_core_dropped: usize,
+    /// Atoms whose pre-state equality assumption has appeared in at least
+    /// one final assumption core of this session.
+    core_seen: FxHashSet<StateAtom>,
+    /// Atoms whose pre-state equality assumption has been *offered* to at
+    /// least one core-reporting (`Holds`) check — only a tested-but-never-
+    /// seen atom is droppable, so atoms start out undroppable.
+    core_tested: FxHashSet<StateAtom>,
+    /// Conflicts the most recent check of each window size cost;
+    /// `u64::MAX` once a window escalated (predicted hard from then on,
+    /// skipping the probe).
+    window_conflicts: FxHashMap<usize, u64>,
 }
 
 impl<'p> Session<'p> {
@@ -713,6 +924,12 @@ impl<'p> Session<'p> {
             last_core_without_state_eq: None,
             shrink_stamp: FxHashMap::default(),
             shrink_epoch: 0,
+            cube: CubeConfig::from_env(),
+            last_cube: None,
+            atoms_core_dropped: 0,
+            core_seen: FxHashSet::default(),
+            core_tested: FxHashSet::default(),
+            window_conflicts: FxHashMap::default(),
         };
         let mut inv = sess.device_range_validity();
         inv.extend(sess.firmware_state_assumptions());
@@ -778,8 +995,36 @@ impl<'p> Session<'p> {
     /// check of this session. A check whose budget runs out surfaces as
     /// `PropertyResult::Interrupted`, which the procedures convert into
     /// [`crate::Verdict::Inconclusive`] with the partial trajectory.
+    ///
+    /// Note a session under a *limited* budget never escalates to a cube
+    /// race (see [`Session::set_cube_config`]): the budget's limits and
+    /// cancellation token belong to the caller, and racing forks need
+    /// budgets of their own.
     pub fn set_budget(&mut self, budget: ssc_sat::Budget) {
         self.prefix.ipc.set_budget(budget);
+    }
+
+    /// Replaces the cube-and-conquer escalation policy (sessions start
+    /// from [`CubeConfig::from_env`]).
+    pub fn set_cube_config(&mut self, cfg: CubeConfig) {
+        self.cube = cfg;
+    }
+
+    /// The active cube-and-conquer escalation policy.
+    pub fn cube_config(&self) -> &CubeConfig {
+        &self.cube
+    }
+
+    /// Drains the [`CubeReport`] of the most recent check, if that check
+    /// escalated to a cube race (`None` after a sequential check).
+    pub fn take_cube_report(&mut self) -> Option<CubeReport> {
+        self.last_cube.take()
+    }
+
+    /// Drains the count of goal disjuncts omitted from the most recent
+    /// check by unsat-core-guided atom dropping.
+    pub fn take_atoms_core_dropped(&mut self) -> usize {
+        std::mem::take(&mut self.atoms_core_dropped)
     }
 
     /// Cumulative count of CNF-encoded AIG nodes (see
@@ -974,14 +1219,44 @@ impl<'p> Session<'p> {
         goals: &[(usize, &AtomSet)],
     ) -> PropertyResult {
         self.ensure_window(window);
+        self.last_cube = None;
 
+        // Unsat-core-guided atom dropping (window ≥ 2 only): an atom whose
+        // pre-state equality assumption was offered to a core-reporting
+        // check but never appeared in any final assumption core has never
+        // carried a proof, so its divergence disjunct is dead weight in
+        // the goal clause. Dropping weakens the *negated* goal — it can
+        // only steer the Alg. 2 window search, never fake a verdict: the
+        // concluding window-1 check proves the genuine induction with the
+        // full goal.
         let mut neg_goal = Vec::new();
+        let mut dropped = 0usize;
         for &(cycle, set) in goals {
             debug_assert!(cycle <= window, "goal cycle outside the window");
             for &atom in set {
+                let droppable = window >= DROP_MIN_WINDOW
+                    && self.core_tested.contains(&atom)
+                    && !self.core_seen.contains(&atom);
+                if droppable {
+                    dropped += 1;
+                    continue;
+                }
                 neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
             }
         }
+        if neg_goal.is_empty() && dropped > 0 {
+            // Dropping every disjunct would make the goal vacuous (the
+            // guarded clause degenerates to `¬act` and the check "holds"
+            // for free) — rebuild in full instead.
+            dropped = 0;
+            for &(cycle, set) in goals {
+                for &atom in set {
+                    neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
+                }
+            }
+        }
+        self.atoms_core_dropped = dropped;
+
         let act = self.prefix.ipc.activation_literal();
         self.prefix.ipc.add_clause_under(act, &neg_goal);
 
@@ -999,17 +1274,44 @@ impl<'p> Session<'p> {
         order.sort_by_key(|a| {
             std::cmp::Reverse(self.shrink_stamp.get(a).copied().unwrap_or(0))
         });
-        for atom in order {
+        for &atom in &order {
             let term = self.prefix.atom_eq_term(atom, 0);
             let lit = self.prefix.ipc.lit_of(term);
             lits.push(lit);
         }
         lits.push(act);
-        let result = self.prefix.ipc.check_lits(&lits);
+        let (result, raced_core) = if self.escalation_applies(window) {
+            self.check_lits_cubed(window, &lits)
+        } else {
+            let before = self.prefix.ipc.solver_stats().conflicts;
+            let r = self.prefix.ipc.check_lits(&lits);
+            let spent = self.prefix.ipc.solver_stats().conflicts - before;
+            self.window_conflicts.insert(window, spent);
+            (r, None)
+        };
         self.last_core_without_state_eq = match result {
             PropertyResult::Holds => {
-                let core = self.prefix.ipc.assumption_core();
-                Some(!lits[pre_start..lits.len() - 1].iter().any(|l| core.contains(l)))
+                // Which pre-state assumptions the proof rested on: from the
+                // merged cube core after an all-UNSAT race (the parent
+                // solver never ran, its own core is stale), else from the
+                // parent solver directly.
+                let pre_lits = &lits[pre_start..lits.len() - 1];
+                let in_core: Vec<bool> = match &raced_core {
+                    Some(core) => {
+                        pre_lits.iter().map(|l| core.binary_search(l).is_ok()).collect()
+                    }
+                    None => {
+                        let core = self.prefix.ipc.assumption_core();
+                        pre_lits.iter().map(|l| core.contains(l)).collect()
+                    }
+                };
+                for (&atom, &hit) in order.iter().zip(&in_core) {
+                    self.core_tested.insert(atom);
+                    if hit {
+                        self.core_seen.insert(atom);
+                    }
+                }
+                Some(!in_core.iter().any(|&hit| hit))
             }
             PropertyResult::Violated | PropertyResult::Interrupted(_) => None,
         };
@@ -1018,6 +1320,187 @@ impl<'p> Session<'p> {
         // clause database additive while the state sets shrink.
         self.prefix.ipc.retire_activation(act);
         result
+    }
+
+    /// Whether [`Session::check_window`] may escalate this check to a cube
+    /// race: escalation on, window large enough, and the session under an
+    /// *unlimited* budget — a caller-imposed budget (limits, cancellation
+    /// token) governs the sequential path only, and racing forks install
+    /// budgets of their own.
+    fn escalation_applies(&self, window: usize) -> bool {
+        self.cube.enabled
+            && window >= self.cube.min_window
+            && self.cube.split_vars >= 1
+            && self.prefix.ipc.budget().is_unlimited()
+    }
+
+    /// The escalating solve of [`Session::check_window`]: probe
+    /// sequentially under a conflict cap (unless this window already
+    /// escalated once — then it is predicted hard and the probe is
+    /// skipped), and on cap exhaustion re-run the check as a cube race.
+    ///
+    /// Returns the result plus, after an all-UNSAT race, the merged
+    /// assumption core — the sorted, deduplicated union of the cube cores
+    /// with cube literals stripped. The union is a valid core of the
+    /// un-cubed check: each cube proved `F ∧ assumptions ∧ cubeᵢ` UNSAT
+    /// from its stripped core, and the cubes exhaust all sign
+    /// combinations.
+    fn check_lits_cubed(
+        &mut self,
+        window: usize,
+        lits: &[Lit],
+    ) -> (PropertyResult, Option<Vec<Lit>>) {
+        let threshold = self.cube.conflict_threshold;
+        let predicted_hard =
+            self.window_conflicts.get(&window).copied().is_some_and(|c| c >= threshold);
+        if !predicted_hard {
+            let ipc = &mut self.prefix.ipc;
+            let saved = ipc.budget().clone();
+            ipc.set_budget(saved.clone().with_conflicts(threshold));
+            let before = ipc.solver_stats().conflicts;
+            let result = ipc.check_lits(lits);
+            let spent = ipc.solver_stats().conflicts - before;
+            ipc.set_budget(saved);
+            match result {
+                PropertyResult::Interrupted(int)
+                    if int.cause == InterruptCause::Conflicts =>
+                {
+                    // Hard check: race it, and skip the probe next time
+                    // this window is checked.
+                    self.window_conflicts.insert(window, u64::MAX);
+                }
+                other => {
+                    self.window_conflicts.insert(window, spent);
+                    return (other, None);
+                }
+            }
+        }
+        self.race_cubes(lits)
+    }
+
+    /// Races all `2^j` cubes over `j` split variables across forked
+    /// sessions; first SAT cancels the siblings, all-UNSAT concludes
+    /// UNSAT. Both outcomes are independent of racing order and worker
+    /// count, so the verdict stays deterministic by construction.
+    fn race_cubes(&mut self, lits: &[Lit]) -> (PropertyResult, Option<Vec<Lit>>) {
+        let j = self.cube.split_vars as usize;
+        // Split variables: the most VSIDS-active free variables not
+        // already constrained by the assumption vector. The probe solve
+        // primed the activities, so these are where the search struggles.
+        let assumed: FxHashSet<Var> = lits.iter().map(|l| l.var()).collect();
+        let split: Vec<Var> = self
+            .prefix
+            .ipc
+            .top_vars(j + lits.len())
+            .into_iter()
+            .filter(|v| !assumed.contains(v))
+            .take(j)
+            .collect();
+        if split.is_empty() {
+            // Nothing to split on (tiny instance): solve sequentially.
+            return (self.prefix.ipc.check_lits(lits), None);
+        }
+        let n = 1usize << split.len();
+        let order = cube_order(n, self.cube.order_seed);
+        let token = CancelToken::new();
+        let parent_tag = self.prefix.ipc.budget().tag;
+        let base_conflicts = self.prefix.ipc.solver_stats().conflicts;
+        let ipc = &self.prefix.ipc;
+        let outcomes = Pool::new(self.cube.workers).race(
+            n,
+            |slot| {
+                let ci = order[slot];
+                // Each fork gets a private budget — unlimited but for the
+                // shared race token, and tagged per cube so chaos plans
+                // can address one cube's solve. (A plain fork would
+                // *share* the parent's budget, token and all.)
+                let mut fork = ipc.fork_with_budget(
+                    Budget::unlimited()
+                        .with_cancel(&token)
+                        .with_tag(cube_tag(parent_tag, ci)),
+                );
+                let mut cube_lits = lits.to_vec();
+                for (bit, &v) in split.iter().enumerate() {
+                    cube_lits.push(v.lit(ci >> bit & 1 == 1));
+                }
+                let started = Instant::now();
+                let result = fork.check_lits(&cube_lits);
+                let core = if result == PropertyResult::Holds {
+                    fork.assumption_core()
+                        .iter()
+                        .copied()
+                        .filter(|l| !split.contains(&l.var()))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                CubeOutcome {
+                    cube: ci,
+                    result,
+                    core,
+                    conflicts: fork.solver_stats().conflicts - base_conflicts,
+                    elapsed: started.elapsed(),
+                }
+            },
+            |_, out| out.result == PropertyResult::Violated,
+            || token.cancel(),
+        );
+
+        let mut report = CubeReport {
+            cubes: n,
+            winner: None,
+            wasted_us: 0,
+            conflicts: vec![0; n],
+            fallback: false,
+        };
+        let mut winner = None;
+        let mut all_unsat = true;
+        for outcome in &outcomes {
+            match outcome {
+                Ok(out) => {
+                    report.conflicts[out.cube] = out.conflicts;
+                    match out.result {
+                        PropertyResult::Violated => {
+                            winner.get_or_insert(out.cube);
+                        }
+                        PropertyResult::Holds => {}
+                        PropertyResult::Interrupted(_) => all_unsat = false,
+                    }
+                }
+                Err(_) => all_unsat = false,
+            }
+        }
+        if let Some(w) = winner {
+            for out in outcomes.iter().flatten() {
+                if out.cube != w {
+                    report.wasted_us += out.elapsed.as_micros() as u64;
+                }
+            }
+            report.winner = Some(w);
+            self.last_cube = Some(report);
+            // The race only established *that* a counterexample exists —
+            // the model lives in the winning fork, which is gone. Re-solve
+            // in the parent so `extract_diffs`/`capture_cex` read a model
+            // that is deterministic regardless of which cube won first or
+            // how many workers raced.
+            return (self.prefix.ipc.check_lits(lits), None);
+        }
+        if all_unsat {
+            let mut merged: Vec<Lit> =
+                outcomes.iter().flatten().flat_map(|o| o.core.iter().copied()).collect();
+            merged.sort_unstable();
+            merged.dedup();
+            self.last_cube = Some(report);
+            return (PropertyResult::Holds, Some(merged));
+        }
+        // A cube died (e.g. a chaos-injected panic, isolated by the
+        // pool's `try_run`) and no sibling found a model: the dead cube's
+        // subspace is unverified, so the race is inconclusive. Fall back
+        // to the parent's sequential solve — a failed or cancelled cube
+        // never decides a verdict.
+        report.fallback = true;
+        self.last_cube = Some(report);
+        (self.prefix.ipc.check_lits(lits), None)
     }
 
     /// After a `Holds` from [`Session::check_window`]: `Some(true)` iff
@@ -1130,3 +1613,79 @@ const _: () = {
     assert_send::<crate::report::Verdict>();
     assert_send::<Session<'static>>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_tags_are_deterministic_and_collision_free_across_a_race() {
+        // Chaos plans address one cube's solve by its tag, so within a
+        // race every tag must be distinct from the siblings' and from the
+        // parent's.
+        let parent = 0xdead_beef;
+        let tags: Vec<u64> = (0..256).map(|c| cube_tag(parent, c)).collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), tags.len(), "sibling cube tags collided");
+        assert!(!tags.contains(&parent), "a cube tag collided with the parent tag");
+        assert_eq!(cube_tag(parent, 3), cube_tag(parent, 3));
+        assert_ne!(cube_tag(parent, 3), cube_tag(parent ^ 1, 3));
+    }
+
+    #[test]
+    fn cube_order_is_a_permutation_and_seed_zero_is_identity() {
+        assert_eq!(cube_order(4, 0), vec![0, 1, 2, 3]);
+        for seed in [1u64, 0x5eed, u64::MAX] {
+            let order = cube_order(8, seed);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "seed {seed} is not a permutation");
+            assert_eq!(order, cube_order(8, seed), "seed {seed} is not deterministic");
+        }
+        // The shuffle must actually shuffle for at least some seed, or the
+        // shuffled-order determinism tests would be vacuous.
+        assert!((1..100u64).any(|s| cube_order(8, s) != cube_order(8, 0)));
+    }
+
+    #[test]
+    fn cube_config_env_parsing_accepts_documented_forms_and_rejects_junk() {
+        let cfg = CubeConfig::parse_env(None, None, None, None).unwrap();
+        assert_eq!(
+            cfg.enabled,
+            cfg.workers >= 2,
+            "unset switch must default to escalating exactly when a race can win"
+        );
+        assert_eq!(cfg.conflict_threshold, 10_000);
+        assert_eq!(cfg.split_vars, 2);
+
+        let cfg = CubeConfig::parse_env(Some("off"), Some("500"), Some("3"), Some("7")).unwrap();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.conflict_threshold, 500);
+        assert_eq!(cfg.split_vars, 3);
+        assert_eq!(cfg.order_seed, 7);
+        assert!(CubeConfig::parse_env(Some("1"), None, None, None).unwrap().enabled);
+
+        assert_eq!(
+            CubeConfig::parse_env(Some("maybe"), None, None, None).unwrap_err().0,
+            CUBE_ESCALATE_ENV
+        );
+        assert_eq!(
+            CubeConfig::parse_env(None, Some("0"), None, None).unwrap_err().0,
+            CUBE_THRESHOLD_ENV
+        );
+        assert_eq!(
+            CubeConfig::parse_env(None, None, Some("9"), None).unwrap_err().0,
+            CUBE_SPLIT_VARS_ENV
+        );
+        assert_eq!(
+            CubeConfig::parse_env(None, None, Some("0"), None).unwrap_err().0,
+            CUBE_SPLIT_VARS_ENV
+        );
+        assert_eq!(
+            CubeConfig::parse_env(None, None, None, Some("x")).unwrap_err().0,
+            CUBE_ORDER_SEED_ENV
+        );
+    }
+}

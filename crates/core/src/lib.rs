@@ -72,6 +72,68 @@
 //! [`Session::check_window`] orders the pre-state equality assumptions
 //! most-recently-shrunk-atoms-first ([`Session::note_shrunk`]).
 //!
+//! # Cube-and-conquer escalation
+//!
+//! One window-2 induction check dominates the runtime of every secure
+//! portfolio cell (60–70% of cell wall clock in `BENCH_e9_portfolio.json`),
+//! and portfolio-level parallelism cannot help a serial critical path. So
+//! [`Session::check_window`] *escalates* hard checks instead of grinding
+//! through them: a check at window ≥ 2 under an unlimited budget first
+//! runs as a sequential **probe** capped at
+//! [`CubeConfig::conflict_threshold`] conflicts. Cheap checks finish
+//! inside the cap and never pay anything; a check that exhausts it (or
+//! whose window already escalated once — then it is *predicted hard* and
+//! the probe is skipped) is re-run as a **cube race**:
+//!
+//! - the engine picks `j = ` [`CubeConfig::split_vars`] split variables —
+//!   the most VSIDS-active free solver variables not already fixed by the
+//!   check's assumptions (`ssc_ipc::Ipc::top_vars`), i.e. exactly where
+//!   the probe's search struggled — and forms all `2^j` sign combinations
+//!   (**cubes**, a complete partition of the search space),
+//! - each cube gets its own copy-on-write session fork
+//!   (`ssc_ipc::Ipc::fork_with_budget` — a handful of memcpys) with a
+//!   private budget carrying a shared [`CancelToken`] and a per-cube
+//!   [`cube_tag`] chaos tag, and solves the original assumptions *plus*
+//!   its cube literals,
+//! - the forks race across `ssc_pool::Pool::race`: the **first SAT cube
+//!   cancels its siblings** and the parent re-solves (sequentially,
+//!   unlimited) to obtain a schedule-independent counterexample model;
+//!   **all-UNSAT concludes UNSAT**, with the union of the cube cores
+//!   (cube literals stripped) serving as the check's assumption core.
+//!
+//! Both race outcomes are independent of racing order and worker count —
+//! *any* SAT cube proves the formula satisfiable, and UNSAT needs *all*
+//! cubes — so verdicts stay deterministic by construction: the
+//! `ssc-bench` fingerprint machinery asserts identical trajectories
+//! across `SSC_POOL_WORKERS` 1/2/4 and shuffled cube orderings. A cube
+//! that dies (fault injection, see `ssc_sat::chaos`) is isolated by the
+//! pool; without a SAT sibling its subspace counts as unverified and the
+//! parent falls back to the sequential solve — a failed or cancelled cube
+//! never decides a verdict. Per-race observability (cubes spawned, winner
+//! index, cancelled-cube wasted wall clock, conflicts per cube) lands in
+//! [`CubeReport`] on [`IterationStat::cube`].
+//!
+//! Escalation composes with portfolio parallelism rather than replacing
+//! it: during a portfolio's serial tail, idle workers become cube
+//! workers. Configuration comes from [`CubeConfig::from_env`]
+//! (`SSC_CUBE_ESCALATE`, `SSC_CUBE_CONFLICT_THRESHOLD`,
+//! `SSC_CUBE_SPLIT_VARS`, `SSC_CUBE_ORDER_SEED`) or explicitly via
+//! [`Session::set_cube_config`]. With the switch unset, escalation is on
+//! exactly when the cube pool has a second worker to race on: a
+//! single-worker race serializes the cubes and can only lose to the
+//! sequential solve it replaced (`SSC_CUBE_ESCALATE=1` still forces it,
+//! which is how the determinism suite exercises one-worker races).
+//!
+//! The same assumption-core plumbing feeds **unsat-core-guided atom
+//! dropping**: a tracked atom whose pre-state equality assumption has
+//! been offered to a core-reporting check but never appeared in any final
+//! assumption core has never carried a proof, so window-≥ 2 checks omit
+//! its divergence disjunct from the goal clause
+//! ([`IterationStat::atoms_core_dropped`] counts the omissions). Dropping
+//! only weakens the negated goal — it can steer the Alg. 2 window search
+//! but never fake a verdict, because the concluding window-1 Alg. 1 check
+//! always proves the genuine induction with the full goal.
+//!
 //! # Bounded effort & graceful degradation
 //!
 //! Every procedure can run under a resource [`Budget`] (per-solve conflict
@@ -126,12 +188,15 @@ mod report;
 mod spec;
 
 pub use atoms::{AtomSet, PersistencePolicy, StateAtom};
-pub use engine::{Instance, ProductArtifact, Session, SessionPrefix, UpecAnalysis};
+pub use engine::{
+    cube_tag, CubeConfig, Instance, ProductArtifact, Session, SessionPrefix, UpecAnalysis,
+    CUBE_ESCALATE_ENV, CUBE_ORDER_SEED_ENV, CUBE_SPLIT_VARS_ENV, CUBE_THRESHOLD_ENV,
+};
 pub use extensions::ChannelFinding;
 pub use replay::{replay_neighborhood, replay_on_simulator, NeighborhoodReport, Perturbation};
 pub use report::{
-    AtomDiff, CexCycle, Counterexample, InconclusiveCause, InconclusiveReport, IterationStat,
-    PortActivity, SecureReport, Verdict, VulnReport,
+    AtomDiff, CexCycle, Counterexample, CubeReport, InconclusiveCause, InconclusiveReport,
+    IterationStat, PortActivity, SecureReport, Verdict, VulnReport,
 };
 pub use ssc_sat::{Budget, CancelToken, Interrupt, InterruptCause};
 pub use spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};

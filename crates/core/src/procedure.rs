@@ -38,7 +38,7 @@ impl IterSnapshot {
 
     fn finish(
         self,
-        sess: &Session<'_>,
+        sess: &mut Session<'_>,
         iteration: usize,
         window: usize,
         set_size: usize,
@@ -54,6 +54,8 @@ impl IterSnapshot {
             encoded_delta: sess.encoded_nodes() - self.encoded,
             aig_nodes: sess.ipc().unroller().aig().num_nodes(),
             solver: sess.solver_stats().delta_since(&self.stats),
+            atoms_core_dropped: sess.take_atoms_core_dropped(),
+            cube: sess.take_cube_report(),
         }
     }
 }

@@ -143,6 +143,48 @@ pub struct IterationStat {
     /// Solver-statistics delta attributable to this iteration's solve
     /// (cumulative gauges like `learnts` hold the post-solve value).
     pub solver: ssc_sat::SolverStats,
+    /// Atoms still tracked in `S` whose equality assumption was omitted
+    /// from this iteration's goal clause because no final assumption core
+    /// has ever named it (unsat-core-guided atom dropping; only active at
+    /// window ≥ 2 — the concluding Alg. 1 check never drops).
+    pub atoms_core_dropped: usize,
+    /// Cube-and-conquer escalation report, if this iteration's check was
+    /// escalated to a cube race. `None` when the check stayed sequential.
+    ///
+    /// These are *observability* numbers: which cube won and how much work
+    /// the cancelled siblings burned is schedule-dependent, so nothing in
+    /// here may feed the verdict or the fingerprint.
+    pub cube: Option<CubeReport>,
+}
+
+/// What a cube-and-conquer escalation of one induction check did.
+///
+/// Produced by the `upec-ssc` engine when a window-≥2 check trips the
+/// conflict threshold (or is predicted hard) and is re-run as a race of
+/// cube-constrained copy-on-write session forks. The verdict itself is
+/// order-independent (any SAT cube ⇒ Violated, all cubes UNSAT ⇒ Holds);
+/// everything in this struct except `cubes` and `fallback` is
+/// schedule-dependent bookkeeping for the bench record.
+#[derive(Clone, Debug, Default)]
+pub struct CubeReport {
+    /// Number of cubes spawned (always `2^split_vars`, independent of the
+    /// worker count, so the partition is identical across pool sizes).
+    pub cubes: usize,
+    /// Index of the cube whose verdict concluded the race: the first SAT
+    /// cube to finish, or `None` when every cube ran to UNSAT (or the race
+    /// fell back to a sequential re-solve).
+    pub winner: Option<usize>,
+    /// Wall-clock µs spent inside cubes whose result was not used —
+    /// cancelled losers and panicked forks. The overhead price of racing.
+    pub wasted_us: u64,
+    /// Conflicts each cube's solver spent, indexed by cube. Cancelled
+    /// cubes report the count at the point the cancel token stopped them;
+    /// panicked cubes report 0.
+    pub conflicts: Vec<u64>,
+    /// True when the race was inconclusive (e.g. a cube fork panicked
+    /// under chaos injection without a SAT winner) and the parent session
+    /// re-solved sequentially to produce the verdict.
+    pub fallback: bool,
 }
 
 /// The result of a UPEC-SSC procedure run.

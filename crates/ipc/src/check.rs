@@ -26,6 +26,21 @@
 //!   clause-database reduction hook,
 //! - [`Ipc::encoded_nodes`] — the cumulative CNF-encoding counter used to
 //!   prove per-window encoding work stays bounded.
+//!
+//! # Cube-scoped forks
+//!
+//! A cube-and-conquer client splits one hard check into `2^j` cubes (sign
+//! combinations of `j` split literals, picked via [`Ipc::top_vars`]) and
+//! runs each cube in its own [`Ipc::fork_with_budget`] fork. The cube
+//! literals travel as *extra assumptions* appended to the parent's
+//! assumption vector — never as clauses — so a cube fork needs no
+//! activation literal of its own and no era hygiene beyond what it
+//! inherited: the forks are dropped after the race (the parent retires the
+//! goal's activation as usual), and any assumption core a cube reports can
+//! be stripped of its cube literals and merged with the other cubes'
+//! cores. Note [`Ipc::fork`] clones the parent's [`Budget`] *including a
+//! shared cancellation token* — racing forks must install their own budget,
+//! which is exactly what [`Ipc::fork_with_budget`] is for.
 
 use ssc_aig::cnf::{CnfEncoder, ModelError};
 use ssc_aig::words::Word;
@@ -113,6 +128,25 @@ impl<'n> Ipc<'n> {
             checks: self.checks,
             act_eras: self.act_eras.clone(),
         }
+    }
+
+    /// [`Ipc::fork`] plus an explicit [`Budget`] for the child.
+    ///
+    /// A plain fork *shares* the parent's budget — including any attached
+    /// [`ssc_sat::CancelToken`], so cancelling one fork would cancel them
+    /// all. Racing clients (one fork per cube) must give every fork its own
+    /// budget; this constructor makes that the path of least resistance.
+    pub fn fork_with_budget(&self, budget: Budget) -> Ipc<'n> {
+        let mut child = self.fork();
+        child.set_budget(budget);
+        child
+    }
+
+    /// The `k` most VSIDS-active free solver variables (see
+    /// [`ssc_sat::Solver::top_vars`]) — the split-variable oracle for
+    /// cube-and-conquer clients. Deterministic for a given solver state.
+    pub fn top_vars(&self, k: usize) -> Vec<ssc_sat::Var> {
+        self.solver.top_vars(k)
     }
 
     /// Read access to the unroller.

@@ -319,6 +319,48 @@ impl Pool {
         })
     }
 
+    /// Races `jobs` fault-isolated jobs and lets the first *conclusive*
+    /// result cancel the rest: the first completing job for which
+    /// `conclusive(i, &result)` holds fires `cancel()` exactly once, and
+    /// every job — winner, losers, and jobs that had not started yet —
+    /// still delivers a result into its slot, in job-index order.
+    ///
+    /// The pool knows nothing about *how* to cancel; `cancel` is the
+    /// caller's hook (typically raising a shared `ssc_sat::CancelToken`
+    /// that the racing solvers poll). Jobs claimed after the winner fires
+    /// still run — they are expected to observe the raised token themselves
+    /// and return early — so the result vector always has `jobs` slots.
+    ///
+    /// Determinism contract: *which* job fires `cancel` is
+    /// schedule-dependent, so a caller needing deterministic output must
+    /// only use race results in an order-independent way (e.g. "any job
+    /// found SAT" / "every job proved UNSAT", both invariant under
+    /// completion order). Panic isolation is inherited from
+    /// [`Pool::try_run`]: a panicking job becomes `Err(JobPanic)` in its
+    /// slot and never counts as conclusive.
+    pub fn race<T, F, C, K>(
+        &self,
+        jobs: usize,
+        job: F,
+        conclusive: C,
+        cancel: K,
+    ) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: Fn(usize, &T) -> bool + Sync,
+        K: Fn() + Sync,
+    {
+        let won = AtomicBool::new(false);
+        self.try_run(jobs, |i| {
+            let out = job(i);
+            if conclusive(i, &out) && !won.swap(true, Ordering::Relaxed) {
+                cancel();
+            }
+            out
+        })
+    }
+
     /// Partitions `items` work items into contiguous [`LaneBlock`]s of at
     /// most `lanes_per_block` items and runs `job` once per block on the
     /// pool, returning results **in block order**.
@@ -525,6 +567,67 @@ mod tests {
         match &out[0] {
             Err(p) => assert_eq!(p.message, "<non-string panic payload>"),
             Ok(()) => panic!("job must have panicked"),
+        }
+    }
+
+    #[test]
+    fn race_fires_cancel_exactly_once_and_fills_every_slot() {
+        // All jobs are conclusive: no matter the schedule, exactly one may
+        // fire the cancel hook, and every slot must still be delivered.
+        for workers in [1, 2, 4] {
+            let fired = AtomicUsize::new(0);
+            let out = Pool::new(workers).race(
+                8,
+                |i| i * 3,
+                |_, _| true,
+                || {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(fired.load(Ordering::Relaxed), 1, "workers={workers}");
+            assert_eq!(out.len(), 8);
+            for (i, slot) in out.iter().enumerate() {
+                assert_eq!(slot.as_ref().unwrap(), &(i * 3), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn race_jobs_after_the_winner_observe_the_cancel_hook() {
+        // Sequential pool: job 2 is conclusive, so jobs 3.. must see the
+        // cancelled flag their own job logic polls (here: return a marker).
+        let cancelled = AtomicBool::new(false);
+        let out = Pool::new(1).race(
+            6,
+            |i| if cancelled.load(Ordering::Relaxed) { usize::MAX } else { i },
+            |_, &r| r == 2,
+            || cancelled.store(true, Ordering::Relaxed),
+        );
+        let got: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(got, vec![0, 1, 2, usize::MAX, usize::MAX, usize::MAX]);
+    }
+
+    #[test]
+    fn race_panicking_job_is_isolated_and_never_conclusive() {
+        for workers in [1, 3] {
+            let fired = AtomicUsize::new(0);
+            let out = Pool::new(workers).race(
+                5,
+                |i| {
+                    if i == 1 {
+                        panic!("cube 1 exploded");
+                    }
+                    i
+                },
+                |_, _| false,
+                || {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(fired.load(Ordering::Relaxed), 0, "workers={workers}");
+            assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+            assert_eq!(out[1].as_ref().unwrap_err().message, "cube 1 exploded");
+            assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 4);
         }
     }
 

@@ -12,6 +12,12 @@
 //! - incremental solving under assumptions (the workhorse of the iterative
 //!   UPEC-SSC procedure, which re-solves with shrinking state sets).
 //!
+//! Deliberately *not* implemented yet (the modern-CDCL gap, tracked in the
+//! roadmap): recursive clause minimization (ours is one-level only),
+//! tiered core/mid/local DB reduction (ours is a single LBD/activity
+//! sweep), glucose-style adaptive restarts (ours are blind Luby), and
+//! inprocessing such as vivification/subsumption at fork points.
+//!
 //! # Bounded effort & graceful degradation
 //!
 //! A solver can be put under a resource [`Budget`]: a per-solve conflict
@@ -77,6 +83,21 @@ mod tests {
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn top_vars_ranks_by_activity_with_index_tiebreak() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+        // All activities start equal, so the ranking is the index order.
+        assert_eq!(s.top_vars(3), vars[0..3]);
+        // Bump 3 twice and 1 once: they move ahead of everything else.
+        s.bump_activity([vars[3].pos()]);
+        s.bump_activity([vars[3].neg(), vars[1].pos()]);
+        assert_eq!(s.top_vars(2), vec![vars[3], vars[1]]);
+        // Oversized k returns every variable, still ranked.
+        assert_eq!(s.top_vars(99).len(), 5);
+        assert_eq!(s.top_vars(99)[..2], [vars[3], vars[1]]);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The CDCL solver core.
 //!
 //! A conflict-driven clause-learning SAT solver in the MiniSat lineage:
-//! two-watched-literal propagation, first-UIP conflict analysis with clause
-//! minimization, exponential VSIDS decision heuristic with phase saving,
-//! Luby restarts and LBD-aware learnt-clause database reduction.
+//! two-watched-literal propagation, first-UIP conflict analysis with
+//! one-level clause minimization, exponential VSIDS decision heuristic with
+//! phase saving, Luby restarts and LBD-aware learnt-clause database
+//! reduction. The still-missing modern refinements — recursive
+//! minimization, tiered DB reduction, glucose-style adaptive restarts,
+//! inprocessing at fork points — are tracked as roadmap work.
 
 use crate::budget::{Budget, CancelToken, Interrupt, InterruptCause};
 use crate::chaos;
@@ -863,6 +866,35 @@ impl Solver {
         for l in lits {
             self.var_bump(l.var());
         }
+    }
+
+    /// The `k` *free* variables (unassigned at decision level 0 — a
+    /// variable fixed by the clause set is useless as a branch or split
+    /// point) with the highest VSIDS activity, most active first. Ties are
+    /// broken by variable index (lower index first), so the ranking is
+    /// fully deterministic for a given solver state.
+    ///
+    /// This is the read-only sibling of [`Solver::bump_activity`]: where
+    /// `bump_activity` *steers* the heuristic toward variables the client
+    /// knows matter, `top_vars` *reports* where the heuristic has found the
+    /// action — e.g. to pick split variables for a cube-and-conquer
+    /// partition of a hard check.
+    pub fn top_vars(&self, k: usize) -> Vec<Var> {
+        let mut vars: Vec<Var> = (0..self.num_vars())
+            .map(|i| Var(i as u32))
+            .filter(|v| self.assigns[v.index()] == LBool::Undef)
+            .collect();
+        // Sort by descending activity, ascending index on ties. Activities
+        // are finite (rescaled below 1e100, never NaN), so `total_cmp` is a
+        // plain numeric order here.
+        vars.sort_by(|&a, &b| {
+            self.heap
+                .activity(b)
+                .total_cmp(&self.heap.activity(a))
+                .then(a.index().cmp(&b.index()))
+        });
+        vars.truncate(k);
+        vars
     }
 
     /// The assumption core of the most recent [`SolveResult::Unsat`]: a
