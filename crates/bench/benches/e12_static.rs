@@ -1,0 +1,96 @@
+//! E12: static-certificate goal pruning (`SSC_STATIC_PRUNE`) versus the
+//! unpruned path, on the full portfolio scenario matrix over one shared
+//! artifact + prefix. Emits `BENCH_e12_static.json` carrying the
+//! goal-disjunct reduction ratios — overall, and on the multi-cycle
+//! (window ≥ 2) checks whose unpruned goals grow with the window (the
+//! latter gated at ≥ 1.3× in CI) — per-cell solve-time deltas, and the
+//! soundness attestation: every pruned run must be fingerprint-identical
+//! to its unpruned twin — static pruning only omits disjuncts the
+//! influence certificate (or the proven-prefix ledger) proves false, so
+//! any divergence is a bug, and the bench asserts it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssc_bench::portfolio::{self, Scenario};
+use ssc_bench::{compare_static_cell, StaticCellComparison};
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{ProductArtifact, SessionPrefix};
+
+fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+
+    // The whole matrix: pruning must be sound on leaky cells (the
+    // counterexample search) and productive on secure cells (the deep
+    // induction windows where most disjuncts live). The smoke slice keeps
+    // one of each — the secure cell is what produces the window ≥ 2
+    // checks the trend gate measures, so a smoke-regenerated record must
+    // still clear the floor.
+    let matrix = portfolio::scenario_matrix();
+    let seed_spec = matrix[0].spec.clone();
+    let smoke_matrix = [matrix[0].clone(), matrix[2].clone()];
+    let scenarios: &[Scenario] = if smoke { &smoke_matrix } else { &matrix[..] };
+    let sizes: &[u32] = if smoke { &[8] } else { &[8, 12] };
+
+    let mut cells: Vec<StaticCellComparison> = Vec::new();
+    for &words in sizes {
+        // One shared artifact + base prefix per size, exactly like a
+        // portfolio size phase — both runs of every cell fork it, so all
+        // runs start state-identical.
+        let soc = Soc::build(SocConfig::verification_sized(words, words));
+        let art = Arc::new(
+            ProductArtifact::for_spec(&soc.netlist, &seed_spec)
+                .expect("portfolio spec matches the SoC"),
+        );
+        let prefix =
+            SessionPrefix::build(&art, &seed_spec, 1).expect("spec already validated");
+        for sc in scenarios {
+            let cmp = compare_static_cell(sc, &art, &prefix, words);
+            println!(
+                "[e12] {:>22} @ {:>2} words: unpruned {:?} vs pruned {:?} ({:.2}x), \
+                 disjuncts {} -> {} ({:.2}x reduction, {} statically discharged), \
+                 equivalent={}",
+                cmp.scenario,
+                words,
+                cmp.unpruned.runtime,
+                cmp.pruned.runtime,
+                cmp.speedup(),
+                cmp.disjuncts_unpruned,
+                cmp.disjuncts_pruned,
+                cmp.reduction(),
+                cmp.atoms_static_pruned,
+                cmp.equivalent,
+            );
+            assert!(
+                cmp.equivalent,
+                "{} @ {words} words: static pruning changed the refinement trajectory",
+                cmp.scenario
+            );
+            cells.push(cmp);
+        }
+    }
+
+    let d_off: usize = cells.iter().map(|c| c.disjuncts_unpruned).sum();
+    let d_on: usize = cells.iter().map(|c| c.disjuncts_pruned).sum();
+    let deep_off: usize = cells.iter().map(|c| c.disjuncts_deep_unpruned).sum();
+    let deep_on: usize = cells.iter().map(|c| c.disjuncts_deep_pruned).sum();
+    println!(
+        "[e12] aggregate: {} -> {} goal disjuncts ({:.2}x reduction); \
+         window>=2 checks: {} -> {} ({:.2}x, the gated quantity)",
+        d_off,
+        d_on,
+        d_off as f64 / (d_on as f64).max(1.0),
+        deep_off,
+        deep_on,
+        deep_off as f64 / (deep_on as f64).max(1.0),
+    );
+
+    let json = ssc_bench::perf::e12_json(&cells);
+    match ssc_bench::perf::write_record("e12_static", &json) {
+        Ok(path) => println!("[e12] perf record written to {}", path.display()),
+        Err(e) => eprintln!("[e12] could not write perf record: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

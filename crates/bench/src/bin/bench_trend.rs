@@ -24,7 +24,16 @@
 //!   taken on a host with ≥ 4 cores** (skipped with a notice below — cube
 //!   races serialize on small hosts), and the record must attest that
 //!   escalated verdicts were fingerprint-identical across pool sizes and
-//!   shuffled cube orderings (`equivalent`).
+//!   shuffled cube orderings (`equivalent`),
+//! - `BENCH_e12_static.json` — static-certificate goal pruning must keep
+//!   the installed-goal-clause reduction on the multi-cycle (window ≥ 2)
+//!   checks ≥ 1.3× across the portfolio matrix (`deep_reduction` — these
+//!   are the checks whose unpruned goals grow as O(|S|·k) with the window
+//!   and the ones the proven-prefix ledger shrinks to O(changed); it is a
+//!   deterministic quantity — no core-count skip), and the record must
+//!   attest that every pruned run was fingerprint-identical to its
+//!   unpruned twin (`equivalent` — pruning is sound, divergence is a bug,
+//!   not noise).
 //!
 //! ```sh
 //! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
@@ -62,6 +71,10 @@ const E10_MIN_SETUP_SPEEDUP: f64 = 1.5;
 const E11_MIN_SPEEDUP: f64 = 2.0;
 /// Host cores below which the e11 speedup floor is not enforceable.
 const E11_MIN_CORES: f64 = 4.0;
+/// Minimum goal-disjunct reduction of static pruning on the multi-cycle
+/// (window ≥ 2) checks (e12 `deep_reduction`) — deterministic (counted,
+/// not timed), so enforced on every host.
+const E12_MIN_REDUCTION: f64 = 1.3;
 
 /// One bench gate: where its record lives, how to regenerate it, and the
 /// evaluator that turns the record into pass/fail lines. The uniform
@@ -84,6 +97,7 @@ const GATES: &[Gate] = &[
     Gate { file: "BENCH_e9_portfolio.json", regenerate: "e9_portfolio", eval: gate_e9 },
     Gate { file: "BENCH_e10_shared.json", regenerate: "e10_shared_portfolio", eval: gate_e10 },
     Gate { file: "BENCH_e11_cube.json", regenerate: "e11_cube", eval: gate_e11 },
+    Gate { file: "BENCH_e12_static.json", regenerate: "e12_static", eval: gate_e12 },
 ];
 
 /// Why a record could not be evaluated (exit code 2 — distinct from a
@@ -353,6 +367,49 @@ fn gate_e11(json: &str, path: &Path) -> Result<bool, RecordError> {
     Ok(pass)
 }
 
+fn gate_e12(json: &str, path: &Path) -> Result<bool, RecordError> {
+    // `equivalent` attests soundness: every pruned run fingerprint-matched
+    // its unpruned twin. Pruning only omits disjuncts the influence
+    // certificate proves false, so a diverged record is malformed.
+    require_equivalent(
+        json,
+        path,
+        "a pruned run diverged from its unpruned twin — static pruning unsound",
+    )?;
+    // The gated quantity is the reduction on the multi-cycle (window ≥ 2)
+    // checks — the checks whose unpruned goals grow with the window. A
+    // record with no such checks proves nothing about the pruning
+    // machinery (the matrix's secure cells always produce them), so treat
+    // it as malformed rather than vacuously passing.
+    let reduction = require_f64(json, "deep_reduction", path)?;
+    let d_off = require_f64(json, "disjuncts_deep_unpruned", path)?;
+    let d_on = require_f64(json, "disjuncts_deep_pruned", path)?;
+    if d_off == 0.0 {
+        return Err(RecordError::Malformed {
+            path: path.to_path_buf(),
+            what: "record contains no multi-cycle (window >= 2) checks — the gated reduction \
+                   is unmeasured"
+                .into(),
+        });
+    }
+    let overall = require_f64(json, "reduction", path)?;
+    let pass = reduction >= E12_MIN_REDUCTION;
+    println!(
+        "[trend] e12 static goal-disjunct reduction on window>=2 checks \
+         ({d_off:.0} -> {d_on:.0}): {reduction:.2}x (floor {E12_MIN_REDUCTION}x, \
+         overall {overall:.2}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `deep_reduction` in {} is {reduction:.2}, floor \
+             is {E12_MIN_REDUCTION}",
+            path.display()
+        );
+    }
+    Ok(pass)
+}
+
 /// The `(words, setup_speedup)` pairs of the e10 record's `sizes` array.
 fn e10_setups(json: &str, path: &Path) -> Result<Vec<(f64, f64)>, RecordError> {
     let malformed = |what: String| RecordError::Malformed { path: path.to_path_buf(), what };
@@ -543,6 +600,43 @@ mod tests {
 
         // Determinism attestation failure is malformed, not a regression.
         std::fs::write(&path, r#"{"experiment":"e11_cube","workers":4,"cores":8,"conflict_threshold":10000,"split_vars":2,"sequential_us":100,"escalated_us":40,"speedup":2.500,"equivalent":false,"matches_sequential":true,"races":2,"fallbacks":0,"wasted_us":10,"cells":[]}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("equivalent"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn e12_gate_enforces_deep_reduction_and_requires_equivalence() {
+        let dir =
+            std::env::temp_dir().join(format!("trend_test_e12_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e12_static.json");
+        let gate = gate_for("BENCH_e12_static.json");
+
+        // Absent record: exit-2 class error naming the bench to re-run.
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("e12_static"), "{err}");
+
+        // Deep reduction above the floor: pass, even with the overall
+        // ratio (diluted by window-1 checks) below it.
+        std::fs::write(&path, r#"{"experiment":"e12_static","sequential_us":100,"pruned_us":95,"speedup":1.053,"disjuncts_unpruned":1297,"disjuncts_pruned":1115,"reduction":1.163,"disjuncts_deep_unpruned":368,"disjuncts_deep_pruned":182,"deep_reduction":2.022,"atoms_static_pruned":182,"equivalent":true,"cells":[]}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "deep reduction at 2.02x must pass");
+
+        // Deep reduction below the floor: regression (a broken ledger
+        // shows up as ~1x here).
+        std::fs::write(&path, r#"{"experiment":"e12_static","sequential_us":100,"pruned_us":100,"speedup":1.000,"disjuncts_unpruned":1297,"disjuncts_pruned":1297,"reduction":1.000,"disjuncts_deep_unpruned":368,"disjuncts_deep_pruned":368,"deep_reduction":1.000,"atoms_static_pruned":0,"equivalent":true,"cells":[]}"#).unwrap();
+        assert!(!run_gate(gate, &dir).unwrap(), "deep reduction at 1.0x must regress");
+
+        // No multi-cycle checks at all: the gated quantity is unmeasured
+        // — malformed, not a vacuous pass.
+        std::fs::write(&path, r#"{"experiment":"e12_static","sequential_us":100,"pruned_us":100,"speedup":1.000,"disjuncts_unpruned":100,"disjuncts_pruned":100,"reduction":1.000,"disjuncts_deep_unpruned":0,"disjuncts_deep_pruned":0,"deep_reduction":0.000,"atoms_static_pruned":0,"equivalent":true,"cells":[]}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("multi-cycle"), "{err}");
+
+        // Equivalence attestation failure is malformed, not a regression
+        // — pruning that changes the trajectory is unsound.
+        std::fs::write(&path, r#"{"experiment":"e12_static","sequential_us":100,"pruned_us":50,"speedup":2.000,"disjuncts_unpruned":1297,"disjuncts_pruned":600,"reduction":2.162,"disjuncts_deep_unpruned":368,"disjuncts_deep_pruned":100,"deep_reduction":3.680,"atoms_static_pruned":500,"equivalent":false,"cells":[]}"#).unwrap();
         let err = run_gate(gate, &dir).unwrap_err();
         assert!(err.to_string().contains("equivalent"), "{err}");
 

@@ -1,0 +1,86 @@
+//! The netlist security linter over the generated SoC corpus.
+//!
+//! Runs [`ssc_netlist::lint`] on the verification view of every corpus
+//! member — the portfolio scenario matrix (threat-model configurations of
+//! the paper's SoC) at several generated sizes — with each scenario's
+//! [`ssc_bench::derive_lint_spec`]-derived threat model, and checks the
+//! corpus expectation the CI job enforces:
+//!
+//! * every **vulnerable** configuration must flag (at least one
+//!   `SSC-L001`/`SSC-L002` structural finding names the contention shape
+//!   the proof engine later exhibits), and
+//! * every **patched** configuration must stay clean (zero diagnostics —
+//!   no false positives on the same netlist under the countermeasure's
+//!   threat model).
+//!
+//! Diagnostics are printed one per line as `code subject: message`
+//! (machine-readable, stable order). Exit code 1 on any expectation
+//! violation, 0 otherwise.
+//!
+//! ```sh
+//! cargo run --release -p ssc-bench --bin lint
+//! ```
+
+use std::process::ExitCode;
+
+use ssc_bench::{derive_lint_spec, portfolio};
+use ssc_netlist::lint::{lint, LintCode};
+use ssc_soc::{Soc, SocConfig};
+
+/// Generated SoC sizes the corpus covers (public/private memory words).
+const SIZES: &[u32] = &[8, 12, 16];
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    for &words in SIZES {
+        let soc = Soc::build(SocConfig::verification_sized(words, words));
+        for sc in portfolio::scenario_matrix() {
+            let spec = derive_lint_spec(&sc.spec);
+            let diags = match lint(&soc.netlist, &spec) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("[lint] {:>22} @ {words} words: spec error: {e}", sc.name);
+                    ok = false;
+                    continue;
+                }
+            };
+            let security = diags
+                .iter()
+                .filter(|d| {
+                    matches!(d.code, LintCode::SharedResource | LintCode::UntrustedArbitration)
+                })
+                .count();
+            let pass = if sc.leaky { security > 0 } else { diags.is_empty() };
+            println!(
+                "[lint] {:>22} @ {:>2} words: {} diagnostics ({} security) — expected {} — {}",
+                sc.name,
+                words,
+                diags.len(),
+                security,
+                if sc.leaky { "flagged" } else { "clean" },
+                if pass { "ok" } else { "VIOLATION" }
+            );
+            for d in &diags {
+                println!("  {d}");
+            }
+            if !pass {
+                eprintln!(
+                    "[lint] corpus expectation violated: {} @ {words} words {}",
+                    sc.name,
+                    if sc.leaky {
+                        "is a vulnerable configuration but no SSC-L001/SSC-L002 fired"
+                    } else {
+                        "is a patched configuration but the linter flagged it"
+                    }
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("[lint] corpus clean: all vulnerable configs flag, all patched configs pass");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

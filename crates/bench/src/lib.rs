@@ -722,6 +722,151 @@ pub fn compare_cube_cell(
     }
 }
 
+/// E12 — head-to-head of one portfolio cell with static-certificate goal
+/// pruning off (`SSC_STATIC_PRUNE=0` semantics) versus on, both on the same
+/// shared prefix with cube escalation pinned off. Pruning is *sound*, so
+/// unlike E11's informational `matches_sequential`, `equivalent` here is a
+/// hard requirement — any fingerprint divergence is an unsoundness bug.
+#[derive(Clone, Debug)]
+pub struct StaticCellComparison {
+    /// Scenario label of the cell.
+    pub scenario: &'static str,
+    /// Public/private memory words of the analyzed SoC.
+    pub words: u32,
+    /// The pruning-off run.
+    pub unpruned: FormalResult,
+    /// The pruning-on run.
+    pub pruned: FormalResult,
+    /// Goal disjuncts installed across all iterations, pruning off.
+    pub disjuncts_unpruned: usize,
+    /// Goal disjuncts installed across all iterations, pruning on.
+    pub disjuncts_pruned: usize,
+    /// Goal disjuncts of the multi-cycle (window ≥ 2) checks, pruning off
+    /// — the checks whose goals grow with the window (cycle 1..k sets).
+    pub disjuncts_deep_unpruned: usize,
+    /// Goal disjuncts of the multi-cycle checks, pruning on: the
+    /// proven-prefix ledger discharges the already-proven earlier cycles,
+    /// so these shrink from O(|S|·k) to O(changed at the new cycle).
+    pub disjuncts_deep_pruned: usize,
+    /// Disjuncts the certificate (plus proven-prefix ledger) discharged.
+    pub atoms_static_pruned: usize,
+    /// Whether both runs matched under [`portfolio::verdict_fingerprint`].
+    /// Must be `true`: static pruning only omits disjuncts proven false.
+    pub equivalent: bool,
+}
+
+impl StaticCellComparison {
+    /// Unpruned-over-pruned wall-clock ratio (> 1 = pruning won).
+    pub fn speedup(&self) -> f64 {
+        self.unpruned.runtime.as_secs_f64() / self.pruned.runtime.as_secs_f64().max(1e-9)
+    }
+
+    /// Unpruned-over-pruned installed goal-clause size ratio over the
+    /// whole trajectory (informational — window-1 checks, where a real
+    /// channel reaches everything within the cycle budget, dominate it).
+    pub fn reduction(&self) -> f64 {
+        self.disjuncts_unpruned as f64 / (self.disjuncts_pruned as f64).max(1.0)
+    }
+
+    /// The ratio on the multi-cycle (window ≥ 2) checks only — the E12
+    /// headline quantity, gated at ≥ 1.3× in aggregate by `bench_trend`:
+    /// these are the checks whose unpruned goals grow linearly with the
+    /// window, and the ones the pruning subsystem is built to bound.
+    pub fn deep_reduction(&self) -> f64 {
+        self.disjuncts_deep_unpruned as f64 / (self.disjuncts_deep_pruned as f64).max(1.0)
+    }
+}
+
+/// Measures [`StaticCellComparison`] for one cell: runs it with static
+/// pruning off, then on, over the same shared artifact + prefix, and
+/// aggregates the per-iteration pruning counters.
+pub fn compare_static_cell(
+    scenario: &portfolio::Scenario,
+    art: &std::sync::Arc<upec_ssc::ProductArtifact>,
+    prefix: &upec_ssc::SessionPrefix<'_>,
+    words: u32,
+) -> StaticCellComparison {
+    let off = portfolio::run_cell_with_static(scenario, art, prefix, words, false);
+    let on = portfolio::run_cell_with_static(scenario, art, prefix, words, true);
+    let equivalent = cell_fingerprint(&off) == cell_fingerprint(&on);
+    let sum = |entry: &portfolio::PortfolioEntry, f: fn(&upec_ssc::IterationStat) -> usize| {
+        entry.result.verdict.iterations().iter().map(f).sum::<usize>()
+    };
+    let deep = |entry: &portfolio::PortfolioEntry| {
+        entry
+            .result
+            .verdict
+            .iterations()
+            .iter()
+            .filter(|it| it.window >= 2)
+            .map(|it| it.goal_disjuncts)
+            .sum::<usize>()
+    };
+    StaticCellComparison {
+        scenario: scenario.name,
+        words,
+        disjuncts_unpruned: sum(&off, |it| it.goal_disjuncts),
+        disjuncts_pruned: sum(&on, |it| it.goal_disjuncts),
+        disjuncts_deep_unpruned: deep(&off),
+        disjuncts_deep_pruned: deep(&on),
+        atoms_static_pruned: sum(&on, |it| it.atoms_static_pruned),
+        unpruned: off.result,
+        pruned: on.result,
+        equivalent,
+    }
+}
+
+/// Derives the linter's threat-model input ([`ssc_netlist::lint::LintSpec`])
+/// from a verification spec, so the lint corpus and the proof engine see
+/// the *same* scenario configurations:
+///
+/// * the victim inputs are the spec's [`upec_ssc::VictimPort`] signals;
+/// * every [`upec_ssc::IpPort`] becomes an attacker master (named by its
+///   signal prefix), `quiesced` when the spec quiesces a busy flag with the
+///   same prefix, `constrained` when a `RegOutsideDevice` firmware
+///   constraint pins one of its registers off the protected device;
+/// * the protected memory is the device whose base the spec's
+///   `range_in_device` selects.
+pub fn derive_lint_spec(spec: &UpecSpec) -> ssc_netlist::lint::LintSpec {
+    use ssc_netlist::lint::{LintMaster, LintSpec};
+    use upec_ssc::FirmwareConstraint;
+
+    let prefix = |s: &str| s.split('.').next().unwrap_or(s).to_string();
+    let masters = spec
+        .ip_ports
+        .iter()
+        .map(|p| {
+            let name = prefix(&p.req);
+            let quiesced = spec.quiesced_ips.iter().any(|q| prefix(q) == name);
+            let constrained = spec.constraints.iter().any(|c| match c {
+                FirmwareConstraint::RegOutsideDevice { reg, device, .. } => {
+                    prefix(reg) == name && Some(*device) == spec.range_in_device
+                }
+                FirmwareConstraint::PortWriteOutsideDevice { .. } => false,
+            });
+            LintMaster {
+                name,
+                signals: vec![p.req.clone(), p.addr.clone()],
+                quiesced,
+                constrained,
+            }
+        })
+        .collect();
+    let protected_mem = spec.range_in_device.and_then(|base| {
+        spec.devices.iter().find(|d| d.base == base).map(|d| d.mem_name.clone())
+    });
+    LintSpec {
+        victim_inputs: vec![
+            spec.port.req.clone(),
+            spec.port.addr.clone(),
+            spec.port.we.clone(),
+            spec.port.wdata.clone(),
+        ],
+        masters,
+        protected_mem,
+    }
+}
+
 /// Machine-readable perf records (`BENCH_<experiment>.json`).
 ///
 /// The records are hand-assembled JSON (the workspace has no serde) written
@@ -748,7 +893,8 @@ pub mod perf {
              \"encoded_nodes\":{},\"encoded_delta\":{},\"aig_nodes\":{},\
              \"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
              \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{},\
-             \"era_drops\":{},\"atoms_core_dropped\":{},\"cube\":{}}}",
+             \"era_drops\":{},\"atoms_core_dropped\":{},\
+             \"atoms_static_pruned\":{},\"goal_disjuncts\":{},\"cube\":{}}}",
             it.iteration,
             it.window,
             it.set_size,
@@ -767,6 +913,8 @@ pub mod perf {
             it.solver.core_seeds,
             it.solver.era_drops,
             it.atoms_core_dropped,
+            it.atoms_static_pruned,
+            it.goal_disjuncts,
             it.cube.as_ref().map_or_else(|| "null".to_string(), cube_json),
         )
     }
@@ -1118,6 +1266,112 @@ pub mod perf {
                 c.wasted_us,
                 c.matches_sequential,
                 iterations_json(&c.escalated.verdict),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The E12 static-pruning record: the full portfolio matrix run with
+    /// static-certificate goal pruning off (`SSC_STATIC_PRUNE=0`
+    /// semantics) versus on, on the same shared prefix, with cube
+    /// escalation pinned off in both runs.
+    ///
+    /// Format (all times in microseconds):
+    ///
+    /// ```json
+    /// {"experiment":"e12_static",
+    ///  "sequential_us":1,"pruned_us":1,"speedup":1.1,
+    ///  "disjuncts_unpruned":100,"disjuncts_pruned":86,
+    ///  "reduction":1.163,
+    ///  "disjuncts_deep_unpruned":40,"disjuncts_deep_pruned":20,
+    ///  "deep_reduction":2.0,"atoms_static_pruned":20,
+    ///  "equivalent":true,
+    ///  "cells":[{"scenario":"dma_timer/leaky","words":8,
+    ///            "verdict":"vulnerable","unpruned_us":1,"pruned_us":1,
+    ///            "speedup":1.1,"disjuncts_unpruned":10,
+    ///            "disjuncts_pruned":6,"reduction":1.667,
+    ///            "disjuncts_deep_unpruned":4,"disjuncts_deep_pruned":2,
+    ///            "deep_reduction":2.0,
+    ///            "atoms_static_pruned":4,"equivalent":true,
+    ///            "iterations":[...]}]}
+    /// ```
+    ///
+    /// `deep_reduction` is the gated headline (≥ 1.3× by the CI trend
+    /// gate): Σ disjuncts(unpruned) / Σ disjuncts(pruned) over the
+    /// multi-cycle (window ≥ 2) checks — the checks whose unpruned goal
+    /// clauses grow as O(|S|·k) with the window, and the ones the
+    /// influence certificate plus proven-prefix ledger shrink to
+    /// O(changed at the new cycle). `reduction` is the same ratio over
+    /// the whole trajectory, kept informational: window-1 checks (where
+    /// a real channel reaches every tracked atom within one cycle, so
+    /// nothing is soundly omittable) dilute it by design. `equivalent`
+    /// attests that every cell's pruned run was fingerprint-identical to
+    /// its unpruned run under
+    /// [`crate::portfolio::verdict_fingerprint`]; pruning is *sound* (it
+    /// only omits disjuncts the influence certificate proves false), so
+    /// the gate requires `true`. `iterations` come from the pruned runs
+    /// and embed the per-iteration `atoms_static_pruned` /
+    /// `goal_disjuncts` counters.
+    pub fn e12_json(cells: &[crate::StaticCellComparison]) -> String {
+        let unpruned: Duration = cells.iter().map(|c| c.unpruned.runtime).sum();
+        let pruned: Duration = cells.iter().map(|c| c.pruned.runtime).sum();
+        let speedup = unpruned.as_secs_f64() / pruned.as_secs_f64().max(1e-9);
+        let d_off: usize = cells.iter().map(|c| c.disjuncts_unpruned).sum();
+        let d_on: usize = cells.iter().map(|c| c.disjuncts_pruned).sum();
+        let reduction = d_off as f64 / (d_on as f64).max(1.0);
+        let deep_off: usize = cells.iter().map(|c| c.disjuncts_deep_unpruned).sum();
+        let deep_on: usize = cells.iter().map(|c| c.disjuncts_deep_pruned).sum();
+        let deep_reduction = deep_off as f64 / (deep_on as f64).max(1.0);
+        let equivalent = cells.iter().all(|c| c.equivalent);
+        let mut out = format!(
+            "{{\"experiment\":\"e12_static\",\
+             \"sequential_us\":{},\"pruned_us\":{},\"speedup\":{:.3},\
+             \"disjuncts_unpruned\":{},\"disjuncts_pruned\":{},\
+             \"reduction\":{:.3},\
+             \"disjuncts_deep_unpruned\":{},\"disjuncts_deep_pruned\":{},\
+             \"deep_reduction\":{:.3},\"atoms_static_pruned\":{},\
+             \"equivalent\":{},\"cells\":[",
+            us(unpruned),
+            us(pruned),
+            speedup,
+            d_off,
+            d_on,
+            reduction,
+            deep_off,
+            deep_on,
+            deep_reduction,
+            cells.iter().map(|c| c.atoms_static_pruned).sum::<usize>(),
+            equivalent,
+        );
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"words\":{},\"verdict\":\"{}\",\
+                 \"unpruned_us\":{},\"pruned_us\":{},\"speedup\":{:.3},\
+                 \"disjuncts_unpruned\":{},\"disjuncts_pruned\":{},\
+                 \"reduction\":{:.3},\
+                 \"disjuncts_deep_unpruned\":{},\"disjuncts_deep_pruned\":{},\
+                 \"deep_reduction\":{:.3},\"atoms_static_pruned\":{},\
+                 \"equivalent\":{},\"iterations\":{}}}",
+                c.scenario,
+                c.words,
+                verdict_kind(&c.pruned.verdict),
+                us(c.unpruned.runtime),
+                us(c.pruned.runtime),
+                c.speedup(),
+                c.disjuncts_unpruned,
+                c.disjuncts_pruned,
+                c.reduction(),
+                c.disjuncts_deep_unpruned,
+                c.disjuncts_deep_pruned,
+                c.deep_reduction(),
+                c.atoms_static_pruned,
+                c.equivalent,
+                iterations_json(&c.pruned.verdict),
             );
         }
         out.push_str("]}");

@@ -213,6 +213,30 @@ pub fn run_cell_with_cube(
     seal_cell(scenario, words, state_bits, verdict, t.elapsed())
 }
 
+/// [`run_cell_shared`] with the static-certificate goal pruning switch
+/// pinned on the session (instead of the `SSC_STATIC_PRUNE` environment
+/// default) and cube escalation pinned **off** — how the e12 bench and
+/// the static-prune crosscheck compare the pruned engine against the
+/// unpruned one on the *same* shared prefix without escalation noise in
+/// the per-cell timings.
+pub fn run_cell_with_static(
+    scenario: &Scenario,
+    art: &Arc<ProductArtifact>,
+    prefix: &SessionPrefix<'_>,
+    words: u32,
+    static_prune: bool,
+) -> PortfolioEntry {
+    let state_bits = analysis::state_bit_count(art.src());
+    let t = Instant::now();
+    let an = UpecAnalysis::bind(art.clone(), scenario.spec.clone())
+        .expect("portfolio spec matches the SoC");
+    let mut sess = Session::with_prefix(&an, prefix.fork());
+    sess.set_cube_config(CubeConfig::disabled());
+    sess.set_static_prune(static_prune);
+    let verdict = an.alg2_with_session(sess);
+    seal_cell(scenario, words, state_bits, verdict, t.elapsed())
+}
+
 /// Runs one matrix cell from scratch: builds the cell's own product
 /// netlist and proof session, sharing nothing (the pre-shared-artifact
 /// behaviour, kept as the e10 baseline and equivalence oracle).

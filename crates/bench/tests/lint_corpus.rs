@@ -1,0 +1,70 @@
+//! The lint-corpus expectation as a test: on the generated SoC, every
+//! vulnerable scenario configuration must produce a security finding
+//! (`SSC-L001`/`SSC-L002` — the structural contention shape the proof
+//! engine later exhibits as a real channel), and every patched
+//! configuration of the *same netlist* must produce zero diagnostics.
+//! This is the zero-false-positive separation the `lint` binary enforces
+//! in CI, pinned here so `cargo test` catches a drift without running the
+//! binary.
+
+use ssc_bench::{derive_lint_spec, portfolio};
+use ssc_netlist::lint::{lint, LintCode};
+use ssc_soc::Soc;
+
+#[test]
+fn corpus_separates_vulnerable_from_patched_with_zero_false_positives() {
+    let soc = Soc::verification_view();
+    for sc in portfolio::scenario_matrix() {
+        let spec = derive_lint_spec(&sc.spec);
+        let diags = lint(&soc.netlist, &spec).expect("derived lint spec matches the SoC");
+        let security = diags
+            .iter()
+            .filter(|d| {
+                matches!(d.code, LintCode::SharedResource | LintCode::UntrustedArbitration)
+            })
+            .count();
+        if sc.leaky {
+            assert!(
+                security > 0,
+                "{}: vulnerable configuration must flag SSC-L001/SSC-L002, got {diags:?}",
+                sc.name
+            );
+        } else {
+            assert!(
+                diags.is_empty(),
+                "{}: patched configuration must be clean, got {diags:?}",
+                sc.name
+            );
+        }
+    }
+}
+
+/// The per-scenario threat models behind the separation: the leaky specs
+/// leave masters active; the patched specs quiesce or constrain exactly
+/// the masters whose channel they close, and point the protected memory at
+/// the private device.
+#[test]
+fn derived_lint_specs_encode_the_scenario_threat_models() {
+    let matrix = portfolio::scenario_matrix();
+    let by_name = |n: &str| {
+        matrix.iter().find(|s| s.name == n).map(|s| derive_lint_spec(&s.spec)).unwrap()
+    };
+
+    let leaky = by_name("dma_timer/leaky");
+    assert_eq!(leaky.protected_mem.as_deref(), Some("pub_xbar.ram"));
+    assert!(leaky.masters.iter().all(|m| m.active()), "{:?}", leaky.masters);
+
+    let hwpe = by_name("hwpe_memory/leaky");
+    let dma = hwpe.masters.iter().find(|m| m.name == "dma").unwrap();
+    assert!(dma.quiesced && !dma.constrained);
+    assert!(hwpe.masters.iter().find(|m| m.name == "hwpe").unwrap().active());
+
+    let patched = by_name("dma_timer/patched");
+    assert_eq!(patched.protected_mem.as_deref(), Some("priv_xbar.ram"));
+    let hwpe_m = patched.masters.iter().find(|m| m.name == "hwpe").unwrap();
+    assert!(hwpe_m.constrained, "soc_fixed pins the HWPE off the private device");
+
+    // Victim inputs come from the verification-view port names.
+    assert!(leaky.victim_inputs.contains(&"cpu.dport_req".to_string()));
+    assert_eq!(leaky.victim_inputs.len(), 4);
+}

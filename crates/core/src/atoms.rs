@@ -9,7 +9,11 @@
 
 use std::collections::BTreeSet;
 
+use ssc_netlist::analysis::StateHandle;
+use ssc_netlist::influence::{InfluenceClosure, InfluenceGraph};
 use ssc_netlist::{MemId, Netlist, Node, SignalId, StateKind, StateMeta};
+
+use crate::spec::UpecSpec;
 
 /// One state variable of the design under verification.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -22,6 +26,136 @@ pub enum StateAtom {
 
 /// A set of state atoms with set-algebra helpers.
 pub type AtomSet = BTreeSet<StateAtom>;
+
+/// The state element carrying an atom (memory words of one array share
+/// their element — influence analysis is per-element, not per-word).
+pub fn atom_handle(atom: StateAtom) -> StateHandle {
+    match atom {
+        StateAtom::Reg(id) => StateHandle::Reg(id),
+        StateAtom::MemWord(mem, _) => StateHandle::Mem(mem),
+    }
+}
+
+/// A static cleanliness certificate for goal-clause disjuncts, built once
+/// per (design, spec) from the sequential influence graph.
+///
+/// The UPEC-SSC miter assumes all primary inputs equal except the victim
+/// port, plus `State_Equivalence(pre)` at cycle 0. Under those assumptions
+/// an atom whose element is farther than `c` clock steps from every
+/// divergence source *provably* cannot differ at cycle `c`, so its
+/// disjunct may be omitted from the window-goal clause without weakening
+/// the property (the omitted disjunct is false in every model).
+///
+/// Divergence sources are
+/// - the victim-port inputs (`req`/`addr`/`we`/`wdata`) — depth-1 sources,
+/// - state elements **not** covered by the cycle-0 equality assumption:
+///   elements outside the tracked universe (CPU-internal state), elements
+///   of atoms missing from `pre`, and — crucially for soundness — *every
+///   victim-allocatable device memory*. A device word's cycle-0 assumption
+///   is the range-guarded `in_range ∨ eq` term, so the protected word may
+///   legitimately differ at cycle 0; the whole array therefore counts as a
+///   depth-0 source no matter what `pre` contains.
+#[derive(Debug)]
+pub struct StaticCertificate {
+    graph: InfluenceGraph,
+    /// Victim-port inputs — the only primary inputs allowed to differ.
+    port_inputs: Vec<SignalId>,
+    /// The atom universe the engine tracks (`S_not_victim`).
+    universe: AtomSet,
+    /// Depth-0 sources regardless of `pre`: out-of-universe elements plus
+    /// range-guarded device memories.
+    always_roots: Vec<StateHandle>,
+}
+
+impl StaticCertificate {
+    /// Builds the certificate for a design/spec pair. Fails if a spec
+    /// signal or device memory is missing from the netlist.
+    pub fn build(netlist: &Netlist, spec: &UpecSpec) -> Result<StaticCertificate, String> {
+        let graph = InfluenceGraph::build(netlist);
+        let mut port_inputs = Vec::new();
+        for name in [&spec.port.req, &spec.port.addr, &spec.port.we, &spec.port.wdata] {
+            let w = netlist
+                .find(name)
+                .ok_or_else(|| format!("victim port signal `{name}` not in netlist"))?;
+            port_inputs.push(w.id());
+        }
+        let mut guarded: BTreeSet<MemId> = BTreeSet::new();
+        for dev in &spec.devices {
+            let mid = netlist
+                .find_mem(&dev.mem_name)
+                .ok_or_else(|| format!("device memory `{}` not in netlist", dev.mem_name))?;
+            guarded.insert(mid);
+        }
+        let universe = not_victim_atoms(netlist);
+        let mut always_roots = Vec::new();
+        for &h in graph.handles() {
+            let root = match h {
+                StateHandle::Reg(id) => !universe.contains(&StateAtom::Reg(id)),
+                StateHandle::Mem(mid) => {
+                    // Memory metadata is uniform per array, so word 0
+                    // stands in for the whole array's universe membership.
+                    guarded.contains(&mid)
+                        || netlist.mem(mid).words == 0
+                        || !universe.contains(&StateAtom::MemWord(mid, 0))
+                }
+            };
+            if root {
+                always_roots.push(h);
+            }
+        }
+        Ok(StaticCertificate { graph, port_inputs, universe, always_roots })
+    }
+
+    /// The tracked atom universe (`S_not_victim`).
+    pub fn universe(&self) -> &AtomSet {
+        &self.universe
+    }
+
+    /// The underlying one-step influence graph.
+    pub fn graph(&self) -> &InfluenceGraph {
+        &self.graph
+    }
+
+    /// The divergence closure under `State_Equivalence(pre)` at cycle 0:
+    /// element roots are the always-roots plus the elements of universe
+    /// atoms missing from `pre`; input roots are the victim-port inputs.
+    pub fn closure_for(&self, pre: &AtomSet) -> InfluenceClosure {
+        let mut roots = self.always_roots.clone();
+        for atom in self.universe.difference(pre) {
+            roots.push(atom_handle(*atom));
+        }
+        self.graph.closure(self.port_inputs.iter().copied(), roots)
+    }
+
+    /// Whether `atom` is certified equal at cycle `cycle` by `closure`
+    /// (which must come from [`StaticCertificate::closure_for`] with the
+    /// check's pre-state set): unreachable, or reachable only strictly
+    /// after `cycle`.
+    pub fn certified_clean(&self, closure: &InfluenceClosure, atom: StateAtom, cycle: usize) -> bool {
+        match closure.depth(atom_handle(atom)) {
+            None => true,
+            Some(d) => d as usize > cycle,
+        }
+    }
+
+    /// The atoms certified clean at *every* cycle under the full-universe
+    /// pre-state assumption — the strongest static statement: these atoms
+    /// can never diverge, at any window length.
+    pub fn statically_clean(&self) -> AtomSet {
+        let cl = self.closure_for(&self.universe);
+        self.universe
+            .iter()
+            .copied()
+            .filter(|&a| !cl.reached(atom_handle(a)))
+            .collect()
+    }
+}
+
+/// Convenience entry point: the forever-clean subset of `S_not_victim`
+/// for a design/spec pair (see [`StaticCertificate::statically_clean`]).
+pub fn statically_clean(netlist: &Netlist, spec: &UpecSpec) -> Result<AtomSet, String> {
+    Ok(StaticCertificate::build(netlist, spec)?.statically_clean())
+}
 
 /// Returns the hierarchical name of an atom.
 pub fn atom_name(netlist: &Netlist, atom: StateAtom) -> String {
@@ -139,6 +273,7 @@ impl PersistencePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{DeviceMap, VictimPort};
     use ssc_netlist::{Bv, Netlist};
 
     fn design() -> Netlist {
@@ -202,5 +337,110 @@ mod tests {
         assert_eq!(atom_name(&n, StateAtom::MemWord(mem, 2)), "ram[2]");
         let reg = n.find("hwpe.progress").unwrap();
         assert_eq!(atom_name(&n, StateAtom::Reg(reg.id())), "hwpe.progress");
+    }
+
+    /// Port-fed pipeline + CPU-fed register + device memory + isolated
+    /// self-loop, exercising every root class of the certificate.
+    fn cert_design() -> Netlist {
+        let mut n = Netlist::new("cert");
+        let req = n.input("p.req", 1);
+        let addr = n.input("p.addr", 8);
+        let _we = n.input("p.we", 1);
+        let _wdata = n.input("p.wdata", 8);
+        let a = n.reg("a", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        let b = n.reg("b", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        n.connect_reg(a, addr);
+        n.connect_reg(b, a.wire());
+        let cpu = n.reg("cpu.r", 8, Some(Bv::zero(8)), StateMeta::cpu());
+        n.connect_reg(cpu, cpu.wire());
+        let c = n.reg("c", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        n.connect_reg(c, cpu.wire());
+        let iso = n.reg("iso", 8, Some(Bv::zero(8)), StateMeta::peripheral());
+        n.connect_reg(iso, iso.wire());
+        let dev = n.memory("dev.ram", 4, 8, StateMeta::memory(true));
+        let waddr = n.lit(2, 0);
+        n.mem_write(dev, req, waddr, a.wire());
+        let raddr = n.lit(2, 1);
+        let rd = n.mem_read(dev, raddr);
+        let d = n.reg("d", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        n.connect_reg(d, rd);
+        n.mark_output("b", b.wire());
+        n.mark_output("c", c.wire());
+        n.mark_output("iso", iso.wire());
+        n.mark_output("d", d.wire());
+        n
+    }
+
+    fn cert_spec() -> UpecSpec {
+        UpecSpec {
+            port: VictimPort {
+                req: "p.req".into(),
+                addr: "p.addr".into(),
+                we: "p.we".into(),
+                wdata: "p.wdata".into(),
+            },
+            ip_ports: vec![],
+            devices: vec![DeviceMap { mem_name: "dev.ram".into(), base: 0x1000 }],
+            range_mask: !0xF,
+            range_in_device: None,
+            device_mask: !0xFFF,
+            constraints: vec![],
+            quiesced_ips: vec![],
+            persistence: PersistencePolicy::new(),
+            max_unroll: 4,
+        }
+    }
+
+    fn reg_atom(n: &Netlist, name: &str) -> StateAtom {
+        StateAtom::Reg(n.find(name).unwrap().id())
+    }
+
+    #[test]
+    fn certificate_depths_bound_divergence_speed() {
+        let n = cert_design();
+        let cert = StaticCertificate::build(&n, &cert_spec()).unwrap();
+        let cl = cert.closure_for(cert.universe());
+        // `a` is one clock step from the port: clean at cycle 0 only.
+        assert!(cert.certified_clean(&cl, reg_atom(&n, "a"), 0));
+        assert!(!cert.certified_clean(&cl, reg_atom(&n, "a"), 1));
+        // `b` is two steps away: still clean at cycle 1.
+        assert!(cert.certified_clean(&cl, reg_atom(&n, "b"), 1));
+        assert!(!cert.certified_clean(&cl, reg_atom(&n, "b"), 2));
+        // `c` reads out-of-universe CPU state, an unconditional depth-0
+        // root: dirty from cycle 1.
+        assert!(!cert.certified_clean(&cl, reg_atom(&n, "c"), 1));
+        // Device memory words are range-guarded, so the array is a depth-0
+        // root even under the full-universe pre-state assumption.
+        let dev = n.find_mem("dev.ram").unwrap();
+        assert!(!cert.certified_clean(&cl, StateAtom::MemWord(dev, 0), 0));
+        // ... and `d`, which reads it, is dirty from cycle 1.
+        assert!(!cert.certified_clean(&cl, reg_atom(&n, "d"), 1));
+        // The isolated self-loop is clean at every cycle.
+        assert!(cert.certified_clean(&cl, reg_atom(&n, "iso"), 7));
+    }
+
+    #[test]
+    fn atoms_outside_pre_become_depth_zero_roots() {
+        let n = cert_design();
+        let cert = StaticCertificate::build(&n, &cert_spec()).unwrap();
+        let mut pre = cert.universe().clone();
+        pre.remove(&reg_atom(&n, "b"));
+        let cl = cert.closure_for(&pre);
+        // `b` is no longer assumed equal at cycle 0.
+        assert!(!cert.certified_clean(&cl, reg_atom(&n, "b"), 0));
+    }
+
+    #[test]
+    fn statically_clean_is_the_unreachable_set() {
+        let n = cert_design();
+        let clean = statically_clean(&n, &cert_spec()).unwrap();
+        assert_eq!(clean, [reg_atom(&n, "iso")].into_iter().collect::<AtomSet>());
+    }
+
+    #[test]
+    fn certificate_build_reports_missing_signals() {
+        let n = design(); // has no port inputs
+        let err = StaticCertificate::build(&n, &cert_spec()).unwrap_err();
+        assert!(err.contains("p.req"), "unexpected error: {err}");
     }
 }

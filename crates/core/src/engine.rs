@@ -35,7 +35,8 @@ use ssc_netlist::{ImportMap, MemId, Netlist, Node, Wire};
 use ssc_pool::Pool;
 use ssc_sat::{Budget, CancelToken, InterruptCause, Lit, Var};
 
-use crate::atoms::{self, AtomSet, StateAtom};
+use crate::atoms::{self, AtomSet, StateAtom, StaticCertificate};
+use ssc_netlist::influence::InfluenceClosure;
 use crate::report::{AtomDiff, CexCycle, Counterexample, CubeReport, PortActivity};
 use crate::spec::{DeviceMap, FirmwareConstraint, IpPort, UpecSpec, VictimPort};
 
@@ -343,6 +344,11 @@ pub struct SessionPrefix<'p> {
     eq_terms: FxHashMap<(StateAtom, usize), AigRef>,
     /// The atom universe whose equality terms are pre-built per time step.
     universe: AtomSet,
+    /// The static cleanliness certificate (sequential influence graph over
+    /// the source design), shared across forks — scenario-independent like
+    /// everything else here because it only reads the victim port, the
+    /// device list and the netlist structure.
+    cert: Arc<StaticCertificate>,
 }
 
 impl std::fmt::Debug for SessionPrefix<'_> {
@@ -377,6 +383,7 @@ impl<'p> SessionPrefix<'p> {
                     .ok_or_else(|| format!("IP port signal `{name}` not found"))?;
             }
         }
+        let cert = Arc::new(StaticCertificate::build(&art.src, spec)?);
         let mut p = SessionPrefix {
             ipc: Ipc::new(&art.product),
             art,
@@ -387,6 +394,7 @@ impl<'p> SessionPrefix<'p> {
             shared: Ledger::default(),
             eq_terms: FxHashMap::default(),
             universe: atoms::not_victim_atoms(&art.src),
+            cert,
         };
         let inv = p.alignment_validity();
         p.push_shared_block(inv);
@@ -406,7 +414,13 @@ impl<'p> SessionPrefix<'p> {
             shared: self.shared.clone(),
             eq_terms: self.eq_terms.clone(),
             universe: self.universe.clone(),
+            cert: Arc::clone(&self.cert),
         }
+    }
+
+    /// The shared static cleanliness certificate.
+    pub fn static_certificate(&self) -> &Arc<StaticCertificate> {
+        &self.cert
     }
 
     /// The number of transitions the prefix currently supports.
@@ -649,6 +663,45 @@ pub const CUBE_SPLIT_VARS_ENV: &str = "SSC_CUBE_SPLIT_VARS";
 /// Environment variable overriding [`CubeConfig::order_seed`].
 pub const CUBE_ORDER_SEED_ENV: &str = "SSC_CUBE_ORDER_SEED";
 
+/// Environment variable: master switch for static-certificate goal
+/// pruning in [`Session::check_window`] (`0`/`off`/`false` disable,
+/// `1`/`on`/`true` enable; unset = **on**). Unlike core-guided dropping,
+/// static pruning is *sound* — it only omits disjuncts the influence
+/// certificate proves false — so it also applies to window-1 checks and
+/// the concluding induction.
+pub const STATIC_PRUNE_ENV: &str = "SSC_STATIC_PRUNE";
+
+/// Parses [`STATIC_PRUNE_ENV`] (`None` = variable unset = on).
+///
+/// # Errors
+///
+/// Returns `(variable name, offending value)` for anything other than
+/// `0/off/false/1/on/true`.
+pub fn parse_static_prune_env(raw: Option<&str>) -> Result<bool, (&'static str, String)> {
+    match raw {
+        None => Ok(true),
+        Some("0" | "off" | "false") => Ok(false),
+        Some("1" | "on" | "true") => Ok(true),
+        Some(bad) => Err((STATIC_PRUNE_ENV, bad.to_string())),
+    }
+}
+
+/// The static-pruning switch from the environment (every session starts
+/// with this; tests and benches pin it via [`Session::set_static_prune`]).
+///
+/// # Panics
+///
+/// Panics — naming the variable and the offending value — on a malformed
+/// setting: silently falling back to the default would make a mistyped CI
+/// matrix entry measure the wrong engine.
+pub fn static_prune_from_env() -> bool {
+    let raw = std::env::var(STATIC_PRUNE_ENV).ok();
+    match parse_static_prune_env(raw.as_deref()) {
+        Ok(v) => v,
+        Err((var, bad)) => panic!("invalid {var}={bad:?}"),
+    }
+}
+
 /// Checks at window 1 (Alg. 1 and the concluding genuine induction) never
 /// drop goal disjuncts — unsat-core-guided atom dropping is a Alg. 2
 /// window-search heuristic, and the window-1 check is the soundness
@@ -869,6 +922,27 @@ pub struct Session<'p> {
     /// Goal disjuncts dropped by unsat-core-guided atom dropping in the
     /// most recent check, drained by [`Session::take_atoms_core_dropped`].
     atoms_core_dropped: usize,
+    /// Static-certificate pruning switch (defaults to
+    /// [`static_prune_from_env`]).
+    static_prune: bool,
+    /// Cached influence closure for the current pre-state set (recomputed
+    /// when the pre-state set changes between checks).
+    static_closure: Option<(AtomSet, InfluenceClosure)>,
+    /// Proven-prefix ledger: goal pairs `(atom, cycle)` a `Holds` check
+    /// already discharged, mapped to the window they were proven at. Valid
+    /// only for the pre-state set in `proven_pre` — a later check with the
+    /// same `pre` and a window ≥ the stored one runs under a superset of
+    /// the proving check's assumptions, so the pair stays proven.
+    proven: FxHashMap<(StateAtom, usize), usize>,
+    /// The pre-state set `proven` was accumulated under.
+    proven_pre: Option<AtomSet>,
+    /// Goal disjuncts omitted from the most recent check by the sound
+    /// static discharge (certificate + proven prefix), drained by
+    /// [`Session::take_atoms_static_pruned`].
+    atoms_static_pruned: usize,
+    /// Disjuncts actually installed in the most recent check's goal
+    /// clause, drained by [`Session::take_goal_disjuncts`].
+    goal_disjuncts: usize,
     /// Atoms whose pre-state equality assumption has appeared in at least
     /// one final assumption core of this session.
     core_seen: FxHashSet<StateAtom>,
@@ -927,6 +1001,12 @@ impl<'p> Session<'p> {
             cube: CubeConfig::from_env(),
             last_cube: None,
             atoms_core_dropped: 0,
+            static_prune: static_prune_from_env(),
+            static_closure: None,
+            proven: FxHashMap::default(),
+            proven_pre: None,
+            atoms_static_pruned: 0,
+            goal_disjuncts: 0,
             core_seen: FxHashSet::default(),
             core_tested: FxHashSet::default(),
             window_conflicts: FxHashMap::default(),
@@ -1025,6 +1105,30 @@ impl<'p> Session<'p> {
     /// check by unsat-core-guided atom dropping.
     pub fn take_atoms_core_dropped(&mut self) -> usize {
         std::mem::take(&mut self.atoms_core_dropped)
+    }
+
+    /// Enables/disables sound static-certificate goal pruning (sessions
+    /// start from [`static_prune_from_env`]).
+    pub fn set_static_prune(&mut self, on: bool) {
+        self.static_prune = on;
+    }
+
+    /// Whether static-certificate goal pruning is active.
+    pub fn static_prune(&self) -> bool {
+        self.static_prune
+    }
+
+    /// Drains the count of goal disjuncts omitted from the most recent
+    /// check by the sound static discharge (influence certificate plus
+    /// proven-prefix ledger).
+    pub fn take_atoms_static_pruned(&mut self) -> usize {
+        std::mem::take(&mut self.atoms_static_pruned)
+    }
+
+    /// Drains the count of disjuncts actually installed in the most recent
+    /// check's goal clause.
+    pub fn take_goal_disjuncts(&mut self) -> usize {
+        std::mem::take(&mut self.goal_disjuncts)
     }
 
     /// Cumulative count of CNF-encoded AIG nodes (see
@@ -1221,6 +1325,28 @@ impl<'p> Session<'p> {
         self.ensure_window(window);
         self.last_cube = None;
 
+        // Sound static discharge: the influence certificate proves a
+        // disjunct false when its atom's element is farther from every
+        // divergence source than the goal cycle; the proven-prefix ledger
+        // proves it false when an earlier `Holds` under the same `pre` and
+        // a window ≤ this one (i.e. under a *subset* of this check's
+        // standing assumptions) already covered the pair. Either way the
+        // omitted disjunct is false in every model, so omission never
+        // changes the check's verdict — unlike core-guided dropping below,
+        // this also applies to window-1 checks and the concluding
+        // induction.
+        let mut static_pruned = 0usize;
+        if self.static_prune {
+            if self.static_closure.as_ref().is_none_or(|(p, _)| p != pre) {
+                let cl = self.prefix.cert.closure_for(pre);
+                self.static_closure = Some((pre.clone(), cl));
+            }
+            if self.proven_pre.as_ref() != Some(pre) {
+                self.proven.clear();
+                self.proven_pre = Some(pre.clone());
+            }
+        }
+
         // Unsat-core-guided atom dropping (window ≥ 2 only): an atom whose
         // pre-state equality assumption was offered to a core-reporting
         // check but never appeared in any final assumption core has never
@@ -1231,31 +1357,77 @@ impl<'p> Session<'p> {
         // full goal.
         let mut neg_goal = Vec::new();
         let mut dropped = 0usize;
+        let mut dropped_pairs: FxHashSet<(StateAtom, usize)> = FxHashSet::default();
+        let mut survivors: Vec<(usize, StateAtom)> = Vec::new();
+        let mut total_pairs = 0usize;
         for &(cycle, set) in goals {
             debug_assert!(cycle <= window, "goal cycle outside the window");
             for &atom in set {
-                let droppable = window >= DROP_MIN_WINDOW
-                    && self.core_tested.contains(&atom)
-                    && !self.core_seen.contains(&atom);
-                if droppable {
-                    dropped += 1;
-                    continue;
+                total_pairs += 1;
+                if self.static_prune {
+                    let discharged = self
+                        .static_closure
+                        .as_ref()
+                        .is_some_and(|(_, cl)| self.prefix.cert.certified_clean(cl, atom, cycle))
+                        || self.proven.get(&(atom, cycle)).is_some_and(|&w| w <= window);
+                    if discharged {
+                        static_pruned += 1;
+                        continue;
+                    }
                 }
+                survivors.push((cycle, atom));
+            }
+        }
+        if survivors.is_empty() && total_pairs > 0 {
+            // Every pair was statically discharged. Answering `Holds`
+            // without the solver would be sound, but Alg. 2's unsat-core
+            // saturation fast-path then has no assumption core to inspect —
+            // claiming one either way can steer the window search off the
+            // unpruned run's trajectory. Fall back to the full goal: the
+            // solver's verdict is a foregone conclusion (every disjunct is
+            // provably false), but its core makes the saturation decision
+            // exactly as an unpruned run would.
+            static_pruned = 0;
+            survivors = goals
+                .iter()
+                .flat_map(|&(cycle, set)| set.iter().map(move |&atom| (cycle, atom)))
+                .collect();
+        }
+        for &(cycle, atom) in &survivors {
+            let droppable = window >= DROP_MIN_WINDOW
+                && self.core_tested.contains(&atom)
+                && !self.core_seen.contains(&atom);
+            if droppable {
+                dropped += 1;
+                dropped_pairs.insert((atom, cycle));
+                continue;
+            }
+            neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
+        }
+        if neg_goal.is_empty() && dropped > 0 {
+            // Dropping every remaining disjunct would make the goal
+            // vacuous (the guarded clause degenerates to `¬act` and the
+            // check "holds" for free) — rebuild the heuristically dropped
+            // disjuncts. Statically discharged ones stay omitted: their
+            // omission is certificate-backed, not heuristic.
+            dropped = 0;
+            dropped_pairs.clear();
+            for &(cycle, atom) in &survivors {
                 neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
             }
         }
-        if neg_goal.is_empty() && dropped > 0 {
-            // Dropping every disjunct would make the goal vacuous (the
-            // guarded clause degenerates to `¬act` and the check "holds"
-            // for free) — rebuild in full instead.
-            dropped = 0;
-            for &(cycle, set) in goals {
-                for &atom in set {
-                    neg_goal.push(self.prefix.atom_eq_term(atom, cycle).not());
-                }
-            }
-        }
         self.atoms_core_dropped = dropped;
+        self.atoms_static_pruned = static_pruned;
+        self.goal_disjuncts = neg_goal.len();
+        if neg_goal.is_empty() {
+            // The goal list itself was empty (the all-discharged case fell
+            // back to the full goal above): the window property holds
+            // outright, identically with pruning on or off. Skip the solver
+            // — and the core-dropping bookkeeping, since no pre-state
+            // assumption was actually offered to a check.
+            self.last_core_without_state_eq = Some(true);
+            return PropertyResult::Holds;
+        }
 
         let act = self.prefix.ipc.activation_literal();
         self.prefix.ipc.add_clause_under(act, &neg_goal);
@@ -1315,6 +1487,26 @@ impl<'p> Session<'p> {
             }
             PropertyResult::Violated | PropertyResult::Interrupted(_) => None,
         };
+        if self.static_prune && matches!(result, PropertyResult::Holds) {
+            // Holds proved every *non-core-dropped* goal pair false (the
+            // discharged ones by the certificate or an earlier proof, the
+            // installed ones by the solver) under this window's standing
+            // assumptions — record them so larger-window re-checks of the
+            // same pairs under the same `pre` skip their disjuncts.
+            // Core-dropped pairs were absent from the solved clause, so
+            // this Holds says nothing about them.
+            for &(cycle, set) in goals {
+                for &atom in set {
+                    if dropped_pairs.contains(&(atom, cycle)) {
+                        continue;
+                    }
+                    let w = self.proven.entry((atom, cycle)).or_insert(window);
+                    if window < *w {
+                        *w = window;
+                    }
+                }
+            }
+        }
         self.lit_buf = lits;
         // The goal clause belongs to this check only; retiring it keeps the
         // clause database additive while the state sets shrink.
@@ -1687,5 +1879,21 @@ mod tests {
             CubeConfig::parse_env(None, None, None, Some("x")).unwrap_err().0,
             CUBE_ORDER_SEED_ENV
         );
+    }
+
+    #[test]
+    fn static_prune_env_parsing_accepts_documented_forms_and_rejects_junk() {
+        assert!(parse_static_prune_env(None).unwrap(), "unset must default to on");
+        for raw in ["1", "on", "true"] {
+            assert!(parse_static_prune_env(Some(raw)).unwrap(), "{raw} must enable");
+        }
+        for raw in ["0", "off", "false"] {
+            assert!(!parse_static_prune_env(Some(raw)).unwrap(), "{raw} must disable");
+        }
+        for raw in ["yes", "ON", "2", ""] {
+            let (var, bad) = parse_static_prune_env(Some(raw)).unwrap_err();
+            assert_eq!(var, STATIC_PRUNE_ENV);
+            assert_eq!(bad, raw);
+        }
     }
 }

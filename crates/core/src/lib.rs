@@ -134,6 +134,40 @@
 //! but never fake a verdict, because the concluding window-1 Alg. 1 check
 //! always proves the genuine induction with the full goal.
 //!
+//! # Static influence analysis — sound goal pruning
+//!
+//! A second, *sound* pruning layer sits in front of core-guided dropping.
+//! [`SessionPrefix::build`] compiles a [`StaticCertificate`] from
+//! `ssc_netlist::influence`: the sequential influence graph of the design
+//! plus the per-check divergence closure — a BFS assigning every state
+//! element the minimal number of clock steps from any divergence source
+//! (the victim-port inputs; state elements outside the cycle-0 equality
+//! assumption; and every victim-allocatable device memory, whose words'
+//! cycle-0 assumption is only the range-guarded `in_range ∨ eq`). An atom
+//! whose element sits strictly deeper than the goal cycle — or is
+//! unreachable outright — **provably cannot differ** at that cycle, so
+//! [`Session::check_window`] omits its disjunct from the goal clause
+//! without weakening the property: the omitted disjunct is false in every
+//! model. A **proven-prefix ledger** composes with it: once a window
+//! `Holds`, every non-core-dropped goal pair `(atom, cycle)` it covered is
+//! discharged for all larger windows under the same pre-state set, because
+//! the larger window's standing assumptions are a strict superset of the
+//! proving check's. [`IterationStat::atoms_static_pruned`] counts both;
+//! [`IterationStat::goal_disjuncts`] reports the installed clause size.
+//!
+//! The soundness contrast with core-guided dropping matters: static
+//! discharge removes only provably-false disjuncts, so it applies to
+//! *every* check — window-1, the concluding Alg. 1 induction, everything —
+//! and needs no backstop. Core-guided dropping is a heuristic that can
+//! remove live disjuncts, so it is confined to window ≥ 2 and leans on
+//! the full-goal window-1 check. The two compose per disjunct:
+//! certificate first, ledger second, heuristic last. `SSC_STATIC_PRUNE=0`
+//! ([`STATIC_PRUNE_ENV`]) switches the static layer off; the
+//! `static_prune_crosscheck` suite proves verdicts, refinement
+//! trajectories and fingerprints identical either way, and
+//! [`atoms::statically_clean`] exposes the certificate's forever-clean
+//! subset as a standalone query.
+//!
 //! # Bounded effort & graceful degradation
 //!
 //! Every procedure can run under a resource [`Budget`] (per-solve conflict
@@ -187,10 +221,13 @@ mod replay;
 mod report;
 mod spec;
 
-pub use atoms::{AtomSet, PersistencePolicy, StateAtom};
+pub use atoms::{
+    atom_handle, statically_clean, AtomSet, PersistencePolicy, StateAtom, StaticCertificate,
+};
 pub use engine::{
-    cube_tag, CubeConfig, Instance, ProductArtifact, Session, SessionPrefix, UpecAnalysis,
-    CUBE_ESCALATE_ENV, CUBE_ORDER_SEED_ENV, CUBE_SPLIT_VARS_ENV, CUBE_THRESHOLD_ENV,
+    cube_tag, parse_static_prune_env, static_prune_from_env, CubeConfig, Instance,
+    ProductArtifact, Session, SessionPrefix, UpecAnalysis, CUBE_ESCALATE_ENV,
+    CUBE_ORDER_SEED_ENV, CUBE_SPLIT_VARS_ENV, CUBE_THRESHOLD_ENV, STATIC_PRUNE_ENV,
 };
 pub use extensions::ChannelFinding;
 pub use replay::{replay_neighborhood, replay_on_simulator, NeighborhoodReport, Perturbation};

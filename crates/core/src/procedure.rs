@@ -55,6 +55,8 @@ impl IterSnapshot {
             aig_nodes: sess.ipc().unroller().aig().num_nodes(),
             solver: sess.solver_stats().delta_since(&self.stats),
             atoms_core_dropped: sess.take_atoms_core_dropped(),
+            atoms_static_pruned: sess.take_atoms_static_pruned(),
+            goal_disjuncts: sess.take_goal_disjuncts(),
             cube: sess.take_cube_report(),
         }
     }

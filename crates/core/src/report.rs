@@ -148,6 +148,17 @@ pub struct IterationStat {
     /// has ever named it (unsat-core-guided atom dropping; only active at
     /// window ≥ 2 — the concluding Alg. 1 check never drops).
     pub atoms_core_dropped: usize,
+    /// Goal disjuncts omitted from this iteration's clause by the *sound*
+    /// static discharge: influence-certificate cleanliness plus the
+    /// proven-prefix ledger. 0 under `SSC_STATIC_PRUNE=0`. Pruning never
+    /// changes verdicts or refinement trajectories, so — like
+    /// `atoms_core_dropped` — this counter stays out of every fingerprint.
+    pub atoms_static_pruned: usize,
+    /// Disjuncts actually installed in this iteration's goal clause, after
+    /// static discharge and core-guided dropping. The e12 bench's
+    /// goal-size-reduction ratio compares this between pruned and unpruned
+    /// runs; excluded from fingerprints for the same reason as above.
+    pub goal_disjuncts: usize,
     /// Cube-and-conquer escalation report, if this iteration's check was
     /// escalated to a cube race. `None` when the check stayed sequential.
     ///

@@ -1,0 +1,153 @@
+//! Soundness crosscheck for static-certificate goal pruning
+//! (`SSC_STATIC_PRUNE`): on every scenario configuration and at two SoC
+//! sizes, running Alg. 2 with pruning on and off must be observation-
+//! identical — verdicts, counterexample diff atoms, refinement
+//! trajectories and the encoding counters. Pruning only omits goal
+//! disjuncts the influence certificate (or the proven-prefix ledger)
+//! proves false, so any divergence here is an unsoundness bug, not noise.
+
+use std::sync::Arc;
+
+use ssc_soc::{Soc, SocConfig};
+use upec_ssc::{
+    statically_clean, ProductArtifact, Session, SessionPrefix, UpecAnalysis, UpecSpec, Verdict,
+};
+
+/// The formal twin of each simulation scenario: `(name, spec, leaky)` —
+/// same matrix as `incremental_crosscheck.rs` and the bench portfolio.
+fn scenario_specs() -> Vec<(&'static str, UpecSpec, bool)> {
+    let hwpe_memory_patched = {
+        let fixed = UpecSpec::soc_fixed();
+        let mut spec = UpecSpec::soc_vulnerable_hwpe_memory();
+        spec.range_in_device = fixed.range_in_device;
+        spec.constraints = fixed.constraints;
+        spec
+    };
+    vec![
+        ("dma_timer/leaky", UpecSpec::soc_vulnerable(), true),
+        ("hwpe_memory/leaky", UpecSpec::soc_vulnerable_hwpe_memory(), true),
+        ("dma_timer/patched", UpecSpec::soc_fixed(), false),
+        ("hwpe_memory/patched", hwpe_memory_patched, false),
+    ]
+}
+
+/// The deterministic content of a verdict: kind, counterexample diff
+/// atoms / removed-atom lists, and the full refinement trajectory with the
+/// encoding counters — everything except wall-clock, solver effort and the
+/// pruning counters themselves (which legitimately differ between runs).
+fn trajectory(v: &Verdict) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = match v {
+        Verdict::Secure(r) => {
+            format!("secure(set={},removed={:?})", r.final_set_size, r.removed_atoms)
+        }
+        Verdict::Vulnerable(r) => format!(
+            "vulnerable(at={},diffs={:?})",
+            r.cex.at_cycle,
+            r.cex.diffs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
+        ),
+        Verdict::Inconclusive(r) => format!("inconclusive({})", r.cause.code()),
+    };
+    for it in v.iterations() {
+        let _ = write!(
+            out,
+            ";i{}w{}s{}r{}e{}d{}a{}",
+            it.iteration,
+            it.window,
+            it.set_size,
+            it.removed,
+            it.encoded_nodes,
+            it.encoded_delta,
+            it.aig_nodes
+        );
+    }
+    out
+}
+
+fn run(an: &UpecAnalysis, prefix: &SessionPrefix<'_>, prune: bool) -> Verdict {
+    let mut sess = Session::with_prefix(an, prefix.fork());
+    sess.set_static_prune(prune);
+    an.alg2_with_session(sess)
+}
+
+#[test]
+fn pruned_and_unpruned_runs_are_observation_identical_on_all_scenarios() {
+    let mut total_pruned = 0usize;
+    let mut disjuncts_on = 0usize;
+    let mut disjuncts_off = 0usize;
+    for words in [8u32, 12] {
+        let soc = Soc::build(SocConfig::verification_sized(words, words));
+        let seed = UpecSpec::soc_vulnerable();
+        let art = Arc::new(ProductArtifact::for_spec(&soc.netlist, &seed).expect("spec ok"));
+        let prefix = SessionPrefix::build(&art, &seed, 1).expect("spec ok");
+        for (name, spec, leaky) in scenario_specs() {
+            let an = UpecAnalysis::bind(art.clone(), spec).expect("scenario binds");
+            let pruned = run(&an, &prefix, true);
+            let unpruned = run(&an, &prefix, false);
+            assert_eq!(
+                pruned.is_vulnerable(),
+                leaky,
+                "unexpected verdict on {name}@{words}: {pruned}"
+            );
+            assert_eq!(
+                trajectory(&pruned),
+                trajectory(&unpruned),
+                "static pruning changed the observable behavior on {name}@{words}"
+            );
+            for it in pruned.iterations() {
+                total_pruned += it.atoms_static_pruned;
+                disjuncts_on += it.goal_disjuncts;
+            }
+            for it in unpruned.iterations() {
+                assert_eq!(
+                    it.atoms_static_pruned, 0,
+                    "{name}@{words}: unpruned run must report zero static pruning"
+                );
+                disjuncts_off += it.goal_disjuncts;
+            }
+        }
+    }
+    // The equivalence above must not be vacuous: pruning has to actually
+    // fire somewhere on this matrix, and the installed goal clauses have
+    // to be smaller in aggregate.
+    assert!(total_pruned > 0, "static pruning never fired on the whole scenario matrix");
+    assert!(
+        disjuncts_on < disjuncts_off,
+        "pruned runs must install fewer goal disjuncts ({disjuncts_on} vs {disjuncts_off})"
+    );
+}
+
+/// The certificate's forever-clean subset must be disjoint from every
+/// atom a counterexample reports diverging, and from every atom any
+/// refinement removes — on the real SoC, across the whole matrix.
+#[test]
+fn statically_clean_atoms_never_diverge() {
+    let soc = Soc::verification_view();
+    for (name, spec, _) in scenario_specs() {
+        let clean = statically_clean(&soc.netlist, &spec).expect("spec ok");
+        let an = UpecAnalysis::new(&soc.netlist, spec).expect("spec ok");
+        let clean_names: Vec<String> =
+            clean.iter().map(|&a| an.atom_name(a)).collect();
+        match an.alg2() {
+            Verdict::Vulnerable(r) => {
+                for d in &r.cex.diffs {
+                    assert!(
+                        !clean_names.contains(&d.name),
+                        "{name}: certified-clean atom `{}` diverged",
+                        d.name
+                    );
+                }
+            }
+            Verdict::Secure(r) => {
+                for removed in &r.removed_atoms {
+                    assert!(
+                        !clean_names.contains(removed),
+                        "{name}: certified-clean atom `{removed}` was refined away"
+                    );
+                }
+            }
+            other => panic!("{name}: unexpected verdict {other}"),
+        }
+    }
+}

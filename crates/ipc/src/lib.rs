@@ -35,6 +35,12 @@
 //!    Guarding the clause with an activation literal makes it removable on
 //!    a purely additive solver: retiring the literal (a unit clause)
 //!    deactivates the obligation while every learnt lemma stays valid.
+//!    The goal clause a caller installs need not even be the full
+//!    disjunction: `upec-ssc`'s static influence certificate omits
+//!    disjuncts that are provably false (unreachable within the cycle
+//!    budget), and since a constant-false disjunct changes neither the
+//!    clause's models nor its verdict, the checker never knows — or needs
+//!    to know — that the goal was pruned upstream.
 //!
 //! Between windows, [`Ipc::collect_garbage`] can shed stale learnt clauses
 //! (glue and locked clauses survive) so an arbitrarily long session does

@@ -21,6 +21,17 @@ use crate::ir::{MemId, Netlist, Node, SignalId, StateKind, StateMeta};
 /// Returns the name (or node index) of a signal on a combinational cycle.
 pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<SignalId>, String> {
     let n = netlist.num_nodes();
+    // Flat CSR adjacency, built once up front. A node can sit on the DFS
+    // stack through many re-examinations (once per child); collecting its
+    // fan-in into a fresh Vec on each examination made the walk allocate
+    // O(E) vectors instead of two.
+    let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut edges: Vec<SignalId> = Vec::new();
+    offsets.push(0);
+    for (_, node) in netlist.iter_nodes() {
+        edges.extend(node.comb_fanin());
+        offsets.push(edges.len());
+    }
     // 0 = unvisited, 1 = on stack, 2 = done
     let mut mark = vec![0u8; n];
     let mut order = Vec::with_capacity(n);
@@ -33,7 +44,7 @@ pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<SignalId>, String> {
         stack.push((start, 0));
         mark[start as usize] = 1;
         while let Some(&mut (id, ref mut child)) = stack.last_mut() {
-            let deps: Vec<SignalId> = netlist.node(SignalId(id)).comb_fanin().collect();
+            let deps = &edges[offsets[id as usize]..offsets[id as usize + 1]];
             if *child < deps.len() {
                 let dep = deps[*child];
                 *child += 1;
@@ -209,6 +220,38 @@ pub fn cone_of_influence(
     (seen, mems)
 }
 
+/// The bundled result of the structural pass pipeline: everything the
+/// downstream consumers (proof engine, security linter, reports) need from
+/// one walk of the design.
+#[derive(Clone, Debug)]
+pub struct Passes {
+    /// Topological evaluation order of the combinational graph.
+    pub topo: Vec<SignalId>,
+    /// Summary statistics.
+    pub stats: NetlistStats,
+    /// All state elements (`S_all` at the structural level).
+    pub elements: Vec<StateElement>,
+    /// The one-step sequential influence graph over the state elements.
+    pub influence: crate::influence::InfluenceGraph,
+}
+
+/// Runs the structural pass pipeline: evaluation ordering (doubling as the
+/// combinational-loop check), statistics, state enumeration and the
+/// sequential influence graph.
+///
+/// # Errors
+///
+/// Returns the name of a signal on a combinational cycle.
+pub fn pass_pipeline(netlist: &Netlist) -> Result<Passes, String> {
+    let topo = comb_topo_order(netlist)?;
+    Ok(Passes {
+        topo,
+        stats: stats(netlist),
+        elements: state_elements(netlist),
+        influence: crate::influence::InfluenceGraph::build(netlist),
+    })
+}
+
 /// Counts state elements per [`StateKind`]; useful for design review and the
 /// `S_not_victim` compilation report.
 pub fn kind_histogram(netlist: &Netlist) -> Vec<(StateKind, usize, u64)> {
@@ -295,6 +338,19 @@ mod tests {
         for w in [addr, data, en, raddr] {
             assert!(cone.contains(&w.id()));
         }
+    }
+
+    #[test]
+    fn pass_pipeline_bundles_all_passes() {
+        let n = counter();
+        let p = pass_pipeline(&n).unwrap();
+        assert_eq!(p.topo.len(), n.num_nodes());
+        assert_eq!(p.stats.regs, 1);
+        assert_eq!(p.elements.len(), 1);
+        assert_eq!(p.influence.len(), 1);
+        let en = n.find("en").unwrap().id();
+        let cl = p.influence.closure([en], []);
+        assert_eq!(cl.depth(StateHandle::Reg(n.find("count").unwrap().id())), Some(1));
     }
 
     #[test]

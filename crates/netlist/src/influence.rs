@@ -1,0 +1,483 @@
+//! Sequential influence analysis: who can make which state diverge, and
+//! how many clock cycles that takes.
+//!
+//! The UPEC-SSC goal clauses ask "can any tracked atom diverge at cycle
+//! `c`?" — a question with a cheap structural upper bound: a state element
+//! can only diverge at cycle `c` if a *divergence source* (a differing
+//! primary input, or a state element already unequal at cycle 0) reaches
+//! it through at most `c` clock boundaries. This module computes that
+//! bound as a fixpoint over the register/memory graph:
+//!
+//! - [`InfluenceGraph::build`] extracts the **one-step dependency graph**:
+//!   for every state element (register or memory), the primary inputs and
+//!   state elements its next-state function (register `next`, memory write
+//!   ports) reads combinationally. Memory reads inside a cone contribute
+//!   the memory as an element dependency (its *content* flows) plus the
+//!   combinational cone of the read address.
+//! - [`InfluenceGraph::closure`] runs a multi-source BFS from a set of
+//!   root inputs and root elements, yielding an [`InfluenceClosure`]: the
+//!   minimal number of clock steps each element is from any source.
+//!   `depth(e) = None` means *never reachable* — the element is
+//!   structurally certified to stay equal forever; `depth(e) = Some(d)`
+//!   means it cannot diverge before cycle `d`.
+//! - [`InfluenceClosure::frontier`] is the **per-window cone diff**: the
+//!   elements first reachable at exactly depth `d`, i.e. the only atoms a
+//!   window-`d` goal clause newly has to track beyond the window-`d-1`
+//!   clause.
+//! - [`InfluenceLattice`] crosses two closures (victim-controllable
+//!   sources vs. attacker-controllable sources, classified from the
+//!   existing [`StateMeta`]/port metadata) into the four-point influence
+//!   lattice `Clean < {VictimOnly, AttackerOnly} < Both` that the security
+//!   linter ([`crate::lint`]) and the proof engine's static certification
+//!   consume.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::analysis::StateHandle;
+use crate::ir::{Netlist, Node, SignalId};
+
+/// The one-step state dependency graph of a netlist: per state element,
+/// which primary inputs and which other state elements its next-state
+/// logic reads within one clock cycle.
+#[derive(Clone, Debug)]
+pub struct InfluenceGraph {
+    /// Element handles in deterministic order (registers by signal id,
+    /// then memories by memory id) — the index space of the graph.
+    handles: Vec<StateHandle>,
+    /// Hierarchical element names, parallel to `handles`.
+    names: Vec<String>,
+    index: HashMap<StateHandle, usize>,
+    /// Per element: the primary inputs in its one-step fan-in.
+    dep_inputs: Vec<Vec<SignalId>>,
+    /// Per element: the state elements in its one-step fan-in.
+    dep_elems: Vec<Vec<usize>>,
+    /// Inverted: input signal → elements whose next-state it feeds.
+    input_feeds: HashMap<SignalId, Vec<usize>>,
+    /// Inverted: element → elements it feeds in one clock step.
+    elem_feeds: Vec<Vec<usize>>,
+}
+
+impl InfluenceGraph {
+    /// Builds the one-step dependency graph.
+    pub fn build(netlist: &Netlist) -> InfluenceGraph {
+        let mut handles = Vec::new();
+        let mut names = Vec::new();
+        let mut roots: Vec<Vec<SignalId>> = Vec::new();
+        for (id, node) in netlist.iter_nodes() {
+            if let Node::Reg(info) = node {
+                handles.push(StateHandle::Reg(id));
+                names.push(info.name.clone());
+                roots.push(info.next.into_iter().collect());
+            }
+        }
+        for (mid, mem) in netlist.iter_mems() {
+            handles.push(StateHandle::Mem(mid));
+            names.push(mem.name.clone());
+            roots.push(
+                mem.write_ports.iter().flat_map(|wp| [wp.en, wp.addr, wp.data]).collect(),
+            );
+        }
+        let index: HashMap<StateHandle, usize> =
+            handles.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+
+        let mut dep_inputs = Vec::with_capacity(handles.len());
+        let mut dep_elems = Vec::with_capacity(handles.len());
+        for root in &roots {
+            let (inputs, elems) = comb_sources(netlist, root, &index);
+            dep_inputs.push(inputs);
+            dep_elems.push(elems);
+        }
+
+        let mut input_feeds: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        let mut elem_feeds: Vec<Vec<usize>> = vec![Vec::new(); handles.len()];
+        for (e, inputs) in dep_inputs.iter().enumerate() {
+            for &i in inputs {
+                input_feeds.entry(i).or_default().push(e);
+            }
+        }
+        for (e, deps) in dep_elems.iter().enumerate() {
+            for &d in deps {
+                elem_feeds[d].push(e);
+            }
+        }
+        InfluenceGraph { handles, names, index, dep_inputs, dep_elems, input_feeds, elem_feeds }
+    }
+
+    /// The number of state elements in the graph.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the design has no state elements at all.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// All element handles, in deterministic index order.
+    pub fn handles(&self) -> &[StateHandle] {
+        &self.handles
+    }
+
+    /// The hierarchical name of an element, if it is in the graph.
+    pub fn name_of(&self, handle: StateHandle) -> Option<&str> {
+        self.index.get(&handle).map(|&i| self.names[i].as_str())
+    }
+
+    /// The one-step combinational sources of an element's next-state logic:
+    /// `(primary inputs, state elements)`. Empty for unknown handles.
+    pub fn one_step_sources(&self, handle: StateHandle) -> (&[SignalId], Vec<StateHandle>) {
+        match self.index.get(&handle) {
+            Some(&i) => (
+                &self.dep_inputs[i],
+                self.dep_elems[i].iter().map(|&d| self.handles[d]).collect(),
+            ),
+            None => (&[], Vec::new()),
+        }
+    }
+
+    /// Classifies the combinational sources of arbitrary signals: the
+    /// primary inputs and state elements reached by walking `roots`'
+    /// combinational fan-in (stopping at registers, memory contents and
+    /// inputs). Used by the linter to resolve named master/victim signals
+    /// — which are often combinational muxes — to their feeding state.
+    pub fn sources_of(
+        &self,
+        netlist: &Netlist,
+        roots: &[SignalId],
+    ) -> (Vec<SignalId>, Vec<StateHandle>) {
+        let (inputs, elems) = comb_sources(netlist, roots, &self.index);
+        (inputs, elems.into_iter().map(|i| self.handles[i]).collect())
+    }
+
+    /// Multi-source sequential influence closure (BFS over clock steps).
+    ///
+    /// `input_roots` are primary inputs that may *differ* (depth-1 sources:
+    /// a differing input first flips an element after one clock edge);
+    /// `element_roots` are state elements already unequal at cycle 0
+    /// (depth-0 sources). The closure assigns each reachable element the
+    /// minimal number of clock steps from any source.
+    pub fn closure(
+        &self,
+        input_roots: impl IntoIterator<Item = SignalId>,
+        element_roots: impl IntoIterator<Item = StateHandle>,
+    ) -> InfluenceClosure {
+        let mut depth: Vec<Option<u32>> = vec![None; self.handles.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for h in element_roots {
+            if let Some(&i) = self.index.get(&h) {
+                if depth[i].is_none() {
+                    depth[i] = Some(0);
+                    queue.push_back(i);
+                }
+            }
+        }
+        for sig in input_roots {
+            for &e in self.input_feeds.get(&sig).map_or(&[][..], |v| v.as_slice()) {
+                if depth[e].is_none() {
+                    depth[e] = Some(1);
+                    queue.push_back(e);
+                }
+            }
+        }
+        // The queue is depth-sorted: roots (0) were enqueued before the
+        // input-fed seeds (1), and BFS preserves monotonicity from there.
+        while let Some(e) = queue.pop_front() {
+            let d = depth[e].expect("queued elements have a depth");
+            for &succ in &self.elem_feeds[e] {
+                if depth[succ].is_none() {
+                    depth[succ] = Some(d + 1);
+                    queue.push_back(succ);
+                }
+            }
+        }
+        let map = self
+            .handles
+            .iter()
+            .zip(&depth)
+            .filter_map(|(&h, d)| d.map(|d| (h, d)))
+            .collect();
+        InfluenceClosure { depth: map }
+    }
+}
+
+/// The result of a sequential influence closure: per reachable state
+/// element, the minimal number of clock steps from any divergence source.
+#[derive(Clone, Debug, Default)]
+pub struct InfluenceClosure {
+    depth: std::collections::BTreeMap<StateHandle, u32>,
+}
+
+impl InfluenceClosure {
+    /// Whether the element is reachable from any source at all.
+    pub fn reached(&self, handle: StateHandle) -> bool {
+        self.depth.contains_key(&handle)
+    }
+
+    /// Minimal clock distance from a source; `None` = never reachable, so
+    /// the element is structurally certified to stay equal at every cycle.
+    pub fn depth(&self, handle: StateHandle) -> Option<u32> {
+        self.depth.get(&handle).copied()
+    }
+
+    /// The cone diff between window `d-1` and window `d`: the elements
+    /// first reachable at exactly `d` clock steps, in deterministic
+    /// (handle) order. A window-`d` goal clause only gains these atoms
+    /// over the window-`d-1` clause.
+    pub fn frontier(&self, d: u32) -> Vec<StateHandle> {
+        self.depth.iter().filter(|&(_, &x)| x == d).map(|(&h, _)| h).collect()
+    }
+
+    /// Number of reachable elements.
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// Whether no element is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.depth.is_empty()
+    }
+
+    /// Iterates `(element, depth)` in deterministic (handle) order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateHandle, u32)> + '_ {
+        self.depth.iter().map(|(&h, &d)| (h, d))
+    }
+}
+
+/// A point of the attacker-influence lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Influence {
+    /// Reachable from neither victim nor attacker sources.
+    Clean,
+    /// Reachable from victim-controllable sources only.
+    VictimOnly,
+    /// Reachable from attacker-controllable sources only.
+    AttackerOnly,
+    /// Reachable from both — the shared-resource shape every timing
+    /// side channel needs.
+    Both,
+}
+
+/// Two influence closures crossed into the four-point lattice: which state
+/// is reachable from victim-controllable sources, from
+/// attacker-controllable sources, from both, or from neither.
+#[derive(Clone, Debug)]
+pub struct InfluenceLattice {
+    victim: InfluenceClosure,
+    attacker: InfluenceClosure,
+}
+
+impl InfluenceLattice {
+    /// Builds the lattice from explicit victim/attacker source sets.
+    ///
+    /// Victim sources are typically the CPU/system port inputs; attacker
+    /// sources the spying masters' request/address cones plus every
+    /// element whose [`crate::StateMeta`] marks it `attacker_accessible`
+    /// (see [`attacker_accessible_elements`]).
+    pub fn build(
+        graph: &InfluenceGraph,
+        victim_inputs: impl IntoIterator<Item = SignalId>,
+        victim_elements: impl IntoIterator<Item = StateHandle>,
+        attacker_inputs: impl IntoIterator<Item = SignalId>,
+        attacker_elements: impl IntoIterator<Item = StateHandle>,
+    ) -> InfluenceLattice {
+        InfluenceLattice {
+            victim: graph.closure(victim_inputs, victim_elements),
+            attacker: graph.closure(attacker_inputs, attacker_elements),
+        }
+    }
+
+    /// The lattice point of one element.
+    pub fn of(&self, handle: StateHandle) -> Influence {
+        match (self.victim.reached(handle), self.attacker.reached(handle)) {
+            (false, false) => Influence::Clean,
+            (true, false) => Influence::VictimOnly,
+            (false, true) => Influence::AttackerOnly,
+            (true, true) => Influence::Both,
+        }
+    }
+
+    /// The victim-side closure.
+    pub fn victim(&self) -> &InfluenceClosure {
+        &self.victim
+    }
+
+    /// The attacker-side closure.
+    pub fn attacker(&self) -> &InfluenceClosure {
+        &self.attacker
+    }
+}
+
+/// The state elements whose metadata marks them attacker-accessible — the
+/// default attacker-side element roots of an [`InfluenceLattice`].
+pub fn attacker_accessible_elements(netlist: &Netlist) -> Vec<StateHandle> {
+    crate::analysis::state_elements(netlist)
+        .into_iter()
+        .filter(|e| e.meta.attacker_accessible)
+        .map(|e| e.handle)
+        .collect()
+}
+
+/// Walks the combinational cone of `roots` (stopping at registers, inputs
+/// and constants) and classifies the sources: primary inputs, and state
+/// elements (register outputs crossed, memory contents read).
+fn comb_sources(
+    netlist: &Netlist,
+    roots: &[SignalId],
+    index: &HashMap<StateHandle, usize>,
+) -> (Vec<SignalId>, Vec<usize>) {
+    let mut inputs = Vec::new();
+    let mut elems = Vec::new();
+    let mut seen: HashSet<SignalId> = HashSet::new();
+    let mut work: Vec<SignalId> = roots.to_vec();
+    while let Some(id) = work.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match netlist.node(id) {
+            Node::Input { .. } => inputs.push(id),
+            Node::Reg(_) => elems.push(index[&StateHandle::Reg(id)]),
+            Node::MemRead { mem, addr, .. } => {
+                elems.push(index[&StateHandle::Mem(*mem)]);
+                work.push(*addr);
+            }
+            Node::Op { args, .. } => work.extend(args.iter().copied()),
+            Node::Const(_) => {}
+        }
+    }
+    inputs.sort_unstable();
+    inputs.dedup();
+    elems.sort_unstable();
+    elems.dedup();
+    (inputs, elems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::ir::StateMeta;
+
+    /// port → a → b → c pipeline plus an isolated free-running counter:
+    /// depths from the port must be 1, 2, 3 and the counter unreachable.
+    fn pipeline() -> Netlist {
+        let mut n = Netlist::new("pipe");
+        let port = n.input("port", 8);
+        let a = n.reg("a", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        let b = n.reg("b", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        let c = n.reg("c", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        n.connect_reg(a, port);
+        n.connect_reg(b, a.wire());
+        n.connect_reg(c, b.wire());
+        let free = n.reg("free", 8, Some(Bv::zero(8)), StateMeta::peripheral());
+        let one = n.lit(8, 1);
+        let inc = n.add(free.wire(), one);
+        n.connect_reg(free, inc);
+        n.mark_output("c", c.wire());
+        n.mark_output("free", free.wire());
+        n
+    }
+
+    fn handle(n: &Netlist, name: &str) -> StateHandle {
+        StateHandle::Reg(n.find(name).unwrap().id())
+    }
+
+    #[test]
+    fn closure_depths_count_clock_steps() {
+        let n = pipeline();
+        let g = InfluenceGraph::build(&n);
+        let port = n.find("port").unwrap().id();
+        let cl = g.closure([port], []);
+        assert_eq!(cl.depth(handle(&n, "a")), Some(1));
+        assert_eq!(cl.depth(handle(&n, "b")), Some(2));
+        assert_eq!(cl.depth(handle(&n, "c")), Some(3));
+        assert_eq!(cl.depth(handle(&n, "free")), None, "isolated counter is clean");
+        assert_eq!(cl.len(), 3);
+    }
+
+    #[test]
+    fn frontier_is_the_per_window_cone_diff() {
+        let n = pipeline();
+        let g = InfluenceGraph::build(&n);
+        let port = n.find("port").unwrap().id();
+        let cl = g.closure([port], []);
+        assert_eq!(cl.frontier(1), vec![handle(&n, "a")]);
+        assert_eq!(cl.frontier(2), vec![handle(&n, "b")]);
+        assert_eq!(cl.frontier(3), vec![handle(&n, "c")]);
+        assert!(cl.frontier(4).is_empty());
+    }
+
+    #[test]
+    fn element_roots_start_at_depth_zero() {
+        let n = pipeline();
+        let g = InfluenceGraph::build(&n);
+        let cl = g.closure([], [handle(&n, "b")]);
+        assert_eq!(cl.depth(handle(&n, "b")), Some(0));
+        assert_eq!(cl.depth(handle(&n, "c")), Some(1));
+        assert_eq!(cl.depth(handle(&n, "a")), None, "influence flows forward only");
+    }
+
+    #[test]
+    fn memory_reads_propagate_content_influence() {
+        let mut n = Netlist::new("m");
+        let tainted = n.input("tainted", 8);
+        let en = n.input("en", 1);
+        let waddr = n.lit(2, 0);
+        let mem = n.memory("ram", 4, 8, StateMeta::memory(true));
+        n.mem_write(mem, en, waddr, tainted);
+        let raddr = n.lit(2, 1);
+        let rd = n.mem_read(mem, raddr);
+        let sink = n.reg("sink", 8, Some(Bv::zero(8)), StateMeta::ip_register());
+        n.connect_reg(sink, rd);
+        n.mark_output("sink", sink.wire());
+
+        let g = InfluenceGraph::build(&n);
+        let cl = g.closure([n.find("tainted").unwrap().id()], []);
+        assert_eq!(cl.depth(StateHandle::Mem(n.find_mem("ram").unwrap())), Some(1));
+        // The sink reads the memory *content*, one clock step behind it.
+        assert_eq!(cl.depth(handle(&n, "sink")), Some(2));
+    }
+
+    #[test]
+    fn lattice_classifies_all_four_points() {
+        let mut n = Netlist::new("l");
+        let v = n.input("victim_in", 1);
+        let a = n.input("attacker_in", 1);
+        let both = n.or(v, a);
+        let rv = n.reg("only_v", 1, Some(Bv::zero(1)), StateMeta::ip_register());
+        let ra = n.reg("only_a", 1, Some(Bv::zero(1)), StateMeta::ip_register());
+        let rb = n.reg("shared", 1, Some(Bv::zero(1)), StateMeta::interconnect());
+        let rc = n.reg("idle", 1, Some(Bv::zero(1)), StateMeta::peripheral());
+        n.connect_reg(rv, v);
+        n.connect_reg(ra, a);
+        n.connect_reg(rb, both);
+        n.connect_reg(rc, rc.wire());
+        for (nm, r) in [("only_v", rv), ("only_a", ra), ("shared", rb), ("idle", rc)] {
+            n.mark_output(nm, r.wire());
+        }
+
+        let g = InfluenceGraph::build(&n);
+        let lat = InfluenceLattice::build(
+            &g,
+            [n.find("victim_in").unwrap().id()],
+            [],
+            [n.find("attacker_in").unwrap().id()],
+            [],
+        );
+        assert_eq!(lat.of(handle(&n, "only_v")), Influence::VictimOnly);
+        assert_eq!(lat.of(handle(&n, "only_a")), Influence::AttackerOnly);
+        assert_eq!(lat.of(handle(&n, "shared")), Influence::Both);
+        assert_eq!(lat.of(handle(&n, "idle")), Influence::Clean);
+    }
+
+    #[test]
+    fn one_step_sources_classify_inputs_and_elements() {
+        let n = pipeline();
+        let g = InfluenceGraph::build(&n);
+        let (inputs, elems) = g.one_step_sources(handle(&n, "a"));
+        assert_eq!(inputs, &[n.find("port").unwrap().id()]);
+        assert!(elems.is_empty());
+        let (inputs, elems) = g.one_step_sources(handle(&n, "b"));
+        assert!(inputs.is_empty());
+        assert_eq!(elems, vec![handle(&n, "a")]);
+    }
+}

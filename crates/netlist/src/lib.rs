@@ -9,10 +9,36 @@
 //!   used by the UPEC-SSC security analysis,
 //! - hierarchical naming via a scope stack (the netlist itself stays flat),
 //! - structural analysis ([`analysis`]): evaluation order, state
-//!   enumeration, cones of influence,
+//!   enumeration, cones of influence, and the bundled pass pipeline
+//!   ([`analysis::pass_pipeline`]),
+//! - sequential influence analysis ([`influence`]) and a security linter
+//!   ([`lint`]) — see *Static influence analysis & linting* below,
 //! - transforms ([`Netlist::import`], [`Netlist::cut_signals`],
 //!   [`Netlist::prune`]) that underpin the 2-safety product construction,
 //! - a textual interchange format with a parser ([`text`]).
+//!
+//! # Static influence analysis & linting
+//!
+//! [`influence`] lifts the structural passes to *sequential* reasoning:
+//! [`influence::InfluenceGraph`] captures, per state element, the primary
+//! inputs and state elements its next-state logic reads in one clock
+//! cycle; [`influence::InfluenceGraph::closure`] runs a multi-source BFS
+//! over that graph yielding the minimal clock distance of every element
+//! from a set of divergence sources. Distance is a *sound upper bound on
+//! divergence speed*: an element at depth `d` cannot differ between two
+//! runs before cycle `d`, and an unreachable element can never differ.
+//! The UPEC-SSC proof engine uses exactly this to certify goal-clause
+//! disjuncts clean without touching the SAT solver, and
+//! [`influence::InfluenceClosure::frontier`] exposes the per-window cone
+//! diff (which atoms a longer window newly has to track).
+//! [`influence::InfluenceLattice`] crosses victim- and attacker-rooted
+//! closures into the `Clean / VictimOnly / AttackerOnly / Both` lattice.
+//!
+//! [`lint`] builds the security linter on the same passes: structural
+//! diagnostics with stable `SSC-L00x` codes for timing-channel-prone
+//! shapes (dual-master shared resources, attacker-driven arbitration,
+//! dead state, width anomalies). See the [`lint`] module docs for the
+//! code table.
 //!
 //! # Example
 //!
@@ -35,8 +61,10 @@
 pub mod analysis;
 mod bv;
 pub mod dot;
+pub mod influence;
 mod ir;
 pub mod lanes;
+pub mod lint;
 mod ops;
 pub mod text;
 mod transform;

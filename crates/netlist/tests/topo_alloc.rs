@@ -1,0 +1,86 @@
+//! `comb_topo_order` allocates O(1) vectors, not O(E): the DFS used to
+//! re-collect a node's combinational fan-in into a fresh `Vec` on *every*
+//! stack examination (once per child plus once to pop), so a deep operator
+//! chain paid thousands of heap allocations per walk. The adjacency is now
+//! built once as a flat CSR table.
+//!
+//! Asserted with a counting global allocator; this file deliberately holds
+//! a single `#[test]` so no sibling test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ssc_netlist::{analysis, Netlist};
+
+/// Counts every allocation path (alloc, alloc_zeroed, realloc — a growing
+/// `Vec` reallocates rather than allocating fresh).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A deep two-operand chain: every node is examined three times by the DFS
+/// (child 0, child 1, pop), which is exactly the re-collection pattern the
+/// old implementation paid a fresh `Vec` for.
+fn deep_chain(depth: usize) -> Netlist {
+    let mut n = Netlist::new("chain");
+    let mut prev = n.input("x", 32);
+    let one = n.lit(32, 1);
+    for _ in 0..depth {
+        prev = n.add(prev, one);
+    }
+    n.mark_output("y", prev);
+    n
+}
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn topo_order_allocation_is_independent_of_edge_count() {
+    const DEPTH: usize = 2000;
+    let n = deep_chain(DEPTH);
+
+    // Warm-up outside the measurement window (nothing is cached, but this
+    // keeps the pattern honest if memoisation is ever added).
+    let order = analysis::comb_topo_order(&n).unwrap();
+    assert_eq!(order.len(), n.num_nodes());
+
+    let before = allocations();
+    let order = analysis::comb_topo_order(&n).unwrap();
+    let walk_allocs = allocations() - before;
+    assert_eq!(order.len(), n.num_nodes());
+
+    // CSR table + marks + order + stack, each with amortised growth: a few
+    // dozen allocations. The old per-examination collect paid one `Vec`
+    // per (node, child) step — over 3x `DEPTH` here.
+    assert!(
+        walk_allocs < 200,
+        "comb_topo_order allocated {walk_allocs} times on a {DEPTH}-deep chain; \
+         adjacency must be collected once, not per stack examination"
+    );
+}
