@@ -33,7 +33,16 @@
 //!   deterministic quantity — no core-count skip), and the record must
 //!   attest that every pruned run was fingerprint-identical to its
 //!   unpruned twin (`equivalent` — pruning is sound, divergence is a bug,
-//!   not noise).
+//!   not noise),
+//! - `BENCH_e13_solver.json` — the modern CDCL heuristic tier (recursive
+//!   minimization, tiered DB, adaptive restarts, fork-point inprocessing)
+//!   must keep the solve-time speedup over the legacy engine on the
+//!   multi-cycle (window ≥ 2) induction checks ≥ 1.3× across the
+//!   portfolio matrix (`deep_speedup` — both engines run on the same host
+//!   in the same bench invocation, so the ratio carries across hosts; no
+//!   core-count skip), and the record must attest that both engines
+//!   reached the same verdict on every cell (`equivalent` — heuristics
+//!   pick the route, never the destination).
 //!
 //! ```sh
 //! cargo run --release -p ssc-bench --bin bench_trend [record-dir]
@@ -75,6 +84,11 @@ const E11_MIN_CORES: f64 = 4.0;
 /// (window ≥ 2) checks (e12 `deep_reduction`) — deterministic (counted,
 /// not timed), so enforced on every host.
 const E12_MIN_REDUCTION: f64 = 1.3;
+/// Minimum modern-vs-legacy solve-time speedup on the multi-cycle
+/// (window ≥ 2) induction checks (e13 `deep_speedup`). Both engines run
+/// in the same bench invocation on the same host, so the ratio is
+/// host-portable and enforced everywhere.
+const E13_MIN_SPEEDUP: f64 = 1.3;
 
 /// One bench gate: where its record lives, how to regenerate it, and the
 /// evaluator that turns the record into pass/fail lines. The uniform
@@ -98,6 +112,7 @@ const GATES: &[Gate] = &[
     Gate { file: "BENCH_e10_shared.json", regenerate: "e10_shared_portfolio", eval: gate_e10 },
     Gate { file: "BENCH_e11_cube.json", regenerate: "e11_cube", eval: gate_e11 },
     Gate { file: "BENCH_e12_static.json", regenerate: "e12_static", eval: gate_e12 },
+    Gate { file: "BENCH_e13_solver.json", regenerate: "e13_solver", eval: gate_e13 },
 ];
 
 /// Why a record could not be evaluated (exit code 2 — distinct from a
@@ -410,6 +425,51 @@ fn gate_e12(json: &str, path: &Path) -> Result<bool, RecordError> {
     Ok(pass)
 }
 
+fn gate_e13(json: &str, path: &Path) -> Result<bool, RecordError> {
+    // `equivalent` attests soundness: on every cell the legacy and modern
+    // engines reached the same verdict kind (and neither was
+    // inconclusive). Heuristics pick the route, never the destination —
+    // a diverged record is malformed, not a perf number.
+    require_equivalent(
+        json,
+        path,
+        "the modern heuristic tier changed a verdict — solver heuristics unsound",
+    )?;
+    // The gated quantity is the solve-time ratio on the multi-cycle
+    // (window ≥ 2) induction checks — the solve-dominated checks where
+    // the learnt DB, restarts, and minimization actually matter. A record
+    // with no such checks (whole-cell time diluted by window-1 searches)
+    // proves nothing about the engine, so treat it as malformed rather
+    // than vacuously passing.
+    let speedup = require_f64(json, "deep_speedup", path)?;
+    let deep_legacy = require_f64(json, "deep_legacy_us", path)?;
+    let deep_modern = require_f64(json, "deep_modern_us", path)?;
+    if deep_legacy == 0.0 {
+        return Err(RecordError::Malformed {
+            path: path.to_path_buf(),
+            what: "record contains no multi-cycle (window >= 2) checks — the gated speedup \
+                   is unmeasured"
+                .into(),
+        });
+    }
+    let overall = require_f64(json, "speedup", path)?;
+    let pass = speedup >= E13_MIN_SPEEDUP;
+    println!(
+        "[trend] e13 modern-vs-legacy solve time on window>=2 checks \
+         ({deep_legacy:.0}us -> {deep_modern:.0}us): {speedup:.2}x (floor \
+         {E13_MIN_SPEEDUP}x, overall {overall:.2}x) {}",
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    if !pass {
+        eprintln!(
+            "[trend] threshold violated: field `deep_speedup` in {} is {speedup:.2}, floor \
+             is {E13_MIN_SPEEDUP}",
+            path.display()
+        );
+    }
+    Ok(pass)
+}
+
 /// The `(words, setup_speedup)` pairs of the e10 record's `sizes` array.
 fn e10_setups(json: &str, path: &Path) -> Result<Vec<(f64, f64)>, RecordError> {
     let malformed = |what: String| RecordError::Malformed { path: path.to_path_buf(), what };
@@ -637,6 +697,43 @@ mod tests {
         // Equivalence attestation failure is malformed, not a regression
         // — pruning that changes the trajectory is unsound.
         std::fs::write(&path, r#"{"experiment":"e12_static","sequential_us":100,"pruned_us":50,"speedup":2.000,"disjuncts_unpruned":1297,"disjuncts_pruned":600,"reduction":2.162,"disjuncts_deep_unpruned":368,"disjuncts_deep_pruned":100,"deep_reduction":3.680,"atoms_static_pruned":500,"equivalent":false,"cells":[]}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("equivalent"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn e13_gate_enforces_deep_speedup_and_requires_equivalence() {
+        let dir =
+            std::env::temp_dir().join(format!("trend_test_e13_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e13_solver.json");
+        let gate = gate_for("BENCH_e13_solver.json");
+
+        // Absent record: exit-2 class error naming the bench to re-run.
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("e13_solver"), "{err}");
+
+        // Deep speedup above the floor: pass, even with the overall ratio
+        // (diluted by window-1 counterexample searches) below it.
+        std::fs::write(&path, r#"{"experiment":"e13_solver","legacy_us":1000,"modern_us":950,"speedup":1.053,"deep_legacy_us":400,"deep_modern_us":200,"deep_speedup":2.000,"minimized_lits":120,"tier_promotions":8,"restarts_blocked":3,"vivified_clauses":14,"subsumed_clauses":5,"equivalent":true,"cells":[]}"#).unwrap();
+        assert!(run_gate(gate, &dir).unwrap(), "deep speedup at 2.0x must pass");
+
+        // Deep speedup below the floor: regression (a disabled knob shows
+        // up as ~1x here).
+        std::fs::write(&path, r#"{"experiment":"e13_solver","legacy_us":1000,"modern_us":1000,"speedup":1.000,"deep_legacy_us":400,"deep_modern_us":380,"deep_speedup":1.053,"minimized_lits":0,"tier_promotions":0,"restarts_blocked":0,"vivified_clauses":0,"subsumed_clauses":0,"equivalent":true,"cells":[]}"#).unwrap();
+        assert!(!run_gate(gate, &dir).unwrap(), "deep speedup at 1.05x must regress");
+
+        // No multi-cycle checks at all: the gated quantity is unmeasured
+        // — malformed, not a vacuous pass.
+        std::fs::write(&path, r#"{"experiment":"e13_solver","legacy_us":1000,"modern_us":900,"speedup":1.111,"deep_legacy_us":0,"deep_modern_us":0,"deep_speedup":0.000,"minimized_lits":50,"tier_promotions":2,"restarts_blocked":1,"vivified_clauses":4,"subsumed_clauses":1,"equivalent":true,"cells":[]}"#).unwrap();
+        let err = run_gate(gate, &dir).unwrap_err();
+        assert!(err.to_string().contains("multi-cycle"), "{err}");
+
+        // Equivalence attestation failure is malformed, not a regression
+        // — heuristics that change a verdict are unsound, not slow.
+        std::fs::write(&path, r#"{"experiment":"e13_solver","legacy_us":1000,"modern_us":400,"speedup":2.500,"deep_legacy_us":400,"deep_modern_us":100,"deep_speedup":4.000,"minimized_lits":120,"tier_promotions":8,"restarts_blocked":3,"vivified_clauses":14,"subsumed_clauses":5,"equivalent":false,"cells":[]}"#).unwrap();
         let err = run_gate(gate, &dir).unwrap_err();
         assert!(err.to_string().contains("equivalent"), "{err}");
 

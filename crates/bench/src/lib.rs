@@ -816,6 +816,109 @@ pub fn compare_static_cell(
     }
 }
 
+/// E13 — head-to-head of one portfolio cell solved by the legacy
+/// MiniSat-lineage CDCL engine versus the modern heuristic tier (recursive
+/// minimization, tiered DB, adaptive restarts, fork-point inprocessing).
+/// Both runs fork engine-pinned twins of the same prefix with cube
+/// escalation off and static pruning on, so the *only* variable is the
+/// solver heuristics. Heuristics may change the search route, so — unlike
+/// e12 — `equivalent` attests verdict agreement, not trajectory identity.
+#[derive(Clone, Debug)]
+pub struct SolverCellComparison {
+    /// Scenario label of the cell.
+    pub scenario: &'static str,
+    /// Public/private memory words of the analyzed SoC.
+    pub words: u32,
+    /// The run on the legacy-engine prefix.
+    pub legacy: FormalResult,
+    /// The run on the modern-engine prefix.
+    pub modern: FormalResult,
+    /// Solver wall clock of the multi-cycle (window ≥ 2) checks, legacy —
+    /// the solve-dominated induction windows the modern tier targets, and
+    /// the population the CI trend gate measures.
+    pub deep_legacy: Duration,
+    /// Solver wall clock of the multi-cycle checks, modern.
+    pub deep_modern: Duration,
+    /// Conflicts spent across the whole trajectory, legacy / modern.
+    pub conflicts: (u64, u64),
+    /// Modern-run heuristic activity: literals deleted by recursive
+    /// minimization beyond what analysis produced.
+    pub minimized_lits: u64,
+    /// Modern-run learnt-clause promotions into a better tier.
+    pub tier_promotions: u64,
+    /// Modern-run adaptive restarts postponed by the trail-size block.
+    pub restarts_blocked: u64,
+    /// Modern-run clauses shortened or discharged by vivification.
+    pub vivified_clauses: u64,
+    /// Modern-run clauses deleted/strengthened by subsumption.
+    pub subsumed_clauses: u64,
+    /// Whether both engines reached the same verdict kind. Must be `true`:
+    /// heuristics choose the route, never the destination.
+    pub equivalent: bool,
+}
+
+impl SolverCellComparison {
+    /// Legacy-over-modern wall-clock ratio for the cell (> 1 = modern won).
+    pub fn speedup(&self) -> f64 {
+        self.legacy.runtime.as_secs_f64() / self.modern.runtime.as_secs_f64().max(1e-9)
+    }
+
+    /// The ratio on the multi-cycle (window ≥ 2) checks only — the E13
+    /// headline quantity, gated ≥ 1.3× in aggregate by `bench_trend`.
+    pub fn deep_speedup(&self) -> f64 {
+        self.deep_legacy.as_secs_f64() / self.deep_modern.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures [`SolverCellComparison`] for one cell over two engine-pinned
+/// prefixes (built via
+/// `SessionPrefix::build_with_solver_heuristics(.., legacy/modern)`);
+/// forks inherit the pinned heuristics, so each run is wholly one engine.
+pub fn compare_solver_cell(
+    scenario: &portfolio::Scenario,
+    art: &std::sync::Arc<upec_ssc::ProductArtifact>,
+    legacy_prefix: &upec_ssc::SessionPrefix<'_>,
+    modern_prefix: &upec_ssc::SessionPrefix<'_>,
+    words: u32,
+) -> SolverCellComparison {
+    let legacy = portfolio::run_cell_with_static(scenario, art, legacy_prefix, words, true);
+    let modern = portfolio::run_cell_with_static(scenario, art, modern_prefix, words, true);
+    let kind = |e: &portfolio::PortfolioEntry| match &e.result.verdict {
+        Verdict::Secure(_) => 0u8,
+        Verdict::Vulnerable(_) => 1,
+        Verdict::Inconclusive(_) => 2,
+    };
+    let equivalent = kind(&legacy) == kind(&modern)
+        && !matches!(legacy.result.verdict, Verdict::Inconclusive(_));
+    let deep = |e: &portfolio::PortfolioEntry| {
+        e.result
+            .verdict
+            .iterations()
+            .iter()
+            .filter(|it| it.window >= 2)
+            .map(|it| it.runtime)
+            .sum::<Duration>()
+    };
+    let sum = |e: &portfolio::PortfolioEntry, f: fn(&upec_ssc::IterationStat) -> u64| {
+        e.result.verdict.iterations().iter().map(f).sum::<u64>()
+    };
+    SolverCellComparison {
+        scenario: scenario.name,
+        words,
+        deep_legacy: deep(&legacy),
+        deep_modern: deep(&modern),
+        conflicts: (sum(&legacy, |it| it.solver.conflicts), sum(&modern, |it| it.solver.conflicts)),
+        minimized_lits: sum(&modern, |it| it.solver.minimized_lits),
+        tier_promotions: sum(&modern, |it| it.solver.tier_promotions),
+        restarts_blocked: sum(&modern, |it| it.solver.restarts_blocked),
+        vivified_clauses: sum(&modern, |it| it.solver.vivified_clauses),
+        subsumed_clauses: sum(&modern, |it| it.solver.subsumed_clauses),
+        legacy: legacy.result,
+        modern: modern.result,
+        equivalent,
+    }
+}
+
 /// Derives the linter's threat-model input ([`ssc_netlist::lint::LintSpec`])
 /// from a verification spec, so the lint corpus and the proof engine see
 /// the *same* scenario configurations:
@@ -893,7 +996,9 @@ pub mod perf {
              \"encoded_nodes\":{},\"encoded_delta\":{},\"aig_nodes\":{},\
              \"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{},\
              \"learnts\":{},\"db_reductions\":{},\"gcs\":{},\"core_seeds\":{},\
-             \"era_drops\":{},\"atoms_core_dropped\":{},\
+             \"era_drops\":{},\"minimized_lits\":{},\"tier_promotions\":{},\
+             \"restarts_blocked\":{},\"vivified_clauses\":{},\"subsumed_clauses\":{},\
+             \"atoms_core_dropped\":{},\
              \"atoms_static_pruned\":{},\"goal_disjuncts\":{},\"cube\":{}}}",
             it.iteration,
             it.window,
@@ -912,6 +1017,11 @@ pub mod perf {
             it.solver.gcs,
             it.solver.core_seeds,
             it.solver.era_drops,
+            it.solver.minimized_lits,
+            it.solver.tier_promotions,
+            it.solver.restarts_blocked,
+            it.solver.vivified_clauses,
+            it.solver.subsumed_clauses,
             it.atoms_core_dropped,
             it.atoms_static_pruned,
             it.goal_disjuncts,
@@ -1372,6 +1482,86 @@ pub mod perf {
                 c.atoms_static_pruned,
                 c.equivalent,
                 iterations_json(&c.pruned.verdict),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The E13 record — legacy vs modern CDCL heuristics on the portfolio
+    /// matrix over engine-pinned twins of one shared prefix per size.
+    ///
+    /// `deep_speedup` is the gated headline (≥ 1.3× by the CI trend
+    /// gate): Σ runtime(legacy) / Σ runtime(modern) over the multi-cycle
+    /// (window ≥ 2) induction checks — the solve-dominated population the
+    /// e9/e10 records identified as the wall-clock bottleneck, and the one
+    /// the modern tier (recursive minimization, tiered DB, adaptive
+    /// restarts, fork-point inprocessing) is built to attack. `speedup`
+    /// is the same ratio over whole cells, kept informational: cheap
+    /// window-1 counterexample searches dilute it by design.
+    /// `equivalent` attests every cell reached the same verdict kind
+    /// under both engines (heuristics pick the route, never the
+    /// destination); the gate requires `true`. `iterations` come from
+    /// the modern runs and embed the per-iteration heuristic counters.
+    pub fn e13_json(cells: &[crate::SolverCellComparison]) -> String {
+        let legacy: Duration = cells.iter().map(|c| c.legacy.runtime).sum();
+        let modern: Duration = cells.iter().map(|c| c.modern.runtime).sum();
+        let speedup = legacy.as_secs_f64() / modern.as_secs_f64().max(1e-9);
+        let deep_legacy: Duration = cells.iter().map(|c| c.deep_legacy).sum();
+        let deep_modern: Duration = cells.iter().map(|c| c.deep_modern).sum();
+        let deep_speedup = deep_legacy.as_secs_f64() / deep_modern.as_secs_f64().max(1e-9);
+        let equivalent = cells.iter().all(|c| c.equivalent);
+        let mut out = format!(
+            "{{\"experiment\":\"e13_solver\",\
+             \"legacy_us\":{},\"modern_us\":{},\"speedup\":{:.3},\
+             \"deep_legacy_us\":{},\"deep_modern_us\":{},\"deep_speedup\":{:.3},\
+             \"minimized_lits\":{},\"tier_promotions\":{},\"restarts_blocked\":{},\
+             \"vivified_clauses\":{},\"subsumed_clauses\":{},\
+             \"equivalent\":{},\"cells\":[",
+            us(legacy),
+            us(modern),
+            speedup,
+            us(deep_legacy),
+            us(deep_modern),
+            deep_speedup,
+            cells.iter().map(|c| c.minimized_lits).sum::<u64>(),
+            cells.iter().map(|c| c.tier_promotions).sum::<u64>(),
+            cells.iter().map(|c| c.restarts_blocked).sum::<u64>(),
+            cells.iter().map(|c| c.vivified_clauses).sum::<u64>(),
+            cells.iter().map(|c| c.subsumed_clauses).sum::<u64>(),
+            equivalent,
+        );
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"words\":{},\"verdict\":\"{}\",\
+                 \"legacy_us\":{},\"modern_us\":{},\"speedup\":{:.3},\
+                 \"deep_legacy_us\":{},\"deep_modern_us\":{},\"deep_speedup\":{:.3},\
+                 \"legacy_conflicts\":{},\"modern_conflicts\":{},\
+                 \"minimized_lits\":{},\"tier_promotions\":{},\"restarts_blocked\":{},\
+                 \"vivified_clauses\":{},\"subsumed_clauses\":{},\
+                 \"equivalent\":{},\"iterations\":{}}}",
+                c.scenario,
+                c.words,
+                verdict_kind(&c.modern.verdict),
+                us(c.legacy.runtime),
+                us(c.modern.runtime),
+                c.speedup(),
+                us(c.deep_legacy),
+                us(c.deep_modern),
+                c.deep_speedup(),
+                c.conflicts.0,
+                c.conflicts.1,
+                c.minimized_lits,
+                c.tier_promotions,
+                c.restarts_blocked,
+                c.vivified_clauses,
+                c.subsumed_clauses,
+                c.equivalent,
+                iterations_json(&c.modern.verdict),
             );
         }
         out.push_str("]}");

@@ -558,8 +558,9 @@ impl RetryPolicy {
 #[derive(Clone, Debug)]
 pub enum CellOutcome {
     /// The cell produced a verdict (possibly an inconclusive one, if its
-    /// ladder ran dry).
-    Completed(PortfolioEntry),
+    /// ladder ran dry). Boxed: an entry (verdict + solver counters) dwarfs
+    /// the panic arm.
+    Completed(Box<PortfolioEntry>),
     /// The cell's job panicked; the panic was confined to the cell by
     /// [`ssc_pool::Pool::try_run`] and stringified here.
     Panicked {
@@ -677,7 +678,7 @@ pub fn run_cell_fallible(
         seed,
         attempts,
         final_budget,
-        outcome: CellOutcome::Completed(entry),
+        outcome: CellOutcome::Completed(Box::new(entry)),
     }
 }
 

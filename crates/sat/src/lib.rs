@@ -5,18 +5,42 @@
 //! transitively, the UPEC-SSC security proofs:
 //!
 //! - two-watched-literal propagation with blocker literals,
-//! - first-UIP conflict analysis with one-level clause minimization,
+//! - first-UIP conflict analysis with **recursive (deep) clause
+//!   minimization** (MiniSat's `ccmin-mode=deep`; a one-level pass remains
+//!   as the legacy fallback),
 //! - exponential VSIDS branching with phase saving,
-//! - Luby-sequence restarts,
-//! - LBD-based learnt clause database reduction with arena GC,
+//! - **glucose-style adaptive restarts** — fast/slow LBD moving averages
+//!   with trail-size blocking — over a Luby-sequence legacy fallback,
+//! - **tiered (core/mid/local) learnt-database reduction** with LBD-driven
+//!   promotion and arena GC; CoW forks inherit the core tier intact,
+//! - **fork-point inprocessing**: clause vivification plus occurrence-list
+//!   subsumption/self-subsuming resolution ([`Solver::inprocess`]), run
+//!   where the clause DB is about to be duplicated anyway,
 //! - incremental solving under assumptions (the workhorse of the iterative
 //!   UPEC-SSC procedure, which re-solves with shrinking state sets).
 //!
-//! Deliberately *not* implemented yet (the modern-CDCL gap, tracked in the
-//! roadmap): recursive clause minimization (ours is one-level only),
-//! tiered core/mid/local DB reduction (ours is a single LBD/activity
-//! sweep), glucose-style adaptive restarts (ours are blind Luby), and
-//! inprocessing such as vivification/subsumption at fork points.
+//! # Modern CDCL heuristics
+//!
+//! The four refinements above are independently gated by strict-parsed
+//! environment knobs (see [`Heuristics`]); every [`Solver::new`] reads
+//! them once, and tests/benches pin explicit configurations via
+//! [`Solver::set_heuristics`]. Malformed values panic naming the variable
+//! and value — a mistyped CI matrix entry must not silently measure the
+//! wrong engine. All knobs accept `0`/`off`/`false` and `1`/`on`/`true`:
+//!
+//! | Variable | Effect | Unset |
+//! |---|---|---|
+//! | `SSC_SOLVER_MODERN` | master switch seeding all four features | on |
+//! | `SSC_SOLVER_CCMIN_DEEP` | recursive clause minimization | follow master |
+//! | `SSC_SOLVER_TIERED_DB` | tiered learnt-DB reduction | follow master |
+//! | `SSC_SOLVER_ADAPTIVE_RESTARTS` | LBD-EMA restarts + blocking | follow master |
+//! | `SSC_SOLVER_INPROCESS` | fork-point vivification/subsumption | follow master |
+//!
+//! `SSC_SOLVER_MODERN=0` is the one-stop escape hatch pinning the exact
+//! pre-refinement MiniSat-lineage behavior (and CI runs the full suite
+//! that way to keep the legacy path green). Heuristic choices never
+//! affect *verdicts* — only the route taken to them — which the
+//! crosscheck suites assert across the whole scenario matrix.
 //!
 //! # Bounded effort & graceful degradation
 //!
@@ -68,7 +92,10 @@ mod solver;
 
 pub use budget::{Budget, CancelToken, Interrupt, InterruptCause};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{
+    Heuristics, SolveResult, Solver, SolverStats, SOLVER_CCMIN_ENV, SOLVER_INPROCESS_ENV,
+    SOLVER_MODERN_ENV, SOLVER_RESTARTS_ENV, SOLVER_TIERED_ENV,
+};
 
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // hole/pigeon indices are semantic

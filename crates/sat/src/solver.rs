@@ -1,12 +1,31 @@
 //! The CDCL solver core.
 //!
-//! A conflict-driven clause-learning SAT solver in the MiniSat lineage:
-//! two-watched-literal propagation, first-UIP conflict analysis with
-//! one-level clause minimization, exponential VSIDS decision heuristic with
-//! phase saving, Luby restarts and LBD-aware learnt-clause database
-//! reduction. The still-missing modern refinements — recursive
-//! minimization, tiered DB reduction, glucose-style adaptive restarts,
-//! inprocessing at fork points — are tracked as roadmap work.
+//! A conflict-driven clause-learning SAT solver: two-watched-literal
+//! propagation, first-UIP conflict analysis, exponential VSIDS decision
+//! heuristic with phase saving, and — behind the strict-parsed
+//! `SSC_SOLVER_*` knobs collected in [`Heuristics`] — the modern-CDCL
+//! refinement tier on top of the MiniSat-lineage baseline:
+//!
+//! - **recursive clause minimization** (MiniSat's `ccmin-mode=deep`): a
+//!   DFS over reason clauses with an abstraction-level filter, replacing
+//!   the legacy one-level redundancy pass;
+//! - **tiered learnt-clause database** (glucose/CaDiCaL lineage): core
+//!   (LBD ≤ 3, never deleted) / mid / local tiers with LBD-driven
+//!   promotion and usage-driven demotion, replacing the single-sweep
+//!   half-deletion;
+//! - **adaptive restarts**: fast/slow LBD moving averages trigger a
+//!   restart when recent conflicts degrade, postponed ("blocked") when
+//!   the trail has grown far past its average — a SAT-leaning probe is
+//!   making assignment progress a restart would throw away — replacing
+//!   blind Luby scheduling;
+//! - **inprocessing** ([`Solver::inprocess`]): clause vivification plus
+//!   occurrence-list subsumption / self-subsuming resolution, run by the
+//!   proof stack at the moments the clause DB is about to be duplicated
+//!   (prefix encode-complete and session forks).
+//!
+//! Each refinement is independently gated so the legacy path stays
+//! reachable (`SSC_SOLVER_MODERN=0` pins the whole baseline, and CI runs
+//! the full suite that way).
 
 use crate::budget::{Budget, CancelToken, Interrupt, InterruptCause};
 use crate::chaos;
@@ -20,10 +39,25 @@ struct CRef(u32);
 
 const CREF_UNDEF: CRef = CRef(u32::MAX);
 
+/// Learnt-clause tiers of the tiered database (glucose/CaDiCaL lineage).
+/// Stored per clause in the arena header, so forks and garbage collection
+/// carry them for free. Lower value = more valuable.
+const TIER_CORE: u32 = 0;
+const TIER_MID: u32 = 1;
+const TIER_LOCAL: u32 = 2;
+
+/// LBD ceilings of the core and mid tiers.
+const CORE_LBD_MAX: u32 = 3;
+const MID_LBD_MAX: u32 = 6;
+
 /// Flat clause arena.
 ///
 /// Layout per clause: `[len_and_flags, lbd, lit0, lit1, ...]` where
-/// `len_and_flags = len << 2 | deleted << 1 | learnt`.
+/// `len_and_flags = len << 5 | used << 4 | tier << 2 | deleted << 1 |
+/// learnt`. `tier` and `used` (touched in conflict analysis since the
+/// last reduction) belong to the tiered learnt database; keeping them in
+/// the header means [`Solver::fork`] and the GC carry them with the same
+/// contiguous memcpys that move the literals.
 ///
 /// The flat layout is also what makes [`Solver::fork`] cheap: snapshotting
 /// the arena is one contiguous memcpy, not a clause-by-clause rebuild.
@@ -41,7 +75,10 @@ impl ClauseDb {
 
     fn alloc(&mut self, lits: &[Lit], learnt: bool) -> CRef {
         let at = self.data.len() as u32;
-        self.data.push((lits.len() as u32) << 2 | u32::from(learnt));
+        // Fresh learnts start in the local tier; `record_learnt` promotes
+        // them to the tier their first LBD merits.
+        let tier = if learnt { TIER_LOCAL } else { 0 };
+        self.data.push((lits.len() as u32) << 5 | tier << 2 | u32::from(learnt));
         self.data.push(if learnt { lits.len() as u32 } else { 0 }); // initial LBD
         self.data.extend(lits.iter().map(|l| l.0));
         CRef(at)
@@ -49,7 +86,7 @@ impl ClauseDb {
 
     #[inline]
     fn len(&self, c: CRef) -> usize {
-        (self.data[c.0 as usize] >> 2) as usize
+        (self.data[c.0 as usize] >> 5) as usize
     }
 
     #[inline]
@@ -67,6 +104,33 @@ impl ClauseDb {
         let len = self.len(c);
         self.data[c.0 as usize] |= 2;
         self.wasted += len + 2;
+    }
+
+    #[inline]
+    fn tier(&self, c: CRef) -> u32 {
+        (self.data[c.0 as usize] >> 2) & 0b11
+    }
+
+    #[inline]
+    fn set_tier(&mut self, c: CRef, tier: u32) {
+        debug_assert!(tier <= TIER_LOCAL);
+        let h = &mut self.data[c.0 as usize];
+        *h = (*h & !(0b11 << 2)) | tier << 2;
+    }
+
+    #[inline]
+    fn is_used(&self, c: CRef) -> bool {
+        self.data[c.0 as usize] & (1 << 4) != 0
+    }
+
+    #[inline]
+    fn set_used(&mut self, c: CRef) {
+        self.data[c.0 as usize] |= 1 << 4;
+    }
+
+    #[inline]
+    fn clear_used(&mut self, c: CRef) {
+        self.data[c.0 as usize] &= !(1 << 4);
     }
 
     #[inline]
@@ -159,6 +223,23 @@ pub struct SolverStats {
     /// Number of `solve` calls that returned [`SolveResult::Unknown`]
     /// because their [`Budget`] ran out or they were cancelled.
     pub interrupts: u64,
+    /// Number of literals removed from learnt clauses by conflict-clause
+    /// minimization (one-level or recursive, whichever is active).
+    pub minimized_lits: u64,
+    /// Number of learnt clauses promoted to a better tier of the tiered
+    /// database because their recomputed LBD improved (only the tiered
+    /// reducer promotes — zero on the legacy path).
+    pub tier_promotions: u64,
+    /// Number of adaptive restarts postponed because the trail had grown
+    /// far past its running average (the "blocking" half of glucose-style
+    /// restarts; zero under Luby scheduling).
+    pub restarts_blocked: u64,
+    /// Number of clauses shortened or discharged by vivification during
+    /// [`Solver::inprocess`].
+    pub vivified_clauses: u64,
+    /// Number of clauses deleted by subsumption or strengthened by
+    /// self-subsuming resolution during [`Solver::inprocess`].
+    pub subsumed_clauses: u64,
 }
 
 impl SolverStats {
@@ -179,6 +260,11 @@ impl SolverStats {
             core_seeds: self.core_seeds - earlier.core_seeds,
             era_drops: self.era_drops - earlier.era_drops,
             interrupts: self.interrupts - earlier.interrupts,
+            minimized_lits: self.minimized_lits - earlier.minimized_lits,
+            tier_promotions: self.tier_promotions - earlier.tier_promotions,
+            restarts_blocked: self.restarts_blocked - earlier.restarts_blocked,
+            vivified_clauses: self.vivified_clauses - earlier.vivified_clauses,
+            subsumed_clauses: self.subsumed_clauses - earlier.subsumed_clauses,
         }
     }
 }
@@ -190,6 +276,137 @@ impl std::fmt::Display for SolverStats {
             "{} conflicts, {} decisions, {} propagations, {} restarts",
             self.conflicts, self.decisions, self.propagations, self.restarts
         )
+    }
+}
+
+/// Master switch for the whole modern heuristic tier (`0`/`off`/`false`
+/// pins the MiniSat-lineage legacy path, `1`/`on`/`true` enables all four
+/// refinements; unset = **on**). The per-feature knobs below override it
+/// individually.
+pub const SOLVER_MODERN_ENV: &str = "SSC_SOLVER_MODERN";
+
+/// Per-feature switch for recursive (deep) conflict-clause minimization;
+/// off falls back to the one-level pass. Unset = follow
+/// [`SOLVER_MODERN_ENV`].
+pub const SOLVER_CCMIN_ENV: &str = "SSC_SOLVER_CCMIN_DEEP";
+
+/// Per-feature switch for the tiered (core/mid/local) learnt-database
+/// reducer; off falls back to the single-sweep half-deletion. Unset =
+/// follow [`SOLVER_MODERN_ENV`].
+pub const SOLVER_TIERED_ENV: &str = "SSC_SOLVER_TIERED_DB";
+
+/// Per-feature switch for LBD-average adaptive restarts with trail-size
+/// blocking; off falls back to Luby scheduling. Unset = follow
+/// [`SOLVER_MODERN_ENV`].
+pub const SOLVER_RESTARTS_ENV: &str = "SSC_SOLVER_ADAPTIVE_RESTARTS";
+
+/// Per-feature switch for fork-point inprocessing (vivification +
+/// subsumption); off makes [`Solver::inprocess`] a no-op. Unset = follow
+/// [`SOLVER_MODERN_ENV`].
+pub const SOLVER_INPROCESS_ENV: &str = "SSC_SOLVER_INPROCESS";
+
+/// The solver's heuristic configuration: which of the four modern-CDCL
+/// refinements are active (see the crate-level *Modern CDCL heuristics*
+/// section for the knob table). Every feature is independently gated and
+/// the all-off [`Heuristics::legacy`] configuration is exactly the
+/// pre-refinement solver, so equivalence tests can pin either engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Heuristics {
+    /// Recursive conflict-clause minimization ([`SOLVER_CCMIN_ENV`]).
+    pub ccmin_deep: bool,
+    /// Tiered learnt-database reduction ([`SOLVER_TIERED_ENV`]).
+    pub tiered_db: bool,
+    /// LBD-EMA adaptive restarts with blocking ([`SOLVER_RESTARTS_ENV`]).
+    pub adaptive_restarts: bool,
+    /// Fork-point inprocessing ([`SOLVER_INPROCESS_ENV`]).
+    pub inprocessing: bool,
+}
+
+impl Default for Heuristics {
+    fn default() -> Self {
+        Heuristics::modern()
+    }
+}
+
+impl Heuristics {
+    /// All four refinements on (the default).
+    pub fn modern() -> Heuristics {
+        Heuristics {
+            ccmin_deep: true,
+            tiered_db: true,
+            adaptive_restarts: true,
+            inprocessing: true,
+        }
+    }
+
+    /// All four refinements off: the MiniSat-lineage baseline.
+    pub fn legacy() -> Heuristics {
+        Heuristics {
+            ccmin_deep: false,
+            tiered_db: false,
+            adaptive_restarts: false,
+            inprocessing: false,
+        }
+    }
+
+    /// Parses the five environment overrides (`None` = variable unset).
+    /// The master switch seeds all four features; each per-feature knob
+    /// then overrides its own flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(variable name, offending value)` for the first malformed
+    /// override; every knob accepts `0/off/false/1/on/true`.
+    pub fn parse_env(
+        modern: Option<&str>,
+        ccmin: Option<&str>,
+        tiered: Option<&str>,
+        restarts: Option<&str>,
+        inprocess: Option<&str>,
+    ) -> Result<Heuristics, (&'static str, String)> {
+        let parse = |var: &'static str, raw: Option<&str>, default: bool| match raw {
+            None => Ok(default),
+            Some("0" | "off" | "false") => Ok(false),
+            Some("1" | "on" | "true") => Ok(true),
+            Some(bad) => Err((var, bad.to_string())),
+        };
+        let base = parse(SOLVER_MODERN_ENV, modern, true)?;
+        Ok(Heuristics {
+            ccmin_deep: parse(SOLVER_CCMIN_ENV, ccmin, base)?,
+            tiered_db: parse(SOLVER_TIERED_ENV, tiered, base)?,
+            adaptive_restarts: parse(SOLVER_RESTARTS_ENV, restarts, base)?,
+            inprocessing: parse(SOLVER_INPROCESS_ENV, inprocess, base)?,
+        })
+    }
+
+    /// The configuration from the environment (every [`Solver::new`]
+    /// starts with this; tests and benches pin explicit configs via
+    /// [`Solver::set_heuristics`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the variable and the offending value — on a
+    /// malformed override: silently falling back to defaults would make a
+    /// mistyped CI matrix entry measure the wrong engine.
+    pub fn from_env() -> Heuristics {
+        let get = |name: &str| std::env::var(name).ok();
+        let (modern, ccmin, tiered, restarts, inprocess) = (
+            get(SOLVER_MODERN_ENV),
+            get(SOLVER_CCMIN_ENV),
+            get(SOLVER_TIERED_ENV),
+            get(SOLVER_RESTARTS_ENV),
+            get(SOLVER_INPROCESS_ENV),
+        );
+        match Heuristics::parse_env(
+            modern.as_deref(),
+            ccmin.as_deref(),
+            tiered.as_deref(),
+            restarts.as_deref(),
+            inprocess.as_deref(),
+        ) {
+            Ok(cfg) => cfg,
+            Err((var, bad)) => panic!("invalid {var}={bad:?}"),
+        }
     }
 }
 
@@ -234,6 +451,11 @@ pub struct Solver {
     qhead: usize,
     heap: VarHeap,
     seen: Vec<bool>,
+    /// DFS stack of the recursive minimizer (persistent scratch).
+    ccmin_stack: Vec<Lit>,
+    /// `seen` marks added by the recursive minimizer beyond the learnt
+    /// clause itself, cleared at the end of each analysis.
+    ccmin_clear: Vec<Lit>,
     /// Scratch for LBD computation: level -> stamp.
     lbd_stamp: Vec<u64>,
     lbd_counter: u64,
@@ -256,10 +478,39 @@ pub struct Solver {
     limit_props: u64,
     /// Interrupt cause tripped mid-solve, consumed by the solve loop.
     interrupt: Option<InterruptCause>,
+    /// Active heuristic configuration (see [`Heuristics`]).
+    heur: Heuristics,
+    /// State fingerprint of the last completed [`Solver::inprocess`] run,
+    /// so a fork of an untouched solver doesn't redo identical work.
+    inprocessed_at: (u64, u64, u64),
 }
 
 const VAR_DECAY: f64 = 0.95;
 const RESTART_BASE: u64 = 128;
+
+/// Adaptive-restart tuning (glucose lineage): windows of the fast/slow
+/// LBD averages and the conflict-time trail average, the degradation
+/// margin that fires a restart, the trail margin that blocks one, and
+/// the minimum conflicts between consecutive triggers.
+const LBD_FAST_WINDOW: u64 = 32;
+const LBD_SLOW_WINDOW: u64 = 8192;
+const TRAIL_AVG_WINDOW: u64 = 4096;
+const RESTART_MARGIN: f64 = 1.25;
+const RESTART_BLOCK_MARGIN: f64 = 1.4;
+const RESTART_MIN_INTERVAL: u64 = 32;
+
+/// Inprocessing caps. Fork points sit on hot paths, so both passes are
+/// bounded deterministically: vivification by a clause-length ceiling and
+/// a total propagation budget, subsumption by a literal-scan budget plus
+/// a per-literal occurrence cap (dense literals are skipped rather than
+/// scanned quadratically). The caps are part of the solver's determinism
+/// story — identical state in, identical simplification out, regardless
+/// of wall clock or pool size.
+const VIVIFY_MAX_LEN: usize = 32;
+const VIVIFY_PROP_BUDGET: u64 = 500_000;
+const SUBSUME_MAX_LEN: usize = 16;
+const SUBSUME_SCAN_BUDGET: u64 = 2_000_000;
+const SUBSUME_OCC_CAP: usize = 400;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -268,8 +519,14 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the heuristic configuration from the
+    /// environment ([`Heuristics::from_env`]).
     pub fn new() -> Self {
+        Solver::with_heuristics(Heuristics::from_env())
+    }
+
+    /// Creates an empty solver with an explicit heuristic configuration.
+    pub fn with_heuristics(heur: Heuristics) -> Self {
         Solver {
             db: ClauseDb::new(),
             clauses: Vec::new(),
@@ -287,6 +544,8 @@ impl Solver {
             qhead: 0,
             heap: VarHeap::new(),
             seen: Vec::new(),
+            ccmin_stack: Vec::new(),
+            ccmin_clear: Vec::new(),
             lbd_stamp: Vec::new(),
             lbd_counter: 0,
             var_inc: 1.0,
@@ -300,7 +559,22 @@ impl Solver {
             limit_conflicts: u64::MAX,
             limit_props: u64::MAX,
             interrupt: None,
+            heur,
+            inprocessed_at: (u64::MAX, u64::MAX, u64::MAX),
         }
+    }
+
+    /// The active heuristic configuration.
+    pub fn heuristics(&self) -> Heuristics {
+        self.heur
+    }
+
+    /// Replaces the heuristic configuration. Safe at any point between
+    /// solves: every feature reads the flag at its own use site, and the
+    /// per-clause tier/usage bookkeeping is maintained unconditionally
+    /// (it is cheap), so toggling never leaves stale state behind.
+    pub fn set_heuristics(&mut self, heur: Heuristics) {
+        self.heur = heur;
     }
 
     /// Allocates a fresh variable.
@@ -422,6 +696,12 @@ impl Solver {
     /// goal ancestry, so an in-session purge also sheds still-useful
     /// shared-formula lemmas).
     ///
+    /// Tier-aware under [`Heuristics::tiered_db`]: core-tier learnts
+    /// (LBD ≤ 3 glue) survive the purge regardless of their era, so CoW
+    /// forks inherit the core tier intact — glue lemmas are almost always
+    /// about the shared formula, exactly what a fork profits from, and
+    /// the time-based era tag mislabeling them is the purge's main cost.
+    ///
     /// # Panics
     ///
     /// Panics if called above decision level 0.
@@ -433,6 +713,9 @@ impl Solver {
         let mut dropped = 0u64;
         for i in 0..self.learnts.len() {
             let c = self.learnts[i];
+            if self.heur.tiered_db && self.db.tier(c) == TIER_CORE {
+                continue;
+            }
             if self.retired_eras[self.learnt_eras[i] as usize] && !self.is_locked(c) {
                 self.detach(c);
                 self.db.delete(c);
@@ -725,11 +1008,22 @@ impl Solver {
 
         loop {
             debug_assert_ne!(confl, CREF_UNDEF);
-            // Bump matched learnt clauses (freshness heuristic via LBD).
+            // Bump matched learnt clauses (freshness heuristic via LBD);
+            // under the tiered DB an improved LBD also promotes the clause
+            // to the tier it now merits, and participating in analysis at
+            // all marks it used (the demotion signal of the next reduce).
             if self.db.is_learnt(confl) {
+                self.db.set_used(confl);
                 let lbd = self.compute_lbd(confl);
                 if lbd < self.db.lbd(confl) {
                     self.db.set_lbd(confl, lbd);
+                    if self.heur.tiered_db {
+                        let t = Self::tier_for_lbd(lbd);
+                        if t < self.db.tier(confl) {
+                            self.db.set_tier(confl, t);
+                            self.stats.tier_promotions += 1;
+                        }
+                    }
                 }
             }
             let start = usize::from(p.is_some());
@@ -764,13 +1058,31 @@ impl Solver {
         }
         learnt[0] = !p.expect("analysis visits at least the UIP");
 
-        // Clause minimization: drop literals implied by the rest.
+        // Clause minimization: drop literals implied by the rest — the
+        // recursive (deep) DFS over reason clauses, or the legacy
+        // one-level pass.
         let mut minimized: Vec<Lit> = vec![learnt[0]];
-        for &l in &learnt[1..] {
-            if !self.is_redundant(l) {
-                minimized.push(l);
+        if self.heur.ccmin_deep {
+            debug_assert!(self.ccmin_clear.is_empty());
+            let mut abstract_levels = 0u32;
+            for &l in &learnt[1..] {
+                abstract_levels |= self.abstract_level(l.var());
+            }
+            for &l in &learnt[1..] {
+                if self.reason[l.var().index()] == CREF_UNDEF
+                    || !self.lit_redundant(l, abstract_levels)
+                {
+                    minimized.push(l);
+                }
+            }
+        } else {
+            for &l in &learnt[1..] {
+                if !self.is_redundant(l) {
+                    minimized.push(l);
+                }
             }
         }
+        self.stats.minimized_lits += (learnt.len() - minimized.len()) as u64;
 
         // Compute backtrack level: second-highest level in the clause.
         let bt = if minimized.len() == 1 {
@@ -788,11 +1100,81 @@ impl Solver {
             self.level[minimized[1].var().index()]
         };
 
-        // Clear remaining seen flags.
+        // Clear remaining seen flags — the learnt clause's own, plus any
+        // extra marks the recursive minimizer left as memoized
+        // "redundant" witnesses.
         for &l in &learnt {
             self.seen[l.var().index()] = false;
         }
+        for i in 0..self.ccmin_clear.len() {
+            self.seen[self.ccmin_clear[i].var().index()] = false;
+        }
+        self.ccmin_clear.clear();
         (minimized, bt)
+    }
+
+    /// One-bit-per-level abstraction of a variable's decision level
+    /// (MiniSat's `abstractLevel`), used by the recursive minimizer to
+    /// cheaply reject reason literals from levels the learnt clause never
+    /// touches.
+    #[inline]
+    fn abstract_level(&self, v: Var) -> u32 {
+        1 << (self.level[v.index()] & 31)
+    }
+
+    /// Whether `p` is redundant in the learnt clause under construction:
+    /// a DFS over reason clauses (MiniSat's `litRedundant`, the deep
+    /// ccmin mode) proving `p` implied by seen literals and level-0
+    /// facts alone. Newly proven-redundant literals stay marked in `seen`
+    /// (memoization across sibling probes of one analysis) and are logged
+    /// in `ccmin_clear` for the caller to unmark; a failed probe unwinds
+    /// its own marks before returning.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32) -> bool {
+        debug_assert!(self.ccmin_stack.is_empty());
+        self.ccmin_stack.push(p);
+        let top = self.ccmin_clear.len();
+        while let Some(q) = self.ccmin_stack.pop() {
+            let r = self.reason[q.var().index()];
+            debug_assert_ne!(r, CREF_UNDEF);
+            // A reason clause keeps its propagated literal at position 0
+            // while locked, so positions 1.. are exactly the antecedents.
+            for k in 1..self.db.len(r) {
+                let l = self.db.lit(r, k);
+                let v = l.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()] != CREF_UNDEF
+                    && self.abstract_level(v) & abstract_levels != 0
+                {
+                    self.seen[v.index()] = true;
+                    self.ccmin_stack.push(l);
+                    self.ccmin_clear.push(l);
+                } else {
+                    // Hit a decision or a level outside the clause: `p`
+                    // is not provably redundant. Undo this probe's marks.
+                    for i in top..self.ccmin_clear.len() {
+                        self.seen[self.ccmin_clear[i].var().index()] = false;
+                    }
+                    self.ccmin_clear.truncate(top);
+                    self.ccmin_stack.clear();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The tier a learnt clause of the given LBD belongs to.
+    #[inline]
+    fn tier_for_lbd(lbd: u32) -> u32 {
+        if lbd <= CORE_LBD_MAX {
+            TIER_CORE
+        } else if lbd <= MID_LBD_MAX {
+            TIER_MID
+        } else {
+            TIER_LOCAL
+        }
     }
 
     /// A literal is redundant in the learnt clause if its reason clause
@@ -925,19 +1307,26 @@ impl Solver {
         lbd
     }
 
-    fn record_learnt(&mut self, lits: Vec<Lit>) {
+    /// Installs a learnt clause and enqueues its asserting literal.
+    /// Returns the clause's LBD (1 for unit learnts), which feeds the
+    /// adaptive-restart averages.
+    fn record_learnt(&mut self, lits: Vec<Lit>) -> u32 {
         if lits.len() == 1 {
             self.unchecked_enqueue(lits[0], CREF_UNDEF);
-            return;
+            return 1;
         }
         let cref = self.db.alloc(&lits, true);
         let lbd = self.compute_lbd(cref);
         self.db.set_lbd(cref, lbd);
+        // Tier bookkeeping is unconditional (one store) so toggling
+        // `tiered_db` mid-life never sees stale tiers.
+        self.db.set_tier(cref, Self::tier_for_lbd(lbd));
         self.learnts.push(cref);
         self.learnt_eras.push(self.era);
         self.stats.learnts = self.learnts.len() as u64;
         self.attach(cref);
         self.unchecked_enqueue(lits[0], cref);
+        lbd
     }
 
     /// A clause is locked while it is the reason of its first literal's
@@ -950,9 +1339,23 @@ impl Solver {
     }
 
     fn reduce_db(&mut self) {
-        // Sort learnts by LBD descending; delete the worse half, keeping
-        // glue clauses (LBD <= 2) and locked clauses (reason of a trail lit).
         self.stats.db_reductions += 1;
+        if self.heur.tiered_db {
+            self.reduce_db_tiered();
+        } else {
+            self.reduce_db_legacy();
+        }
+        self.retain_live_learnts();
+        self.stats.learnts = self.learnts.len() as u64;
+        if self.db.wasted * 2 > self.db.data.len() {
+            self.garbage_collect();
+        }
+    }
+
+    /// The legacy single-sweep reducer: sort learnts by LBD descending and
+    /// delete the worse half, keeping glue clauses (LBD <= 2) and locked
+    /// clauses (reason of a trail lit).
+    fn reduce_db_legacy(&mut self) {
         let mut ranked: Vec<(u32, CRef)> = self
             .learnts
             .iter()
@@ -972,10 +1375,55 @@ impl Solver {
             self.db.delete(c);
             deleted += 1;
         }
-        self.retain_live_learnts();
-        self.stats.learnts = self.learnts.len() as u64;
-        if self.db.wasted * 2 > self.db.data.len() {
-            self.garbage_collect();
+    }
+
+    /// The tiered reducer: the core tier (LBD ≤ 3) is never deleted; mid
+    /// clauses untouched since the previous reduction demote to local;
+    /// the worse (higher-LBD, older on ties) half of the local tier is
+    /// deleted, skipping locked clauses. Promotion back up happens in
+    /// conflict analysis, where an improved LBD re-tiers the clause.
+    fn reduce_db_tiered(&mut self) {
+        let mut local: Vec<(u32, CRef)> = Vec::new();
+        for i in 0..self.learnts.len() {
+            let c = self.learnts[i];
+            match self.db.tier(c) {
+                TIER_CORE => {}
+                TIER_MID => {
+                    if self.db.is_used(c) {
+                        self.db.clear_used(c);
+                    } else {
+                        self.db.set_tier(c, TIER_LOCAL);
+                        local.push((self.db.lbd(c), c));
+                    }
+                }
+                _ => {
+                    if self.db.is_used(c) {
+                        // A local clause that just participated in a
+                        // conflict gets one more round before it is a
+                        // deletion candidate.
+                        self.db.clear_used(c);
+                    } else {
+                        local.push((self.db.lbd(c), c));
+                    }
+                }
+            }
+        }
+        // Higher LBD first; on equal LBD the *older* clause (lower arena
+        // offset) is deleted first — recency is the cheapest proxy for
+        // relevance the arena gives us deterministically.
+        local.sort_unstable_by_key(|&(lbd, c)| (std::cmp::Reverse(lbd), c.0));
+        let target = local.len() / 2;
+        let mut deleted = 0;
+        for (_, c) in local {
+            if deleted >= target {
+                break;
+            }
+            if self.is_locked(c) {
+                continue;
+            }
+            self.detach(c);
+            self.db.delete(c);
+            deleted += 1;
         }
     }
 
@@ -1013,6 +1461,271 @@ impl Solver {
         }
     }
 
+    /// Inprocessing: clause **vivification** followed by occurrence-list
+    /// **subsumption / self-subsuming resolution**, at decision level 0.
+    /// Returns `(vivified, subsumed)` — the counts also accumulated into
+    /// [`SolverStats::vivified_clauses`] / [`SolverStats::subsumed_clauses`].
+    ///
+    /// Designed for the moments the clause DB is about to be duplicated
+    /// (a proof prefix finishing its encode, a session fork): simplifying
+    /// once there is amortized over every copy. All rewrites are
+    /// model-set-preserving, so verdicts and extracted models are
+    /// unaffected:
+    ///
+    /// - vivification only shortens a clause to a subset `K` when `¬K`
+    ///   propagates a conflict or another literal of the clause — i.e.
+    ///   when `∨K` (or its resolvent with the implied literal) is entailed;
+    /// - a clause is only deleted when a remaining clause subsumes it
+    ///   (problem clauses only by other *problem* clauses, so the
+    ///   irredundant set never leans on a learnt that a later reduction
+    ///   could drop; learnts are deletable by anything since dropping a
+    ///   learnt is always sound);
+    /// - self-subsuming resolution replaces a problem clause by an
+    ///   entailed strict subset.
+    ///
+    /// A no-op when [`Heuristics::inprocessing`] is off, when the solver
+    /// is already unsat, or when nothing changed since the last run (so
+    /// forking an untouched solver costs nothing). Work is capped by
+    /// deterministic propagation/scan budgets — fork points sit on hot
+    /// paths, and a bounded pass keeps the fork cheap while still
+    /// discharging the bulk of the simplifiable clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn inprocess(&mut self) -> (u64, u64) {
+        assert_eq!(self.trail_lim.len(), 0, "inprocess above level 0");
+        if !self.heur.inprocessing || !self.ok {
+            return (0, 0);
+        }
+        let fp = |s: &Solver| (s.stats.conflicts, s.stats.propagations, s.trail.len() as u64);
+        if fp(self) == self.inprocessed_at {
+            return (0, 0);
+        }
+        debug_assert_eq!(self.qhead, self.trail.len());
+        // Release level-0 reasons. A level-0 assignment is permanent and
+        // its reason clause is never dereferenced again (conflict analysis
+        // and final-core extraction both skip level-0 variables), but as
+        // long as the clause counts as locked it could be neither deleted
+        // nor strengthened.
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = CREF_UNDEF;
+        }
+        let vivified = self.vivify_pass();
+        let subsumed = if self.ok { self.subsume_pass() } else { 0 };
+        let db = &self.db;
+        self.clauses.retain(|&c| !db.is_deleted(c));
+        self.retain_live_learnts();
+        self.stats.clauses = self.clauses.len() as u64;
+        self.stats.learnts = self.learnts.len() as u64;
+        self.stats.vivified_clauses += vivified;
+        self.stats.subsumed_clauses += subsumed;
+        if self.db.wasted * 2 > self.db.data.len() {
+            self.garbage_collect();
+        }
+        self.inprocessed_at = fp(self);
+        (vivified, subsumed)
+    }
+
+    /// Vivification (clause distillation): for each problem clause
+    /// `l1 ∨ … ∨ lk`, assume `¬l1, ¬l2, …` one literal at a time with
+    /// full propagation in between (the clause itself detached).
+    /// A conflict proves the assumed prefix's clause entailed (shorten to
+    /// it); a literal found true is kept and ends the clause there; a
+    /// literal found false is resolved away. Clauses satisfied at level 0
+    /// are discharged outright. Bounded by a propagation budget.
+    fn vivify_pass(&mut self) -> u64 {
+        let mut shrunk = 0u64;
+        let budget_end = self.stats.propagations.saturating_add(VIVIFY_PROP_BUDGET);
+        let n = self.clauses.len();
+        for i in 0..n {
+            let c = self.clauses[i];
+            if self.db.is_deleted(c) {
+                continue;
+            }
+            let len = self.db.len(c);
+            if len > VIVIFY_MAX_LEN {
+                continue;
+            }
+            if self.stats.propagations >= budget_end {
+                break;
+            }
+            let lits: Vec<Lit> = self.db.lits(c).iter().map(|&l| Lit(l)).collect();
+            if lits.iter().any(|&l| self.value_lit(l) == LBool::True) {
+                // Satisfied at level 0: true forever.
+                self.detach(c);
+                self.db.delete(c);
+                shrunk += 1;
+                continue;
+            }
+            self.detach(c);
+            let mut kept: Vec<Lit> = Vec::with_capacity(len);
+            for (j, &l) in lits.iter().enumerate() {
+                match self.value_lit(l) {
+                    LBool::True => {
+                        // ¬(kept) ⊨ l, so (∨kept ∨ l) is entailed.
+                        kept.push(l);
+                        break;
+                    }
+                    LBool::False => {
+                        // ¬(kept) ⊨ ¬l: resolving (∨kept ∨ ¬l is entailed)
+                        // with the clause drops l.
+                    }
+                    LBool::Undef => {
+                        kept.push(l);
+                        if j + 1 == lits.len() {
+                            break; // nothing left to learn from a decision
+                        }
+                        self.new_decision_level();
+                        self.unchecked_enqueue(!l, CREF_UNDEF);
+                        if self.propagate().is_some() {
+                            // ¬(kept) is contradictory: (∨kept) is entailed.
+                            break;
+                        }
+                    }
+                }
+            }
+            self.cancel_until(0);
+            if kept.len() == lits.len() {
+                self.attach(c);
+                continue;
+            }
+            self.db.delete(c);
+            shrunk += 1;
+            self.install_shrunk(&kept);
+            if !self.ok {
+                break;
+            }
+        }
+        shrunk
+    }
+
+    /// Occurrence-list subsumption + self-subsuming resolution, one pass
+    /// in deterministic clause order (problem clauses first, then
+    /// learnts, as subsumers). Bounded by a literal-scan budget and a
+    /// per-literal occurrence cap.
+    fn subsume_pass(&mut self) -> u64 {
+        let mut subsumed = 0u64;
+        let nlits = 2 * self.num_vars();
+        let mut occ: Vec<Vec<CRef>> = vec![Vec::new(); nlits];
+        let problem: Vec<CRef> =
+            self.clauses.iter().copied().filter(|&c| !self.db.is_deleted(c)).collect();
+        let learnt: Vec<CRef> =
+            self.learnts.iter().copied().filter(|&c| !self.db.is_deleted(c)).collect();
+        for &c in problem.iter().chain(learnt.iter()) {
+            for &l in self.db.lits(c) {
+                occ[Lit(l).index()].push(c);
+            }
+        }
+        let mut stamp: Vec<u64> = vec![0; nlits];
+        let mut stamp_ctr = 0u64;
+        let mut scans = 0u64;
+        'subsumers: for (list, a_is_problem) in [(&problem, true), (&learnt, false)] {
+            for &a in list.iter() {
+                if self.db.is_deleted(a) {
+                    continue;
+                }
+                let alen = self.db.len(a);
+                if alen > SUBSUME_MAX_LEN {
+                    continue;
+                }
+                if scans >= SUBSUME_SCAN_BUDGET {
+                    break 'subsumers;
+                }
+                // Probe through the rarest literal's occurrence list.
+                let mut min_lit = self.db.lit(a, 0);
+                for k in 1..alen {
+                    let l = self.db.lit(a, k);
+                    if occ[l.index()].len() < occ[min_lit.index()].len() {
+                        min_lit = l;
+                    }
+                }
+                if occ[min_lit.index()].len() > SUBSUME_OCC_CAP {
+                    continue;
+                }
+                stamp_ctr += 1;
+                for k in 0..alen {
+                    stamp[self.db.lit(a, k).index()] = stamp_ctr;
+                }
+                let cands: Vec<CRef> = occ[min_lit.index()].clone();
+                for b in cands {
+                    if b == a || self.db.is_deleted(b) {
+                        continue;
+                    }
+                    let blen = self.db.len(b);
+                    if blen < alen {
+                        continue;
+                    }
+                    scans += blen as u64;
+                    let mut hits = 0usize;
+                    let mut neg: Option<Lit> = None;
+                    let mut negs = 0usize;
+                    for k in 0..blen {
+                        let l = self.db.lit(b, k);
+                        if stamp[l.index()] == stamp_ctr {
+                            hits += 1;
+                        } else if stamp[(!l).index()] == stamp_ctr {
+                            negs += 1;
+                            neg = Some(l);
+                        }
+                    }
+                    if hits == alen {
+                        // a ⊆ b. A problem clause may only lean on another
+                        // problem clause for its deletion; learnts are fair
+                        // game for anyone.
+                        if a_is_problem || self.db.is_learnt(b) {
+                            self.detach(b);
+                            self.db.delete(b);
+                            subsumed += 1;
+                        }
+                    } else if hits + 1 == alen && negs == 1 && !self.db.is_learnt(b) {
+                        // Self-subsuming resolution: resolving a with b on
+                        // the clashing literal yields a strict subset of b.
+                        let drop = neg.expect("negs == 1");
+                        let new_lits: Vec<Lit> = self
+                            .db
+                            .lits(b)
+                            .iter()
+                            .map(|&l| Lit(l))
+                            .filter(|&l| l != drop)
+                            .collect();
+                        self.detach(b);
+                        self.db.delete(b);
+                        self.install_shrunk(&new_lits);
+                        subsumed += 1;
+                        if !self.ok {
+                            break 'subsumers;
+                        }
+                    }
+                }
+            }
+        }
+        subsumed
+    }
+
+    /// Installs the shortened replacement of an (already detached and
+    /// deleted) problem clause: empty → unsat, unit → level-0 enqueue +
+    /// propagation, else allocate/attach and append to the clause list
+    /// (the caller compacts the list afterwards).
+    fn install_shrunk(&mut self, lits: &[Lit]) {
+        match lits.len() {
+            0 => self.ok = false,
+            1 => match self.value_lit(lits[0]) {
+                LBool::True => {}
+                LBool::False => self.ok = false,
+                LBool::Undef => {
+                    self.unchecked_enqueue(lits[0], CREF_UNDEF);
+                    self.ok = self.propagate().is_none() && self.ok;
+                }
+            },
+            _ => {
+                let cref = self.db.alloc(lits, false);
+                self.clauses.push(cref);
+                self.attach(cref);
+            }
+        }
+    }
+
     fn detach(&mut self, cref: CRef) {
         let l0 = self.db.lit(cref, 0);
         let l1 = self.db.lit(cref, 1);
@@ -1033,6 +1746,9 @@ impl Solver {
         let mut move_clause = |db: &mut ClauseDb, c: CRef| -> CRef {
             let lits: Vec<Lit> = db.lits(c).iter().map(|&l| Lit(l)).collect();
             let n = new_db.alloc(&lits, db.is_learnt(c));
+            // Carry the full header (tier/used flags included) minus the
+            // deleted bit, then the LBD.
+            new_db.data[n.0 as usize] = db.data[c.0 as usize] & !2;
             new_db.set_lbd(n, db.lbd(c));
             // Mark the old copy deleted and store the forwarding pointer in
             // its LBD slot.
@@ -1139,6 +1855,19 @@ impl Solver {
         let mut restart_count: u64 = 0;
         let mut conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
         let mut conflicts_in_run: u64 = 0;
+        // Adaptive-restart state (glucose lineage), all per-solve and
+        // purely counter-driven, so schedules are deterministic: a fast
+        // LBD average over the recent window versus the slow whole-solve
+        // average triggers a restart when recent conflicts degrade; a
+        // trail far above its own average blocks (postpones) the restart
+        // instead, because the solver is visibly filling in a model that
+        // a restart would throw away. During the first `window` conflicts
+        // the update rule degenerates to an exact running mean, so the
+        // averages need no seed value.
+        let mut lbd_fast = 0.0f64;
+        let mut lbd_slow = 0.0f64;
+        let mut trail_avg = 0.0f64;
+        let mut solve_conflicts: u64 = 0;
 
         let result = loop {
             if let Some(cause) = self.interrupt.take() {
@@ -1166,19 +1895,50 @@ impl Solver {
                 // cancel_until handles re-enqueueing since decisions are
                 // re-derived from `assumptions` in the decision phase.
                 self.cancel_until(bt_level);
-                self.record_learnt(learnt);
+                let lbd = self.record_learnt(learnt);
+                if self.heur.adaptive_restarts {
+                    solve_conflicts += 1;
+                    let fast_n = solve_conflicts.min(LBD_FAST_WINDOW) as f64;
+                    let slow_n = solve_conflicts.min(LBD_SLOW_WINDOW) as f64;
+                    let trail_n = solve_conflicts.min(TRAIL_AVG_WINDOW) as f64;
+                    lbd_fast += (f64::from(lbd) - lbd_fast) / fast_n;
+                    lbd_slow += (f64::from(lbd) - lbd_slow) / slow_n;
+                    trail_avg += (self.trail.len() as f64 - trail_avg) / trail_n;
+                }
                 self.var_inc /= VAR_DECAY;
                 if self.learnts.len() as f64 > self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                 }
             } else {
-                if conflicts_in_run >= conflicts_until_restart {
+                let restart_due = if self.heur.adaptive_restarts {
+                    conflicts_in_run >= RESTART_MIN_INTERVAL
+                        && lbd_fast > lbd_slow * RESTART_MARGIN
+                } else {
+                    conflicts_in_run >= conflicts_until_restart
+                };
+                if restart_due
+                    && self.heur.adaptive_restarts
+                    && self.trail.len() as f64 > trail_avg * RESTART_BLOCK_MARGIN
+                {
+                    // Blocked: the trail is far past its average, i.e. the
+                    // search is assignment-heavy (SAT-leaning) and close to
+                    // something — postpone, damp the trigger, re-arm only
+                    // after another minimum interval of conflicts.
+                    self.stats.restarts_blocked += 1;
+                    conflicts_in_run = 0;
+                    lbd_fast = lbd_slow;
+                } else if restart_due {
                     // Restart: keep level-0 trail, redo assumptions.
                     self.stats.restarts += 1;
                     restart_count += 1;
                     conflicts_in_run = 0;
                     conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
+                    if self.heur.adaptive_restarts {
+                        // Like glucose clearing its conflict queue: the
+                        // trigger re-arms on fresh degradation only.
+                        lbd_fast = lbd_slow;
+                    }
                     self.cancel_until(0);
                 }
                 // Extend with assumptions first.
@@ -1251,5 +2011,83 @@ impl Solver {
     /// The value of variable `v` in the most recent model.
     pub fn model_var(&self, v: Var) -> Option<bool> {
         self.model.get(v.index()).and_then(|x| x.as_bool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristics_parse_env_defaults_and_master() {
+        // Unset everything: modern.
+        let h = Heuristics::parse_env(None, None, None, None, None).unwrap();
+        assert_eq!(h, Heuristics::modern());
+        // Master off seeds all four off.
+        let h = Heuristics::parse_env(Some("0"), None, None, None, None).unwrap();
+        assert_eq!(h, Heuristics::legacy());
+        // All accepted spellings.
+        for (raw, want) in [
+            ("0", false),
+            ("off", false),
+            ("false", false),
+            ("1", true),
+            ("on", true),
+            ("true", true),
+        ] {
+            let h = Heuristics::parse_env(Some(raw), None, None, None, None).unwrap();
+            assert_eq!(h.ccmin_deep, want, "master={raw}");
+        }
+    }
+
+    #[test]
+    fn heuristics_parse_env_per_feature_overrides_master() {
+        let h = Heuristics::parse_env(Some("0"), Some("1"), None, None, None).unwrap();
+        assert!(h.ccmin_deep && !h.tiered_db && !h.adaptive_restarts && !h.inprocessing);
+        let h = Heuristics::parse_env(Some("on"), None, Some("off"), None, None).unwrap();
+        assert!(h.ccmin_deep && !h.tiered_db && h.adaptive_restarts && h.inprocessing);
+        let h = Heuristics::parse_env(None, None, None, Some("false"), Some("0")).unwrap();
+        assert!(h.ccmin_deep && h.tiered_db && !h.adaptive_restarts && !h.inprocessing);
+    }
+
+    #[test]
+    fn heuristics_parse_env_rejects_junk_naming_the_var() {
+        let err = Heuristics::parse_env(Some("yes"), None, None, None, None).unwrap_err();
+        assert_eq!(err, (SOLVER_MODERN_ENV, "yes".to_string()));
+        let err = Heuristics::parse_env(None, Some("2"), None, None, None).unwrap_err();
+        assert_eq!(err, (SOLVER_CCMIN_ENV, "2".to_string()));
+        let err = Heuristics::parse_env(None, None, Some(""), None, None).unwrap_err();
+        assert_eq!(err, (SOLVER_TIERED_ENV, String::new()));
+        let err = Heuristics::parse_env(None, None, None, Some("On"), None).unwrap_err();
+        assert_eq!(err, (SOLVER_RESTARTS_ENV, "On".to_string()));
+        let err = Heuristics::parse_env(None, None, None, None, Some("nope")).unwrap_err();
+        assert_eq!(err, (SOLVER_INPROCESS_ENV, "nope".to_string()));
+    }
+
+    #[test]
+    fn inprocess_subsumes_and_vivifies_without_changing_verdicts() {
+        let mut s = Solver::with_heuristics(Heuristics::modern());
+        let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        // (a ∨ b) subsumes its duplicate superset (a ∨ b ∨ c); the third
+        // clause shares no subset relation and must survive.
+        s.add_clause([v[0].lit(false), v[1].lit(false)]);
+        s.add_clause([v[0].lit(false), v[1].lit(false), v[2].lit(false)]);
+        s.add_clause([v[3].lit(false), v[4].lit(false), v[5].lit(false)]);
+        let before = s.stats().clauses;
+        let (_, subsumed) = s.inprocess();
+        assert!(subsumed >= 1, "duplicate-superset clause must be subsumed");
+        assert!(s.stats().clauses < before);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Idempotent at an unchanged state: second call is a no-op.
+        let fp = s.inprocess();
+        assert_eq!(fp, (0, 0));
+    }
+
+    #[test]
+    fn inprocess_is_a_noop_when_disabled_or_off_level_zero() {
+        let mut s = Solver::with_heuristics(Heuristics::legacy());
+        let v = s.new_var();
+        s.add_clause([v.lit(false)]);
+        assert_eq!(s.inprocess(), (0, 0));
     }
 }
